@@ -1,0 +1,78 @@
+"""Shared benchmark plumbing: scaling knobs, workbench cache, result files.
+
+Every benchmark regenerates one table or figure of the paper.  Shot
+counts are laptop-scale by default and adjustable through environment
+variables:
+
+* ``REPRO_BENCH_SHOTS_PER_K``  -- syndromes per injected-fault count
+  (Eq. (1) workloads; default 250).
+* ``REPRO_BENCH_CENSUS_SHOTS`` -- syndromes per k for the high-HW
+  censuses (default 150).
+* ``REPRO_BENCH_KMAX``         -- largest injected-fault count (default 16).
+* ``REPRO_BENCH_DISTANCES``    -- comma-separated distances for the
+  headline tables (default "11,13").
+
+Each benchmark prints its table (so ``pytest benchmarks/ --benchmark-only
+-s`` shows the paper-shaped output) and writes a JSON artifact under
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List
+
+from repro.eval.experiments import Workbench
+from repro.utils.rng import stable_seed
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+def shots_per_k() -> int:
+    return env_int("REPRO_BENCH_SHOTS_PER_K", 250)
+
+
+def census_shots() -> int:
+    return env_int("REPRO_BENCH_CENSUS_SHOTS", 150)
+
+
+def k_max() -> int:
+    return env_int("REPRO_BENCH_KMAX", 16)
+
+
+def headline_distances() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_DISTANCES", "11,13")
+    return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+_WORKBENCHES: Dict = {}
+
+
+def get_workbench(distance: int, p: float) -> Workbench:
+    """Process-wide workbench cache (graphs and distances are reused)."""
+    key = (distance, p)
+    if key not in _WORKBENCHES:
+        _WORKBENCHES[key] = Workbench.build(
+            distance=distance, p=p, rng=stable_seed("bench", distance, p)
+        )
+    return _WORKBENCHES[key]
+
+
+def save_results(name: str, payload: dict) -> Path:
+    """Persist a benchmark's numbers for the EXPERIMENTS.md comparison."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with path.open("w") as handle:
+        json.dump(payload, handle, indent=2, default=float)
+    return path
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

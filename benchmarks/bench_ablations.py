@@ -1,0 +1,126 @@
+"""Ablations of Promatch's design choices (DESIGN.md Section 5).
+
+Not a paper table -- these benches quantify the design decisions the
+paper argues for qualitatively.  Two subtleties shape the methodology:
+
+* Under the *adaptive* configuration the ablations are invisible at
+  laptop scale: Promatch stops at HW <= 10 and Astrea repairs whatever
+  the predecoder left, so variant differences surface only in ~1e-4 of
+  high-HW syndromes.  The bench therefore forces **full predecoding
+  depth** (``main_capability = 1``), where every matching decision is
+  the predecoder's own.
+* Binary disagreement is high-variance at these rates; **weight regret**
+  (committed matching weight minus the MWPM optimum) is the
+  low-variance, continuous quality metric, measured on syndromes whose
+  decoding subgraph actually contains complex (degree >= 2) patterns --
+  the Figure 7 territory.
+
+Variants:
+
+1. full Promatch (hardware singleton test, Step 3 on),
+2. singleton avoidance disabled (pure lowest-weight greed),
+3. Step 3 disabled (no singleton rescue; defers leftovers),
+4. exact singleton test (catches the degree-2 corner the Figure 11
+   hardware logic misses).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import census_shots, get_workbench, run_once, save_results  # noqa: E402
+
+from repro.core import PromatchPredecoder  # noqa: E402
+from repro.decoders import AstreaDecoder, MWPMDecoder  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+from repro.graph.subgraph import DecodingSubgraph  # noqa: E402
+
+P = 1e-4
+DISTANCE = 11
+INJECTED_FAULTS = 14
+
+
+def run_ablations() -> dict:
+    bench = get_workbench(DISTANCE, P)
+    graph = bench.graph
+    # Syndromes with genuinely complex local structure (some flipped bit
+    # has two or more flipped neighbors): where matching decisions bite.
+    batch = bench.sample_exact_k(INJECTED_FAULTS, 6 * census_shots())
+    workload = [
+        events
+        for events in batch.events
+        if len(events) > 10
+        and any(d >= 2 for d in DecodingSubgraph(graph, events).degree)
+    ]
+    variants = {
+        "Promatch (full)": PromatchPredecoder(graph, main_capability=1),
+        "no singleton avoidance": PromatchPredecoder(
+            graph, main_capability=1, enable_singleton_avoidance=False
+        ),
+        "no step 3": PromatchPredecoder(
+            graph, main_capability=1, enable_step3=False
+        ),
+        "exact singleton check": PromatchPredecoder(
+            graph, main_capability=1, exact_singleton_check=True
+        ),
+    }
+    mwpm = MWPMDecoder(graph)
+    astrea = AstreaDecoder(graph)
+    payload = {
+        "p": P,
+        "distance": DISTANCE,
+        "k": INJECTED_FAULTS,
+        "workload": len(workload),
+        "rows": {},
+    }
+    optima = {events: mwpm.decode(events).weight for events in workload}
+    for name, predecoder in variants.items():
+        total_regret = 0.0
+        worst_regret = 0.0
+        decided = 0
+        deferred = 0
+        for events in workload:
+            report = predecoder.predecode(events)
+            remainder = astrea.decode(report.remaining)
+            if report.aborted or not remainder.success:
+                deferred += 1
+                continue
+            decided += 1
+            regret = report.weight + remainder.weight - optima[events]
+            total_regret += regret
+            worst_regret = max(worst_regret, regret)
+        payload["rows"][name] = {
+            "mean_weight_regret": total_regret / decided if decided else 0.0,
+            "worst_weight_regret": worst_regret,
+            "decided": decided,
+            "deferred": deferred,
+        }
+    return payload
+
+
+def bench_ablations(benchmark):
+    payload = run_once(benchmark, run_ablations)
+    rows = [
+        [
+            name,
+            f"{stats['mean_weight_regret']:.4f}",
+            f"{stats['worst_weight_regret']:.2f}",
+            str(stats["decided"]),
+        ]
+        for name, stats in payload["rows"].items()
+    ]
+    print()
+    print(
+        format_table(
+            ["Variant", "mean regret", "worst regret", "syndromes"],
+            rows,
+            title=(
+                f"Ablations | d={DISTANCE}, k={INJECTED_FAULTS} faults, "
+                "forced full predecoding on complex patterns "
+                "(regret = matching weight above the MWPM optimum)"
+            ),
+        )
+    )
+    save_results("ablations", payload)

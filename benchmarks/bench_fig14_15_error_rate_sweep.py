@@ -1,0 +1,77 @@
+"""Figures 14 and 15: LER vs physical error rate, d = 11 and d = 13.
+
+Paper's sweep: p = 1e-4 .. 5e-4 for MWPM, Promatch, Astrea-G, Smith,
+Smith || AG, Promatch || AG.  The claims to reproduce:
+
+* every series rises steeply with p,
+* Promatch || AG stays within ~1.1x (d=11) / ~13.9x (d=13) of MWPM,
+* Smith || AG trails Promatch || AG,
+* Astrea-G detaches furthest.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    get_workbench,
+    headline_distances,
+    k_max,
+    run_once,
+    save_results,
+    shots_per_k,
+)
+
+from repro.eval.ler import estimate_ler_suite  # noqa: E402
+from repro.eval.reporting import format_scientific, format_table  # noqa: E402
+from repro.utils.rng import stable_seed  # noqa: E402
+
+ERROR_RATES = (1e-4, 2e-4, 3e-4, 4e-4, 5e-4)
+COMPONENTS = ("MWPM", "Promatch+Astrea", "Astrea-G", "Smith+Astrea")
+PARALLEL = {
+    "Promatch || AG": ("Promatch+Astrea", "Astrea-G"),
+    "Smith || AG": ("Smith+Astrea", "Astrea-G"),
+}
+
+
+def run_sweep() -> dict:
+    payload = {"error_rates": list(ERROR_RATES), "series": {}}
+    sweep_shots = max(60, shots_per_k() // 2)
+    for distance in headline_distances():
+        per_p = {}
+        for p in ERROR_RATES:
+            bench = get_workbench(distance, p)
+            results = estimate_ler_suite(
+                components={name: bench.decoders[name] for name in COMPONENTS},
+                parallel_specs=PARALLEL,
+                dem=bench.dem,
+                p=p,
+                k_max=k_max(),
+                shots_per_k=sweep_shots,
+                rng=stable_seed("fig14_15", distance, p),
+            )
+            per_p[f"{p:.0e}"] = {name: r.ler for name, r in results.items()}
+        payload["series"][str(distance)] = per_p
+    return payload
+
+
+def bench_fig14_15_error_rate_sweep(benchmark):
+    payload = run_once(benchmark, run_sweep)
+    names = list(COMPONENTS) + list(PARALLEL)
+    for distance, per_p in payload["series"].items():
+        rates = list(per_p)
+        rows = [
+            [name] + [format_scientific(per_p[r][name]) for r in rates]
+            for name in names
+        ]
+        print()
+        print(
+            format_table(
+                ["Decoder"] + [f"p={r}" for r in rates],
+                rows,
+                title=f"Figures 14/15 | LER vs p, d={distance}",
+            )
+        )
+    save_results("fig14_15_error_rate_sweep", payload)

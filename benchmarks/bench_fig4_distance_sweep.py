@@ -1,0 +1,86 @@
+"""Figure 4 (and Figure 1(c)): LER vs code distance at p = 1e-4.
+
+Paper's series: idealized MWPM, Astrea-G, Clique+MWPM, AFS over
+d = 7..13.  The plot's story: MWPM keeps dropping with distance;
+Astrea-G tracks it through d = 9 then detaches (2.5x at d=11, 43x at
+d=13); Clique+MWPM hugs MWPM (its main decoder is unconstrained);
+AFS (union-find) sits a constant factor above MWPM.
+
+Shape criteria here: per-distance ordering
+MWPM <= Clique+MWPM <= AFS and Astrea-G's widening gap at d >= 11.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    env_int,
+    get_workbench,
+    k_max,
+    run_once,
+    save_results,
+    shots_per_k,
+)
+
+from repro.decoders import CliquePredecoder, MWPMDecoder, PredecodedDecoder  # noqa: E402
+from repro.eval.ler import estimate_ler_importance  # noqa: E402
+from repro.eval.reporting import format_scientific, format_table  # noqa: E402
+from repro.utils.rng import stable_seed  # noqa: E402
+
+P = 1e-4
+
+
+def run_fig4() -> dict:
+    distances = [7, 9, 11, 13]
+    payload = {"p": P, "series": {}}
+    sweep_shots = max(60, shots_per_k() // 2)
+    for distance in distances:
+        bench = get_workbench(distance, P)
+        decoders = {
+            "MWPM": bench.decoders["MWPM"],
+            "Astrea-G": bench.decoders["Astrea-G"],
+            "Clique+MWPM": PredecodedDecoder(
+                bench.graph,
+                CliquePredecoder(bench.graph),
+                MWPMDecoder(bench.graph),
+                name="Clique+MWPM",
+            ),
+            "AFS (union-find)": bench.decoders["UnionFind"],
+        }
+        results = estimate_ler_importance(
+            decoders,
+            bench.dem,
+            P,
+            k_max=min(k_max(), 2 * distance),
+            shots_per_k=sweep_shots,
+            rng=stable_seed("fig4", distance),
+        )
+        payload["series"][str(distance)] = {
+            name: result.ler for name, result in results.items()
+        }
+    return payload
+
+
+def bench_fig4_distance_sweep(benchmark):
+    payload = run_once(benchmark, run_fig4)
+    names = ["MWPM", "Astrea-G", "Clique+MWPM", "AFS (union-find)"]
+    rows = [
+        [name]
+        + [
+            format_scientific(payload["series"][d][name])
+            for d in payload["series"]
+        ]
+        for name in names
+    ]
+    print()
+    print(
+        format_table(
+            ["Decoder"] + [f"d={d}" for d in payload["series"]],
+            rows,
+            title=f"Figure 4 | LER vs distance at p={P}",
+        )
+    )
+    save_results("fig4_distance_sweep", payload)

@@ -1,0 +1,77 @@
+"""Table 3: the Clique NSM predecoder cannot help a capability-limited
+main decoder.
+
+Paper's rows (p = 1e-4):
+
+    Clique + Astrea   2.2e-5  (d=11)   > 1e-4  (d=13)   -- order of p!
+    Clique + AG       = Astrea-G's LER
+    Astrea-G          4.5e-13 / 1.4e-13
+
+The qualitative claim reproduced here: Clique+Astrea collapses by many
+orders of magnitude because Clique forwards every non-trivial high-HW
+syndrome unmodified and Astrea refuses HW > 10, while Clique+AG tracks
+Astrea-G exactly.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    get_workbench,
+    headline_distances,
+    k_max,
+    run_once,
+    save_results,
+    shots_per_k,
+)
+
+from repro.eval.ler import estimate_ler_suite  # noqa: E402
+from repro.eval.reporting import format_scientific, format_table  # noqa: E402
+from repro.utils.rng import stable_seed  # noqa: E402
+
+P = 1e-4
+COMPONENTS = ("Clique+Astrea", "Astrea-G")
+PARALLEL = {"Clique || AG": ("Clique+Astrea", "Astrea-G")}
+
+
+def run_table3() -> dict:
+    payload = {"p": P, "rows": {}}
+    for distance in headline_distances():
+        bench = get_workbench(distance, P)
+        results = estimate_ler_suite(
+            components={name: bench.decoders[name] for name in COMPONENTS},
+            parallel_specs=PARALLEL,
+            dem=bench.dem,
+            p=P,
+            k_max=k_max(),
+            shots_per_k=shots_per_k(),
+            rng=stable_seed("table3", distance),
+        )
+        payload["rows"][str(distance)] = {
+            name: result.ler for name, result in results.items()
+        }
+    return payload
+
+
+def bench_table3_clique(benchmark):
+    payload = run_once(benchmark, run_table3)
+    for distance, rows in payload["rows"].items():
+        print()
+        print(
+            format_table(
+                ["Decoder", "LER"],
+                [[name, format_scientific(v)] for name, v in rows.items()],
+                title=f"Table 3 | d={distance}, p={P}",
+            )
+        )
+        clique_astrea = rows["Clique+Astrea"]
+        astrea_g = rows["Astrea-G"]
+        if astrea_g > 0:
+            print(
+                f"  Clique+Astrea / Astrea-G = {clique_astrea / astrea_g:.1e} "
+                "(paper: >1e8x collapse)"
+            )
+    save_results("table3_clique", payload)

@@ -1,0 +1,90 @@
+"""Tables 4 and 5: Promatch latency on high-Hamming-weight syndromes.
+
+Paper's numbers (ns, HW >= 10 workload):
+
+    Table 4 (predecode only):   d=11  max 824 / avg 68.2
+                                d=13  max 928 / avg 70.0
+    Table 5 (predecode+decode): d=11  max 904 / avg 524.2
+                                d=13  max 960 / avg 526.0
+
+Shape criteria: max predecode within a few hundred ns of the budget,
+average tens of ns, total average dominated by Astrea's ~456 ns HW=10
+search, worst case pinned at the 960 ns budget, and a deadline-miss
+probability many orders below the LER.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    census_shots,
+    get_workbench,
+    headline_distances,
+    k_max,
+    run_once,
+    save_results,
+)
+
+from repro.core import PromatchPredecoder  # noqa: E402
+from repro.decoders import AstreaDecoder  # noqa: E402
+from repro.eval.experiments import latency_census  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+
+P = 1e-4
+
+
+def run_latency() -> dict:
+    payload = {"p": P, "rows": {}}
+    for distance in headline_distances():
+        bench = get_workbench(distance, P)
+        batch = bench.sample_high_hw(shots_per_k=census_shots(), k_max=k_max())
+        census = latency_census(
+            bench.graph,
+            batch,
+            PromatchPredecoder(bench.graph),
+            AstreaDecoder(bench.graph),
+        )
+        payload["rows"][str(distance)] = {
+            "predecode_max_ns": census.predecode_max_ns,
+            "predecode_avg_ns": census.predecode_avg_ns,
+            "total_max_ns": census.total_max_ns,
+            "total_avg_ns": census.total_avg_ns,
+            "deadline_miss_probability": census.deadline_miss_probability,
+            "syndromes": batch.shots,
+        }
+    return payload
+
+
+def bench_table4_5_latency(benchmark):
+    payload = run_once(benchmark, run_latency)
+    rows = []
+    for distance, stats in payload["rows"].items():
+        rows.append(
+            [
+                distance,
+                f"{stats['predecode_max_ns']:.0f}",
+                f"{stats['predecode_avg_ns']:.1f}",
+                f"{stats['total_max_ns']:.0f}",
+                f"{stats['total_avg_ns']:.1f}",
+                f"{stats['deadline_miss_probability']:.1e}",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "d",
+                "pre max (ns)",
+                "pre avg (ns)",
+                "total max (ns)",
+                "total avg (ns)",
+                "P(miss 1us)",
+            ],
+            rows,
+            title="Tables 4+5 | Promatch latency on HW>10 syndromes",
+        )
+    )
+    save_results("table4_5_latency", payload)

@@ -1,0 +1,64 @@
+"""Table 6: how deep into its step ladder Promatch must go.
+
+Paper's numbers (fraction of high-HW samples whose deepest step is s):
+
+            d=11        d=13
+    Step 1  0.9956      0.9983
+    Step 2  0.00439     0.00167
+    Step 3  6.1e-11     7.3e-11
+    Step 4  2.4e-11     1.8e-11
+
+Shape criteria: Step 1 dominates overwhelmingly; each deeper step is
+orders of magnitude rarer; Steps 3/4 are extremely rare but *nonzero* in
+occurrence probability (their existence is what pushes the final LER
+down -- see the paper's discussion).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    census_shots,
+    get_workbench,
+    headline_distances,
+    k_max,
+    run_once,
+    save_results,
+)
+
+from repro.core import PromatchPredecoder  # noqa: E402
+from repro.eval.experiments import step_usage_census  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+
+P = 1e-4
+
+
+def run_steps() -> dict:
+    payload = {"p": P, "rows": {}}
+    for distance in headline_distances():
+        bench = get_workbench(distance, P)
+        batch = bench.sample_high_hw(shots_per_k=census_shots(), k_max=k_max())
+        usage = step_usage_census(batch, PromatchPredecoder(bench.graph))
+        payload["rows"][str(distance)] = {str(s): v for s, v in usage.items()}
+    return payload
+
+
+def bench_table6_step_usage(benchmark):
+    payload = run_once(benchmark, run_steps)
+    distances = list(payload["rows"])
+    rows = [
+        [f"Step {s}"] + [f"{payload['rows'][d][s]:.3e}" for d in distances]
+        for s in ("1", "2", "3", "4")
+    ]
+    print()
+    print(
+        format_table(
+            ["Step"] + [f"d={d}" for d in distances],
+            rows,
+            title="Table 6 | deepest Promatch step per high-HW syndrome",
+        )
+    )
+    save_results("table6_steps", payload)

@@ -1,0 +1,90 @@
+"""Tables 7 and 8: FPGA utilization and on-chip storage.
+
+Paper's numbers:
+
+    Table 7: edge-processing pipeline, 3% LUT / 1% FF at 250 MHz
+             (Kintex UltraScale+).
+    Table 8: Edge Table 3.6 KB (d=11) / 6 KB (d=13);
+             Path Table 129 KB (d=11) / 345 KB (d=13).
+
+This bench regenerates both from the *actual* decoding graphs this
+reproduction builds (edge counts and detector counts), through the
+analytic models in :mod:`repro.hardware.resources`.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import get_workbench, run_once, save_results  # noqa: E402
+
+from repro.hardware.resources import (  # noqa: E402
+    estimate_fpga_utilization,
+    estimate_storage,
+)
+from repro.eval.reporting import format_table  # noqa: E402
+
+P = 1e-4
+PAPER_TABLE8 = {11: (3.6, 129.0), 13: (6.0, 345.0)}
+
+
+def run_hardware() -> dict:
+    payload = {"storage": {}, "utilization": {}}
+    for distance in (11, 13):
+        graph = get_workbench(distance, P).graph
+        estimate = estimate_storage(graph)
+        payload["storage"][str(distance)] = {
+            "n_detectors": estimate.n_detectors,
+            "n_edges": estimate.n_edges,
+            "edge_table_kb": estimate.edge_table_kb,
+            "path_table_kb": estimate.path_table_kb,
+        }
+    util = estimate_fpga_utilization()
+    payload["utilization"] = {
+        "luts": util.luts,
+        "lut_percent": util.lut_percent,
+        "flip_flops": util.flip_flops,
+        "ff_percent": util.ff_percent,
+        "clock_mhz": util.clock_mhz,
+    }
+    return payload
+
+
+def bench_table7_8_hardware(benchmark):
+    payload = run_once(benchmark, run_hardware)
+    rows = []
+    for distance, stats in payload["storage"].items():
+        paper_edge, paper_path = PAPER_TABLE8[int(distance)]
+        rows.append(
+            [
+                distance,
+                f"{stats['edge_table_kb']:.1f} KB",
+                f"{paper_edge} KB",
+                f"{stats['path_table_kb']:.1f} KB",
+                f"{paper_path} KB",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["d", "Edge table", "(paper)", "Path table", "(paper)"],
+            rows,
+            title="Table 8 | storage requirements",
+        )
+    )
+    util = payload["utilization"]
+    print()
+    print(
+        format_table(
+            ["Resource", "Used", "Percent", "(paper)"],
+            [
+                ["LUT", str(util["luts"]), f"{util['lut_percent']:.1f}%", "3%"],
+                ["FF", str(util["flip_flops"]), f"{util['ff_percent']:.1f}%", "1%"],
+                ["Clock", f"{util['clock_mhz']} MHz", "-", "250 MHz"],
+            ],
+            title="Table 7 | FPGA utilization (edge-processing pipeline)",
+        )
+    )
+    save_results("table7_8_hardware", payload)

@@ -1,0 +1,81 @@
+"""Software throughput microbenchmarks (not a paper table).
+
+The paper's latency numbers come from the cycle model (Tables 4/5); these
+benches time the *Python implementation* itself on a fixed high-HW
+workload, so regressions in the algorithmic hot paths (subgraph builds,
+candidate scans, exact matching) show up in CI.  Unlike the experiment
+benches these use pytest-benchmark's statistical timing loop.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import get_workbench  # noqa: E402
+
+from repro.core import PromatchPredecoder  # noqa: E402
+from repro.decoders import AstreaDecoder, MWPMDecoder, PredecodedDecoder  # noqa: E402
+
+P = 1e-4
+DISTANCE = 11
+
+
+def _workload(bench, count=24, k=8):
+    batch = bench.sample_exact_k(k, count)
+    return [e for e in batch.events if len(e) > 10] or batch.events
+
+
+def bench_promatch_predecode_throughput(benchmark):
+    bench = get_workbench(DISTANCE, P)
+    bench.graph.ensure_distances()
+    events = _workload(bench)
+    promatch = PromatchPredecoder(bench.graph)
+
+    def run():
+        for e in events:
+            promatch.predecode(e)
+
+    benchmark(run)
+
+
+def bench_promatch_astrea_pipeline_throughput(benchmark):
+    bench = get_workbench(DISTANCE, P)
+    bench.graph.ensure_distances()
+    events = _workload(bench)
+    pipeline = PredecodedDecoder(
+        bench.graph, PromatchPredecoder(bench.graph), AstreaDecoder(bench.graph)
+    )
+
+    def run():
+        for e in events:
+            pipeline.decode(e)
+
+    benchmark(run)
+
+
+def bench_mwpm_decode_throughput(benchmark):
+    bench = get_workbench(DISTANCE, P)
+    bench.graph.ensure_distances()
+    events = _workload(bench)
+    mwpm = MWPMDecoder(bench.graph)
+
+    def run():
+        for e in events:
+            mwpm.decode(e)
+
+    benchmark(run)
+
+
+def bench_subgraph_construction(benchmark):
+    from repro.graph.subgraph import DecodingSubgraph
+
+    bench = get_workbench(DISTANCE, P)
+    events = _workload(bench, count=16, k=10)
+
+    def run():
+        for e in events:
+            DecodingSubgraph(bench.graph, e)
+
+    benchmark(run)

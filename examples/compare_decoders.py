@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Decoder shoot-out: the paper's Table 2 in miniature.
+
+Evaluates every configuration of the paper (idealized MWPM, Astrea-G,
+Promatch+Astrea, Smith+Astrea, Clique+Astrea and the parallel combos) on
+a *shared* workload using the paper's Eq. (1) importance estimator, then
+prints a Table-2-style comparison.
+
+Scaled for a coffee break (d=9, modest shots); crank the constants for
+sharper numbers, or run the full benchmark:
+
+    pytest benchmarks/bench_table2_ler.py --benchmark-only -s
+
+Run:  python examples/compare_decoders.py
+"""
+
+from repro import build_workbench
+from repro.eval.ler import estimate_ler_suite
+from repro.eval.reporting import format_ratio, format_scientific, format_table
+
+DISTANCE = 9
+P = 1e-4
+SHOTS_PER_K = 120
+K_MAX = 14
+
+
+def main() -> None:
+    bench = build_workbench(distance=DISTANCE, p=P, rng=11)
+    components = {
+        name: bench.decoders[name]
+        for name in ("MWPM", "Promatch+Astrea", "Astrea-G", "Smith+Astrea",
+                     "Clique+Astrea")
+    }
+    parallel = {
+        "Promatch || AG": ("Promatch+Astrea", "Astrea-G"),
+        "Smith || AG": ("Smith+Astrea", "Astrea-G"),
+    }
+    print(f"Estimating LER via Eq. (1): d={DISTANCE}, p={P}, "
+          f"{SHOTS_PER_K} shots x k=1..{K_MAX} ...")
+    results = estimate_ler_suite(
+        components, parallel, bench.dem, P,
+        k_max=K_MAX, shots_per_k=SHOTS_PER_K, rng=3,
+    )
+
+    baseline = results["MWPM"].ler
+    rows = []
+    for name in ("MWPM", "Promatch || AG", "Promatch+Astrea", "Astrea-G",
+                 "Smith || AG", "Smith+Astrea", "Clique+Astrea"):
+        r = results[name]
+        rows.append([
+            name,
+            format_scientific(r.ler),
+            format_ratio(r.ler, baseline) if r.ler else "-",
+            f"<= {format_scientific(r.ler_high)}",
+        ])
+    print()
+    print(format_table(
+        ["Decoder", "LER (Eq. 1)", "vs MWPM", "95% upper"],
+        rows,
+        title=f"Decoder comparison, d={DISTANCE}, p={P}",
+    ))
+    print("\nPer-k failure profile (Astrea-G):")
+    for k, po, estimate in results["Astrea-G"].per_k:
+        if estimate.rate > 0:
+            print(f"  k={k:2d}  P_o={po:.2e}  P_f={estimate}")
+
+
+if __name__ == "__main__":
+    main()

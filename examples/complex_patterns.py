@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""The paper's core insight, step by step (Figures 7 and 9).
+
+Builds the exact error patterns from the paper on a synthetic decoding
+graph and walks through what a naive weight-greedy matcher does versus
+what Promatch's singleton-avoidance rule does, printing every round.
+
+Run:  python examples/complex_patterns.py
+"""
+
+from repro.core import PromatchPredecoder
+from repro.core.steps import find_edge_candidates
+from repro.graph.decoding_graph import DecodingGraph, GraphEdge
+from repro.graph.subgraph import DecodingSubgraph
+from repro.utils.bits import weight_to_probability
+
+
+def make_graph(n_nodes, edges, boundary_weight=50.0):
+    graph_edges = [
+        GraphEdge(u=u, v=v, probability=weight_to_probability(w),
+                  weight=w, observable_mask=0)
+        for u, v, w in edges
+    ]
+    graph_edges += [
+        GraphEdge(u=u, v=-1, probability=weight_to_probability(boundary_weight),
+                  weight=boundary_weight, observable_mask=0)
+        for u in range(n_nodes)
+    ]
+    return DecodingGraph(n_nodes=n_nodes, edges=graph_edges)
+
+
+def figure7() -> None:
+    print("=" * 64)
+    print("Figure 7: the 4-chain  1 -- 2 -- 3 -- 4")
+    print("  edge weights: (1,2)=2.0  (2,3)=1.5  (3,4)=2.0")
+    print("  The middle edge is the *cheapest*, but matching it strands")
+    print("  bits 1 and 4 as singletons: total cost 1.5 + 2x50 boundary.")
+    print()
+    graph = make_graph(4, [(0, 1, 2.0), (1, 2, 1.5), (2, 3, 2.0)])
+    subgraph = DecodingSubgraph(graph, [0, 1, 2, 3])
+
+    candidates = find_edge_candidates(subgraph)
+    for step, candidate in candidates.items():
+        if candidate:
+            print(f"  step {step}: edge ({candidate.i}, {candidate.j}) "
+                  f"weight {candidate.weight}")
+    print()
+    promatch = PromatchPredecoder(graph, main_capability=0)
+    report = promatch.predecode((0, 1, 2, 3))
+    print(f"  Promatch matched {report.pairs} "
+          f"(deepest step: {report.steps_used}, "
+          f"total weight {report.weight:.1f})")
+    print("  -> the correct (1,2)+(3,4) pairing at weight 4.0, not the")
+    print("     greedy middle match that would cost ~101.5.")
+
+
+def figure9() -> None:
+    print()
+    print("=" * 64)
+    print("Figure 9: bit a with three dependents b, c, d; e backed by f")
+    print()
+    graph = make_graph(
+        6,
+        [(0, 1, 1.0), (0, 2, 1.2), (0, 3, 1.4), (0, 4, 1.6), (4, 5, 1.1)],
+    )
+    subgraph = DecodingSubgraph(graph, [0, 1, 2, 3, 4, 5])
+    names = "abcdef"
+    for i in range(6):
+        print(f"  bit {names[i]}: degree {subgraph.degree[i]}, "
+              f"#dependent {subgraph.dependent[i]}")
+    print()
+    print("  Matching (a, b) would strand c and d -> Promatch refuses it;")
+    print("  the only safe degree-1 match is (e, f):")
+    candidates = find_edge_candidates(subgraph)
+    best = candidates["2.1"]
+    print(f"  step 2.1 candidate: ({names[best.i]}, {names[best.j]}) "
+          f"weight {best.weight}")
+
+
+def main() -> None:
+    figure7()
+    figure9()
+    print()
+    print("=" * 64)
+    print("This locality-aware rule is Section 3 of the paper in action:")
+    print("matching decisions that avoid creating singletons keep every")
+    print("remaining bit matchable at chain length 1 -- the cheap, likely")
+    print("corrections -- and break complex patterns into simple ones.")
+
+
+if __name__ == "__main__":
+    main()

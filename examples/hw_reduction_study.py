@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Coverage study: what does each predecoder leave behind?
+
+Reproduces the paper's Figures 16/17 in miniature: sample syndromes with
+Hamming weight above Astrea's limit, run each predecoder, and histogram
+the residual Hamming weight.  The punchline:
+
+* Promatch adapts: residuals land at 10 (or 8/6 under time pressure),
+  never above -- Astrea always finishes.
+* Smith sweeps blindly: residuals scatter from 0 (over-coverage, wasted
+  accuracy) to above 10 (coverage failure, guaranteed real-time loss).
+* Clique is all-or-nothing: almost every high-HW syndrome passes through
+  untouched.
+
+Run:  python examples/hw_reduction_study.py
+"""
+
+from repro import build_workbench
+from repro.core import PromatchPredecoder
+from repro.decoders import CliquePredecoder, SmithPredecoder
+from repro.eval.experiments import hw_reduction_census
+from repro.eval.reporting import format_histogram
+
+DISTANCE = 11
+P = 1e-4
+
+
+def main() -> None:
+    bench = build_workbench(distance=DISTANCE, p=P, rng=31)
+    print(f"Sampling HW > 10 syndromes at d={DISTANCE}, p={P} ...")
+    batch = bench.sample_high_hw(shots_per_k=120, k_max=16)
+    print(f"  {batch.shots} syndromes "
+          f"(total occurrence probability {batch.weights.sum():.2e})\n")
+
+    histograms = hw_reduction_census(
+        bench.graph,
+        batch,
+        {
+            "Promatch": PromatchPredecoder(bench.graph),
+            "Smith": SmithPredecoder(bench.graph),
+            "Clique": CliquePredecoder(bench.graph),
+        },
+        n_bins=36,
+    )
+
+    for name in ("before", "Promatch", "Smith", "Clique"):
+        print(format_histogram(
+            histograms[name],
+            title=f"Residual Hamming weight -- {name}",
+        ))
+        above = sum(histograms[name][11:])
+        print(f"  mass above Astrea's HW=10 limit: {above:.3e}\n")
+
+    promatch_above = sum(histograms["Promatch"][11:])
+    smith_above = sum(histograms["Smith"][11:])
+    print("Conclusion: Promatch leaves", promatch_above, "probability mass "
+          "above the real-time limit;")
+    print("Smith leaves", f"{smith_above:.3e}", "-- every bit of it is a "
+          "guaranteed decoding failure.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Real-time budget analysis: where do the 960 nanoseconds go?
+
+Profiles Promatch's predecoding rounds and Astrea's search on
+high-Hamming-weight syndromes at distance 11 (the paper's Tables 4-6),
+using the cycle-accurate hardware model: 250 MHz, edge-scans per round,
+involution-sized brute-force search.
+
+Run:  python examples/latency_profile.py
+"""
+
+from repro import build_workbench
+from repro.core import PromatchPredecoder
+from repro.decoders import AstreaDecoder
+from repro.eval.experiments import latency_census, step_usage_census
+from repro.eval.reporting import format_table
+from repro.hardware.latency import BUDGET_CYCLES, astrea_cycles, cycles_to_ns
+
+DISTANCE = 11
+P = 1e-4
+
+
+def main() -> None:
+    bench = build_workbench(distance=DISTANCE, p=P, rng=23)
+    promatch = PromatchPredecoder(bench.graph)
+    astrea = AstreaDecoder(bench.graph)
+
+    print("Astrea's search cost by Hamming weight (the capability cliff):")
+    rows = [
+        [str(hw), str(astrea_cycles(hw)), f"{cycles_to_ns(astrea_cycles(hw)):.0f}",
+         "yes" if astrea_cycles(hw) <= BUDGET_CYCLES else "NO"]
+        for hw in (2, 4, 6, 8, 10, 12)
+    ]
+    print(format_table(["HW", "cycles", "ns", "fits 960 ns?"], rows))
+    print("\n=> HW 12 cannot fit: this is why high-HW syndromes need a "
+          "predecoder.\n")
+
+    print(f"Sampling high-HW syndromes at d={DISTANCE}, p={P} ...")
+    batch = bench.sample_high_hw(shots_per_k=120, k_max=16)
+    print(f"  {batch.shots} syndromes with HW > 10 "
+          f"(max HW {batch.hamming_weights().max()})")
+
+    census = latency_census(bench.graph, batch, promatch, astrea)
+    print(format_table(
+        ["Phase", "avg (ns)", "max (ns)"],
+        [
+            ["Promatch predecode", f"{census.predecode_avg_ns:.1f}",
+             f"{census.predecode_max_ns:.0f}"],
+            ["predecode + Astrea", f"{census.total_avg_ns:.1f}",
+             f"{census.total_max_ns:.0f}"],
+        ],
+        title="Latency on HW>10 syndromes (paper Tables 4/5)",
+    ))
+    print(f"  deadline misses: probability "
+          f"{census.deadline_miss_probability:.2e} (paper: ~1e-17)")
+
+    usage = step_usage_census(batch, promatch)
+    print()
+    print(format_table(
+        ["Promatch step", "fraction of syndromes"],
+        [[f"Step {s}", f"{frac:.3e}"] for s, frac in usage.items()],
+        title="Deepest step engaged (paper Table 6)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro: a reproduction of *Promatch* (ASPLOS 2024).
+
+Promatch is a real-time adaptive predecoder that converts high-Hamming-
+weight surface-code syndromes into low-Hamming-weight ones an exact
+real-time MWPM decoder (Astrea) can finish within the 1 us deadline,
+extending real-time decoding to distances 11 and 13.
+
+Quick start::
+
+    from repro import build_workbench
+
+    bench = build_workbench(distance=5, p=1e-3, rng=7)
+    batch = bench.sample(1000)
+    result = bench.decoders["Promatch+Astrea"].decode(batch.events[0])
+
+See ``examples/quickstart.py`` for a guided tour, DESIGN.md for the
+architecture, and EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.circuits import build_memory_circuit
+from repro.core import PromatchPredecoder
+from repro.decoders import (
+    AstreaDecoder,
+    AstreaGDecoder,
+    CliquePredecoder,
+    MWPMDecoder,
+    ParallelDecoder,
+    PredecodedDecoder,
+    SmithPredecoder,
+    UnionFindDecoder,
+)
+from repro.graph import DecodingGraph, build_decoding_graph
+from repro.noise import (
+    CircuitNoiseModel,
+    CodeCapacityNoiseModel,
+    PhenomenologicalNoiseModel,
+)
+from repro.sim import (
+    DemSampler,
+    ExactKSampler,
+    FrameSimulator,
+    build_detector_error_model,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RepetitionCode",
+    "RotatedSurfaceCode",
+    "build_memory_circuit",
+    "PromatchPredecoder",
+    "AstreaDecoder",
+    "AstreaGDecoder",
+    "CliquePredecoder",
+    "MWPMDecoder",
+    "ParallelDecoder",
+    "PredecodedDecoder",
+    "SmithPredecoder",
+    "UnionFindDecoder",
+    "DecodingGraph",
+    "build_decoding_graph",
+    "CircuitNoiseModel",
+    "CodeCapacityNoiseModel",
+    "PhenomenologicalNoiseModel",
+    "DemSampler",
+    "ExactKSampler",
+    "FrameSimulator",
+    "build_detector_error_model",
+    "build_workbench",
+]
+
+
+def build_workbench(distance=5, p=1e-3, rounds=None, rng=None):
+    """Convenience constructor wiring the full stack for one configuration.
+
+    Defined here (lazily importing the eval layer) so the quickstart is a
+    two-liner; heavy experiment plumbing lives in :mod:`repro.eval`.
+    """
+    from repro.eval.experiments import Workbench
+
+    return Workbench.build(distance=distance, p=p, rounds=rounds, rng=rng)

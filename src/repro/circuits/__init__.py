@@ -1,0 +1,16 @@
+"""Circuit intermediate representation and experiment builders."""
+
+from repro.circuits.circuit import Circuit, DetectorSpec, ObservableSpec
+from repro.circuits.memory import MemoryExperiment, build_memory_circuit
+from repro.circuits.ops import NoiseClass, Op, OpKind
+
+__all__ = [
+    "Circuit",
+    "DetectorSpec",
+    "ObservableSpec",
+    "MemoryExperiment",
+    "build_memory_circuit",
+    "NoiseClass",
+    "Op",
+    "OpKind",
+]

@@ -1,0 +1,140 @@
+"""Circuit container: an op list plus detector/observable declarations.
+
+Mirrors the role of a Stim circuit: the op list defines the dynamics, and
+detectors/observables define which measurement parities are deterministic
+(in the absence of noise) and which parity encodes the logical outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuits.ops import NoiseClass, Op, OpKind
+
+
+@dataclass(frozen=True)
+class DetectorSpec:
+    """A detector: the XOR of a set of measurement records.
+
+    In a noiseless run the declared parity is always 0; a detector "fires"
+    when noise flips an odd subset of its records.
+
+    Attributes:
+        measurements: Record indices (into the circuit's measurement order).
+        coord: ``(row, col, layer)`` space-time coordinate of the associated
+            plaquette; ``layer`` counts syndrome comparison rounds.
+        basis: Stabilizer basis ("Z" or "X") of the plaquette.
+    """
+
+    measurements: Tuple[int, ...]
+    coord: Tuple[int, int, int]
+    basis: str
+
+
+@dataclass(frozen=True)
+class ObservableSpec:
+    """A logical observable: the XOR of a set of measurement records."""
+
+    measurements: Tuple[int, ...]
+    name: str = "logical"
+
+
+@dataclass
+class Circuit:
+    """An executable noisy stabilizer circuit.
+
+    Attributes:
+        n_qubits: Total qubit count (data + ancilla).
+        ops: Operation list, executed in order.
+        detectors: Deterministic measurement parities to monitor.
+        observables: Logical measurement parities to predict.
+    """
+
+    n_qubits: int
+    ops: List[Op] = field(default_factory=list)
+    detectors: List[DetectorSpec] = field(default_factory=list)
+    observables: List[ObservableSpec] = field(default_factory=list)
+
+    # -- building -------------------------------------------------------------
+
+    def append(
+        self,
+        kind: OpKind,
+        targets: Sequence[int],
+        noise_class: Optional[NoiseClass] = None,
+    ) -> None:
+        """Append one op, validating targets against ``n_qubits``."""
+        targets = tuple(int(t) for t in targets)
+        for t in targets:
+            if not 0 <= t < self.n_qubits:
+                raise ValueError(f"target {t} out of range for {self.n_qubits} qubits")
+        self.ops.append(Op(kind=kind, targets=targets, noise_class=noise_class))
+
+    # -- derived structure ------------------------------------------------------
+
+    @property
+    def n_measurements(self) -> int:
+        """Total number of measurement records the circuit produces."""
+        return sum(len(op.targets) for op in self.ops if op.kind is OpKind.MEASURE)
+
+    @property
+    def n_detectors(self) -> int:
+        return len(self.detectors)
+
+    def noise_mechanism_count(self) -> int:
+        """Number of independent fault mechanisms the noise ops expand into."""
+        total = 0
+        for op in self.ops:
+            if op.kind is OpKind.DEPOLARIZE1:
+                total += 3 * len(op.targets)
+            elif op.kind is OpKind.DEPOLARIZE2:
+                total += 15 * (len(op.targets) // 2)
+            elif op.kind in (OpKind.X_ERROR, OpKind.MEASURE_FLIP):
+                total += len(op.targets)
+        return total
+
+    def detector_matrix(self) -> "np.ndarray":
+        """Dense boolean (n_detectors x n_measurements) membership matrix."""
+        mat = np.zeros((len(self.detectors), self.n_measurements), dtype=bool)
+        for i, det in enumerate(self.detectors):
+            for m in det.measurements:
+                mat[i, m] = True
+        return mat
+
+    def observable_matrix(self) -> "np.ndarray":
+        """Dense boolean (n_observables x n_measurements) membership matrix."""
+        mat = np.zeros((len(self.observables), self.n_measurements), dtype=bool)
+        for i, obs in enumerate(self.observables):
+            for m in obs.measurements:
+                mat[i, m] = True
+        return mat
+
+    def validate(self) -> None:
+        """Check record indices and measurement bookkeeping consistency."""
+        n_meas = self.n_measurements
+        for det in self.detectors:
+            for m in det.measurements:
+                if not 0 <= m < n_meas:
+                    raise AssertionError(f"detector record {m} out of range {n_meas}")
+        for obs in self.observables:
+            for m in obs.measurements:
+                if not 0 <= m < n_meas:
+                    raise AssertionError(f"observable record {m} out of range {n_meas}")
+
+    def op_counts(self) -> Dict[str, int]:
+        """Histogram of op kinds (targets counted individually), for reports."""
+        counts: Dict[str, int] = {}
+        for op in self.ops:
+            n = len(op.targets) // (2 if op.kind in (OpKind.CX, OpKind.DEPOLARIZE2) else 1)
+            counts[op.kind.value] = counts.get(op.kind.value, 0) + n
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(n_qubits={self.n_qubits}, ops={len(self.ops)}, "
+            f"measurements={self.n_measurements}, detectors={len(self.detectors)}, "
+            f"observables={len(self.observables)})"
+        )

@@ -1,0 +1,271 @@
+"""Builder for state-preservation ("memory") experiments.
+
+A memory experiment (paper Section 5.3) initializes a logical qubit,
+runs ``rounds`` rounds of syndrome extraction under circuit-level noise,
+and finally measures every data qubit.  The builder emits:
+
+* the noisy :class:`~repro.circuits.circuit.Circuit`,
+* detectors: first-round absolute checks, bulk-round comparisons, and the
+  final data-measurement closure layer -- ``rounds + 1`` detector layers
+  for the decode basis,
+* one logical observable (the final-measurement parity along the logical
+  operator).
+
+For a Z-basis memory (the paper's experiments) only Z-plaquette detectors
+are emitted: they detect exactly the X-type errors that can flip the
+logical-Z observable, giving the standard single-basis matching problem.
+Detector ids follow the regular layout ``layer * n_plaquettes + plaquette``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.circuits.circuit import Circuit, DetectorSpec, ObservableSpec
+from repro.circuits.ops import NoiseClass, OpKind
+from repro.codes.base import StabilizerCode
+from repro.noise.model import NoiseModel
+
+
+@dataclass
+class MemoryExperiment:
+    """A built memory experiment plus its measurement bookkeeping.
+
+    Attributes:
+        code: The stabilizer code.
+        rounds: Number of syndrome-extraction rounds.
+        noise: The structural noise model used.
+        basis: Memory basis ("Z" or "X"): which logical state is preserved
+            and which plaquette basis is decoded.
+        circuit: The emitted circuit.
+    """
+
+    code: StabilizerCode
+    rounds: int
+    noise: NoiseModel
+    basis: str
+    circuit: Circuit
+    _ancilla_records: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    _final_records: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def decode_plaquettes(self):
+        """Plaquettes of the decoded basis, in detector order."""
+        return self.code.plaquettes(self.basis)
+
+    @property
+    def n_detector_layers(self) -> int:
+        """``rounds + 1``: bulk comparisons plus the final closure layer."""
+        return self.rounds + 1
+
+    def ancilla_record(self, round_index: int, plaquette_index: int) -> int:
+        """Measurement-record index of a decode-basis ancilla measurement."""
+        return self._ancilla_records[(round_index, plaquette_index)]
+
+    def final_data_record(self, data_qubit: int) -> int:
+        """Measurement-record index of the final measurement of a data qubit."""
+        return self._final_records[data_qubit]
+
+    def detector_id(self, plaquette_index: int, layer: int) -> int:
+        """Detector index of plaquette ``plaquette_index`` at ``layer``."""
+        n_plq = len(self.decode_plaquettes)
+        if not (0 <= layer <= self.rounds and 0 <= plaquette_index < n_plq):
+            raise IndexError(f"no detector ({plaquette_index}, {layer})")
+        return layer * n_plq + plaquette_index
+
+
+def build_memory_circuit(
+    code: StabilizerCode,
+    rounds: int,
+    noise: NoiseModel,
+    basis: str = "Z",
+) -> MemoryExperiment:
+    """Build a ``rounds``-round memory experiment for ``code``.
+
+    Args:
+        code: Any :class:`~repro.codes.base.StabilizerCode`.
+        rounds: Syndrome-extraction rounds (the paper uses ``rounds = d``).
+        noise: Structural noise model (rates are attached later, when a
+            detector error model is weighted with a concrete ``p``).
+        basis: "Z" (default, as in all of the paper's experiments) or "X".
+
+    Returns:
+        The built :class:`MemoryExperiment`.
+    """
+    if basis not in ("Z", "X"):
+        raise ValueError(f"basis must be 'Z' or 'X', got {basis!r}")
+    if rounds < 1:
+        raise ValueError("at least one round of syndrome extraction is required")
+
+    experiment = MemoryExperiment(
+        code=code,
+        rounds=rounds,
+        noise=noise,
+        basis=basis,
+        circuit=Circuit(n_qubits=code.n_qubits),
+    )
+    builder = _MemoryBuilder(experiment)
+    builder.emit()
+    experiment.circuit.validate()
+    return experiment
+
+
+class _MemoryBuilder:
+    """Stateful helper that emits the circuit and bookkeeping in one pass."""
+
+    def __init__(self, experiment: MemoryExperiment) -> None:
+        self.exp = experiment
+        self.code = experiment.code
+        self.noise = experiment.noise
+        self.circuit = experiment.circuit
+        self.basis = experiment.basis
+        self._record_cursor = 0
+        self.data_qubits = sorted(self.code.data_coords)
+        self.all_plaquettes = self.code.z_plaquettes + self.code.x_plaquettes
+        self.ancillas = [plq.ancilla for plq in self.all_plaquettes]
+        self.x_ancillas = [plq.ancilla for plq in self.code.x_plaquettes]
+
+    # -- emission -------------------------------------------------------------
+
+    def emit(self) -> None:
+        self._emit_data_initialization()
+        for round_index in range(self.exp.rounds):
+            self._emit_extraction_round(round_index)
+        self._emit_final_measurement()
+        self._emit_detectors()
+        self._emit_observable()
+
+    def _emit_data_initialization(self) -> None:
+        self.circuit.append(OpKind.RESET, self.data_qubits)
+        if self.noise.reset_flip:
+            self.circuit.append(
+                OpKind.X_ERROR, self.data_qubits, NoiseClass.RESET_FLIP
+            )
+        if self.basis == "X":
+            self._hadamard(self.data_qubits)
+
+    def _emit_extraction_round(self, round_index: int) -> None:
+        if self.noise.data_depolarize:
+            self.circuit.append(
+                OpKind.DEPOLARIZE1, self.data_qubits, NoiseClass.DATA_DEPOLARIZE
+            )
+        self.circuit.append(OpKind.RESET, self.ancillas)
+        if self.noise.reset_flip:
+            self.circuit.append(OpKind.X_ERROR, self.ancillas, NoiseClass.RESET_FLIP)
+        if self.x_ancillas:
+            self._hadamard(self.x_ancillas)
+        for layer in range(4):
+            pairs = self._cx_layer_pairs(layer)
+            if pairs:
+                flat = [q for pair in pairs for q in pair]
+                self.circuit.append(OpKind.CX, flat)
+                if self.noise.gate_depolarize:
+                    self.circuit.append(
+                        OpKind.DEPOLARIZE2, flat, NoiseClass.GATE2_DEPOLARIZE
+                    )
+        if self.x_ancillas:
+            self._hadamard(self.x_ancillas)
+        if self.noise.measure_flip:
+            self.circuit.append(
+                OpKind.MEASURE_FLIP, self.ancillas, NoiseClass.MEASUREMENT_FLIP
+            )
+        self.circuit.append(OpKind.MEASURE, self.ancillas)
+        self._register_ancilla_records(round_index)
+
+    def _emit_final_measurement(self) -> None:
+        if self.basis == "X":
+            self._hadamard(self.data_qubits)
+        if self.noise.measure_flip:
+            self.circuit.append(
+                OpKind.MEASURE_FLIP, self.data_qubits, NoiseClass.MEASUREMENT_FLIP
+            )
+        self.circuit.append(OpKind.MEASURE, self.data_qubits)
+        for q in self.data_qubits:
+            self.exp._final_records[q] = self._record_cursor
+            self._record_cursor += 1
+
+    def _emit_detectors(self) -> None:
+        rounds = self.exp.rounds
+        for plq in self.exp.decode_plaquettes:
+            first = self.exp.ancilla_record(0, plq.index)
+            self.circuit.detectors.append(
+                DetectorSpec(
+                    measurements=(first,),
+                    coord=(plq.coord[0], plq.coord[1], 0),
+                    basis=self.basis,
+                )
+            )
+        for layer in range(1, rounds):
+            for plq in self.exp.decode_plaquettes:
+                prev = self.exp.ancilla_record(layer - 1, plq.index)
+                curr = self.exp.ancilla_record(layer, plq.index)
+                self.circuit.detectors.append(
+                    DetectorSpec(
+                        measurements=(prev, curr),
+                        coord=(plq.coord[0], plq.coord[1], layer),
+                        basis=self.basis,
+                    )
+                )
+        for plq in self.exp.decode_plaquettes:
+            last = self.exp.ancilla_record(rounds - 1, plq.index)
+            finals = tuple(self.exp.final_data_record(q) for q in plq.data_qubits)
+            self.circuit.detectors.append(
+                DetectorSpec(
+                    measurements=(last,) + finals,
+                    coord=(plq.coord[0], plq.coord[1], rounds),
+                    basis=self.basis,
+                )
+            )
+
+    def _emit_observable(self) -> None:
+        support = self.code.logical_support(self.basis)
+        records = tuple(self.exp.final_data_record(q) for q in support)
+        self.circuit.observables.append(
+            ObservableSpec(measurements=records, name=f"logical_{self.basis}")
+        )
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _hadamard(self, qubits: List[int]) -> None:
+        self.circuit.append(OpKind.H, qubits)
+        if self.noise.gate_depolarize:
+            self.circuit.append(OpKind.DEPOLARIZE1, qubits, NoiseClass.GATE1_DEPOLARIZE)
+
+    def _cx_layer_pairs(self, layer: int) -> List[Tuple[int, int]]:
+        """(control, target) CNOT pairs of one schedule layer.
+
+        Z plaquettes copy data parity onto the ancilla (data is control);
+        X plaquettes propagate the ancilla's X frame onto data (ancilla is
+        control, conjugated by the surrounding Hadamards).
+        """
+        pairs: List[Tuple[int, int]] = []
+        used: set = set()
+        for plq in self.all_plaquettes:
+            data_qubit = plq.schedule[layer]
+            if data_qubit is None:
+                continue
+            if plq.basis == "Z":
+                pair = (data_qubit, plq.ancilla)
+            else:
+                pair = (plq.ancilla, data_qubit)
+            for q in pair:
+                if q in used:
+                    raise AssertionError(
+                        f"schedule conflict: qubit {q} used twice in layer {layer}"
+                    )
+                used.add(q)
+            pairs.append(pair)
+        return pairs
+
+    def _register_ancilla_records(self, round_index: int) -> None:
+        """Record the measurement indices of the ancillas just measured."""
+        decode_ancilla_offset = {
+            plq.ancilla: plq.index for plq in self.exp.decode_plaquettes
+        }
+        for position, ancilla in enumerate(self.ancillas):
+            record = self._record_cursor + position
+            if ancilla in decode_ancilla_offset:
+                key = (round_index, decode_ancilla_offset[ancilla])
+                self.exp._ancilla_records[key] = record
+        self._record_cursor += len(self.ancillas)

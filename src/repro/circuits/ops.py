@@ -1,0 +1,120 @@
+"""Operation types for the stabilizer-circuit intermediate representation.
+
+The IR is deliberately tiny: the Clifford gates needed for CSS syndrome
+extraction (H, CX), measurement and reset, and the four noise channels of
+the paper's uniform circuit-level model (Section 5.3):
+
+1. start-of-round single-qubit depolarizing on data qubits,
+2. depolarizing after every gate on all operands (1- or 2-qubit),
+3. measurement record flips,
+4. reset initialization flips.
+
+Each noise op carries a :class:`NoiseClass` rather than a raw probability,
+so a circuit is built *once* per (code, rounds) and re-weighted for any
+physical error rate ``p`` -- the detector error model extraction (the
+expensive step) is therefore independent of ``p``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class OpKind(enum.Enum):
+    """Kinds of circuit operations."""
+
+    RESET = "R"  # reset target qubits to |0>
+    H = "H"  # Hadamard on each target
+    CX = "CX"  # CNOTs on consecutive (control, target) pairs
+    MEASURE = "M"  # Z-basis measurement of each target, appending records
+    DEPOLARIZE1 = "DEP1"  # independent 1-qubit depolarizing on each target
+    DEPOLARIZE2 = "DEP2"  # 2-qubit depolarizing on consecutive pairs
+    X_ERROR = "XERR"  # probabilistic X on each target (reset noise)
+    MEASURE_FLIP = "MFLIP"  # classical flip of the next measurement of target
+
+    @property
+    def is_noise(self) -> bool:
+        return self in _NOISE_KINDS
+
+
+_NOISE_KINDS = frozenset(
+    {OpKind.DEPOLARIZE1, OpKind.DEPOLARIZE2, OpKind.X_ERROR, OpKind.MEASURE_FLIP}
+)
+
+
+class NoiseClass(enum.Enum):
+    """Identity of a noise channel, mapping the base rate ``p`` to the
+    probability of *each fault mechanism* the channel expands into:
+
+    * a 1-qubit depolarizing channel fires each of {X, Y, Z} w.p. ``p/3``,
+    * a 2-qubit depolarizing channel fires each of the 15 non-identity
+      two-qubit Paulis w.p. ``p/15``,
+    * measurement and reset flips fire w.p. ``p``.
+
+    Members carry distinct string values (several share a multiplier, and
+    equal enum values would silently alias).
+    """
+
+    DATA_DEPOLARIZE = "data_depolarize"
+    GATE1_DEPOLARIZE = "gate1_depolarize"
+    GATE2_DEPOLARIZE = "gate2_depolarize"
+    MEASUREMENT_FLIP = "measurement_flip"
+    RESET_FLIP = "reset_flip"
+
+    @property
+    def multiplier(self) -> float:
+        """Per-mechanism probability as a fraction of the base rate."""
+        return _CLASS_MULTIPLIERS[self.name]
+
+    def component_probability(self, p: float) -> float:
+        """Probability of one fault mechanism of this class at base rate ``p``."""
+        return p * self.multiplier
+
+
+_CLASS_MULTIPLIERS = {
+    "DATA_DEPOLARIZE": 1.0 / 3.0,
+    "GATE1_DEPOLARIZE": 1.0 / 3.0,
+    "GATE2_DEPOLARIZE": 1.0 / 15.0,
+    "MEASUREMENT_FLIP": 1.0,
+    "RESET_FLIP": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class Op:
+    """One circuit operation.
+
+    Attributes:
+        kind: The operation type.
+        targets: Qubit indices.  For ``CX`` and ``DEPOLARIZE2`` these are
+            consecutive ``(control, target)`` / ``(a, b)`` pairs.
+        noise_class: Required for noise kinds, ``None`` otherwise.
+    """
+
+    kind: OpKind
+    targets: Tuple[int, ...]
+    noise_class: "NoiseClass | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind.is_noise and self.noise_class is None:
+            raise ValueError(f"{self.kind} op requires a noise_class")
+        if not self.kind.is_noise and self.noise_class is not None:
+            raise ValueError(f"{self.kind} op must not carry a noise_class")
+        if self.kind in (OpKind.CX, OpKind.DEPOLARIZE2) and len(self.targets) % 2:
+            raise ValueError(f"{self.kind} requires an even number of targets")
+        if not self.targets:
+            raise ValueError("op requires at least one target")
+
+    @property
+    def pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """Consecutive target pairs (for two-qubit kinds)."""
+        return tuple(
+            (self.targets[i], self.targets[i + 1])
+            for i in range(0, len(self.targets), 2)
+        )
+
+    def __repr__(self) -> str:
+        cls = f", {self.noise_class.name}" if self.noise_class else ""
+        return f"Op({self.kind.value} {list(self.targets)}{cls})"

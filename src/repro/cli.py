@@ -1,0 +1,208 @@
+"""Command-line interface: run the standard experiments without code.
+
+Subcommands mirror the workflows a downstream user actually wants:
+
+* ``info``      -- stack summary for a configuration (graph sizes, storage,
+  Astrea capability window).
+* ``ler``       -- logical error rate, direct Monte-Carlo or Eq. (1).
+* ``latency``   -- the Tables 4/5 latency census.
+* ``steps``     -- the Table 6 step-usage census.
+* ``decode``    -- sample one syndrome and show the full decoding trace.
+
+Examples::
+
+    python -m repro info --distance 11 --p 1e-4
+    python -m repro ler --distance 5 --p 3e-3 --shots 20000
+    python -m repro ler --distance 11 --p 1e-4 --method eq1 --shots-per-k 200
+    python -m repro latency --distance 11
+    python -m repro decode --distance 11 --p 1e-4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.eval.reporting import format_scientific, format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Promatch (ASPLOS 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--distance", type=int, default=5, help="code distance d")
+        p.add_argument("--p", type=float, default=1e-3, help="physical error rate")
+        p.add_argument("--seed", type=int, default=2024, help="random seed")
+
+    info = sub.add_parser("info", help="summarize the stack for a configuration")
+    add_common(info)
+
+    ler = sub.add_parser("ler", help="estimate logical error rates")
+    add_common(ler)
+    ler.add_argument(
+        "--method", choices=("direct", "eq1"), default="direct",
+        help="direct Monte-Carlo or the paper's Eq. (1) importance method",
+    )
+    ler.add_argument("--shots", type=int, default=20000, help="direct MC shots")
+    ler.add_argument("--shots-per-k", type=int, default=150, help="Eq. (1) shots per k")
+    ler.add_argument("--k-max", type=int, default=14, help="Eq. (1) largest k")
+    ler.add_argument(
+        "--decoders", default="MWPM,Promatch+Astrea,Astrea-G",
+        help="comma-separated decoder names from the zoo",
+    )
+
+    latency = sub.add_parser("latency", help="Tables 4/5 latency census")
+    add_common(latency)
+    latency.add_argument("--shots-per-k", type=int, default=100)
+    latency.add_argument("--k-max", type=int, default=16)
+
+    steps = sub.add_parser("steps", help="Table 6 step-usage census")
+    add_common(steps)
+    steps.add_argument("--shots-per-k", type=int, default=100)
+    steps.add_argument("--k-max", type=int, default=16)
+
+    decode = sub.add_parser("decode", help="trace one high-HW syndrome")
+    add_common(decode)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "info": _run_info,
+        "ler": _run_ler,
+        "latency": _run_latency,
+        "steps": _run_steps,
+        "decode": _run_decode,
+    }[args.command]
+    handler(args)
+    return 0
+
+
+def _build(args):
+    from repro.eval.experiments import Workbench
+
+    return Workbench.build(distance=args.distance, p=args.p, rng=args.seed)
+
+
+def _run_info(args) -> None:
+    from repro.hardware.latency import BUDGET_CYCLES, astrea_cycles
+    from repro.hardware.resources import estimate_storage
+
+    bench = _build(args)
+    storage = estimate_storage(bench.graph)
+    print(f"distance {bench.distance}, p = {bench.p}, rounds = {bench.rounds}")
+    print(f"  detectors          : {bench.graph.n_nodes}")
+    print(f"  graph edges        : {bench.graph.n_edges}")
+    print(f"  DEM mechanisms     : {len(bench.dem.mechanisms)}")
+    print(f"  mean faults / shot : {bench.dem.expected_fault_count(bench.p):.3f}")
+    print(f"  edge table         : {storage.edge_table_kb:.1f} KB")
+    print(f"  path table         : {storage.path_table_kb:.1f} KB")
+    feasible = [hw for hw in range(0, 21, 2) if astrea_cycles(hw) <= BUDGET_CYCLES]
+    print(f"  Astrea capability  : HW <= {max(feasible)} within "
+          f"{BUDGET_CYCLES} cycles")
+    print(f"  decoder zoo        : {', '.join(bench.decoders)}")
+
+
+def _run_ler(args) -> None:
+    bench = _build(args)
+    names = [n.strip() for n in args.decoders.split(",") if n.strip()]
+    unknown = [n for n in names if n not in bench.decoders]
+    if unknown:
+        sys.exit(f"unknown decoders: {unknown}; available: {list(bench.decoders)}")
+    decoders = {n: bench.decoders[n] for n in names}
+    if args.method == "direct":
+        from repro.eval.ler import estimate_ler_direct
+
+        results = estimate_ler_direct(
+            decoders, bench.dem, args.p, shots=args.shots, rng=args.seed
+        )
+        rows = [[n, str(r.estimate)] for n, r in results.items()]
+        print(format_table(["decoder", "LER [95% CI]"], rows,
+                           title=f"direct MC, {args.shots} shots"))
+    else:
+        from repro.eval.ler import estimate_ler_importance
+
+        results = estimate_ler_importance(
+            decoders, bench.dem, args.p,
+            k_max=args.k_max, shots_per_k=args.shots_per_k, rng=args.seed,
+        )
+        rows = [
+            [n, format_scientific(r.ler), f"<= {format_scientific(r.ler_high)}"]
+            for n, r in results.items()
+        ]
+        print(format_table(
+            ["decoder", "LER (Eq. 1)", "95% upper"], rows,
+            title=f"Eq. (1), {args.shots_per_k} shots x k<={args.k_max}",
+        ))
+
+
+def _run_latency(args) -> None:
+    from repro.core import PromatchPredecoder
+    from repro.decoders import AstreaDecoder
+    from repro.eval.experiments import latency_census
+
+    bench = _build(args)
+    batch = bench.sample_high_hw(shots_per_k=args.shots_per_k, k_max=args.k_max)
+    census = latency_census(
+        bench.graph, batch, PromatchPredecoder(bench.graph),
+        AstreaDecoder(bench.graph),
+    )
+    print(format_table(
+        ["phase", "avg (ns)", "max (ns)"],
+        [
+            ["predecode", f"{census.predecode_avg_ns:.1f}",
+             f"{census.predecode_max_ns:.0f}"],
+            ["predecode+decode", f"{census.total_avg_ns:.1f}",
+             f"{census.total_max_ns:.0f}"],
+        ],
+        title=f"latency on {batch.shots} HW>10 syndromes",
+    ))
+    print(f"deadline miss probability: {census.deadline_miss_probability:.2e}")
+
+
+def _run_steps(args) -> None:
+    from repro.core import PromatchPredecoder
+    from repro.eval.experiments import step_usage_census
+
+    bench = _build(args)
+    batch = bench.sample_high_hw(shots_per_k=args.shots_per_k, k_max=args.k_max)
+    usage = step_usage_census(batch, PromatchPredecoder(bench.graph))
+    rows = [[f"step {s}", f"{v:.3e}"] for s, v in usage.items()]
+    print(format_table(["deepest step", "fraction"], rows,
+                       title=f"{batch.shots} HW>10 syndromes"))
+
+
+def _run_decode(args) -> None:
+    from repro.core import PromatchPredecoder
+    from repro.decoders import AstreaDecoder
+    from repro.hardware.latency import cycles_to_ns
+
+    bench = _build(args)
+    batch = bench.sample_high_hw(shots_per_k=40, k_max=14)
+    if not batch.shots:
+        sys.exit("no high-HW syndrome sampled; raise --p or the distance")
+    events = max(batch.events, key=len)
+    promatch = PromatchPredecoder(bench.graph, collect_trace=True)
+    report = promatch.predecode(events)
+    print(f"syndrome HW {len(events)} -> residual {len(report.remaining)} "
+          f"({report.rounds} rounds, {cycles_to_ns(report.cycles):.0f} ns)")
+    for t in report.trace:
+        pairs = ", ".join(f"({u},{v})" for u, v in t.committed) or "-"
+        print(f"  round {t.round_index}: HW {t.hamming_weight:3d} "
+              f"edges {t.n_edges:3d} step {t.step or '-':>3} -> {pairs}")
+    main_result = AstreaDecoder(bench.graph).decode(
+        report.remaining, budget_cycles=promatch.budget_cycles - report.cycles
+    )
+    verdict = "ok" if main_result.success else "FAILED"
+    print(f"  Astrea: {verdict}, total "
+          f"{cycles_to_ns(report.cycles + (main_result.cycles or 0)):.0f} ns")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

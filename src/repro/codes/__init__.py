@@ -1,0 +1,12 @@
+"""Quantum error-correcting code definitions.
+
+The paper evaluates rotated surface codes (distances 11 and 13); the
+repetition code is included as a minimal substrate for validating the
+simulator and decoders against hand-computable answers.
+"""
+
+from repro.codes.base import Plaquette, StabilizerCode
+from repro.codes.repetition import RepetitionCode
+from repro.codes.rotated_surface import RotatedSurfaceCode
+
+__all__ = ["Plaquette", "StabilizerCode", "RepetitionCode", "RotatedSurfaceCode"]

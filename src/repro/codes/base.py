@@ -1,0 +1,160 @@
+"""Shared structure for CSS stabilizer codes measured by ancilla circuits.
+
+A code is described geometrically: data qubits with coordinates, and
+*plaquettes* (stabilizers) each owning an ancilla qubit and an ordered list
+of data qubits.  The order of the data list is the CNOT schedule: layer
+``k`` of syndrome extraction touches the ``k``-th entry (``None`` = idle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Coord = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class Plaquette:
+    """One stabilizer generator and the ancilla that measures it.
+
+    Attributes:
+        index: Position of this plaquette within its basis list
+            (``code.z_plaquettes`` or ``code.x_plaquettes``).
+        basis: ``"Z"`` or ``"X"``.
+        ancilla: Global qubit index of the measurement ancilla.
+        coord: Lattice coordinate of the plaquette (used for geometry-aware
+            predecoders and for detector coordinates).
+        schedule: Length-4 tuple; entry ``k`` is the data-qubit index touched
+            in CNOT layer ``k`` or ``None`` when the plaquette idles
+            (weight-2 boundary plaquettes idle in two layers).
+    """
+
+    index: int
+    basis: str
+    ancilla: int
+    coord: Coord
+    schedule: Tuple[Optional[int], Optional[int], Optional[int], Optional[int]]
+
+    @property
+    def data_qubits(self) -> Tuple[int, ...]:
+        """Data-qubit support of the stabilizer (schedule without idles)."""
+        return tuple(q for q in self.schedule if q is not None)
+
+    @property
+    def weight(self) -> int:
+        """Number of data qubits in the stabilizer (2 or 4 for surface codes)."""
+        return len(self.data_qubits)
+
+
+class StabilizerCode:
+    """Base class holding the qubit layout shared by all experiments.
+
+    Subclasses populate data coordinates, plaquettes, and logical operators
+    in ``__init__`` and the rest of the library is layout-agnostic.
+
+    Attributes:
+        distance: Code distance ``d``.
+        n_data: Number of data qubits (indices ``0 .. n_data-1``).
+        z_plaquettes / x_plaquettes: Stabilizers by basis; ancilla indices
+            follow the data block (Z ancillas first, then X ancillas).
+        logical_z / logical_x: Data-qubit supports of one representative of
+            each logical operator.
+    """
+
+    name = "stabilizer-code"
+
+    def __init__(self, distance: int) -> None:
+        if distance < 1 or distance % 2 == 0:
+            raise ValueError(f"distance must be odd and >= 1, got {distance}")
+        self.distance = distance
+        self.n_data: int = 0
+        self.data_coords: Dict[int, Coord] = {}
+        self.z_plaquettes: List[Plaquette] = []
+        self.x_plaquettes: List[Plaquette] = []
+        self.logical_z: Tuple[int, ...] = ()
+        self.logical_x: Tuple[int, ...] = ()
+
+    # -- derived views ------------------------------------------------------
+
+    @property
+    def n_ancilla(self) -> int:
+        return len(self.z_plaquettes) + len(self.x_plaquettes)
+
+    @property
+    def n_qubits(self) -> int:
+        return self.n_data + self.n_ancilla
+
+    def plaquettes(self, basis: str) -> List[Plaquette]:
+        """Plaquettes of one basis (``"Z"`` or ``"X"``)."""
+        if basis == "Z":
+            return self.z_plaquettes
+        if basis == "X":
+            return self.x_plaquettes
+        raise ValueError(f"basis must be 'Z' or 'X', got {basis!r}")
+
+    def logical_support(self, basis: str) -> Tuple[int, ...]:
+        """Data support of the logical operator of the given basis."""
+        return self.logical_z if basis == "Z" else self.logical_x
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural invariants every code must satisfy.
+
+        * stabilizer count is ``n_data - 1`` (one encoded qubit),
+        * X and Z stabilizers commute (even geometric overlap),
+        * logical operators commute with all stabilizers and anticommute
+          with each other,
+        * the CNOT schedule never uses a data qubit twice in one layer.
+        """
+        if len(self.z_plaquettes) + len(self.x_plaquettes) != self.n_data - 1:
+            raise AssertionError(
+                f"{self.name}: expected {self.n_data - 1} stabilizers, found "
+                f"{len(self.z_plaquettes) + len(self.x_plaquettes)}"
+            )
+        for z_plq in self.z_plaquettes:
+            for x_plq in self.x_plaquettes:
+                overlap = set(z_plq.data_qubits) & set(x_plq.data_qubits)
+                if len(overlap) % 2:
+                    raise AssertionError(
+                        f"{self.name}: stabilizers {z_plq.coord}/{x_plq.coord} "
+                        f"anticommute (overlap {sorted(overlap)})"
+                    )
+        lz, lx = set(self.logical_z), set(self.logical_x)
+        if len(lz & lx) % 2 != 1:
+            raise AssertionError(f"{self.name}: logical Z and X must anticommute")
+        for plq in self.z_plaquettes + self.x_plaquettes:
+            other = lx if plq.basis == "Z" else lz
+            if len(set(plq.data_qubits) & other) % 2:
+                raise AssertionError(
+                    f"{self.name}: logical operator anticommutes with "
+                    f"{plq.basis} stabilizer at {plq.coord}"
+                )
+        for layer in range(4):
+            used: set = set()
+            for plq in self.z_plaquettes + self.x_plaquettes:
+                q = plq.schedule[layer]
+                if q is None:
+                    continue
+                if q in used:
+                    raise AssertionError(
+                        f"{self.name}: data qubit {q} scheduled twice in layer {layer}"
+                    )
+                used.add(q)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(d={self.distance}, n={self.n_qubits} qubits)"
+
+
+def data_adjacency(code: StabilizerCode, basis: str) -> Dict[int, Tuple[int, ...]]:
+    """Map each data qubit to the plaquette indices (of ``basis``) containing it.
+
+    This is the spatial structure of the decoding graph: a Pauli error on a
+    data qubit flips exactly the listed checks (1 on a boundary, else 2).
+    """
+    membership: Dict[int, List[int]] = {}
+    for plq in code.plaquettes(basis):
+        for q in plq.data_qubits:
+            membership.setdefault(q, []).append(plq.index)
+    return {q: tuple(v) for q, v in membership.items()}

@@ -1,0 +1,66 @@
+"""Distance-``d`` repetition code: the minimal matching-decodable code.
+
+Used throughout the test-suite because every quantity (decoding graph,
+syndrome distribution, MWPM answer) can be computed by hand.  The code
+protects against X errors only: data qubits form a line, adjacent pairs
+are compared by Z-type checks, and ``logical_z`` is a single-qubit Z
+(any data qubit) while ``logical_x`` spans the whole line.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.codes.base import Plaquette, StabilizerCode
+
+
+class RepetitionCode(StabilizerCode):
+    """Bit-flip repetition code on ``d`` data qubits with ``d - 1`` Z checks."""
+
+    name = "repetition"
+
+    def __init__(self, distance: int) -> None:
+        super().__init__(distance)
+        d = distance
+        self.n_data = d
+        self.data_coords = {q: (0, q) for q in range(d)}
+        self.z_plaquettes = [
+            Plaquette(
+                index=i,
+                basis="Z",
+                ancilla=d + i,
+                coord=(0, i),
+                # Interact with the left neighbor in layer 0 and the right in
+                # layer 1; idle afterwards.  No layer conflicts: qubit q is
+                # the layer-0 target of check q and layer-1 target of check
+                # q - 1.
+                schedule=(i, i + 1, None, None),
+            )
+            for i in range(d - 1)
+        ]
+        self.x_plaquettes = []
+        self.logical_z = (0,)
+        self.logical_x = tuple(range(d))
+        self.validate()
+
+    def validate(self) -> None:  # noqa: D102 - the base checks CSS-specific facts
+        # The repetition code has no X stabilizers and a weight-1 logical Z,
+        # so only the applicable subset of the base invariants is checked.
+        if len(self.z_plaquettes) != self.n_data - 1:
+            raise AssertionError("repetition code must have d - 1 checks")
+        overlap = set(self.logical_z) & set(self.logical_x)
+        if len(overlap) % 2 != 1:
+            raise AssertionError("logical operators must anticommute")
+        for layer in range(4):
+            used: set = set()
+            for plq in self.z_plaquettes:
+                q: Optional[int] = plq.schedule[layer]
+                if q is None:
+                    continue
+                if q in used:
+                    raise AssertionError(f"schedule conflict in layer {layer}")
+                used.add(q)
+
+    def check_support(self, index: int) -> Tuple[int, int]:
+        """Data pair compared by check ``index``."""
+        return (index, index + 1)

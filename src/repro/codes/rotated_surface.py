@@ -1,0 +1,171 @@
+"""Rotated surface code lattice (the code family evaluated in the paper).
+
+Geometry
+--------
+Data qubits sit on a ``d x d`` grid at integer coordinates ``(row, col)``,
+``0 <= row, col < d``.  Stabilizer plaquettes sit on the dual grid at
+coordinates ``(R, C)`` with ``0 <= R, C <= d``; plaquette ``(R, C)`` touches
+the (up to four) data qubits ``(R-1, C-1)``, ``(R-1, C)``, ``(R, C-1)``,
+``(R, C)``.  Plaquettes are colored in a checkerboard: ``Z``-type when
+``R + C`` is even, ``X``-type otherwise.  Interior plaquettes have weight 4;
+weight-2 plaquettes survive only on the boundaries where their basis is
+allowed to terminate error chains of the *other* basis:
+
+* ``Z``-type weight-2 plaquettes on the left/right columns (``C = 0`` or
+  ``C = d``),
+* ``X``-type weight-2 plaquettes on the top/bottom rows (``R = 0`` or
+  ``R = d``).
+
+This yields exactly ``(d^2 - 1) / 2`` stabilizers of each basis, the
+standard ``d^2`` data + ``d^2 - 1`` parity qubit layout from the paper's
+Figure 2(a).
+
+CNOT schedule
+-------------
+Four layers.  Writing the data neighbors of a plaquette as NW/NE/SW/SE,
+``Z`` plaquettes interact in order ``NW, NE, SW, SE`` and ``X`` plaquettes
+in order ``NW, SW, NE, SE``.  The mixed orders guarantee (a) no data qubit
+is touched twice in a layer and (b) the classic "hook" errors from
+mid-extraction ancilla faults are aligned harmlessly with the boundaries
+of the matching graph.
+
+Logical operators
+-----------------
+``logical_z`` is a Z string across data row 0; ``logical_x`` an X string
+down data column 0.  X error chains terminate on the top/bottom boundary,
+so an undetected X chain crossing the lattice vertically flips
+``logical_z`` -- exactly the event the Z-memory experiments count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.codes.base import Coord, Plaquette, StabilizerCode
+
+# Data-qubit offsets of plaquette (R, C), in the geometric positions used
+# to express the two schedules.
+_NW = (-1, -1)
+_NE = (-1, 0)
+_SW = (0, -1)
+_SE = (0, 0)
+
+# Hook-error safety dictates the orders.  An ancilla X fault striking
+# mid-extraction propagates onto the *remaining* scheduled data qubits --
+# the last two in the order.  For X plaquettes those two must form a
+# HORIZONTAL pair (perpendicular to the vertical logical-X chains the
+# Z-basis memory is sensitive to), so X plaquettes run row-major
+# (NW, NE, SW, SE); symmetrically Z plaquettes run column-major
+# (NW, SW, NE, SE) so their Z hooks are vertical, protecting the X-basis
+# memory.  This is the standard rotated-surface-code schedule; with the
+# orientations swapped a single two-qubit fault emulates a length-2 error
+# chain along the logical and halves the effective circuit distance.
+_Z_SCHEDULE_OFFSETS = (_NW, _SW, _NE, _SE)
+_X_SCHEDULE_OFFSETS = (_NW, _NE, _SW, _SE)
+
+
+class RotatedSurfaceCode(StabilizerCode):
+    """Distance-``d`` rotated surface code with the standard 4-layer schedule."""
+
+    name = "rotated-surface"
+
+    def __init__(self, distance: int) -> None:
+        super().__init__(distance)
+        d = distance
+        self.n_data = d * d
+        self.data_coords = {r * d + c: (r, c) for r in range(d) for c in range(d)}
+        self._coord_to_data = {coord: q for q, coord in self.data_coords.items()}
+
+        z_coords, x_coords = self._select_plaquette_coords()
+        n_z = len(z_coords)
+        self.z_plaquettes = [
+            self._build_plaquette(i, "Z", self.n_data + i, coord)
+            for i, coord in enumerate(z_coords)
+        ]
+        self.x_plaquettes = [
+            self._build_plaquette(i, "X", self.n_data + n_z + i, coord)
+            for i, coord in enumerate(x_coords)
+        ]
+        self.plaquette_by_coord: Dict[Coord, Plaquette] = {
+            plq.coord: plq for plq in self.z_plaquettes + self.x_plaquettes
+        }
+        self.logical_z = tuple(self._coord_to_data[(0, c)] for c in range(d))
+        self.logical_x = tuple(self._coord_to_data[(r, 0)] for r in range(d))
+        self.validate()
+
+    # -- construction helpers ------------------------------------------------
+
+    def data_index(self, coord: Coord) -> int:
+        """Global index of the data qubit at ``coord``."""
+        return self._coord_to_data[coord]
+
+    def _plaquette_support(self, coord: Coord) -> List[Coord]:
+        """In-bounds data coordinates of a candidate plaquette."""
+        big_r, big_c = coord
+        d = self.distance
+        return [
+            (big_r + dr, big_c + dc)
+            for dr, dc in (_NW, _NE, _SW, _SE)
+            if 0 <= big_r + dr < d and 0 <= big_c + dc < d
+        ]
+
+    def _select_plaquette_coords(self) -> Tuple[List[Coord], List[Coord]]:
+        """Choose which candidate plaquettes exist, by basis."""
+        d = self.distance
+        z_coords: List[Coord] = []
+        x_coords: List[Coord] = []
+        for big_r in range(d + 1):
+            for big_c in range(d + 1):
+                support = self._plaquette_support((big_r, big_c))
+                basis = "Z" if (big_r + big_c) % 2 == 0 else "X"
+                if len(support) == 4:
+                    pass  # interior plaquettes always exist
+                elif len(support) == 2:
+                    on_side = big_c in (0, d)
+                    on_top_bottom = big_r in (0, d)
+                    if basis == "Z" and not on_side:
+                        continue
+                    if basis == "X" and not on_top_bottom:
+                        continue
+                else:
+                    continue  # corners
+                (z_coords if basis == "Z" else x_coords).append((big_r, big_c))
+        return z_coords, x_coords
+
+    def _build_plaquette(
+        self, index: int, basis: str, ancilla: int, coord: Coord
+    ) -> Plaquette:
+        offsets = _Z_SCHEDULE_OFFSETS if basis == "Z" else _X_SCHEDULE_OFFSETS
+        d = self.distance
+        schedule: List[Optional[int]] = []
+        for dr, dc in offsets:
+            r, c = coord[0] + dr, coord[1] + dc
+            if 0 <= r < d and 0 <= c < d:
+                schedule.append(self._coord_to_data[(r, c)])
+            else:
+                schedule.append(None)
+        return Plaquette(
+            index=index,
+            basis=basis,
+            ancilla=ancilla,
+            coord=coord,
+            schedule=tuple(schedule),
+        )
+
+    # -- geometric queries used by tests and examples -------------------------
+
+    def plaquette_neighbors(self, plq: Plaquette) -> List[Plaquette]:
+        """Same-basis plaquettes sharing a data qubit with ``plq``.
+
+        These are exactly the spatial neighbors in the decoding graph.
+        """
+        mine = set(plq.data_qubits)
+        return [
+            other
+            for other in self.plaquettes(plq.basis)
+            if other.index != plq.index and mine & set(other.data_qubits)
+        ]
+
+    def expected_stabilizer_count(self) -> int:
+        """``(d^2 - 1) / 2`` per basis, from the paper's Section 2.1."""
+        return (self.distance**2 - 1) // 2

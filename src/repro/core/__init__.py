@@ -1,0 +1,15 @@
+"""Promatch: the paper's locality-aware adaptive predecoder."""
+
+from repro.core.promatch import PromatchPredecoder
+from repro.core.steps import (
+    StepCandidate,
+    find_edge_candidates,
+    find_step3_candidate,
+)
+
+__all__ = [
+    "PromatchPredecoder",
+    "StepCandidate",
+    "find_edge_candidates",
+    "find_step3_candidate",
+]

@@ -1,0 +1,244 @@
+"""Promatch: the locality-aware, adaptive, real-time predecoder (Section 4).
+
+The predecoding loop, per Algorithm 1:
+
+1. While the syndrome is too heavy for the main decoder to finish in the
+   remaining time, rebuild the decoding subgraph and:
+
+   * **Step 1**: match *all* isolated pairs simultaneously (they are each
+     other's only option; matching them can never create singletons).
+   * Otherwise scan the edges once and commit **one** pair, prioritizing
+     Step 2.1 > 2.2 (no singleton created) > Step 3 (rescue an extant
+     singleton along the cheapest path) > Step 4.1 > 4.2 (risky,
+     singleton-creating -- the only steps that may strand nodes).
+
+2. After every committed match, re-check the *adaptive* stop condition:
+   stop as soon as the Hamming weight is within the main decoder's
+   capability **and** the main decoder's search fits in the cycles still
+   left before the 1 us deadline.  This is what lets Promatch stop at
+   HW 10, 8, or 6 depending on how much time predecoding consumed
+   (Figures 16/17).
+
+Cycle accounting follows Section 6.4: each round costs the number of
+subgraph edges scanned; Step-3 rounds cost ``max(#paths, #edges)``.
+Blowing the budget aborts predecoding ("categorized as a logical error").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.steps import StepCandidate, find_edge_candidates, find_step3_candidate
+from repro.decoders.base import PredecodeResult, Predecoder, RoundTrace
+from repro.graph.decoding_graph import DecodingGraph
+from repro.graph.subgraph import DecodingSubgraph
+from repro.hardware.latency import BUDGET_CYCLES, astrea_cycles
+
+#: Step labels in commit-priority order (after Step 1).
+_STEP_PRIORITY = ("2.1", "2.2", "3", "4.1", "4.2")
+
+_STEP_NUMBER = {"1": 1, "2.1": 2, "2.2": 2, "3": 3, "4.1": 4, "4.2": 4}
+
+
+class PromatchPredecoder(Predecoder):
+    """The paper's adaptive predecoder.
+
+    Args:
+        graph: Decoding graph shared with the main decoder.
+        main_capability: Largest Hamming weight the main decoder accepts
+            (Astrea: 10).
+        main_cycle_model: HW -> cycles needed by the main decoder, used by
+            the adaptive stop condition (default: Astrea's brute-force
+            search cost).
+        budget_cycles: Total predecode + decode cycle budget (960 ns).
+        exact_singleton_check: Replace the hardware's approximate
+            singleton test (Figure 11) with an exact one (ablation).
+    """
+
+    name = "Promatch"
+
+    def __init__(
+        self,
+        graph: DecodingGraph,
+        main_capability: int = 10,
+        main_cycle_model: Callable[[int], int] = astrea_cycles,
+        budget_cycles: float = BUDGET_CYCLES,
+        exact_singleton_check: bool = False,
+        enable_step3: bool = True,
+        enable_singleton_avoidance: bool = True,
+        collect_trace: bool = False,
+    ) -> None:
+        super().__init__(graph)
+        self.main_capability = main_capability
+        self.main_cycle_model = main_cycle_model
+        self.budget_cycles = budget_cycles
+        self.exact_singleton_check = exact_singleton_check
+        self.collect_trace = collect_trace
+        # Ablation knobs (DESIGN.md Section 5): disabling Step 3 removes
+        # singleton rescue; disabling singleton avoidance collapses Steps
+        # 2/4 into pure lowest-weight greed (a Smith-style matcher with
+        # Promatch's adaptive stop).
+        self.enable_step3 = enable_step3
+        self.enable_singleton_avoidance = enable_singleton_avoidance
+
+    # -- public API ---------------------------------------------------------------
+
+    def predecode(
+        self, events: Sequence[int], budget_cycles: Optional[float] = None
+    ) -> PredecodeResult:
+        budget = self.budget_cycles if budget_cycles is None else budget_cycles
+        active: List[int] = sorted(int(e) for e in events)
+        result = PredecodeResult(remaining=tuple(active))
+        while True:
+            hamming_weight = len(active)
+            if self._sufficient_coverage(hamming_weight, budget - result.cycles):
+                break
+            subgraph = DecodingSubgraph(self.graph, active)
+            cycles_before = result.cycles
+            committed, step_label = self._run_round(subgraph, result, budget)
+            if self.collect_trace:
+                result.trace.append(
+                    RoundTrace(
+                        round_index=result.rounds,
+                        hamming_weight=subgraph.n_nodes,
+                        n_edges=subgraph.n_edges,
+                        step=step_label,
+                        committed=tuple(
+                            (subgraph.node_id(i), subgraph.node_id(j))
+                            for i, j in committed
+                        ),
+                        cycles=result.cycles - cycles_before,
+                    )
+                )
+            if result.cycles > budget:
+                result.aborted = True
+                break
+            if not committed:
+                break  # nothing matchable; hand over whatever remains
+            active = self._remove_matched(active, committed)
+            result.rounds += 1
+        result.remaining = tuple(active)
+        return result
+
+    # -- round logic -----------------------------------------------------------------
+
+    def _sufficient_coverage(self, hamming_weight: int, remaining_cycles: float) -> bool:
+        """Adaptive stop: can the main decoder finish in the time left?"""
+        if hamming_weight == 0:
+            return True
+        if hamming_weight > self.main_capability:
+            return False
+        return self.main_cycle_model(hamming_weight) <= remaining_cycles
+
+    def _run_round(
+        self,
+        subgraph: DecodingSubgraph,
+        result: PredecodeResult,
+        budget: float,
+    ) -> Tuple[List[Tuple[int, int]], str]:
+        """Execute one predecoding round.
+
+        Returns the committed local pairs and the label of the step that
+        committed them ("" when nothing was matchable).
+        """
+        isolated = subgraph.isolated_pairs()
+        if isolated:
+            # Step 1 (Algorithm 1 inner loop): "while isolated pairs exist
+            # and HW is not low enough, match isolated pairs" -- pairs are
+            # committed lowest-weight-first and the adaptive stop condition
+            # is re-checked after each one, so the predecoder never
+            # over-covers and the main decoder stays fully utilized.
+            result.cycles += max(1, subgraph.n_edges)
+            result.steps_used = max(result.steps_used, 1)
+            committed = []
+            hamming_weight = subgraph.n_nodes
+            for edge in sorted(isolated, key=lambda e: e.weight):
+                self._commit_edge(subgraph, edge.i, edge.j, edge.weight,
+                                  edge.observable_mask, result)
+                committed.append((edge.i, edge.j))
+                hamming_weight -= 2
+                if self._sufficient_coverage(
+                    hamming_weight, budget - result.cycles
+                ):
+                    break
+            return committed, "1"
+
+        candidates = find_edge_candidates(
+            subgraph, exact_singleton_check=self.exact_singleton_check
+        )
+        if not self.enable_singleton_avoidance:
+            # Ablation: fold the risky candidates into the safe slots so
+            # selection degenerates to lowest-weight greed.
+            for safe, risky in (("2.1", "4.1"), ("2.2", "4.2")):
+                best_safe, best_risky = candidates[safe], candidates[risky]
+                if best_risky is not None and (
+                    best_safe is None or best_risky.weight < best_safe.weight
+                ):
+                    candidates[safe] = best_risky
+                candidates[risky] = None
+        round_cost = max(1, subgraph.n_edges)
+        chosen: Optional[StepCandidate] = None
+        for step in ("2.1", "2.2"):
+            if candidates[step] is not None:
+                chosen = candidates[step]
+                break
+        if chosen is None and self.enable_step3:
+            step3, paths_examined = find_step3_candidate(subgraph)
+            if paths_examined:
+                round_cost = max(round_cost, paths_examined)
+            if step3 is not None:
+                chosen = step3
+        if chosen is None:
+            for step in ("4.1", "4.2"):
+                if candidates[step] is not None:
+                    chosen = candidates[step]
+                    break
+        result.cycles += round_cost
+        if chosen is None:
+            return [], ""
+        result.steps_used = max(result.steps_used, _STEP_NUMBER[chosen.step])
+        if chosen.via_path:
+            self._commit_path(subgraph, chosen, result)
+        else:
+            edge_obs = next(
+                obs
+                for j, _w, obs in subgraph.adjacency[chosen.i]
+                if j == chosen.j
+            )
+            self._commit_edge(
+                subgraph, chosen.i, chosen.j, chosen.weight, edge_obs, result
+            )
+        return [(chosen.i, chosen.j)], chosen.step
+
+    # -- commit helpers ----------------------------------------------------------------
+
+    def _commit_edge(
+        self,
+        subgraph: DecodingSubgraph,
+        i: int,
+        j: int,
+        weight: float,
+        observable_mask: int,
+        result: PredecodeResult,
+    ) -> None:
+        u, v = subgraph.node_id(i), subgraph.node_id(j)
+        result.pairs.append((u, v))
+        result.pair_observables.append(observable_mask)
+        result.weight += weight
+
+    def _commit_path(
+        self, subgraph: DecodingSubgraph, candidate: StepCandidate,
+        result: PredecodeResult,
+    ) -> None:
+        u = subgraph.node_id(candidate.i)
+        v = subgraph.node_id(candidate.j)
+        result.pairs.append((u, v))
+        result.pair_observables.append(self.graph.path_observable(u, v))
+        result.weight += candidate.weight
+
+    @staticmethod
+    def _remove_matched(
+        active: List[int], committed_local: List[Tuple[int, int]]
+    ) -> List[int]:
+        removed_local = {i for pair in committed_local for i in pair}
+        return [node for idx, node in enumerate(active) if idx not in removed_local]

@@ -1,0 +1,115 @@
+"""Candidate selection for Promatch's matching steps (Algorithm 1).
+
+One predecoding round scans every edge of the decoding subgraph once (the
+hardware pipeline of Figure 10) and classifies each edge into the step
+that may commit it:
+
+* **Step 2.1** -- matching creates no singleton and one endpoint has
+  degree 1 (this edge is that endpoint's only escape from singleton-hood);
+  lowest weight wins.
+* **Step 2.2** -- no singleton created, both endpoints degree >= 2;
+  lowest weight wins.
+* **Step 4.1 / 4.2** -- the singleton-creating counterparts ("risky"
+  candidates), used only when nothing safer exists.
+* **Step 3** (separate scan) -- when no Step-2 candidate exists and extant
+  singletons remain, match a singleton to another flipped bit along the
+  lowest-weight *path* in the decoding graph, provided the partner's
+  removal strands nobody.
+
+Step 1 (isolated pairs) needs no candidate scan -- see
+:meth:`~repro.graph.subgraph.DecodingSubgraph.isolated_pairs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.subgraph import DecodingSubgraph, SubgraphEdge
+
+
+@dataclass(frozen=True)
+class StepCandidate:
+    """A candidate prematch.
+
+    Attributes:
+        step: Sub-step label ("2.1", "2.2", "3", "4.1", "4.2").
+        i, j: Local node indices in the subgraph.
+        weight: Edge weight (Steps 2/4) or shortest-path weight (Step 3).
+        via_path: True when the match follows a multi-edge path (Step 3):
+            the committed correction is the whole path.
+    """
+
+    step: str
+    i: int
+    j: int
+    weight: float
+    via_path: bool = False
+
+
+def find_edge_candidates(
+    subgraph: DecodingSubgraph, exact_singleton_check: bool = False
+) -> Dict[str, Optional[StepCandidate]]:
+    """One pipeline pass over the subgraph edges (Steps 2.1/2.2/4.1/4.2).
+
+    Returns the best (lowest-weight) candidate per sub-step, or ``None``
+    where no edge qualifies.
+    """
+    best: Dict[str, Optional[StepCandidate]] = {
+        "2.1": None,
+        "2.2": None,
+        "4.1": None,
+        "4.2": None,
+    }
+
+    def consider(step: str, edge: SubgraphEdge) -> None:
+        current = best[step]
+        if current is None or edge.weight < current.weight:
+            best[step] = StepCandidate(
+                step=step, i=edge.i, j=edge.j, weight=edge.weight
+            )
+
+    for edge in subgraph.edges:
+        degree_one = (
+            min(subgraph.degree[edge.i], subgraph.degree[edge.j]) == 1
+        )
+        if not subgraph.creates_singleton(edge, exact=exact_singleton_check):
+            consider("2.1" if degree_one else "2.2", edge)
+        else:
+            consider("4.1" if degree_one else "4.2", edge)
+    return best
+
+
+def find_step3_candidate(
+    subgraph: DecodingSubgraph,
+) -> tuple[Optional[StepCandidate], int]:
+    """Scan singleton-to-node paths (Step 3).
+
+    Returns the best candidate plus the number of paths examined (the
+    cycle model charges ``max(#paths, #edges)`` for Step-3 rounds, since
+    the Path Table is scanned by a unit parallel to the edge pipeline).
+    """
+    singletons = subgraph.singletons()
+    if not singletons:
+        return None, 0
+    singleton_set = set(singletons)
+    best: Optional[StepCandidate] = None
+    paths_examined = 0
+    for s in singletons:
+        node_s = subgraph.node_id(s)
+        for v in range(subgraph.n_nodes):
+            if v == s:
+                continue
+            if v in singleton_set and v < s:
+                continue  # singleton-singleton pairs counted once
+            paths_examined += 1
+            if v not in singleton_set and subgraph.dependent[v] > 0:
+                continue  # removing v would strand its dependents
+            weight = subgraph.graph.distance(
+                node_s, subgraph.node_id(v)
+            )
+            if best is None or weight < best.weight:
+                best = StepCandidate(
+                    step="3", i=min(s, v), j=max(s, v), weight=weight, via_path=True
+                )
+    return best, paths_examined

@@ -1,0 +1,172 @@
+"""Decoder and predecoder interfaces shared by the whole zoo.
+
+A *decoder* consumes the detection events of one syndrome and produces a
+complete correction: a predicted logical-observable mask, the matching it
+committed to, a success flag (real-time decoders can fail by exceeding
+their capability or deadline), and the consumed pipeline cycles.
+
+A *predecoder* consumes detection events and commits a partial matching,
+returning the remaining (unmatched) events for the main decoder; its
+result carries the same latency/observable bookkeeping.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.decoding_graph import BOUNDARY_SENTINEL, DecodingGraph
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one syndrome.
+
+    Attributes:
+        success: False when the decoder could not produce a correction
+            (capability exceeded or deadline blown); the harness scores
+            failures as logical errors, as the paper does ("it is
+            categorized as a logical error, prompting an abort").
+        observable_mask: Predicted logical flips (valid when ``success``).
+        weight: Total weight of the committed matching (used by the
+            parallel combinator to select the better solution).
+        cycles: Consumed pipeline cycles (``None`` = non-real-time).
+        pairs: Matched detection-event pairs (global detector ids).
+        boundary: Detection events matched to the boundary.
+        failure_reason: Diagnostic tag for failures.
+    """
+
+    success: bool
+    observable_mask: int = 0
+    weight: float = 0.0
+    cycles: Optional[float] = None
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    boundary: List[int] = field(default_factory=list)
+    failure_reason: str = ""
+
+    @property
+    def latency_ns(self) -> Optional[float]:
+        from repro.hardware.latency import cycles_to_ns
+
+        return None if self.cycles is None else cycles_to_ns(self.cycles)
+
+
+@dataclass
+class PredecodeResult:
+    """Outcome of predecoding one syndrome.
+
+    Attributes:
+        pairs: Committed prematches as (u, v) global detector ids.
+        pair_observables: Logical mask of each committed prematch
+            (edge mask for direct matches, path mask for Step-3 matches).
+        remaining: Detection events left for the main decoder.
+        cycles: Predecoding pipeline cycles consumed.
+        weight: Total weight of the committed prematches.
+        aborted: True when the predecoder hit its deadline and gave up.
+        steps_used: Highest Promatch step engaged (1..4; 0 = none), used
+            by the Table 6 census.  Baselines report 0.
+        rounds: Number of predecoding rounds executed.
+    """
+
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    pair_observables: List[int] = field(default_factory=list)
+    remaining: Tuple[int, ...] = ()
+    cycles: float = 0.0
+    weight: float = 0.0
+    aborted: bool = False
+    steps_used: int = 0
+    rounds: int = 0
+    trace: List["RoundTrace"] = field(default_factory=list)
+
+    @property
+    def observable_mask(self) -> int:
+        mask = 0
+        for m in self.pair_observables:
+            mask ^= m
+        return mask
+
+    @property
+    def coverage_pairs(self) -> int:
+        return len(self.pairs)
+
+
+@dataclass(frozen=True)
+class RoundTrace:
+    """One predecoding round, for introspection and examples.
+
+    Attributes:
+        round_index: 0-based round number.
+        hamming_weight: Syndrome HW entering the round.
+        n_edges: Decoding-subgraph edges scanned.
+        step: Sub-step that committed ("1", "2.1", ..., "4.2"; "" = none).
+        committed: Pairs committed this round (global detector ids).
+        cycles: Pipeline cycles charged for the round.
+    """
+
+    round_index: int
+    hamming_weight: int
+    n_edges: int
+    step: str
+    committed: Tuple[Tuple[int, int], ...]
+    cycles: float
+
+
+class Decoder(abc.ABC):
+    """A complete decoder bound to a decoding graph."""
+
+    name: str = "decoder"
+
+    def __init__(self, graph: DecodingGraph) -> None:
+        self.graph = graph
+
+    @abc.abstractmethod
+    def decode(self, events: Sequence[int]) -> DecodeResult:
+        """Decode one syndrome given as sorted detection-event ids."""
+
+    def decode_batch(self, batch_events: Sequence[Sequence[int]]) -> List[DecodeResult]:
+        """Decode many syndromes (simple loop; results align with input)."""
+        return [self.decode(events) for events in batch_events]
+
+
+class Predecoder(abc.ABC):
+    """A predecoder bound to a decoding graph."""
+
+    name: str = "predecoder"
+
+    def __init__(self, graph: DecodingGraph) -> None:
+        self.graph = graph
+
+    @abc.abstractmethod
+    def predecode(
+        self, events: Sequence[int], budget_cycles: Optional[float] = None
+    ) -> PredecodeResult:
+        """Prematch part of the syndrome within an optional cycle budget."""
+
+
+def matching_observable_mask(
+    graph: DecodingGraph,
+    pairs: Sequence[Tuple[int, int]],
+    boundary: Sequence[int],
+) -> int:
+    """Logical mask of a full matching: XOR of shortest-path masks."""
+    mask = 0
+    for u, v in pairs:
+        mask ^= graph.path_observable(u, v)
+    for u in boundary:
+        mask ^= graph.path_observable(u, BOUNDARY_SENTINEL)
+    return mask
+
+
+def matching_weight(
+    graph: DecodingGraph,
+    pairs: Sequence[Tuple[int, int]],
+    boundary: Sequence[int],
+) -> float:
+    """Total weight of a matching under shortest-path distances."""
+    total = 0.0
+    for u, v in pairs:
+        total += graph.distance(u, v)
+    for u in boundary:
+        total += graph.boundary_distance(u)
+    return total

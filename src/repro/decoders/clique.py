@@ -1,0 +1,65 @@
+"""Clique / Hierarchical predecoder: non-syndrome-modifying (NSM) baseline.
+
+Clique [Ravi et al., ASPLOS'23] and Delfosse's hierarchical decoder [20]
+attempt to fully decode *trivial* syndromes locally to save decoder
+bandwidth; anything non-trivial is forwarded **unmodified** to the main
+decoder (Figure 3(a)).  Local handling covers:
+
+* isolated pairs (two flipped bits that are each other's only neighbor),
+* isolated flipped bits sitting directly on the boundary.
+
+If local rules consume every flipped bit, the syndrome is fully decoded
+and the main decoder never sees it.  Otherwise **nothing** is committed:
+the entire syndrome goes downstream, which on high-HW syndromes means an
+Astrea main decoder fails outright (Table 3: LER of order p) while an
+Astrea-G main decoder just does what it would have done anyway.
+
+Boundary matches committed by the full-local-decode path are encoded as
+``(u, BOUNDARY_SENTINEL)`` pairs in the result.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.decoders.base import PredecodeResult, Predecoder
+from repro.graph.decoding_graph import BOUNDARY_SENTINEL, DecodingGraph
+from repro.graph.subgraph import DecodingSubgraph
+
+
+class CliquePredecoder(Predecoder):
+    """NSM local predecoder: all-or-nothing local decoding."""
+
+    name = "Clique"
+
+    def predecode(
+        self, events: Sequence[int], budget_cycles: Optional[float] = None
+    ) -> PredecodeResult:
+        subgraph = DecodingSubgraph(self.graph, events)
+        result = PredecodeResult(rounds=1)
+        result.cycles = max(1, subgraph.n_edges + len(subgraph.singletons()))
+        consumed = [False] * subgraph.n_nodes
+        for edge in subgraph.isolated_pairs():
+            consumed[edge.i] = consumed[edge.j] = True
+            result.pairs.append(
+                (subgraph.node_id(edge.i), subgraph.node_id(edge.j))
+            )
+            result.pair_observables.append(edge.observable_mask)
+            result.weight += edge.weight
+        for i in subgraph.singletons():
+            boundary_edge = self.graph.boundary_edge(subgraph.node_id(i))
+            if boundary_edge is None:
+                continue
+            consumed[i] = True
+            result.pairs.append((subgraph.node_id(i), BOUNDARY_SENTINEL))
+            result.pair_observables.append(boundary_edge.observable_mask)
+            result.weight += boundary_edge.weight
+        if all(consumed):
+            result.remaining = ()
+            return result
+        # Non-trivial pattern somewhere: forward the *whole* syndrome.
+        return PredecodeResult(
+            remaining=tuple(int(e) for e in events),
+            cycles=result.cycles,
+            rounds=1,
+        )

@@ -1,0 +1,43 @@
+"""Idealized MWPM: the paper's accuracy baseline (non-real-time).
+
+Exact minimum-weight perfect matching over shortest-path distances on the
+decoding graph -- equivalent to PyMatching / Blossom V on the same graph.
+No latency model is attached: the paper treats software MWPM as an oracle
+whose worst-case latency (hundreds of microseconds) disqualifies it from
+real-time use (Figure 2(c)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.decoders.base import DecodeResult, Decoder, matching_observable_mask
+from repro.graph.decoding_graph import DecodingGraph
+from repro.matching.exact import solve_exact_matching
+
+
+class MWPMDecoder(Decoder):
+    """Exact MWPM with boundary matching."""
+
+    name = "MWPM"
+
+    def __init__(self, graph: DecodingGraph, dp_limit: int = 12) -> None:
+        super().__init__(graph)
+        self.dp_limit = dp_limit
+
+    def decode(self, events: Sequence[int]) -> DecodeResult:
+        events = tuple(events)
+        if not events:
+            return DecodeResult(success=True, observable_mask=0, weight=0.0)
+        pair_w, boundary_w = self.graph.event_distance_matrix(events)
+        solution = solve_exact_matching(pair_w, boundary_w, dp_limit=self.dp_limit)
+        pairs = [(events[i], events[j]) for i, j in solution.pairs]
+        boundary = [events[i] for i in solution.boundary]
+        return DecodeResult(
+            success=True,
+            observable_mask=matching_observable_mask(self.graph, pairs, boundary),
+            weight=solution.total_weight,
+            cycles=None,
+            pairs=pairs,
+            boundary=boundary,
+        )

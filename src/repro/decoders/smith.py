@@ -1,0 +1,64 @@
+"""Smith et al. predecoder: greedy local matching, high coverage, low accuracy.
+
+Models the local predecoder of Smith, Brown & Bartlett [PRApplied 19,
+034050 (2023)] as characterized by the Promatch paper: a syndrome-
+modifying predecoder that sweeps the flipped bits once in fixed (raster)
+order and matches each still-unmatched bit to its cheapest still-unmatched
+neighbor -- no singleton avoidance, no adaptivity, no look-ahead.
+
+Consequences reproduced here:
+
+* **high coverage**: after the sweep no two adjacent flipped bits remain
+  unmatched (every length-1 chain gets consumed),
+* **low accuracy**: early matches are committed blindly, stranding other
+  bits (the paper's Figure 7 failure mode) -- this is what costs Smith +
+  Astrea two-plus orders of magnitude in LER (Table 2),
+* **no coverage guarantee**: mutually non-adjacent leftovers can still
+  exceed the main decoder's HW limit (Figures 16/17, "After Smith").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.decoders.base import PredecodeResult, Predecoder
+from repro.graph.decoding_graph import DecodingGraph
+from repro.graph.subgraph import DecodingSubgraph
+
+
+class SmithPredecoder(Predecoder):
+    """Single-sweep greedy neighbor matching."""
+
+    name = "Smith"
+
+    def predecode(
+        self, events: Sequence[int], budget_cycles: Optional[float] = None
+    ) -> PredecodeResult:
+        subgraph = DecodingSubgraph(self.graph, events)
+        result = PredecodeResult(rounds=1)
+        matched = [False] * subgraph.n_nodes
+        for i in range(subgraph.n_nodes):
+            if matched[i]:
+                continue
+            best_j = -1
+            best_weight = float("inf")
+            best_obs = 0
+            for j, weight, obs_mask in subgraph.adjacency[i]:
+                if not matched[j] and weight < best_weight:
+                    best_j, best_weight, best_obs = j, weight, obs_mask
+            if best_j < 0:
+                continue
+            matched[i] = matched[best_j] = True
+            result.pairs.append(
+                (subgraph.node_id(i), subgraph.node_id(best_j))
+            )
+            result.pair_observables.append(best_obs)
+            result.weight += best_weight
+        # One pipeline pass over the subgraph edges.
+        result.cycles = max(1, subgraph.n_edges)
+        result.remaining = tuple(
+            subgraph.node_id(i) for i in range(subgraph.n_nodes) if not matched[i]
+        )
+        if budget_cycles is not None and result.cycles > budget_cycles:
+            result.aborted = True
+        return result

@@ -1,0 +1,192 @@
+"""Union-Find decoder: the AFS-class accuracy baseline of Figure 4.
+
+Implements the Delfosse-Nickerson union-find decoder on the decoding
+graph: odd clusters of detection events grow synchronously along their
+border edges; clusters that merge or touch the boundary stop being odd;
+finally each cluster's grown region is peeled to extract a correction.
+
+The paper uses AFS (a weighted-union-find hardware decoder) as a
+real-time-but-inexact comparison point: at the near-term rate p = 1e-4
+union-find is measurably less accurate than MWPM [21].  This
+implementation grows edges in integer weight units (weighted growth), so
+low-probability edges take proportionally longer to traverse, matching
+the weighted variant AFS implements.
+
+Substitution note (DESIGN.md): AFS's specific micro-architecture is not
+modelled -- only its algorithmic accuracy class; the Figure 4 bench uses
+this decoder for the AFS series shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.decoders.base import DecodeResult, Decoder
+from repro.graph.decoding_graph import DecodingGraph
+
+
+class _ClusterForest:
+    """Union-find over detector nodes plus the virtual boundary."""
+
+    def __init__(self, n_nodes: int, boundary: int) -> None:
+        self.parent = list(range(n_nodes + 1))
+        self.rank = [0] * (n_nodes + 1)
+        self.parity = [0] * (n_nodes + 1)
+        self.touches_boundary = [False] * (n_nodes + 1)
+        self.touches_boundary[boundary] = True
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self.rank[ra] < self.rank[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        if self.rank[ra] == self.rank[rb]:
+            self.rank[ra] += 1
+        self.parity[ra] ^= self.parity[rb]
+        self.touches_boundary[ra] |= self.touches_boundary[rb]
+        return ra
+
+
+class UnionFindDecoder(Decoder):
+    """Weighted-growth union-find with peeling."""
+
+    name = "UnionFind"
+
+    def __init__(self, graph: DecodingGraph, weight_resolution: float = 1.0) -> None:
+        super().__init__(graph)
+        boundary = graph.boundary_index
+        # Integer edge lengths for synchronous weighted growth.
+        self._edge_ends: List[Tuple[int, int]] = []
+        self._edge_length: List[int] = []
+        self._incident: Dict[int, List[int]] = {}
+        for index, edge in enumerate(graph.edges):
+            v = boundary if edge.is_boundary else edge.v
+            self._edge_ends.append((edge.u, v))
+            self._edge_length.append(
+                max(1, int(round(edge.weight / weight_resolution)))
+            )
+            self._incident.setdefault(edge.u, []).append(index)
+            self._incident.setdefault(v, []).append(index)
+
+    def decode(self, events: Sequence[int]) -> DecodeResult:
+        events = tuple(events)
+        if not events:
+            return DecodeResult(success=True, observable_mask=0, cycles=1)
+        grown_edges = self._grow_clusters(events)
+        correction_edges, matched_ok = self._peel(events, grown_edges)
+        observable_mask = 0
+        weight = 0.0
+        for u, v in correction_edges:
+            observable_mask ^= self.graph.edge_observable(u, v)
+            edge_weight = self.graph.direct_edge_weight(u, v)
+            if edge_weight is None:
+                raise AssertionError(f"peeled a non-existent edge ({u}, {v})")
+            weight += edge_weight
+        # Growth stages dominate latency; cycle cost = stages executed is
+        # tracked by _grow_clusters via self._last_stages.
+        return DecodeResult(
+            success=matched_ok,
+            observable_mask=observable_mask,
+            weight=weight,
+            cycles=float(self._last_stages),
+            failure_reason="" if matched_ok else "peeling left unmatched events",
+        )
+
+    # -- growth ---------------------------------------------------------------------
+
+    def _grow_clusters(self, events: Sequence[int]) -> Set[int]:
+        boundary = self.graph.boundary_index
+        forest = _ClusterForest(self.graph.n_nodes, boundary)
+        for e in events:
+            forest.parity[e] = 1
+        in_cluster: Set[int] = set(events)
+        growth = [0] * len(self._edge_ends)
+        fully_grown: Set[int] = set()
+        self._last_stages = 0
+        max_stages = sum(self._edge_length) + 1  # absolute safety bound
+
+        def cluster_is_odd(node: int) -> bool:
+            root = forest.find(node)
+            return bool(forest.parity[root]) and not forest.touches_boundary[root]
+
+        while self._last_stages < max_stages:
+            odd_roots = {
+                forest.find(n) for n in in_cluster if cluster_is_odd(n)
+            }
+            if not odd_roots:
+                break
+            self._last_stages += 1
+            border: List[Tuple[int, int]] = []
+            for edge_index, (u, v) in enumerate(self._edge_ends):
+                if edge_index in fully_grown:
+                    continue
+                u_in = u in in_cluster and forest.find(u) in odd_roots
+                v_in = v in in_cluster and forest.find(v) in odd_roots
+                if u_in or v_in:
+                    # Half-edge growth: an edge between two odd clusters
+                    # grows from both sides per stage.
+                    border.append((edge_index, int(u_in) + int(v_in)))
+            if not border:
+                break  # disconnected remainder; give up growing
+            for edge_index, increment in border:
+                growth[edge_index] += increment
+                if growth[edge_index] >= self._edge_length[edge_index]:
+                    fully_grown.add(edge_index)
+                    u, v = self._edge_ends[edge_index]
+                    in_cluster.add(u)
+                    in_cluster.add(v)
+                    forest.union(u, v)
+        return fully_grown
+
+    # -- peeling ---------------------------------------------------------------------
+
+    def _peel(
+        self, events: Sequence[int], grown_edges: Set[int]
+    ) -> Tuple[List[Tuple[int, int]], bool]:
+        boundary = self.graph.boundary_index
+        adjacency: Dict[int, List[Tuple[int, int]]] = {}
+        for edge_index in grown_edges:
+            u, v = self._edge_ends[edge_index]
+            adjacency.setdefault(u, []).append((v, edge_index))
+            adjacency.setdefault(v, []).append((u, edge_index))
+
+        flip: Dict[int, int] = {e: 1 for e in events}
+        visited: Set[int] = set()
+        correction: List[Tuple[int, int]] = []
+        ok = True
+
+        nodes = set(adjacency) | set(events)
+        # Root each component at the boundary when reachable so leftover
+        # parity is absorbed there.
+        for start in sorted(nodes, key=lambda n: (n != boundary,)):
+            if start in visited:
+                continue
+            order: List[Tuple[int, int]] = []  # (node, parent)
+            stack = [(start, -1)]
+            visited.add(start)
+            while stack:
+                node, parent = stack.pop()
+                order.append((node, parent))
+                for neighbor, _edge in adjacency.get(node, ()):  # spanning tree
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        stack.append((neighbor, node))
+            for node, parent in reversed(order):
+                if flip.get(node, 0) and parent >= 0:
+                    correction.append((node, parent))
+                    flip[parent] = flip.get(parent, 0) ^ 1
+                    flip[node] = 0
+            root, _ = order[0]
+            if flip.get(root, 0) and root != boundary:
+                ok = False  # odd component never reached the boundary
+        return correction, ok

@@ -1,0 +1,5 @@
+"""Detector error models: the interface between circuits and decoders."""
+
+from repro.dem.model import DetectorErrorModel, Mechanism
+
+__all__ = ["DetectorErrorModel", "Mechanism"]

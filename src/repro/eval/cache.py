@@ -1,0 +1,82 @@
+"""Disk cache for expensive, rate-independent artifacts.
+
+Detector-error-model extraction is the one genuinely expensive step
+(~20 s at d = 13) and is independent of the physical error rate, so DEMs
+are pickled per (code family, distance, rounds, noise-model shape,
+basis).  Set ``REPRO_CACHE_DIR`` to relocate the cache, or
+``REPRO_NO_CACHE=1`` to disable it (tests covering the builder itself do
+this).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Optional
+
+from repro.circuits.memory import MemoryExperiment, build_memory_circuit
+from repro.codes.base import StabilizerCode
+from repro.dem.model import DetectorErrorModel
+from repro.noise.model import NoiseModel
+from repro.sim.dem_builder import build_detector_error_model
+
+
+def cache_directory() -> Optional[Path]:
+    """Resolve the cache directory (None when caching is disabled)."""
+    if os.environ.get("REPRO_NO_CACHE"):
+        return None
+    configured = os.environ.get("REPRO_CACHE_DIR")
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parents[3] / ".repro_cache"
+
+
+def dem_cache_path(
+    code: StabilizerCode, rounds: int, noise: NoiseModel, basis: str
+) -> Optional[Path]:
+    """Cache file for one DEM configuration."""
+    directory = cache_directory()
+    if directory is None:
+        return None
+    token = (
+        f"{code.name}-d{code.distance}-r{rounds}-{noise.cache_token()}-{basis}"
+        f"-s{_SCHEDULE_VERSION}"
+    )
+    return directory / f"dem-{token}.pkl"
+
+
+#: Bump when circuit construction changes in a way that alters extracted
+#: DEMs (e.g. the CX schedule), so stale cache entries are never reused.
+_SCHEDULE_VERSION = 2
+
+
+def load_or_build_dem(
+    code: StabilizerCode, rounds: int, noise: NoiseModel, basis: str = "Z"
+) -> DetectorErrorModel:
+    """Return the DEM for a memory experiment, building it at most once."""
+    path = dem_cache_path(code, rounds, noise, basis)
+    if path is not None and path.exists():
+        with path.open("rb") as handle:
+            dem = pickle.load(handle)
+        if isinstance(dem, DetectorErrorModel):
+            return dem
+        # Foreign/corrupt content: fall through and rebuild.
+    experiment = build_memory_circuit(code, rounds=rounds, noise=noise, basis=basis)
+    dem = build_detector_error_model(experiment.circuit)
+    if path is not None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_suffix(".tmp")
+        with tmp_path.open("wb") as handle:
+            pickle.dump(dem, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp_path.replace(path)
+    return dem
+
+
+def build_experiment_and_dem(
+    code: StabilizerCode, rounds: int, noise: NoiseModel, basis: str = "Z"
+):
+    """(experiment, dem) pair with the DEM served from cache when possible."""
+    experiment = build_memory_circuit(code, rounds=rounds, noise=noise, basis=basis)
+    dem = load_or_build_dem(code, rounds, noise, basis)
+    return experiment, dem

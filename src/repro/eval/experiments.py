@@ -1,0 +1,326 @@
+"""Experiment plumbing shared by examples, tests, and benchmarks.
+
+:class:`Workbench` wires the full stack for one (distance, p) operating
+point -- code, memory circuit, cached DEM, weighted decoding graph,
+samplers, and the paper's decoder zoo -- so every experiment script reads
+like its corresponding table.
+
+The census functions reproduce the paper's high-Hamming-weight studies:
+chain lengths (Figure 5), HW reduction (Figures 16/17), predecoding
+latency (Tables 4/5), and step usage (Table 6).  They run on syndromes
+sampled *conditioned on* HW exceeding Astrea's capability, importance-
+weighted by the exact Poisson-binomial fault-count distribution so that
+reported histograms are genuine probabilities, not per-sample fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.rotated_surface import RotatedSurfaceCode
+from repro.core.promatch import PromatchPredecoder
+from repro.decoders.astrea import ASTREA_MAX_HAMMING_WEIGHT, AstreaDecoder
+from repro.decoders.astrea_g import AstreaGDecoder
+from repro.decoders.base import Decoder, Predecoder
+from repro.decoders.clique import CliquePredecoder
+from repro.decoders.combined import ParallelDecoder, PredecodedDecoder
+from repro.decoders.mwpm import MWPMDecoder
+from repro.decoders.smith import SmithPredecoder
+from repro.decoders.unionfind import UnionFindDecoder
+from repro.dem.model import DetectorErrorModel
+from repro.eval.cache import build_experiment_and_dem
+from repro.eval.poisson_binomial import poisson_binomial_pmf
+from repro.eval.stats import weighted_histogram
+from repro.graph.decoding_graph import DecodingGraph, build_decoding_graph
+from repro.hardware.latency import cycles_to_ns
+from repro.noise.model import CircuitNoiseModel, NoiseModel
+from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class Workbench:
+    """Everything needed to evaluate decoders at one operating point."""
+
+    distance: int
+    rounds: int
+    p: float
+    dem: DetectorErrorModel
+    graph: DecodingGraph
+    rng: np.random.Generator
+    decoders: Dict[str, Decoder] = field(default_factory=dict)
+
+    @classmethod
+    def build(
+        cls,
+        distance: int,
+        p: float,
+        rounds: Optional[int] = None,
+        rng: RngLike = None,
+        noise: Optional[NoiseModel] = None,
+        prune_probability: Optional[float] = None,
+    ) -> "Workbench":
+        """Construct the full stack for one (distance, p) point.
+
+        The DEM comes from the disk cache when available; the decoding
+        graph is weighted for the requested ``p``.  ``prune_probability``
+        tunes Astrea-G's edge pruning (default: the MWPM LER scale for
+        this distance, per the paper's "probabilities below the LER").
+        """
+        code = RotatedSurfaceCode(distance)
+        rounds = distance if rounds is None else rounds
+        noise = noise or CircuitNoiseModel()
+        _experiment, dem = build_experiment_and_dem(code, rounds, noise)
+        graph = build_decoding_graph(dem, p)
+        bench = cls(
+            distance=distance,
+            rounds=rounds,
+            p=p,
+            dem=dem,
+            graph=graph,
+            rng=ensure_rng(rng),
+        )
+        bench.decoders = bench.build_decoder_zoo(
+            prune_probability=prune_probability
+        )
+        return bench
+
+    # -- decoder zoo -----------------------------------------------------------------
+
+    def build_decoder_zoo(
+        self, prune_probability: Optional[float] = None
+    ) -> Dict[str, Decoder]:
+        """The paper's evaluation configurations (Tables 2 and 3)."""
+        graph = self.graph
+        if prune_probability is None:
+            # "Pruning edges ... with error chain probabilities below the
+            # LER": chains of ~ (d-1)/2 + 1 edges are at the LER scale.
+            chain_edges = (self.distance - 1) // 2 + 1
+            prune_probability = float(self.p) ** chain_edges
+        astrea_g = AstreaGDecoder(graph, prune_probability=prune_probability)
+        promatch_astrea = PredecodedDecoder(
+            graph, PromatchPredecoder(graph), AstreaDecoder(graph)
+        )
+        smith_astrea = PredecodedDecoder(
+            graph, SmithPredecoder(graph), AstreaDecoder(graph)
+        )
+        clique_astrea = PredecodedDecoder(
+            graph, CliquePredecoder(graph), AstreaDecoder(graph)
+        )
+        zoo: Dict[str, Decoder] = {
+            "MWPM": MWPMDecoder(graph),
+            "Astrea-G": astrea_g,
+            "Promatch+Astrea": promatch_astrea,
+            "Smith+Astrea": smith_astrea,
+            "Clique+Astrea": clique_astrea,
+            "Promatch || AG": ParallelDecoder(
+                graph, promatch_astrea, astrea_g, name="Promatch || AG"
+            ),
+            "Smith || AG": ParallelDecoder(
+                graph, smith_astrea, astrea_g, name="Smith || AG"
+            ),
+            "Clique || AG": ParallelDecoder(
+                graph, clique_astrea, astrea_g, name="Clique || AG"
+            ),
+            "UnionFind": UnionFindDecoder(graph),
+        }
+        return zoo
+
+    # -- samplers --------------------------------------------------------------------
+
+    def sample(self, shots: int) -> SyndromeBatch:
+        """Plain Monte-Carlo syndromes at this operating point."""
+        return DemSampler(self.dem, self.p, rng=self.rng).sample(shots)
+
+    def sample_exact_k(self, k: int, shots: int) -> SyndromeBatch:
+        """Syndromes with exactly ``k`` injected faults."""
+        return ExactKSampler(self.dem, self.p, rng=self.rng).sample(k, shots)
+
+    def sample_high_hw(
+        self,
+        shots_per_k: int,
+        hw_min: int = ASTREA_MAX_HAMMING_WEIGHT + 1,
+        k_max: int = 24,
+    ) -> SyndromeBatch:
+        """High-HW syndromes with per-shot occurrence-probability weights.
+
+        Samples exactly-k syndromes for each plausible k, keeps those with
+        HW >= ``hw_min`` and attaches weight ``P_o(k) / shots_per_k``, so
+        weighted sums over the batch estimate joint probabilities
+        P(syndrome property AND HW >= hw_min) -- the quantity behind the
+        paper's Figures 5/16/17 and Tables 4-6.
+        """
+        pmf, _tail = poisson_binomial_pmf(self.dem.probabilities(self.p), k_max)
+        sampler = ExactKSampler(self.dem, self.p, rng=self.rng)
+        kept = SyndromeBatch(
+            events=[],
+            observables=np.zeros(0, dtype=np.int64),
+            fault_counts=np.zeros(0, dtype=np.int64),
+            weights=np.zeros(0, dtype=np.float64),
+        )
+        k_lo = max(1, hw_min // 2)  # a fault flips at most two detectors
+        for k in range(k_lo, k_max + 1):
+            if pmf[k] <= 0.0:
+                continue
+            batch = sampler.sample(k, shots_per_k)
+            mask = batch.hamming_weights() >= hw_min
+            if not mask.any():
+                continue
+            keep_idx = np.nonzero(mask)[0]
+            kept.events.extend(batch.events[i] for i in keep_idx)
+            kept.observables = np.concatenate(
+                [kept.observables, batch.observables[keep_idx]]
+            )
+            kept.fault_counts = np.concatenate(
+                [kept.fault_counts, np.full(keep_idx.size, k, dtype=np.int64)]
+            )
+            kept.weights = np.concatenate(
+                [
+                    kept.weights,
+                    np.full(keep_idx.size, pmf[k] / shots_per_k, dtype=np.float64),
+                ]
+            )
+        return kept
+
+
+# -- censuses over high-HW syndromes ------------------------------------------------
+
+
+def chain_length_census(
+    graph: DecodingGraph, batch: SyndromeBatch, max_length: int = 12
+) -> np.ndarray:
+    """Figure 5: distribution of MWPM error-chain lengths.
+
+    Decodes each syndrome with exact MWPM and histograms the number of
+    decoding-graph edges each matched pair (or boundary match) spans,
+    weighted by syndrome occurrence probability; the result is normalized
+    to a probability distribution over chain length 1..max_length.
+    """
+    decoder = MWPMDecoder(graph)
+    weights = (
+        batch.weights
+        if batch.weights is not None
+        else np.ones(batch.shots, dtype=np.float64)
+    )
+    histogram = np.zeros(max_length + 1, dtype=np.float64)
+    for events, weight in zip(batch.events, weights):
+        result = decoder.decode(events)
+        for u, v in result.pairs:
+            histogram[min(graph.path_length_edges(u, v), max_length)] += weight
+        for u in result.boundary:
+            length = graph.path_length_edges(u, graph.boundary_index)
+            histogram[min(length, max_length)] += weight
+    total = histogram.sum()
+    return histogram / total if total > 0 else histogram
+
+
+def hw_reduction_census(
+    graph: DecodingGraph,
+    batch: SyndromeBatch,
+    predecoders: Dict[str, Predecoder],
+    n_bins: int = 33,
+) -> Dict[str, np.ndarray]:
+    """Figures 16/17: HW distribution before and after predecoding.
+
+    Returns probability-weighted histograms (joint with the HW > 10
+    conditioning event): key "before" plus one key per predecoder.
+    """
+    weights = (
+        batch.weights
+        if batch.weights is not None
+        else np.ones(batch.shots, dtype=np.float64)
+    )
+    histograms: Dict[str, np.ndarray] = {
+        "before": weighted_histogram(
+            [len(e) for e in batch.events], weights, n_bins
+        )
+    }
+    for name, predecoder in predecoders.items():
+        reduced: List[int] = []
+        for events in batch.events:
+            report = predecoder.predecode(events)
+            reduced.append(len(report.remaining))
+        histograms[name] = weighted_histogram(reduced, weights, n_bins)
+    return histograms
+
+
+@dataclass
+class LatencyCensus:
+    """Tables 4/5: predecode and total decode latency over high-HW syndromes."""
+
+    predecode_avg_ns: float
+    predecode_max_ns: float
+    total_avg_ns: float
+    total_max_ns: float
+    deadline_miss_probability: float
+
+
+def latency_census(
+    graph: DecodingGraph, batch: SyndromeBatch, promatch: PromatchPredecoder,
+    main: AstreaDecoder,
+) -> LatencyCensus:
+    """Measure Promatch's cycle consumption on a high-HW workload."""
+    weights = (
+        batch.weights
+        if batch.weights is not None
+        else np.ones(batch.shots, dtype=np.float64)
+    )
+    predecode_ns: List[float] = []
+    total_ns: List[float] = []
+    miss_weight = 0.0
+    total_weight = 0.0
+    for events, weight in zip(batch.events, weights):
+        total_weight += weight
+        report = promatch.predecode(events)
+        pre_ns = cycles_to_ns(report.cycles)
+        main_result = main.decode(
+            report.remaining, budget_cycles=promatch.budget_cycles - report.cycles
+        )
+        if report.aborted or not main_result.success:
+            miss_weight += weight
+            predecode_ns.append(pre_ns)
+            total_ns.append(cycles_to_ns(promatch.budget_cycles))
+            continue
+        predecode_ns.append(pre_ns)
+        total_ns.append(pre_ns + cycles_to_ns(main_result.cycles or 0))
+    pre = np.asarray(predecode_ns)
+    tot = np.asarray(total_ns)
+    w = np.asarray(weights[: len(predecode_ns)])
+    w_sum = w.sum() if w.sum() > 0 else 1.0
+    return LatencyCensus(
+        predecode_avg_ns=float((pre * w).sum() / w_sum),
+        predecode_max_ns=float(pre.max()) if pre.size else 0.0,
+        total_avg_ns=float((tot * w).sum() / w_sum),
+        total_max_ns=float(tot.max()) if tot.size else 0.0,
+        deadline_miss_probability=(
+            miss_weight / total_weight if total_weight > 0 else 0.0
+        ),
+    )
+
+
+def step_usage_census(
+    batch: SyndromeBatch, promatch: PromatchPredecoder
+) -> Dict[int, float]:
+    """Table 6: fraction of high-HW syndromes whose deepest step is s.
+
+    Returns conditional frequencies (normalized over the batch weights)
+    for steps 1..4.
+    """
+    weights = (
+        batch.weights
+        if batch.weights is not None
+        else np.ones(batch.shots, dtype=np.float64)
+    )
+    usage = {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}
+    total = 0.0
+    for events, weight in zip(batch.events, weights):
+        report = promatch.predecode(events)
+        total += weight
+        if report.steps_used in usage:
+            usage[report.steps_used] += weight
+    if total > 0:
+        usage = {step: value / total for step, value in usage.items()}
+    return usage

@@ -1,0 +1,57 @@
+"""Exact Poisson-binomial occurrence probabilities P_o(k).
+
+The paper's Eq. (1) estimator needs the probability that *exactly k*
+fault mechanisms fire in one shot.  Mechanisms are independent Bernoulli
+variables with heterogeneous probabilities, so the count follows a
+Poisson-binomial distribution; the head of its pmf (k up to a few tens)
+is computed exactly by the standard convolution recurrence
+
+    dist'[k] = dist[k] (1 - p_i) + dist[k-1] p_i
+
+truncated at ``k_max`` (the truncated tail mass is reported so callers
+can bound the estimator's missing contribution).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def poisson_binomial_pmf(
+    probabilities: np.ndarray, k_max: int
+) -> Tuple[np.ndarray, float]:
+    """Head of the Poisson-binomial pmf.
+
+    Args:
+        probabilities: Per-mechanism firing probabilities.
+        k_max: Largest count of interest.
+
+    Returns:
+        ``(pmf, tail)`` where ``pmf[k]`` = P(exactly k fire) for
+        ``k = 0..k_max`` and ``tail`` = P(more than k_max fire).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    if np.any((probabilities < 0) | (probabilities > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    if k_max < 0:
+        raise ValueError("k_max must be non-negative")
+    dist = np.zeros(k_max + 1, dtype=np.float64)
+    dist[0] = 1.0
+    overflow = 0.0
+    for p in probabilities:
+        if p == 0.0:
+            continue
+        shifted = np.empty_like(dist)
+        shifted[0] = 0.0
+        shifted[1:] = dist[:-1]
+        overflow = overflow + float(dist[-1]) * p
+        dist = dist * (1.0 - p) + shifted * p
+    tail = max(0.0, 1.0 - float(dist.sum()))
+    return dist, tail
+
+
+def expected_count(probabilities: np.ndarray) -> float:
+    """Mean of the Poisson binomial (sum of probabilities)."""
+    return float(np.asarray(probabilities, dtype=np.float64).sum())

@@ -1,0 +1,78 @@
+"""ASCII table/series formatting matching the paper's presentation."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_scientific(value: float) -> str:
+    """Compact scientific notation: 2.6e-14 style."""
+    if value == 0:
+        return "0"
+    return f"{value:.1e}"
+
+
+def format_ratio(value: float, baseline: float) -> str:
+    """"(2.5x)" style ratio annotation against a baseline.
+
+    A baseline at (or effectively at) zero -- e.g. an exact decoder whose
+    failures sit below the Monte-Carlo floor -- yields no meaningful
+    ratio.
+    """
+    if baseline <= 1e-30:
+        return "(n/a)"
+    ratio = value / baseline
+    if ratio >= 10:
+        return f"({ratio:.0f}x)"
+    return f"({ratio:.1f}x)"
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def format_ler_table(
+    results: Dict[str, float],
+    baseline_name: str = "MWPM",
+    title: str = "",
+) -> str:
+    """LER table with ratios against a baseline row (paper Table 2 style)."""
+    baseline = results.get(baseline_name, 0.0)
+    rows = [
+        [name, format_scientific(value), format_ratio(value, baseline)]
+        for name, value in results.items()
+    ]
+    return format_table(["Decoder", "LER", "vs MWPM"], rows, title=title)
+
+
+def format_histogram(
+    histogram: Sequence[float], title: str = "", log_floor: float = 1e-16
+) -> str:
+    """Log-scale text rendering of a probability histogram (Figs 16/17)."""
+    import math
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for bin_index, mass in enumerate(histogram):
+        if mass <= 0:
+            continue
+        clipped = max(mass, log_floor)
+        bar = "#" * max(1, int(16 + math.log10(clipped)))
+        lines.append(f"  HW {bin_index:3d}  {mass:9.3e}  {bar}")
+    return "\n".join(lines)

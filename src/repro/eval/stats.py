@@ -1,0 +1,70 @@
+"""Statistical helpers: binomial confidence intervals and weighted stats."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A rate with its Wilson-score confidence interval."""
+
+    successes: int
+    trials: int
+    rate: float
+    low: float
+    high: float
+
+    def __str__(self) -> str:
+        return f"{self.rate:.3g} [{self.low:.3g}, {self.high:.3g}]"
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> RateEstimate:
+    """Wilson score interval for a binomial rate (sane at 0 successes)."""
+    if trials <= 0:
+        return RateEstimate(0, 0, 0.0, 0.0, 1.0)
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    margin = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return RateEstimate(
+        successes=successes,
+        trials=trials,
+        rate=phat,
+        low=max(0.0, center - margin),
+        high=min(1.0, center + margin),
+    )
+
+
+def weighted_histogram(
+    values: Sequence[int], weights: Sequence[float], n_bins: int
+) -> np.ndarray:
+    """Probability-weighted histogram over integer bins ``0..n_bins-1``.
+
+    Values beyond the range accumulate in the last bin.
+    """
+    hist = np.zeros(n_bins, dtype=np.float64)
+    for value, weight in zip(values, weights):
+        hist[min(int(value), n_bins - 1)] += float(weight)
+    return hist
+
+
+def weighted_mean_max(
+    values: Sequence[float], weights: Sequence[float]
+) -> Tuple[float, float]:
+    """Weighted mean and plain maximum of a sample."""
+    values = np.asarray(values, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.size == 0:
+        return 0.0, 0.0
+    total = weights.sum()
+    mean = float((values * weights).sum() / total) if total > 0 else 0.0
+    return mean, float(values.max())

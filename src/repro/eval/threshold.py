@@ -1,0 +1,118 @@
+"""Error-suppression and threshold analysis utilities.
+
+The quantities practitioners extract from Figure-4-style data:
+
+* **Lambda (error-suppression factor)** -- the ratio LER(d) / LER(d+2)
+  at fixed physical rate.  Below threshold Lambda > 1 and roughly
+  constant; a decoder's accuracy gap shows up directly as a smaller
+  Lambda (Astrea-G's detachment at d >= 11 is exactly a collapsing
+  Lambda).
+
+* **Threshold estimate** -- the physical rate where LER curves for
+  successive distances cross.  Estimated here by log-linear
+  interpolation of the crossing of two measured LER-vs-p series.
+
+Both helpers are estimator-agnostic: feed them direct Monte-Carlo or
+Eq. (1) numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class LambdaEstimate:
+    """Error-suppression factor between two distances at fixed p."""
+
+    distance_small: int
+    distance_large: int
+    p: float
+    lambda_factor: float
+
+    @property
+    def suppressing(self) -> bool:
+        """True when growing the code actually helps (Lambda > 1)."""
+        return self.lambda_factor > 1.0
+
+
+def lambda_factor(
+    ler_by_distance: Mapping[int, float], p: float
+) -> List[LambdaEstimate]:
+    """Suppression factors between successive measured distances.
+
+    Args:
+        ler_by_distance: distance -> LER at the given physical rate.
+            Distances with zero LER (below the Monte-Carlo floor) are
+            skipped -- a ratio against zero is meaningless.
+        p: The physical rate the LERs were measured at (metadata).
+
+    Returns:
+        One estimate per consecutive distance pair, ascending.
+    """
+    usable = sorted(d for d, ler in ler_by_distance.items() if ler > 0)
+    estimates: List[LambdaEstimate] = []
+    for small, large in zip(usable, usable[1:]):
+        estimates.append(
+            LambdaEstimate(
+                distance_small=small,
+                distance_large=large,
+                p=p,
+                lambda_factor=ler_by_distance[small] / ler_by_distance[large],
+            )
+        )
+    return estimates
+
+
+def projected_ler(
+    ler_by_distance: Mapping[int, float], p: float, target_distance: int
+) -> Optional[float]:
+    """Extrapolate LER to a larger distance assuming constant Lambda.
+
+    The standard back-of-envelope for "what would d = 15 buy us":
+    LER(d + 2k) ~ LER(d) / Lambda^k.  Returns None when no Lambda is
+    measurable.
+    """
+    estimates = lambda_factor(ler_by_distance, p)
+    if not estimates:
+        return None
+    last = estimates[-1]
+    if last.lambda_factor <= 0:
+        return None
+    steps = (target_distance - last.distance_large) / (
+        last.distance_large - last.distance_small
+    )
+    if steps < 0:
+        raise ValueError("target distance below the measured range")
+    return ler_by_distance[last.distance_large] / (last.lambda_factor**steps)
+
+
+def crossing_point(
+    rates: Sequence[float],
+    ler_small_distance: Sequence[float],
+    ler_large_distance: Sequence[float],
+) -> Optional[float]:
+    """Threshold estimate: where the two LER-vs-p curves cross.
+
+    Interpolates log(LER_large / LER_small) against log(p) and returns
+    the rate where the sign flips (None when the curves never cross in
+    the measured window -- e.g. everything is comfortably below
+    threshold).
+    """
+    if not (len(rates) == len(ler_small_distance) == len(ler_large_distance)):
+        raise ValueError("series lengths must match")
+    logs: List[Tuple[float, float]] = []
+    for p, small, large in zip(rates, ler_small_distance, ler_large_distance):
+        if small <= 0 or large <= 0:
+            continue
+        logs.append((math.log(p), math.log(large / small)))
+    for (x0, y0), (x1, y1) in zip(logs, logs[1:]):
+        if y0 == 0:
+            return math.exp(x0)
+        if y0 < 0 <= y1:
+            # Linear interpolation of the zero crossing in log space.
+            t = -y0 / (y1 - y0)
+            return math.exp(x0 + t * (x1 - x0))
+    return None

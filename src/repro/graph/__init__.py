@@ -1,0 +1,17 @@
+"""Decoding graph construction and the Promatch decoding subgraph."""
+
+from repro.graph.decoding_graph import (
+    BOUNDARY_SENTINEL,
+    DecodingGraph,
+    GraphEdge,
+    build_decoding_graph,
+)
+from repro.graph.subgraph import DecodingSubgraph
+
+__all__ = [
+    "BOUNDARY_SENTINEL",
+    "DecodingGraph",
+    "GraphEdge",
+    "build_decoding_graph",
+    "DecodingSubgraph",
+]

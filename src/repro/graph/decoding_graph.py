@@ -1,0 +1,386 @@
+"""The decoding graph: detectors as nodes, error mechanisms as edges.
+
+Built from a :class:`~repro.dem.model.DetectorErrorModel` at a concrete
+physical error rate:
+
+* mechanisms flipping two detectors become internal edges,
+* mechanisms flipping one detector become edges to the virtual *boundary*
+  node,
+* mechanisms flipping three or more detectors (rare correlated faults that
+  survive the single-basis restriction) are decomposed onto existing
+  elementary edges, exactly as Stim's ``decompose_errors`` does,
+* mechanisms sharing an endpoint pair are XOR-combined.
+
+Edge weights are log-likelihood ratios ``w = ln((1-p)/p)``, so a
+minimum-weight matching is a maximum-likelihood pairing.  All-pairs
+shortest paths (through the boundary as well -- routing through the
+boundary is equivalent to two boundary matches and costs the same total
+weight) are computed once with ``scipy.sparse.csgraph`` and memoized.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import csgraph
+
+from repro.dem.model import DetectorErrorModel, Mechanism
+from repro.utils.bits import (
+    probability_to_weight,
+    xor_combine_two,
+)
+
+#: Marker used in matching solutions for "matched to the boundary".
+BOUNDARY_SENTINEL = -1
+
+
+@dataclass(frozen=True)
+class GraphEdge:
+    """One edge of the decoding graph.
+
+    ``v == BOUNDARY_SENTINEL`` marks a boundary edge.  ``observable_mask``
+    is the logical flip incurred when the correction crosses this edge.
+    """
+
+    u: int
+    v: int
+    probability: float
+    weight: float
+    observable_mask: int
+
+    @property
+    def is_boundary(self) -> bool:
+        return self.v == BOUNDARY_SENTINEL
+
+
+class DecodingGraph:
+    """Weighted matching graph over detectors plus a virtual boundary node."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        edges: Sequence[GraphEdge],
+        node_coords: Optional[List[Tuple[int, int, int]]] = None,
+        decomposition_stats: Optional[Dict[str, int]] = None,
+    ) -> None:
+        self.n_nodes = n_nodes
+        self.edges: List[GraphEdge] = list(edges)
+        self.node_coords = node_coords or [(0, 0, 0)] * n_nodes
+        self.decomposition_stats = decomposition_stats or {}
+        self._neighbors: List[List[Tuple[int, float, int, float]]] = [
+            [] for _ in range(n_nodes)
+        ]
+        self._boundary: Dict[int, GraphEdge] = {}
+        self._edge_obs: Dict[Tuple[int, int], int] = {}
+        self._edge_weight: Dict[Tuple[int, int], float] = {}
+        for edge in self.edges:
+            if edge.is_boundary:
+                self._boundary[edge.u] = edge
+                key = (edge.u, self.boundary_index)
+            else:
+                self._neighbors[edge.u].append(
+                    (edge.v, edge.weight, edge.observable_mask, edge.probability)
+                )
+                self._neighbors[edge.v].append(
+                    (edge.u, edge.weight, edge.observable_mask, edge.probability)
+                )
+                key = (min(edge.u, edge.v), max(edge.u, edge.v))
+            self._edge_obs[key] = edge.observable_mask
+            self._edge_weight[key] = edge.weight
+        self._distances: Optional[np.ndarray] = None
+        self._predecessors: Optional[np.ndarray] = None
+
+    # -- basic structure ---------------------------------------------------------
+
+    @property
+    def boundary_index(self) -> int:
+        """Index of the virtual boundary node in the adjacency matrix."""
+        return self.n_nodes
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def neighbors(self, u: int) -> List[Tuple[int, float, int, float]]:
+        """Internal neighbors of ``u``: ``(v, weight, obs_mask, probability)``."""
+        return self._neighbors[u]
+
+    def boundary_edge(self, u: int) -> Optional[GraphEdge]:
+        """The direct boundary edge of ``u``, if any."""
+        return self._boundary.get(u)
+
+    def direct_edge_weight(self, u: int, v: int) -> Optional[float]:
+        """Weight of the direct edge ``(u, v)`` if it exists."""
+        return self._edge_weight.get(self._edge_key(u, v))
+
+    def edge_observable(self, u: int, v: int) -> int:
+        """Observable mask of the direct edge ``(u, v)``.
+
+        ``v`` may be :data:`BOUNDARY_SENTINEL` or :attr:`boundary_index`.
+        Raises ``KeyError`` when no such edge exists.
+        """
+        return self._edge_obs[self._edge_key(u, v)]
+
+    def _edge_key(self, u: int, v: int) -> Tuple[int, int]:
+        if v in (BOUNDARY_SENTINEL, self.boundary_index):
+            return (u, self.boundary_index)
+        if u in (BOUNDARY_SENTINEL, self.boundary_index):
+            return (v, self.boundary_index)
+        return (min(u, v), max(u, v))
+
+    def adjacency_matrix(self) -> sparse.csr_matrix:
+        """Symmetric weighted adjacency over ``n_nodes + 1`` nodes."""
+        size = self.n_nodes + 1
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for edge in self.edges:
+            v = self.boundary_index if edge.is_boundary else edge.v
+            rows.extend((edge.u, v))
+            cols.extend((v, edge.u))
+            vals.extend((edge.weight, edge.weight))
+        return sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(size, size), dtype=np.float64
+        )
+
+    # -- shortest paths -----------------------------------------------------------
+
+    def ensure_distances(self) -> None:
+        """Compute and memoize all-pairs shortest paths (Dijkstra)."""
+        if self._distances is None:
+            dist, pred = csgraph.shortest_path(
+                self.adjacency_matrix(),
+                method="D",
+                directed=False,
+                return_predecessors=True,
+            )
+            self._distances = dist
+            self._predecessors = pred
+
+    def distance(self, u: int, v: int) -> float:
+        """Shortest-path weight between two nodes (or a node and boundary)."""
+        self.ensure_distances()
+        u = self.boundary_index if u == BOUNDARY_SENTINEL else u
+        v = self.boundary_index if v == BOUNDARY_SENTINEL else v
+        return float(self._distances[u, v])
+
+    def boundary_distance(self, u: int) -> float:
+        """Shortest-path weight from ``u`` to the boundary."""
+        return self.distance(u, self.boundary_index)
+
+    def path_nodes(self, u: int, v: int) -> List[int]:
+        """Node sequence of the shortest path from ``u`` to ``v``."""
+        self.ensure_distances()
+        u = self.boundary_index if u == BOUNDARY_SENTINEL else u
+        v = self.boundary_index if v == BOUNDARY_SENTINEL else v
+        if u == v:
+            return [u]
+        if not np.isfinite(self._distances[u, v]):
+            raise ValueError(f"nodes {u} and {v} are disconnected")
+        path = [v]
+        while path[-1] != u:
+            path.append(int(self._predecessors[u, path[-1]]))
+        path.reverse()
+        return path
+
+    def path_observable(self, u: int, v: int) -> int:
+        """XOR of edge observable masks along the shortest ``u``-``v`` path."""
+        nodes = self.path_nodes(u, v)
+        mask = 0
+        for a, b in zip(nodes, nodes[1:]):
+            mask ^= self._edge_obs[(min(a, b), max(a, b))]
+        return mask
+
+    def path_length_edges(self, u: int, v: int) -> int:
+        """Number of edges on the shortest ``u``-``v`` path (chain length)."""
+        return len(self.path_nodes(u, v)) - 1
+
+    # -- matching support ----------------------------------------------------------
+
+    def event_distance_matrix(
+        self, events: Sequence[int]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pairwise and boundary distances for a set of detection events."""
+        self.ensure_distances()
+        idx = np.asarray(events, dtype=np.int64)
+        pair = self._distances[np.ix_(idx, idx)]
+        boundary = self._distances[idx, self.boundary_index]
+        return pair, boundary
+
+    def __repr__(self) -> str:
+        n_boundary = sum(1 for e in self.edges if e.is_boundary)
+        return (
+            f"DecodingGraph(nodes={self.n_nodes}, edges={self.n_edges} "
+            f"({n_boundary} boundary), decomposition={self.decomposition_stats})"
+        )
+
+
+# -- construction from a DEM -----------------------------------------------------
+
+
+def build_decoding_graph(dem: DetectorErrorModel, p: float) -> DecodingGraph:
+    """Weight a DEM at rate ``p`` and assemble the matching graph."""
+    accumulator = _EdgeAccumulator()
+    multi_detector: List[Tuple[Mechanism, float]] = []
+    for mechanism in dem.mechanisms:
+        probability = mechanism.probability(p)
+        if probability <= 0.0:
+            continue
+        if mechanism.n_detectors == 1:
+            accumulator.add(
+                mechanism.detectors[0],
+                BOUNDARY_SENTINEL,
+                probability,
+                mechanism.observable_mask,
+            )
+        elif mechanism.n_detectors == 2:
+            u, v = mechanism.detectors
+            accumulator.add(u, v, probability, mechanism.observable_mask)
+        elif mechanism.n_detectors == 0:
+            # Pure-observable mechanisms are rejected by DEM validation;
+            # detector-free, observable-free ones were dropped at merge.
+            continue
+        else:
+            multi_detector.append((mechanism, probability))
+
+    stats = {"multi_mechanisms": len(multi_detector), "undecomposable": 0}
+    for mechanism, probability in multi_detector:
+        if not _decompose_onto_edges(accumulator, mechanism, probability):
+            stats["undecomposable"] += 1
+
+    edges = accumulator.finalize()
+    return DecodingGraph(
+        n_nodes=dem.n_detectors,
+        edges=edges,
+        node_coords=list(dem.detector_coords),
+        decomposition_stats=stats,
+    )
+
+
+class _EdgeAccumulator:
+    """XOR-merges mechanism probabilities per (endpoint pair, observable)."""
+
+    def __init__(self) -> None:
+        self._probability: Dict[Tuple[int, int, int], float] = {}
+        self._conflicts = 0
+
+    @staticmethod
+    def _key(u: int, v: int) -> Tuple[int, int]:
+        if v == BOUNDARY_SENTINEL:
+            return (u, BOUNDARY_SENTINEL)
+        return (min(u, v), max(u, v))
+
+    def add(self, u: int, v: int, probability: float, obs_mask: int) -> None:
+        key = self._key(u, v) + (obs_mask,)
+        existing = self._probability.get(key, 0.0)
+        self._probability[key] = xor_combine_two(existing, probability)
+
+    def has_pair(self, u: int, v: int) -> bool:
+        key = self._key(u, v)
+        return any(key + (obs,) in self._probability for obs in (0, 1, 2, 3))
+
+    def pair_entries(self, u: int, v: int) -> List[Tuple[int, float]]:
+        """Existing ``(obs_mask, probability)`` entries for an endpoint pair."""
+        key = self._key(u, v)
+        return [
+            (obs, self._probability[key + (obs,)])
+            for obs in (0, 1, 2, 3)
+            if key + (obs,) in self._probability
+        ]
+
+    def finalize(self) -> List[GraphEdge]:
+        """Resolve obs-variant conflicts and emit final edges.
+
+        When the same endpoint pair carries mechanisms with different
+        observable masks (rare: two physically different chains with the
+        same detector signature), the variants are merged into a single
+        edge carrying the dominant variant's mask -- the same convention
+        Stim/PyMatching use.
+        """
+        by_pair: Dict[Tuple[int, int], List[Tuple[int, float]]] = {}
+        for (u, v, obs), probability in self._probability.items():
+            by_pair.setdefault((u, v), []).append((obs, probability))
+        edges: List[GraphEdge] = []
+        for (u, v), variants in sorted(by_pair.items()):
+            variants.sort(key=lambda item: -item[1])
+            dominant_obs = variants[0][0]
+            merged = 0.0
+            for _obs, probability in variants:
+                merged = xor_combine_two(merged, probability)
+            if len(variants) > 1:
+                self._conflicts += 1
+            edges.append(
+                GraphEdge(
+                    u=u,
+                    v=v,
+                    probability=merged,
+                    weight=probability_to_weight(merged),
+                    observable_mask=dominant_obs,
+                )
+            )
+        return edges
+
+
+def _decompose_onto_edges(
+    accumulator: _EdgeAccumulator, mechanism: Mechanism, probability: float
+) -> bool:
+    """Split a >2-detector mechanism across existing elementary edges.
+
+    Tries every partition of the detector set into pairs (must be existing
+    internal edges) and singletons (must have existing boundary edges),
+    preferring partitions whose combined observable mask reproduces the
+    mechanism's mask, then the one with the largest combined probability.
+    Returns False when no valid partition exists.
+    """
+    detectors = mechanism.detectors
+    best: Optional[Tuple[int, float, List[Tuple[int, int]]]] = None
+    for partition in _pair_singleton_partitions(detectors):
+        obs_mask = 0
+        log_prob = 0.0
+        valid = True
+        for block in partition:
+            u = block[0]
+            v = block[1] if len(block) == 2 else BOUNDARY_SENTINEL
+            entries = accumulator.pair_entries(u, v)
+            if not entries:
+                valid = False
+                break
+            entry_obs, entry_p = max(entries, key=lambda item: item[1])
+            obs_mask ^= entry_obs
+            log_prob += float(np.log(max(entry_p, 1e-300)))
+        if not valid:
+            continue
+        consistent = 1 if obs_mask == mechanism.observable_mask else 0
+        candidate = (consistent, log_prob, partition)
+        if best is None or candidate[:2] > best[:2]:
+            best = candidate
+    if best is None:
+        return False
+    for block in best[2]:
+        u = block[0]
+        v = block[1] if len(block) == 2 else BOUNDARY_SENTINEL
+        entries = accumulator.pair_entries(u, v)
+        entry_obs, _ = max(entries, key=lambda item: item[1])
+        accumulator.add(u, v, probability, entry_obs)
+    return True
+
+
+def _pair_singleton_partitions(
+    items: Sequence[int],
+) -> Iterable[List[Tuple[int, ...]]]:
+    """All partitions of ``items`` into blocks of size 1 or 2."""
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for sub in _pair_singleton_partitions(rest):
+        yield [(first,)] + sub
+    for i, partner in enumerate(rest):
+        remaining = rest[:i] + rest[i + 1 :]
+        for sub in _pair_singleton_partitions(remaining):
+            yield [(first, partner)] + sub

@@ -1,0 +1,133 @@
+"""The *decoding subgraph* of Section 4.1: flipped bits and their edges.
+
+Given the current set of unmatched detection events, the subgraph keeps
+only decoding-graph edges whose **both** endpoints are flipped.  For every
+node the quantities driving Promatch's candidate logic are maintained:
+
+* ``degree[i]`` -- number of flipped neighbors,
+* ``dependent[i]`` -- number of neighbors whose *only* flipped neighbor is
+  ``i`` (the paper's ``#dependent_i``): matching ``i`` elsewhere strands
+  them as singletons,
+* the *singleton* set: flipped bits with no flipped neighbor at all.
+
+The structure is rebuilt per predecoding round (subgraphs have at most a
+few dozen nodes, and the hardware pipeline re-scans edges each round
+anyway, which is exactly what the cycle model charges for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.decoding_graph import DecodingGraph
+
+
+@dataclass(frozen=True)
+class SubgraphEdge:
+    """An edge between two flipped bits (local indices into ``nodes``)."""
+
+    i: int
+    j: int
+    weight: float
+    observable_mask: int
+
+
+class DecodingSubgraph:
+    """Decoding subgraph over the currently unmatched detection events."""
+
+    def __init__(self, graph: DecodingGraph, events: Sequence[int]) -> None:
+        self.graph = graph
+        self.nodes: List[int] = sorted(int(e) for e in events)
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError("duplicate detection events")
+        self._local_index: Dict[int, int] = {
+            node: i for i, node in enumerate(self.nodes)
+        }
+        n = len(self.nodes)
+        self.adjacency: List[List[Tuple[int, float, int]]] = [[] for _ in range(n)]
+        self.edges: List[SubgraphEdge] = []
+        for i, node in enumerate(self.nodes):
+            for neighbor, weight, obs_mask, _p in graph.neighbors(node):
+                j = self._local_index.get(neighbor)
+                if j is None or j <= i:
+                    continue
+                self.adjacency[i].append((j, weight, obs_mask))
+                self.adjacency[j].append((i, weight, obs_mask))
+                self.edges.append(
+                    SubgraphEdge(i=i, j=j, weight=weight, observable_mask=obs_mask)
+                )
+        self.degree: List[int] = [len(adj) for adj in self.adjacency]
+        self.dependent: List[int] = [
+            sum(1 for j, _w, _o in adj if self.degree[j] == 1)
+            for adj in self.adjacency
+        ]
+
+    # -- views -------------------------------------------------------------------
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def n_edges(self) -> int:
+        return len(self.edges)
+
+    def node_id(self, local: int) -> int:
+        """Global detector id of a local node index."""
+        return self.nodes[local]
+
+    def singletons(self) -> List[int]:
+        """Local indices of flipped bits with no flipped neighbor."""
+        return [i for i, deg in enumerate(self.degree) if deg == 0]
+
+    def isolated_pairs(self) -> List[SubgraphEdge]:
+        """Edges whose endpoints are each other's only flipped neighbor."""
+        return [
+            edge
+            for edge in self.edges
+            if self.degree[edge.i] == 1 and self.degree[edge.j] == 1
+        ]
+
+    # -- Promatch candidate predicates ----------------------------------------------
+
+    def creates_singleton(self, edge: SubgraphEdge, exact: bool = False) -> bool:
+        """Would matching this edge strand some third node?
+
+        With ``exact=False`` (default) this is the paper's hardware logic
+        (Figure 11): node ``i`` strands someone iff it has degree-1
+        dependents other than ``j`` itself, i.e.
+        ``#dependent_i - [deg_j == 1] > 0`` (and symmetrically).  The
+        hardware test ignores the corner case of a *degree-2* node adjacent
+        to both ``i`` and ``j``; ``exact=True`` enables the full check
+        (used by the ablation study).
+        """
+        i, j = edge.i, edge.j
+        dependents_i = self.dependent[i] - (1 if self.degree[j] == 1 else 0)
+        dependents_j = self.dependent[j] - (1 if self.degree[i] == 1 else 0)
+        if dependents_i > 0 or dependents_j > 0:
+            return True
+        if not exact:
+            return False
+        removed = {i, j}
+        neighborhood = {k for k, _w, _o in self.adjacency[i]}
+        neighborhood.update(k for k, _w, _o in self.adjacency[j])
+        for k in neighborhood - removed:
+            remaining = sum(
+                1 for m, _w, _o in self.adjacency[k] if m not in removed
+            )
+            if remaining == 0:
+                return True
+        return False
+
+    def without_nodes(self, matched_locals: Sequence[int]) -> "DecodingSubgraph":
+        """A fresh subgraph with the given local nodes removed."""
+        removed = set(matched_locals)
+        remaining = [node for i, node in enumerate(self.nodes) if i not in removed]
+        return DecodingSubgraph(self.graph, remaining)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecodingSubgraph(nodes={self.n_nodes}, edges={self.n_edges}, "
+            f"singletons={len(self.singletons())})"
+        )

@@ -1,0 +1,35 @@
+"""Hardware models: decoding-cycle latency and FPGA resource estimates."""
+
+from repro.hardware.latency import (
+    AG_OPTIONS_PER_CYCLE,
+    ASTREA_MATCHINGS_PER_CYCLE,
+    BUDGET_CYCLES,
+    CLOCK_MHZ,
+    CYCLE_NS,
+    PARALLEL_COMPARE_CYCLES,
+    astrea_cycles,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+from repro.hardware.resources import (
+    FpgaUtilization,
+    StorageEstimate,
+    estimate_fpga_utilization,
+    estimate_storage,
+)
+
+__all__ = [
+    "AG_OPTIONS_PER_CYCLE",
+    "ASTREA_MATCHINGS_PER_CYCLE",
+    "BUDGET_CYCLES",
+    "CLOCK_MHZ",
+    "CYCLE_NS",
+    "PARALLEL_COMPARE_CYCLES",
+    "astrea_cycles",
+    "cycles_to_ns",
+    "ns_to_cycles",
+    "FpgaUtilization",
+    "StorageEstimate",
+    "estimate_fpga_utilization",
+    "estimate_storage",
+]

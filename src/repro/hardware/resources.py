@@ -1,0 +1,103 @@
+"""Analytic FPGA resource and on-chip storage models (Tables 7 and 8).
+
+The paper synthesizes Promatch on a Kintex UltraScale+ (xcku5p-class)
+part and reports pipeline utilization and the two on-chip tables:
+
+* **Edge Table** -- one 8-bit weight per decoding-graph edge
+  (3.6 KB at d = 11, 6 KB at d = 13),
+* **Path Table** -- pairwise path weights between all ``n`` detectors,
+  quantized to four categories = 2 bits per entry ("we optimize the
+  required memory by categorizing the paths into four groups"):
+  ``n^2 / 4`` bytes = 129 KB at d = 11 (n = 720) and 345 KB at d = 13
+  (n = 1176).
+
+Both formulas are reproduced here from the actual graph sizes this
+reproduction builds, so the benchmark regenerating Table 8 reports real
+numbers rather than constants.  The LUT/FF utilization model scales the
+edge-processing pipeline's comparator/bookkeeping logic against the
+xcku5p budget (216 960 LUTs / 433 920 FFs) to reproduce the 3 % / 1 %
+figures of Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.decoding_graph import DecodingGraph
+
+#: Kintex UltraScale+ KU5P logic budget (Xilinx DS890).
+KU5P_LUTS = 216_960
+KU5P_FFS = 433_920
+
+#: Bits per Edge-Table entry (8-bit quantized log-likelihood weight).
+EDGE_WEIGHT_BITS = 8
+
+#: Bits per Path-Table entry (paths quantized into four categories).
+PATH_CATEGORY_BITS = 2
+
+#: Logic cost per concurrently-processed subgraph edge slot in the pipeline
+#: of Figure 10 (degree/dependency compare, singleton NOR/XOR network,
+#: candidate-register compare-and-swap).  Calibrated against Table 7.
+LUTS_PER_EDGE_SLOT = 110
+FFS_PER_EDGE_SLOT = 72
+
+#: Edge slots the pipeline provisions: the largest subgraph the hardware
+#: processes without stalling (HW ~ 30 events, degree <= 4 each).
+PIPELINE_EDGE_SLOTS = 60
+
+
+@dataclass(frozen=True)
+class StorageEstimate:
+    """On-chip memory for one code distance (Table 8)."""
+
+    n_detectors: int
+    n_edges: int
+    edge_table_bytes: int
+    path_table_bytes: int
+
+    @property
+    def edge_table_kb(self) -> float:
+        return self.edge_table_bytes / 1000.0
+
+    @property
+    def path_table_kb(self) -> float:
+        return self.path_table_bytes / 1000.0
+
+
+@dataclass(frozen=True)
+class FpgaUtilization:
+    """Pipeline logic utilization against the KU5P budget (Table 7)."""
+
+    luts: int
+    flip_flops: int
+    clock_mhz: int
+
+    @property
+    def lut_percent(self) -> float:
+        return 100.0 * self.luts / KU5P_LUTS
+
+    @property
+    def ff_percent(self) -> float:
+        return 100.0 * self.flip_flops / KU5P_FFS
+
+
+def estimate_storage(graph: DecodingGraph) -> StorageEstimate:
+    """Edge/Path table sizes for a concrete decoding graph."""
+    n = graph.n_nodes
+    edge_table_bits = graph.n_edges * EDGE_WEIGHT_BITS
+    path_table_bits = n * n * PATH_CATEGORY_BITS
+    return StorageEstimate(
+        n_detectors=n,
+        n_edges=graph.n_edges,
+        edge_table_bytes=edge_table_bits // 8,
+        path_table_bytes=path_table_bits // 8,
+    )
+
+
+def estimate_fpga_utilization(edge_slots: int = PIPELINE_EDGE_SLOTS) -> FpgaUtilization:
+    """Edge-processing pipeline logic cost (distance independent)."""
+    return FpgaUtilization(
+        luts=edge_slots * LUTS_PER_EDGE_SLOT,
+        flip_flops=edge_slots * FFS_PER_EDGE_SLOT,
+        clock_mhz=250,
+    )

@@ -1,0 +1,15 @@
+"""Minimum-weight matching solvers over detection events."""
+
+from repro.matching.exact import (
+    MatchingSolution,
+    involution_count,
+    solve_exact_matching,
+)
+from repro.matching.greedy import greedy_matching
+
+__all__ = [
+    "MatchingSolution",
+    "involution_count",
+    "solve_exact_matching",
+    "greedy_matching",
+]

@@ -1,0 +1,15 @@
+"""Noise model configuration."""
+
+from repro.noise.model import (
+    CircuitNoiseModel,
+    CodeCapacityNoiseModel,
+    NoiseModel,
+    PhenomenologicalNoiseModel,
+)
+
+__all__ = [
+    "CircuitNoiseModel",
+    "CodeCapacityNoiseModel",
+    "NoiseModel",
+    "PhenomenologicalNoiseModel",
+]

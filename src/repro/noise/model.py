@@ -1,0 +1,89 @@
+"""Noise model configuration for the memory-experiment builder.
+
+The paper evaluates a *uniform circuit-level* model (Section 5.3): a single
+base rate ``p`` drives start-of-round data depolarization, post-gate
+depolarization, measurement flips, and reset flips.  Two weaker models are
+included because they are standard validation substrates: decoders and the
+simulator can be cross-checked against analytic answers under code-capacity
+noise, and against phenomenological-noise thresholds from the literature.
+
+Models are structural flags only -- the base rate ``p`` is supplied later,
+when a :class:`~repro.dem.model.DetectorErrorModel` is weighted, so the
+expensive circuit analysis is done once per (code, rounds, model shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Which noise channels the circuit builder inserts.
+
+    Attributes:
+        data_depolarize: Start-of-round single-qubit depolarizing on every
+            data qubit (channel (1) of the paper's model).
+        gate_depolarize: Depolarizing after every gate on all operands
+            (channel (2)).
+        measure_flip: Classical measurement-record flips (channel (3)).
+        reset_flip: X errors after resets (channel (4)).
+        name: Stable identifier used in cache keys.
+    """
+
+    data_depolarize: bool
+    gate_depolarize: bool
+    measure_flip: bool
+    reset_flip: bool
+    name: str
+
+    def cache_token(self) -> str:
+        """Stable string identifying the model *shape* (not the rate)."""
+        flags = "".join(
+            "1" if flag else "0"
+            for flag in (
+                self.data_depolarize,
+                self.gate_depolarize,
+                self.measure_flip,
+                self.reset_flip,
+            )
+        )
+        return f"{self.name}-{flags}"
+
+
+def CircuitNoiseModel() -> NoiseModel:
+    """The paper's uniform circuit-level model (all four channels)."""
+    return NoiseModel(
+        data_depolarize=True,
+        gate_depolarize=True,
+        measure_flip=True,
+        reset_flip=True,
+        name="circuit",
+    )
+
+
+def PhenomenologicalNoiseModel() -> NoiseModel:
+    """Data depolarization + measurement flips only (no gate noise)."""
+    return NoiseModel(
+        data_depolarize=True,
+        gate_depolarize=False,
+        measure_flip=True,
+        reset_flip=False,
+        name="phenomenological",
+    )
+
+
+def CodeCapacityNoiseModel() -> NoiseModel:
+    """Data depolarization only: perfect syndrome extraction.
+
+    With a single round of perfect measurement the decoding graph collapses
+    to the 2-D matching graph, where small-distance answers are
+    hand-checkable -- used heavily by the test-suite.
+    """
+    return NoiseModel(
+        data_depolarize=True,
+        gate_depolarize=False,
+        measure_flip=False,
+        reset_flip=False,
+        name="code-capacity",
+    )

@@ -1,0 +1,20 @@
+"""Noisy stabilizer-circuit simulation (the Stim substitute).
+
+* :mod:`repro.sim.frame` -- vectorized Pauli-frame Monte-Carlo sampler.
+* :mod:`repro.sim.dem_builder` -- single-fault propagation that extracts a
+  :class:`~repro.dem.model.DetectorErrorModel` from a circuit.
+* :mod:`repro.sim.sampler` -- fast DEM-level samplers (Bernoulli Monte-Carlo
+  and exact-``k`` fault injection for the paper's Eq. (1) estimator).
+"""
+
+from repro.sim.dem_builder import build_detector_error_model
+from repro.sim.frame import FrameSimulator
+from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
+
+__all__ = [
+    "build_detector_error_model",
+    "FrameSimulator",
+    "DemSampler",
+    "ExactKSampler",
+    "SyndromeBatch",
+]

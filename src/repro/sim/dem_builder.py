@@ -1,0 +1,228 @@
+"""Extraction of a detector error model by batch single-fault propagation.
+
+For every noise op in the circuit, each Pauli component it can inject is an
+*elementary fault*.  Because the circuit is Clifford, the effect of one
+fault is obtained by propagating a single Pauli forward through the
+remaining circuit and recording which measurements it flips -- a linear
+(GF(2)) map from faults to measurement flips.
+
+All faults are propagated *simultaneously*: each fault owns one row of a
+``(n_faults, n_qubits)`` boolean frame array, rows are injected when the
+scan reaches their noise op (rows are all-zero before injection, and zero
+frames are fixed points of every update rule, so a single pass is exact),
+and each gate op becomes one vectorized numpy update across every fault.
+This makes d=13 extraction (~10^5 faults) take seconds instead of hours.
+
+The resulting fault -> detector map is composed with the circuit's
+detector/observable definitions via sparse GF(2) matrix products, then
+identical signatures are merged per noise class (see
+:mod:`repro.dem.model`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+from scipy import sparse
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.ops import NoiseClass, Op, OpKind
+from repro.dem.model import DetectorErrorModel, merge_raw_mechanisms
+from repro.utils.pauli import TWO_QUBIT_DEPOLARIZING_PAULIS
+
+
+def build_detector_error_model(circuit: Circuit) -> DetectorErrorModel:
+    """Analyze ``circuit`` into a merged detector error model.
+
+    Args:
+        circuit: A noisy circuit with detectors and observables declared.
+
+    Returns:
+        The merged DEM.  Probabilities are *not* attached here -- they are
+        computed per physical error rate from the stored class counts.
+    """
+    builder = _BatchFaultPropagator(circuit)
+    signatures, classes = builder.run()
+    mechanisms = merge_raw_mechanisms(signatures, classes)
+    dem = DetectorErrorModel(
+        n_detectors=len(circuit.detectors),
+        n_observables=len(circuit.observables),
+        mechanisms=mechanisms,
+        detector_coords=[det.coord for det in circuit.detectors],
+    )
+    dem.validate()
+    return dem
+
+
+class _BatchFaultPropagator:
+    """One-pass propagation of every elementary fault through the circuit."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit = circuit
+        self.n_faults = circuit.noise_mechanism_count()
+        self.n_qubits = circuit.n_qubits
+        self.frame_x = np.zeros((self.n_faults, self.n_qubits), dtype=bool)
+        self.frame_z = np.zeros((self.n_faults, self.n_qubits), dtype=bool)
+        self.classes: List[NoiseClass] = []
+        self._next_fault = 0
+        self._record_cursor = 0
+        # (fault row, measurement record) pairs accumulated during the scan.
+        self._flip_rows: List[np.ndarray] = []
+        self._flip_cols: List[np.ndarray] = []
+        # Measurement-flip faults waiting for their qubit's next measurement.
+        self._pending_measure_flips: Dict[int, List[int]] = {}
+
+    # -- main pass -------------------------------------------------------------
+
+    def run(self) -> Tuple[List[Tuple[Tuple[int, ...], int]], List[NoiseClass]]:
+        for op in self.circuit.ops:
+            self._apply(op)
+        if self._next_fault != self.n_faults:
+            raise AssertionError(
+                f"fault bookkeeping drift: created {self._next_fault}, "
+                f"expected {self.n_faults}"
+            )
+        if any(self._pending_measure_flips.values()):
+            raise AssertionError("measurement-flip fault never saw a measurement")
+        return self._compose_signatures(), self.classes
+
+    def _apply(self, op: Op) -> None:
+        targets = list(op.targets)
+        if op.kind is OpKind.RESET:
+            self.frame_x[:, targets] = False
+            self.frame_z[:, targets] = False
+        elif op.kind is OpKind.H:
+            x_part = self.frame_x[:, targets].copy()
+            self.frame_x[:, targets] = self.frame_z[:, targets]
+            self.frame_z[:, targets] = x_part
+        elif op.kind is OpKind.CX:
+            controls = list(op.targets[0::2])
+            cx_targets = list(op.targets[1::2])
+            self.frame_x[:, cx_targets] ^= self.frame_x[:, controls]
+            self.frame_z[:, controls] ^= self.frame_z[:, cx_targets]
+        elif op.kind is OpKind.MEASURE:
+            self._apply_measure(targets)
+        elif op.kind is OpKind.DEPOLARIZE1:
+            self._inject_depolarize1(op, targets)
+        elif op.kind is OpKind.DEPOLARIZE2:
+            self._inject_depolarize2(op)
+        elif op.kind is OpKind.X_ERROR:
+            rows = self._allocate(len(targets), op.noise_class)
+            self.frame_x[rows, targets] = True
+        elif op.kind is OpKind.MEASURE_FLIP:
+            rows = self._allocate(len(targets), op.noise_class)
+            for row, qubit in zip(rows, targets):
+                self._pending_measure_flips.setdefault(qubit, []).append(int(row))
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise NotImplementedError(f"unhandled op kind {op.kind}")
+
+    def _apply_measure(self, targets: List[int]) -> None:
+        for offset, qubit in enumerate(targets):
+            record = self._record_cursor + offset
+            rows = np.nonzero(self.frame_x[:, qubit])[0]
+            if rows.size:
+                self._flip_rows.append(rows)
+                self._flip_cols.append(np.full(rows.size, record, dtype=np.int64))
+            pending = self._pending_measure_flips.pop(qubit, None)
+            if pending:
+                pending_rows = np.asarray(pending, dtype=np.int64)
+                self._flip_rows.append(pending_rows)
+                self._flip_cols.append(
+                    np.full(pending_rows.size, record, dtype=np.int64)
+                )
+        self._record_cursor += len(targets)
+
+    # -- fault injection ---------------------------------------------------------
+
+    def _allocate(self, count: int, noise_class: NoiseClass) -> np.ndarray:
+        """Reserve ``count`` fault rows of ``noise_class``; return their ids."""
+        rows = np.arange(self._next_fault, self._next_fault + count, dtype=np.int64)
+        self._next_fault += count
+        self.classes.extend([noise_class] * count)
+        return rows
+
+    def _inject_depolarize1(self, op: Op, targets: List[int]) -> None:
+        """Three faults per target, in X, Y, Z order."""
+        rows = self._allocate(3 * len(targets), op.noise_class)
+        target_arr = np.asarray(targets, dtype=np.int64)
+        rows_x = rows[0::3]
+        rows_y = rows[1::3]
+        rows_z = rows[2::3]
+        self.frame_x[rows_x, target_arr] = True
+        self.frame_x[rows_y, target_arr] = True
+        self.frame_z[rows_y, target_arr] = True
+        self.frame_z[rows_z, target_arr] = True
+
+    def _inject_depolarize2(self, op: Op) -> None:
+        """Fifteen faults per pair, in ``TWO_QUBIT_DEPOLARIZING_PAULIS`` order."""
+        pairs = op.pairs
+        rows = self._allocate(15 * len(pairs), op.noise_class)
+        qubits_a = np.asarray([a for a, _ in pairs], dtype=np.int64)
+        qubits_b = np.asarray([b for _, b in pairs], dtype=np.int64)
+        for component, (pauli_a, pauli_b) in enumerate(TWO_QUBIT_DEPOLARIZING_PAULIS):
+            component_rows = rows[component::15]
+            if pauli_a.x_bit:
+                self.frame_x[component_rows, qubits_a] = True
+            if pauli_a.z_bit:
+                self.frame_z[component_rows, qubits_a] = True
+            if pauli_b.x_bit:
+                self.frame_x[component_rows, qubits_b] = True
+            if pauli_b.z_bit:
+                self.frame_z[component_rows, qubits_b] = True
+
+    # -- composition with detector/observable definitions -------------------------
+
+    def _compose_signatures(self) -> List[Tuple[Tuple[int, ...], int]]:
+        n_meas = self.circuit.n_measurements
+        if self._flip_rows:
+            rows = np.concatenate(self._flip_rows)
+            cols = np.concatenate(self._flip_cols)
+        else:
+            rows = np.zeros(0, dtype=np.int64)
+            cols = np.zeros(0, dtype=np.int64)
+        fault_flips = sparse.coo_matrix(
+            (np.ones(rows.size, dtype=np.int32), (rows, cols)),
+            shape=(self.n_faults, n_meas),
+        ).tocsr()
+
+        detector_members = _membership_matrix(self.circuit.detectors, n_meas)
+        observable_members = _membership_matrix(self.circuit.observables, n_meas)
+        detector_flips = _gf2_product(fault_flips, detector_members)
+        observable_flips = _gf2_product(fault_flips, observable_members)
+
+        signatures: List[Tuple[Tuple[int, ...], int]] = []
+        det_indptr, det_indices = detector_flips.indptr, detector_flips.indices
+        obs_indptr, obs_indices = observable_flips.indptr, observable_flips.indices
+        for fault in range(self.n_faults):
+            detectors = tuple(
+                sorted(int(d) for d in det_indices[det_indptr[fault] : det_indptr[fault + 1]])
+            )
+            obs_mask = 0
+            for obs in obs_indices[obs_indptr[fault] : obs_indptr[fault + 1]]:
+                obs_mask |= 1 << int(obs)
+            signatures.append((detectors, obs_mask))
+        return signatures
+
+
+def _membership_matrix(specs, n_meas: int) -> sparse.csr_matrix:
+    """Sparse (n_meas x n_specs) membership matrix of detector/observable specs."""
+    rows: List[int] = []
+    cols: List[int] = []
+    for index, spec in enumerate(specs):
+        for m in spec.measurements:
+            rows.append(m)
+            cols.append(index)
+    return sparse.coo_matrix(
+        (np.ones(len(rows), dtype=np.int32), (rows, cols)),
+        shape=(n_meas, len(specs)),
+    ).tocsr()
+
+
+def _gf2_product(a: sparse.csr_matrix, b: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Mod-2 sparse matrix product with zero entries eliminated."""
+    product = (a @ b).tocsr()
+    product.data %= 2
+    product.eliminate_zeros()
+    product.sort_indices()
+    return product

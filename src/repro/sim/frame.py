@@ -1,0 +1,194 @@
+"""Vectorized Pauli-frame Monte-Carlo simulation of noisy Clifford circuits.
+
+For stabilizer circuits under Pauli noise the full quantum state never
+needs to be tracked: it suffices to propagate, per shot, the *Pauli frame*
+(the accumulated error) through the Clifford gates and record which
+measurements it flips relative to a noiseless reference run.  This is the
+same algorithm Stim's sampler uses; here it is vectorized across shots
+with numpy boolean arrays (shape ``(shots, n_qubits)``).
+
+Frame update rules (phase-free symplectic conjugation):
+
+* ``H``:   swap X and Z components.
+* ``CX``:  X propagates control -> target, Z propagates target -> control.
+* ``R``:   clear both components (the qubit is refreshed).
+* ``M``:   a Z-basis measurement is flipped by the X component.
+
+Used for validation and for direct Monte-Carlo LER estimates at small
+distances; the bulk of the evaluation uses the DEM-level samplers, which
+are mathematically equivalent and much faster at low error rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.ops import Op, OpKind
+from repro.utils.pauli import TWO_QUBIT_DEPOLARIZING_PAULIS
+from repro.utils.rng import RngLike, ensure_rng
+
+# Symplectic bit patterns of the 15 non-identity two-qubit Paulis, plus a
+# trailing all-zero row for "no error", so sampled component indices in
+# 0..15 can be used directly as a lookup.
+_TWO_QUBIT_XA = np.array(
+    [a.x_bit for a, b in TWO_QUBIT_DEPOLARIZING_PAULIS] + [0], dtype=bool
+)
+_TWO_QUBIT_ZA = np.array(
+    [a.z_bit for a, b in TWO_QUBIT_DEPOLARIZING_PAULIS] + [0], dtype=bool
+)
+_TWO_QUBIT_XB = np.array(
+    [b.x_bit for a, b in TWO_QUBIT_DEPOLARIZING_PAULIS] + [0], dtype=bool
+)
+_TWO_QUBIT_ZB = np.array(
+    [b.z_bit for a, b in TWO_QUBIT_DEPOLARIZING_PAULIS] + [0], dtype=bool
+)
+
+
+@dataclass
+class FrameSamples:
+    """Sampled detector and observable outcomes.
+
+    Attributes:
+        detectors: Boolean ``(shots, n_detectors)`` firing matrix.
+        observables: Boolean ``(shots, n_observables)`` flip matrix.
+        measurements: Boolean ``(shots, n_measurements)`` record-flip matrix
+            (relative to the noiseless reference).
+    """
+
+    detectors: np.ndarray
+    observables: np.ndarray
+    measurements: np.ndarray
+
+    @property
+    def shots(self) -> int:
+        return self.detectors.shape[0]
+
+
+class FrameSimulator:
+    """Samples a noisy circuit at base error rate ``p``.
+
+    Args:
+        circuit: The circuit to simulate.
+        p: Base physical error rate driving every noise op.
+        rng: Seed / generator / None.
+    """
+
+    def __init__(self, circuit: Circuit, p: float, rng: RngLike = None) -> None:
+        # p = 1 is allowed: forcing X_ERROR / MEASURE_FLIP channels to fire
+        # deterministically is how the test-suite pins down propagation.
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        self.circuit = circuit
+        self.p = p
+        self.rng = ensure_rng(rng)
+
+    def sample(self, shots: int) -> FrameSamples:
+        """Run ``shots`` independent noisy executions."""
+        if shots < 1:
+            raise ValueError("shots must be positive")
+        circuit = self.circuit
+        n_qubits = circuit.n_qubits
+        frame_x = np.zeros((shots, n_qubits), dtype=bool)
+        frame_z = np.zeros((shots, n_qubits), dtype=bool)
+        pending_flip = np.zeros((shots, n_qubits), dtype=bool)
+        records = np.zeros((shots, circuit.n_measurements), dtype=bool)
+        cursor = 0
+        for op in circuit.ops:
+            cursor = self._apply_op(
+                op, frame_x, frame_z, pending_flip, records, cursor
+            )
+        detectors = _xor_columns(records, circuit.detectors)
+        observables = _xor_columns(records, circuit.observables)
+        return FrameSamples(
+            detectors=detectors, observables=observables, measurements=records
+        )
+
+    # -- op dispatch -----------------------------------------------------------
+
+    def _apply_op(
+        self,
+        op: Op,
+        frame_x: np.ndarray,
+        frame_z: np.ndarray,
+        pending_flip: np.ndarray,
+        records: np.ndarray,
+        cursor: int,
+    ) -> int:
+        targets = list(op.targets)
+        shots = frame_x.shape[0]
+        if op.kind is OpKind.RESET:
+            frame_x[:, targets] = False
+            frame_z[:, targets] = False
+        elif op.kind is OpKind.H:
+            x_part = frame_x[:, targets].copy()
+            frame_x[:, targets] = frame_z[:, targets]
+            frame_z[:, targets] = x_part
+        elif op.kind is OpKind.CX:
+            controls = list(op.targets[0::2])
+            cx_targets = list(op.targets[1::2])
+            frame_x[:, cx_targets] ^= frame_x[:, controls]
+            frame_z[:, controls] ^= frame_z[:, cx_targets]
+        elif op.kind is OpKind.MEASURE:
+            flips = frame_x[:, targets] ^ pending_flip[:, targets]
+            records[:, cursor : cursor + len(targets)] = flips
+            pending_flip[:, targets] = False
+            cursor += len(targets)
+        elif op.kind is OpKind.DEPOLARIZE1:
+            self._apply_depolarize1(op, frame_x, frame_z, shots, targets)
+        elif op.kind is OpKind.DEPOLARIZE2:
+            self._apply_depolarize2(op, frame_x, frame_z, shots)
+        elif op.kind is OpKind.X_ERROR:
+            p_flip = op.noise_class.component_probability(self.p)
+            frame_x[:, targets] ^= self.rng.random((shots, len(targets))) < p_flip
+        elif op.kind is OpKind.MEASURE_FLIP:
+            p_flip = op.noise_class.component_probability(self.p)
+            pending_flip[:, targets] ^= self.rng.random((shots, len(targets))) < p_flip
+        else:  # pragma: no cover - exhaustive over OpKind
+            raise NotImplementedError(f"unhandled op kind {op.kind}")
+        return cursor
+
+    def _apply_depolarize1(
+        self,
+        op: Op,
+        frame_x: np.ndarray,
+        frame_z: np.ndarray,
+        shots: int,
+        targets: list,
+    ) -> None:
+        """Each target independently suffers X/Y/Z, each w.p. p/3."""
+        component = op.noise_class.component_probability(self.p)
+        draw = self.rng.random((shots, len(targets)))
+        # [0, c) -> X, [c, 2c) -> Y, [2c, 3c) -> Z, else identity.
+        frame_x[:, targets] ^= draw < 2 * component
+        frame_z[:, targets] ^= (draw >= component) & (draw < 3 * component)
+
+    def _apply_depolarize2(
+        self, op: Op, frame_x: np.ndarray, frame_z: np.ndarray, shots: int
+    ) -> None:
+        """Each pair suffers one of the 15 two-qubit Paulis, each w.p. p/15."""
+        component = op.noise_class.component_probability(self.p)
+        qubits_a = list(op.targets[0::2])
+        qubits_b = list(op.targets[1::2])
+        draw = self.rng.random((shots, len(qubits_a)))
+        total = 15 * component
+        index = np.full(draw.shape, 15, dtype=np.int8)  # 15 = identity row
+        active = draw < total
+        if component > 0:
+            index[active] = np.minimum((draw[active] / component).astype(np.int8), 14)
+        frame_x[:, qubits_a] ^= _TWO_QUBIT_XA[index]
+        frame_z[:, qubits_a] ^= _TWO_QUBIT_ZA[index]
+        frame_x[:, qubits_b] ^= _TWO_QUBIT_XB[index]
+        frame_z[:, qubits_b] ^= _TWO_QUBIT_ZB[index]
+
+
+def _xor_columns(records: np.ndarray, specs) -> np.ndarray:
+    """XOR selected record columns per spec (detectors or observables)."""
+    out = np.zeros((records.shape[0], len(specs)), dtype=bool)
+    for i, spec in enumerate(specs):
+        for m in spec.measurements:
+            out[:, i] ^= records[:, m]
+    return out

@@ -1,0 +1,6 @@
+"""Small shared utilities: Pauli algebra, bit manipulation, RNG plumbing."""
+
+from repro.utils.pauli import Pauli, PauliString
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Pauli", "PauliString", "ensure_rng"]

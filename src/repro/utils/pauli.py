@@ -1,0 +1,143 @@
+"""Symplectic (X/Z-bit) representation of Pauli operators.
+
+The simulator tracks errors as *Pauli frames*: for every qubit a pair of
+bits ``(x, z)`` meaning the error ``X^x Z^z`` (global phase is irrelevant
+for error propagation, so ``Y`` is simply ``x = z = 1``).
+
+This module provides a small, well-tested symbolic layer used by the
+reference simulator and by the test-suite; the production simulator in
+:mod:`repro.sim.frame` operates on numpy arrays of the same bits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Tuple
+
+
+class Pauli(enum.Enum):
+    """Single-qubit Pauli operator (phase-free)."""
+
+    I = (0, 0)
+    X = (1, 0)
+    Y = (1, 1)
+    Z = (0, 1)
+
+    @property
+    def x_bit(self) -> int:
+        """X component of the symplectic representation."""
+        return self.value[0]
+
+    @property
+    def z_bit(self) -> int:
+        """Z component of the symplectic representation."""
+        return self.value[1]
+
+    @staticmethod
+    def from_bits(x_bit: int, z_bit: int) -> "Pauli":
+        """Inverse of :attr:`x_bit`/:attr:`z_bit`."""
+        return _BITS_TO_PAULI[(x_bit & 1, z_bit & 1)]
+
+    def __mul__(self, other: "Pauli") -> "Pauli":
+        """Phase-free product of two Paulis (XOR of symplectic bits)."""
+        return Pauli.from_bits(self.x_bit ^ other.x_bit, self.z_bit ^ other.z_bit)
+
+    def commutes_with(self, other: "Pauli") -> bool:
+        """True when the two single-qubit Paulis commute."""
+        symplectic_form = self.x_bit * other.z_bit + self.z_bit * other.x_bit
+        return symplectic_form % 2 == 0
+
+
+_BITS_TO_PAULI: Dict[Tuple[int, int], Pauli] = {p.value: p for p in Pauli}
+
+#: Non-identity single-qubit Paulis, in the order used to expand
+#: single-qubit depolarizing channels into fault mechanisms.
+ONE_QUBIT_DEPOLARIZING_PAULIS: Tuple[Pauli, ...] = (Pauli.X, Pauli.Y, Pauli.Z)
+
+#: The 15 non-identity two-qubit Paulis, in the order used to expand
+#: two-qubit depolarizing channels into fault mechanisms.
+TWO_QUBIT_DEPOLARIZING_PAULIS: Tuple[Tuple[Pauli, Pauli], ...] = tuple(
+    (a, b)
+    for a in (Pauli.I, Pauli.X, Pauli.Y, Pauli.Z)
+    for b in (Pauli.I, Pauli.X, Pauli.Y, Pauli.Z)
+    if not (a is Pauli.I and b is Pauli.I)
+)
+
+
+@dataclass
+class PauliString:
+    """A sparse multi-qubit Pauli operator.
+
+    Only non-identity entries are stored.  Used by the reference simulator
+    and tests; the batch simulator stores the same information as dense
+    boolean arrays.
+    """
+
+    paulis: Dict[int, Pauli] = field(default_factory=dict)
+
+    @staticmethod
+    def from_pairs(pairs: Iterable[Tuple[int, Pauli]]) -> "PauliString":
+        """Build a string from ``(qubit, pauli)`` pairs, dropping identities."""
+        result = PauliString()
+        for qubit, pauli in pairs:
+            result[qubit] = result[qubit] * pauli
+        return result
+
+    def __getitem__(self, qubit: int) -> Pauli:
+        return self.paulis.get(qubit, Pauli.I)
+
+    def __setitem__(self, qubit: int, pauli: Pauli) -> None:
+        if pauli is Pauli.I:
+            self.paulis.pop(qubit, None)
+        else:
+            self.paulis[qubit] = pauli
+
+    def __iter__(self) -> Iterator[Tuple[int, Pauli]]:
+        return iter(sorted(self.paulis.items()))
+
+    def __len__(self) -> int:
+        """Weight: the number of qubits acted on non-trivially."""
+        return len(self.paulis)
+
+    def __bool__(self) -> bool:
+        return bool(self.paulis)
+
+    def __mul__(self, other: "PauliString") -> "PauliString":
+        """Phase-free product."""
+        result = PauliString(dict(self.paulis))
+        for qubit, pauli in other.paulis.items():
+            result[qubit] = result[qubit] * pauli
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PauliString):
+            return NotImplemented
+        return self.paulis == other.paulis
+
+    def commutes_with(self, other: "PauliString") -> bool:
+        """True when the two strings commute (symplectic inner product = 0)."""
+        anticommuting_sites = sum(
+            1
+            for qubit, pauli in self.paulis.items()
+            if not pauli.commutes_with(other[qubit])
+        )
+        return anticommuting_sites % 2 == 0
+
+    def x_support(self) -> Tuple[int, ...]:
+        """Qubits whose entry has a non-zero X component (X or Y)."""
+        return tuple(sorted(q for q, p in self.paulis.items() if p.x_bit))
+
+    def z_support(self) -> Tuple[int, ...]:
+        """Qubits whose entry has a non-zero Z component (Z or Y)."""
+        return tuple(sorted(q for q, p in self.paulis.items() if p.z_bit))
+
+    def as_mapping(self) -> Mapping[int, Pauli]:
+        """Read-only view of the non-identity entries."""
+        return dict(self.paulis)
+
+    def __repr__(self) -> str:
+        if not self.paulis:
+            return "PauliString(I)"
+        body = " ".join(f"{p.name}{q}" for q, p in self)
+        return f"PauliString({body})"

@@ -1,0 +1,64 @@
+"""Tests for the circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit, DetectorSpec, ObservableSpec
+from repro.circuits.ops import NoiseClass, OpKind
+
+
+def tiny_circuit() -> Circuit:
+    circuit = Circuit(n_qubits=3)
+    circuit.append(OpKind.RESET, [0, 1, 2])
+    circuit.append(OpKind.H, [2])
+    circuit.append(OpKind.CX, [0, 1])
+    circuit.append(OpKind.DEPOLARIZE1, [0], NoiseClass.DATA_DEPOLARIZE)
+    circuit.append(OpKind.MEASURE, [0, 1])
+    return circuit
+
+
+class TestCircuit:
+    def test_target_validation(self):
+        circuit = Circuit(n_qubits=2)
+        with pytest.raises(ValueError):
+            circuit.append(OpKind.H, [5])
+
+    def test_measurement_count(self):
+        assert tiny_circuit().n_measurements == 2
+
+    def test_mechanism_count(self):
+        circuit = tiny_circuit()
+        assert circuit.noise_mechanism_count() == 3  # one DEPOLARIZE1 target
+        circuit.append(OpKind.DEPOLARIZE2, [0, 1, 1, 2], NoiseClass.GATE2_DEPOLARIZE)
+        assert circuit.noise_mechanism_count() == 3 + 30
+        circuit.append(OpKind.MEASURE_FLIP, [0], NoiseClass.MEASUREMENT_FLIP)
+        assert circuit.noise_mechanism_count() == 34
+
+    def test_detector_matrix(self):
+        circuit = tiny_circuit()
+        circuit.detectors.append(
+            DetectorSpec(measurements=(0, 1), coord=(0, 0, 0), basis="Z")
+        )
+        matrix = circuit.detector_matrix()
+        assert matrix.shape == (1, 2)
+        assert matrix.all()
+
+    def test_observable_matrix(self):
+        circuit = tiny_circuit()
+        circuit.observables.append(ObservableSpec(measurements=(1,)))
+        matrix = circuit.observable_matrix()
+        assert matrix.tolist() == [[False, True]]
+
+    def test_validate_catches_bad_record(self):
+        circuit = tiny_circuit()
+        circuit.detectors.append(
+            DetectorSpec(measurements=(9,), coord=(0, 0, 0), basis="Z")
+        )
+        with pytest.raises(AssertionError):
+            circuit.validate()
+
+    def test_op_counts(self):
+        counts = tiny_circuit().op_counts()
+        assert counts["CX"] == 1
+        assert counts["M"] == 2
+        assert counts["R"] == 3

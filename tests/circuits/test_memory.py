@@ -1,0 +1,90 @@
+"""Tests for the memory-experiment builder."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_memory_circuit
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.noise import CircuitNoiseModel, CodeCapacityNoiseModel
+from repro.sim import FrameSimulator
+
+
+class TestStructure:
+    @pytest.mark.parametrize("d,rounds", [(3, 3), (5, 5), (5, 2)])
+    def test_detector_count(self, d, rounds):
+        code = RotatedSurfaceCode(d)
+        exp = build_memory_circuit(code, rounds=rounds, noise=CircuitNoiseModel())
+        n_plq = len(code.z_plaquettes)
+        assert exp.circuit.n_detectors == n_plq * (rounds + 1)
+        assert exp.n_detector_layers == rounds + 1
+
+    def test_detector_id_layout(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        n_plq = len(code.z_plaquettes)
+        for layer in range(4):
+            for index in range(n_plq):
+                det = exp.detector_id(index, layer)
+                assert exp.circuit.detectors[det].coord[2] == layer
+
+    def test_detector_membership_sizes(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        for det in exp.circuit.detectors:
+            layer = det.coord[2]
+            if layer == 0:
+                assert len(det.measurements) == 1
+            elif layer < exp.rounds:
+                assert len(det.measurements) == 2
+            else:  # closure layer: last ancilla + 2 or 4 data measurements
+                assert len(det.measurements) in (3, 5)
+
+    def test_observable_support_is_logical(self):
+        code = RotatedSurfaceCode(5)
+        exp = build_memory_circuit(code, rounds=5, noise=CircuitNoiseModel())
+        obs = exp.circuit.observables[0]
+        expected = {exp.final_data_record(q) for q in code.logical_z}
+        assert set(obs.measurements) == expected
+
+    def test_measurement_total(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        assert exp.circuit.n_measurements == code.n_ancilla * 3 + code.n_data
+
+    def test_rejects_bad_args(self):
+        code = RotatedSurfaceCode(3)
+        with pytest.raises(ValueError):
+            build_memory_circuit(code, rounds=0, noise=CircuitNoiseModel())
+        with pytest.raises(ValueError):
+            build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel(), basis="Y")
+
+    def test_repetition_code_builds(self):
+        code = RepetitionCode(5)
+        exp = build_memory_circuit(code, rounds=2, noise=CircuitNoiseModel())
+        assert exp.circuit.n_detectors == 4 * 3
+
+
+class TestDeterminism:
+    """Detectors must never fire in a noiseless run (the defining property)."""
+
+    @pytest.mark.parametrize("basis", ["Z", "X"])
+    def test_noiseless_run_all_detectors_quiet(self, basis):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(
+            code, rounds=3, noise=CircuitNoiseModel(), basis=basis
+        )
+        samples = FrameSimulator(exp.circuit, p=0.0, rng=1).sample(64)
+        assert not samples.detectors.any()
+        assert not samples.observables.any()
+
+    def test_noiseless_code_capacity_quiet(self):
+        code = RotatedSurfaceCode(5)
+        exp = build_memory_circuit(code, rounds=1, noise=CodeCapacityNoiseModel())
+        samples = FrameSimulator(exp.circuit, p=0.0, rng=1).sample(16)
+        assert not samples.detectors.any()
+
+    def test_code_capacity_has_only_data_noise(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=1, noise=CodeCapacityNoiseModel())
+        # 3 mechanisms per data qubit and nothing else.
+        assert exp.circuit.noise_mechanism_count() == 3 * code.n_data

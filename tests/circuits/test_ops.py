@@ -1,0 +1,51 @@
+"""Tests for the circuit op layer and noise classes."""
+
+import pytest
+
+from repro.circuits.ops import NoiseClass, Op, OpKind
+
+
+class TestNoiseClass:
+    def test_members_are_distinct(self):
+        # Enum members with equal values silently alias; guard against it.
+        assert len(NoiseClass) == 5
+
+    def test_multipliers(self):
+        assert NoiseClass.DATA_DEPOLARIZE.multiplier == pytest.approx(1 / 3)
+        assert NoiseClass.GATE1_DEPOLARIZE.multiplier == pytest.approx(1 / 3)
+        assert NoiseClass.GATE2_DEPOLARIZE.multiplier == pytest.approx(1 / 15)
+        assert NoiseClass.MEASUREMENT_FLIP.multiplier == pytest.approx(1.0)
+        assert NoiseClass.RESET_FLIP.multiplier == pytest.approx(1.0)
+
+    def test_component_probability(self):
+        assert NoiseClass.GATE2_DEPOLARIZE.component_probability(0.15) == pytest.approx(
+            0.01
+        )
+
+
+class TestOp:
+    def test_noise_requires_class(self):
+        with pytest.raises(ValueError):
+            Op(kind=OpKind.DEPOLARIZE1, targets=(0,))
+
+    def test_gate_rejects_class(self):
+        with pytest.raises(ValueError):
+            Op(kind=OpKind.H, targets=(0,), noise_class=NoiseClass.RESET_FLIP)
+
+    def test_two_qubit_parity(self):
+        with pytest.raises(ValueError):
+            Op(kind=OpKind.CX, targets=(0, 1, 2))
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            Op(kind=OpKind.H, targets=())
+
+    def test_pairs(self):
+        op = Op(kind=OpKind.CX, targets=(0, 1, 2, 3))
+        assert op.pairs == ((0, 1), (2, 3))
+
+    def test_is_noise(self):
+        assert OpKind.DEPOLARIZE2.is_noise
+        assert OpKind.MEASURE_FLIP.is_noise
+        assert not OpKind.MEASURE.is_noise
+        assert not OpKind.RESET.is_noise

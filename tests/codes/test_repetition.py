@@ -1,0 +1,35 @@
+"""Tests for the repetition-code test substrate."""
+
+import pytest
+
+from repro.codes import RepetitionCode
+
+
+class TestRepetitionCode:
+    @pytest.mark.parametrize("d", [3, 5, 9])
+    def test_counts(self, d):
+        code = RepetitionCode(d)
+        assert code.n_data == d
+        assert len(code.z_plaquettes) == d - 1
+        assert not code.x_plaquettes
+
+    def test_check_supports_are_adjacent_pairs(self):
+        code = RepetitionCode(5)
+        for plq in code.z_plaquettes:
+            assert plq.data_qubits == code.check_support(plq.index)
+            left, right = plq.data_qubits
+            assert right == left + 1
+
+    def test_logical_operators(self):
+        code = RepetitionCode(7)
+        assert code.logical_z == (0,)
+        assert code.logical_x == tuple(range(7))
+
+    def test_schedule_two_layers(self):
+        code = RepetitionCode(5)
+        for plq in code.z_plaquettes:
+            assert plq.schedule[2] is None and plq.schedule[3] is None
+
+    def test_even_distance_rejected(self):
+        with pytest.raises(ValueError):
+            RepetitionCode(4)

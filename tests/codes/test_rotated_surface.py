@@ -1,0 +1,112 @@
+"""Structural tests for the rotated surface code lattice."""
+
+import pytest
+
+from repro.codes import RotatedSurfaceCode
+from repro.codes.base import data_adjacency
+
+
+@pytest.mark.parametrize("d", [3, 5, 7, 9])
+class TestCounts:
+    def test_qubit_counts(self, d):
+        code = RotatedSurfaceCode(d)
+        assert code.n_data == d * d
+        assert code.n_ancilla == d * d - 1
+        assert code.n_qubits == 2 * d * d - 1
+
+    def test_stabilizer_split(self, d):
+        code = RotatedSurfaceCode(d)
+        expected = code.expected_stabilizer_count()
+        assert len(code.z_plaquettes) == expected
+        assert len(code.x_plaquettes) == expected
+
+    def test_plaquette_weights(self, d):
+        code = RotatedSurfaceCode(d)
+        for plq in code.z_plaquettes + code.x_plaquettes:
+            assert plq.weight in (2, 4)
+        n_weight2_z = sum(1 for p in code.z_plaquettes if p.weight == 2)
+        n_weight2_x = sum(1 for p in code.x_plaquettes if p.weight == 2)
+        # (d - 1) / 2 half-plaquettes on each of the two relevant sides.
+        assert n_weight2_z == d - 1
+        assert n_weight2_x == d - 1
+
+    def test_weight2_plaquette_sides(self, d):
+        code = RotatedSurfaceCode(d)
+        for plq in code.z_plaquettes:
+            if plq.weight == 2:
+                assert plq.coord[1] in (0, d)
+        for plq in code.x_plaquettes:
+            if plq.weight == 2:
+                assert plq.coord[0] in (0, d)
+
+    def test_every_data_qubit_covered(self, d):
+        code = RotatedSurfaceCode(d)
+        for basis in ("Z", "X"):
+            adjacency = data_adjacency(code, basis)
+            assert set(adjacency) == set(range(code.n_data))
+            for q, plaquettes in adjacency.items():
+                assert 1 <= len(plaquettes) <= 2
+
+    def test_logical_operators(self, d):
+        code = RotatedSurfaceCode(d)
+        assert len(code.logical_z) == d
+        assert len(code.logical_x) == d
+        # Anticommutation: exactly one shared qubit (the corner).
+        assert len(set(code.logical_z) & set(code.logical_x)) == 1
+
+    def test_schedule_no_conflicts(self, d):
+        code = RotatedSurfaceCode(d)
+        for layer in range(4):
+            used = set()
+            for plq in code.z_plaquettes + code.x_plaquettes:
+                q = plq.schedule[layer]
+                if q is not None:
+                    assert q not in used
+                    used.add(q)
+
+    def test_ancilla_indices_unique(self, d):
+        code = RotatedSurfaceCode(d)
+        ancillas = [p.ancilla for p in code.z_plaquettes + code.x_plaquettes]
+        assert len(set(ancillas)) == len(ancillas)
+        assert min(ancillas) == code.n_data
+        assert max(ancillas) == code.n_qubits - 1
+
+
+class TestGeometry:
+    def test_interior_plaquette_has_neighbors(self):
+        code = RotatedSurfaceCode(5)
+        interior = [p for p in code.z_plaquettes if p.weight == 4]
+        for plq in interior:
+            neighbors = code.plaquette_neighbors(plq)
+            assert 1 <= len(neighbors) <= 4
+            for other in neighbors:
+                assert other.basis == plq.basis
+
+    def test_d3_z_plaquette_coords(self):
+        code = RotatedSurfaceCode(3)
+        coords = sorted(p.coord for p in code.z_plaquettes)
+        assert coords == [(1, 1), (1, 3), (2, 0), (2, 2)]
+
+    def test_d3_x_plaquette_coords(self):
+        code = RotatedSurfaceCode(3)
+        coords = sorted(p.coord for p in code.x_plaquettes)
+        assert coords == [(0, 1), (1, 2), (2, 1), (3, 2)]
+
+    def test_data_index_roundtrip(self):
+        code = RotatedSurfaceCode(5)
+        for q, coord in code.data_coords.items():
+            assert code.data_index(coord) == q
+
+
+class TestValidation:
+    def test_even_distance_rejected(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(4)
+
+    def test_nonpositive_distance_rejected(self):
+        with pytest.raises(ValueError):
+            RotatedSurfaceCode(-3)
+
+    def test_validate_passes_for_built_codes(self):
+        for d in (3, 5, 7):
+            RotatedSurfaceCode(d).validate()

@@ -1,0 +1,133 @@
+"""Behavioural tests for the Promatch predecoder (paper Section 4)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import figure7_graph, make_graph, make_path_graph  # noqa: E402
+
+from repro.core import PromatchPredecoder
+from repro.hardware.latency import astrea_cycles
+
+
+def isolated_pairs_graph(n_pairs: int):
+    """n disjoint 2-chains: every flipped pair is isolated."""
+    edges = [(2 * i, 2 * i + 1, 1.0 + 0.01 * i) for i in range(n_pairs)]
+    boundary = [(i, 30.0) for i in range(2 * n_pairs)]
+    return make_graph(2 * n_pairs, edges, boundary)
+
+
+class TestFigure7Insight:
+    def test_correct_prematching_of_complex_pattern(self):
+        """The paper's key example: Promatch must match (1,2) and (3,4),
+        never the weight-cheaper middle pair that strands two singletons."""
+        promatch = PromatchPredecoder(
+            figure7_graph(), main_capability=0
+        )  # force full predecoding
+        report = promatch.predecode((0, 1, 2, 3))
+        assert sorted(report.pairs) == [(0, 1), (2, 3)]
+        assert report.remaining == ()
+        # Step 2 suffices; the risky Step 4 must never fire here.
+        assert report.steps_used <= 2
+
+
+class TestAdaptiveStopping:
+    def test_stops_at_main_capability(self):
+        promatch = PromatchPredecoder(isolated_pairs_graph(9), main_capability=10)
+        events = tuple(range(18))
+        report = promatch.predecode(events)
+        # 18 -> 16 -> ... -> 10: stop as soon as Astrea can take over.
+        assert len(report.remaining) == 10
+        assert report.steps_used == 1
+
+    def test_low_hw_untouched(self):
+        promatch = PromatchPredecoder(isolated_pairs_graph(4), main_capability=10)
+        events = tuple(range(8))
+        report = promatch.predecode(events)
+        assert report.pairs == []
+        assert report.remaining == events
+
+    def test_time_pressure_lowers_target(self):
+        """With most of the budget gone, HW 10 no longer fits (114 cycles)
+        and Promatch must keep predecoding to a cheaper Hamming weight."""
+        promatch = PromatchPredecoder(isolated_pairs_graph(9), main_capability=10)
+        report = promatch.predecode(tuple(range(18)), budget_cycles=60)
+        hw = len(report.remaining)
+        assert hw < 10
+        assert astrea_cycles(hw) <= 60 - report.cycles
+
+    def test_zero_budget_aborts(self):
+        promatch = PromatchPredecoder(isolated_pairs_graph(9))
+        report = promatch.predecode(tuple(range(18)), budget_cycles=0)
+        assert report.aborted
+
+
+class TestStepEscalation:
+    def test_chain_uses_risky_step_when_forced(self):
+        """A bare 3-chain has no safe matches and no singletons: Step 4."""
+        graph = make_path_graph(3)
+        promatch = PromatchPredecoder(graph, main_capability=1)
+        report = promatch.predecode((0, 1, 2))
+        assert report.steps_used == 4
+        assert len(report.remaining) == 1
+
+    def test_singleton_rescue_uses_step3(self):
+        graph = make_path_graph(12)
+        # Two singletons far apart; nothing else: Step 3 must pair them.
+        promatch = PromatchPredecoder(graph, main_capability=0)
+        report = promatch.predecode((3, 8))
+        assert report.steps_used == 3
+        assert report.pairs == [(3, 8)]
+        assert report.remaining == ()
+
+    def test_unmatchable_leftover_breaks_cleanly(self):
+        graph = make_path_graph(6)
+        promatch = PromatchPredecoder(graph, main_capability=0)
+        report = promatch.predecode((2,))  # single event, no partner
+        assert report.remaining == (2,)
+        assert not report.aborted
+
+
+class TestAccounting:
+    def test_cycles_accumulate_per_round(self):
+        promatch = PromatchPredecoder(isolated_pairs_graph(9), main_capability=4)
+        report = promatch.predecode(tuple(range(18)))
+        assert report.cycles >= 9  # at least one pass over 9 edges
+        assert report.rounds >= 1
+
+    def test_weight_matches_committed_edges(self):
+        graph = figure7_graph()
+        promatch = PromatchPredecoder(graph, main_capability=0)
+        report = promatch.predecode((0, 1, 2, 3))
+        expected = sum(graph.direct_edge_weight(u, v) for u, v in report.pairs)
+        assert report.weight == pytest.approx(expected)
+
+    def test_observables_tracked_per_pair(self):
+        graph = make_graph(
+            4,
+            edges=[(0, 1, 1.0), (2, 3, 1.0)],
+            boundary=[(i, 20.0) for i in range(4)],
+            observables={(0, 1): 1},
+        )
+        promatch = PromatchPredecoder(graph, main_capability=0)
+        report = promatch.predecode((0, 1, 2, 3))
+        assert report.observable_mask == 1
+
+
+class TestExactSingletonAblation:
+    def test_exact_check_changes_triangle_behaviour(self):
+        graph = make_graph(
+            n_nodes=3,
+            edges=[(0, 1, 1.0), (0, 2, 1.1), (1, 2, 1.2)],
+            boundary=[(i, 9.0) for i in range(3)],
+        )
+        paper = PromatchPredecoder(graph, main_capability=1)
+        exact = PromatchPredecoder(graph, main_capability=1, exact_singleton_check=True)
+        paper_report = paper.predecode((0, 1, 2))
+        exact_report = exact.predecode((0, 1, 2))
+        # Hardware logic sees a safe match (Step 2); the exact check knows
+        # every match strands the third node (Step 4).
+        assert paper_report.steps_used == 2
+        assert exact_report.steps_used == 4

@@ -1,0 +1,110 @@
+"""Property-based tests: Promatch invariants over random syndromes.
+
+These are the paper's implicit contracts:
+
+* coverage: when predecoding succeeds (no abort, no dead end), the
+  residual Hamming weight fits the main decoder's capability,
+* soundness: committed pairs are disjoint, drawn from the syndrome, and
+  every pair is either a real subgraph edge or a Step-3 path,
+* monotonicity: predecoding never *increases* Hamming weight, and the
+  parity of the Hamming weight is preserved (pairs leave two at a time).
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.core import PromatchPredecoder
+from repro.hardware.latency import astrea_cycles
+from repro.sim import DemSampler
+
+
+@pytest.fixture(scope="module")
+def promatch_env(request):
+    d5_stack = request.getfixturevalue("d5_stack")
+    _exp, dem, graph = d5_stack
+    return dem, graph, PromatchPredecoder(graph)
+
+
+syndrome_seed = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=syndrome_seed)
+def test_invariants_on_sampled_syndromes(promatch_env, seed):
+    dem, graph, promatch = promatch_env
+    batch = DemSampler(dem, 8e-3, rng=seed).sample(8)
+    for events in batch.events:
+        report = promatch.predecode(events)
+        event_set = set(events)
+
+        matched = [u for pair in report.pairs for u in pair]
+        # Soundness: disjoint, from the syndrome, remaining = complement.
+        assert len(matched) == len(set(matched))
+        assert set(matched) <= event_set
+        assert set(report.remaining) == event_set - set(matched)
+
+        # Parity and monotonicity.
+        assert len(report.remaining) <= len(events)
+        assert (len(events) - len(report.remaining)) % 2 == 0
+
+        # Coverage contract when the predecoder finished cleanly.
+        if not report.aborted and len(report.remaining) <= 10:
+            assert astrea_cycles(len(report.remaining)) <= promatch.budget_cycles
+
+        # Committed matches are edges or (Step 3) connected paths.
+        for u, v in report.pairs:
+            direct = graph.direct_edge_weight(u, v)
+            assert direct is not None or np.isfinite(graph.distance(u, v))
+
+        # Step bookkeeping.
+        assert 0 <= report.steps_used <= 4
+        assert report.cycles >= 0
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=syndrome_seed, budget=st.integers(min_value=1, max_value=240))
+def test_budget_respected(promatch_env, seed, budget):
+    dem, graph, promatch = promatch_env
+    batch = DemSampler(dem, 1e-2, rng=seed).sample(4)
+    for events in batch.events:
+        report = promatch.predecode(events, budget_cycles=budget)
+        if report.aborted:
+            # The abort must be triggered by actually exceeding the budget.
+            assert report.cycles > budget
+        else:
+            # One round may end exactly on budget but never beyond by more
+            # than the final round's cost; the stop check runs before
+            # every round, so cycles <= budget holds on clean exits.
+            assert report.cycles <= budget
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(seed=syndrome_seed)
+def test_determinism(promatch_env, seed):
+    dem, graph, promatch = promatch_env
+    batch = DemSampler(dem, 8e-3, rng=seed).sample(4)
+    for events in batch.events:
+        first = promatch.predecode(events)
+        second = promatch.predecode(events)
+        assert first.pairs == second.pairs
+        assert first.remaining == second.remaining
+        assert first.cycles == second.cycles

@@ -1,0 +1,112 @@
+"""Tests for Promatch candidate selection (Algorithm 1 steps)."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import figure7_graph, figure9_graph, make_graph, make_path_graph  # noqa: E402
+
+from repro.core.steps import find_edge_candidates, find_step3_candidate
+from repro.graph.subgraph import DecodingSubgraph
+
+
+class TestEdgeCandidates:
+    def test_figure7_outer_edges_are_safe(self):
+        """On the 4-chain the outer edges are 2.1 candidates, the middle
+        edge (despite its lower weight) is relegated to Step 4."""
+        sub = DecodingSubgraph(figure7_graph(), [0, 1, 2, 3])
+        candidates = find_edge_candidates(sub)
+        assert candidates["2.1"] is not None
+        assert {candidates["2.1"].i, candidates["2.1"].j} in ({0, 1}, {2, 3})
+        # The middle edge joins two degree-2 nodes and strands both ends:
+        # risky without the degree-1 bonus, i.e. a Step 4.2 candidate.
+        assert candidates["4.2"] is not None
+        assert {candidates["4.2"].i, candidates["4.2"].j} == {1, 2}
+        assert candidates["2.2"] is None
+
+    def test_lowest_weight_wins_within_step(self):
+        graph = make_graph(
+            n_nodes=4,
+            edges=[(0, 1, 3.0), (2, 3, 1.0)],
+            boundary=[(i, 9.0) for i in range(4)],
+        )
+        sub = DecodingSubgraph(graph, [0, 1, 2, 3])
+        candidates = find_edge_candidates(sub)
+        chosen = candidates["2.1"]
+        assert {chosen.i, chosen.j} == {2, 3}
+        assert chosen.weight == pytest.approx(1.0)
+
+    def test_square_cycle_all_safe_2_2(self):
+        """A 4-cycle has all degree-2 nodes: every edge is a 2.2 candidate."""
+        graph = make_graph(
+            n_nodes=4,
+            edges=[(0, 1, 1.0), (1, 2, 1.1), (2, 3, 1.2), (0, 3, 1.3)],
+            boundary=[(i, 9.0) for i in range(4)],
+        )
+        sub = DecodingSubgraph(graph, [0, 1, 2, 3])
+        candidates = find_edge_candidates(sub)
+        assert candidates["2.1"] is None
+        assert candidates["2.2"] is not None
+        assert candidates["2.2"].weight == pytest.approx(1.0)
+
+    def test_figure9_classification(self):
+        sub = DecodingSubgraph(figure9_graph(), list(range(6)))
+        candidates = find_edge_candidates(sub)
+        # (e, f) = (4, 5) is the only match that strands nobody... but f
+        # depends on e (deg 1), wait: e also neighbors a. Matching (4, 5)
+        # removes e; a keeps b, c, d. Safe and min(deg)=1 -> Step 2.1.
+        assert candidates["2.1"] is not None
+        assert {candidates["2.1"].i, candidates["2.1"].j} == {4, 5}
+        # (a, b) strands c, d -> risky.
+        assert candidates["4.1"] is not None
+
+    def test_empty_subgraph(self):
+        graph = make_path_graph(4)
+        sub = DecodingSubgraph(graph, [])
+        candidates = find_edge_candidates(sub)
+        assert all(v is None for v in candidates.values())
+
+
+class TestStep3:
+    def test_no_singletons_no_candidate(self):
+        graph = make_path_graph(4)
+        sub = DecodingSubgraph(graph, [0, 1])
+        candidate, paths = find_step3_candidate(sub)
+        assert candidate is None and paths == 0
+
+    def test_singleton_rescued_via_path(self):
+        graph = make_path_graph(8)
+        # Chain 0-1-2 plus a distant singleton 4.  The chain's *ends* have
+        # no dependents (their neighbor 1 has degree 2), so the singleton
+        # may take one of them; node 2 is the closest at path weight 2.
+        sub = DecodingSubgraph(graph, [0, 1, 2, 4])
+        candidate, paths = find_step3_candidate(sub)
+        assert candidate is not None
+        assert candidate.via_path
+        assert paths == 3  # singleton 4 vs nodes 0, 1, 2
+        matched_nodes = {sub.node_id(candidate.i), sub.node_id(candidate.j)}
+        assert matched_nodes == {2, 4}
+
+    def test_partner_with_dependents_skipped(self):
+        """The singleton must not steal a node whose removal strands others."""
+        graph = make_graph(
+            n_nodes=4,
+            # 0 - 1 edge; 1 is 0's only neighbor (mutual); 3 singleton.
+            edges=[(0, 1, 1.0)],
+            boundary=[(i, 9.0) for i in range(4)],
+        )
+        sub = DecodingSubgraph(graph, [0, 1, 3])
+        candidate, _paths = find_step3_candidate(sub)
+        # Nodes 0 and 1 each have a dependent (each other): both are
+        # disqualified, and there is no other singleton to pair with.
+        assert candidate is None
+
+    def test_two_singletons_pair_up(self):
+        graph = make_path_graph(10)
+        sub = DecodingSubgraph(graph, [2, 6])  # far apart, both singletons
+        candidate, _paths = find_step3_candidate(sub)
+        assert candidate is not None
+        assert {candidate.i, candidate.j} == {0, 1}
+        assert candidate.weight == pytest.approx(4.0)  # 4 hops... via graph

@@ -1,0 +1,53 @@
+"""Tests for Promatch round-trace introspection."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import figure7_graph, make_path_graph  # noqa: E402
+
+from repro.core import PromatchPredecoder
+
+
+class TestTrace:
+    def test_disabled_by_default(self):
+        promatch = PromatchPredecoder(figure7_graph(), main_capability=0)
+        report = promatch.predecode((0, 1, 2, 3))
+        assert report.trace == []
+
+    def test_rounds_recorded(self):
+        promatch = PromatchPredecoder(
+            figure7_graph(), main_capability=0, collect_trace=True
+        )
+        report = promatch.predecode((0, 1, 2, 3))
+        assert len(report.trace) == report.rounds
+        assert [t.round_index for t in report.trace] == list(range(report.rounds))
+
+    def test_trace_contents_consistent(self):
+        promatch = PromatchPredecoder(
+            figure7_graph(), main_capability=0, collect_trace=True
+        )
+        report = promatch.predecode((0, 1, 2, 3))
+        first = report.trace[0]
+        assert first.hamming_weight == 4
+        assert first.n_edges == 3
+        assert first.step in ("1", "2.1", "2.2", "3", "4.1", "4.2")
+        traced_pairs = [p for t in report.trace for p in t.committed]
+        assert sorted(traced_pairs) == sorted(report.pairs)
+
+    def test_cycles_sum_matches_total(self):
+        promatch = PromatchPredecoder(
+            make_path_graph(12), main_capability=0, collect_trace=True
+        )
+        report = promatch.predecode((0, 1, 4, 5, 8, 9))
+        assert sum(t.cycles for t in report.trace) == pytest.approx(report.cycles)
+
+    def test_hamming_weight_decreases(self):
+        promatch = PromatchPredecoder(
+            make_path_graph(20), main_capability=0, collect_trace=True
+        )
+        report = promatch.predecode((0, 1, 4, 5, 8, 9, 12, 13))
+        weights = [t.hamming_weight for t in report.trace]
+        assert weights == sorted(weights, reverse=True)

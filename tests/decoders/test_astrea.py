@@ -1,0 +1,61 @@
+"""Tests for the Astrea behavioural model."""
+
+import pytest
+
+from repro.decoders import AstreaDecoder, MWPMDecoder
+from repro.hardware.latency import astrea_cycles
+
+
+class TestCapability:
+    def test_refuses_high_hw(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        decoder = AstreaDecoder(graph)
+        events = tuple(range(11))
+        result = decoder.decode(events)
+        assert not result.success
+        assert "exceeds" in result.failure_reason
+
+    def test_budget_failure(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        decoder = AstreaDecoder(graph)
+        events = tuple(range(10))
+        result = decoder.decode(events, budget_cycles=5)
+        assert not result.success
+        assert result.cycles == astrea_cycles(10)
+
+    def test_empty_syndrome(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        result = AstreaDecoder(graph).decode(())
+        assert result.success and result.cycles == astrea_cycles(0)
+
+
+class TestExactness:
+    def test_matches_mwpm_on_low_hw(self, d5_stack, d5_syndromes):
+        """Astrea's brute force is exact: same weight as idealized MWPM."""
+        _exp, _dem, graph = d5_stack
+        astrea = AstreaDecoder(graph)
+        mwpm = MWPMDecoder(graph)
+        checked = 0
+        for events, obs in zip(d5_syndromes.events, d5_syndromes.observables):
+            if len(events) > 10:
+                continue
+            a = astrea.decode(events)
+            m = mwpm.decode(events)
+            assert a.success
+            assert a.weight == pytest.approx(m.weight, rel=1e-9)
+            checked += 1
+            if checked >= 80:
+                break
+        assert checked > 20  # the batch must actually exercise this path
+
+    def test_latency_grows_with_hw(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        astrea = AstreaDecoder(graph)
+        by_hw = {}
+        for events in d5_syndromes.events:
+            if 0 < len(events) <= 10:
+                result = astrea.decode(events)
+                by_hw[len(events)] = result.cycles
+        weights = sorted(by_hw)
+        cycles = [by_hw[h] for h in weights]
+        assert cycles == sorted(cycles)

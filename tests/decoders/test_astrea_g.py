@@ -1,0 +1,72 @@
+"""Tests for the Astrea-G budgeted search model."""
+
+import pytest
+
+from repro.decoders import AstreaGDecoder, MWPMDecoder
+
+
+class TestSearchQuality:
+    def test_exact_on_sparse_syndromes(self, d5_stack, d5_syndromes):
+        """With a generous budget and mild pruning, AG must find the MWPM
+        answer on small syndromes (the 'both succeed' regime of 4.2.3)."""
+        _exp, _dem, graph = d5_stack
+        ag = AstreaGDecoder(graph, prune_probability=1e-12)
+        mwpm = MWPMDecoder(graph)
+        checked = 0
+        for events in d5_syndromes.events:
+            if not 0 < len(events) <= 8:
+                continue
+            a = ag.decode(events)
+            m = mwpm.decode(events)
+            assert a.success
+            assert a.weight <= m.weight + 1e-6 or a.weight == pytest.approx(
+                m.weight, rel=1e-6
+            )
+            checked += 1
+            if checked >= 50:
+                break
+        assert checked > 10
+
+    def test_budget_exhaustion_still_returns(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        starved = AstreaGDecoder(graph, budget_cycles=1, options_per_cycle=2)
+        big = max(d5_syndromes.events, key=len)
+        result = starved.decode(big)
+        assert result.success  # greedy incumbent always exists
+        matched = {u for pair in result.pairs for u in pair} | set(result.boundary)
+        assert matched == set(big)
+
+    def test_starved_search_is_no_better_than_rich(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        rich = AstreaGDecoder(graph, prune_probability=1e-12)
+        starved = AstreaGDecoder(
+            graph, prune_probability=1e-12, budget_cycles=1, options_per_cycle=2
+        )
+        for events in d5_syndromes.events[:40]:
+            if not events:
+                continue
+            assert (
+                starved.decode(events).weight >= rich.decode(events).weight - 1e-9
+            )
+
+    def test_empty(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        assert AstreaGDecoder(graph).decode(()).success
+
+    def test_aggressive_pruning_hurts_dense_patterns(self, d5_stack):
+        """Pruning everything forces all-boundary matchings (worst case)."""
+        _exp, _dem, graph = d5_stack
+        # prune_probability = 1 makes every pair edge inadmissible.
+        ag = AstreaGDecoder(graph, prune_probability=0.999999)
+        events = (0, 1, 2, 3)
+        result = ag.decode(events)
+        assert result.success
+        assert sorted(result.boundary) == [0, 1, 2, 3]
+
+    def test_cycles_reported_within_budget(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        ag = AstreaGDecoder(graph)
+        for events in d5_syndromes.events[:30]:
+            result = ag.decode(events)
+            assert result.cycles is not None
+            assert result.cycles <= ag.budget_cycles

@@ -1,0 +1,58 @@
+"""Tests for the Clique NSM predecoder baseline."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_graph, make_path_graph  # noqa: E402
+
+from repro.decoders import CliquePredecoder
+from repro.graph.decoding_graph import BOUNDARY_SENTINEL
+
+
+class TestCliqueAllOrNothing:
+    def test_full_local_decode_of_isolated_pairs(self):
+        graph = make_path_graph(8)
+        clique = CliquePredecoder(graph)
+        report = clique.predecode((0, 1, 4, 5))  # two isolated pairs
+        assert report.remaining == ()
+        assert sorted(report.pairs) == [(0, 1), (4, 5)]
+
+    def test_boundary_singleton_handled(self):
+        graph = make_path_graph(8)
+        clique = CliquePredecoder(graph)
+        # 0 is boundary-adjacent and isolated; 3, 4 are an isolated pair.
+        report = clique.predecode((0, 3, 4))
+        assert report.remaining == ()
+        assert (0, BOUNDARY_SENTINEL) in report.pairs
+
+    def test_nontrivial_pattern_forwards_everything(self):
+        graph = make_path_graph(8)
+        clique = CliquePredecoder(graph)
+        # A 3-chain is beyond Clique's local rules.
+        report = clique.predecode((2, 3, 4))
+        assert report.remaining == (2, 3, 4)
+        assert report.pairs == []
+
+    def test_interior_singleton_blocks_local_decode(self):
+        graph = make_graph(
+            n_nodes=4,
+            edges=[(0, 1, 1.0)],
+            boundary=[(0, 1.0), (1, 1.0)],  # nodes 2, 3 interior, no boundary
+        )
+        clique = CliquePredecoder(graph)
+        report = clique.predecode((0, 1, 2))
+        # Node 2 is an interior singleton: no local rule applies.
+        assert report.remaining == (0, 1, 2)
+
+    def test_syndrome_never_modified_partially(self, d5_stack, d5_syndromes):
+        """NSM contract: either everything is decoded or nothing is."""
+        _exp, _dem, graph = d5_stack
+        clique = CliquePredecoder(graph)
+        for events in d5_syndromes.events[:100]:
+            report = clique.predecode(events)
+            assert report.remaining == () or (
+                report.remaining == tuple(events) and not report.pairs
+            )

@@ -1,0 +1,120 @@
+"""Tests for decoder composition (pipelines and the || combinator)."""
+
+import pytest
+
+from repro.core import PromatchPredecoder
+from repro.decoders import (
+    AstreaDecoder,
+    AstreaGDecoder,
+    MWPMDecoder,
+    ParallelDecoder,
+    PredecodedDecoder,
+    SmithPredecoder,
+)
+from repro.decoders.base import DecodeResult
+from repro.decoders.combined import combine_parallel_results
+from repro.hardware.latency import PARALLEL_COMPARE_CYCLES
+
+
+class TestPredecodedPipeline:
+    def test_low_hw_bypasses_predecoder(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        pipeline = PredecodedDecoder(
+            graph, PromatchPredecoder(graph), AstreaDecoder(graph)
+        )
+        astrea = AstreaDecoder(graph)
+        for events in d5_syndromes.events[:50]:
+            if len(events) > 10:
+                continue
+            combined = pipeline.decode(events)
+            direct = astrea.decode(events)
+            assert combined.weight == pytest.approx(direct.weight, rel=1e-9)
+
+    def test_high_hw_engages_predecoder(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        pipeline = PredecodedDecoder(
+            graph, PromatchPredecoder(graph), AstreaDecoder(graph)
+        )
+        high = [e for e in d5_syndromes.events if len(e) > 10]
+        assert high, "fixture must contain high-HW syndromes"
+        for events in high[:20]:
+            result = pipeline.decode(events)
+            assert result.success
+            matched = {u for p in result.pairs for u in p} | set(result.boundary)
+            assert matched == set(events)
+
+    def test_smith_pipeline_can_fail_on_coverage(self, d5_stack):
+        """Craft a syndrome of >10 mutually non-adjacent events: Smith has
+        nothing to match and Astrea refuses the remainder."""
+        _exp, _dem, graph = d5_stack
+        pipeline = PredecodedDecoder(
+            graph, SmithPredecoder(graph), AstreaDecoder(graph)
+        )
+        spread = []
+        for node in range(graph.n_nodes):
+            if all(
+                graph.direct_edge_weight(node, other) is None for other in spread
+            ):
+                spread.append(node)
+            if len(spread) == 11:
+                break
+        assert len(spread) == 11
+        result = pipeline.decode(tuple(spread))
+        assert not result.success
+
+    def test_name_synthesis(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        pipeline = PredecodedDecoder(
+            graph, SmithPredecoder(graph), AstreaDecoder(graph)
+        )
+        assert pipeline.name == "Smith+Astrea"
+
+
+class TestParallel:
+    def test_matches_posthoc_combination(self, d5_stack, d5_syndromes):
+        """ParallelDecoder.decode == combining the component results."""
+        _exp, _dem, graph = d5_stack
+        promatch_astrea = PredecodedDecoder(
+            graph, PromatchPredecoder(graph), AstreaDecoder(graph)
+        )
+        ag = AstreaGDecoder(graph, prune_probability=1e-12)
+        parallel = ParallelDecoder(graph, promatch_astrea, ag)
+        for events in d5_syndromes.events[:40]:
+            direct = parallel.decode(events)
+            derived = combine_parallel_results(
+                promatch_astrea.decode(events), ag.decode(events)
+            )
+            assert direct.success == derived.success
+            if direct.success:
+                assert direct.weight == pytest.approx(derived.weight, rel=1e-9)
+                assert direct.observable_mask == derived.observable_mask
+
+    def test_picks_lower_weight(self):
+        a = DecodeResult(success=True, observable_mask=1, weight=5.0, cycles=10)
+        b = DecodeResult(success=True, observable_mask=0, weight=3.0, cycles=20)
+        combined = combine_parallel_results(a, b)
+        assert combined.observable_mask == 0
+        assert combined.cycles == 20 + PARALLEL_COMPARE_CYCLES
+
+    def test_failure_falls_back(self):
+        a = DecodeResult(success=False, failure_reason="deadline")
+        b = DecodeResult(success=True, observable_mask=1, weight=9.0, cycles=5)
+        combined = combine_parallel_results(a, b)
+        assert combined.success and combined.observable_mask == 1
+
+    def test_both_fail(self):
+        a = DecodeResult(success=False, failure_reason="x")
+        b = DecodeResult(success=False, failure_reason="y")
+        combined = combine_parallel_results(a, b)
+        assert not combined.success
+        assert "x" in combined.failure_reason and "y" in combined.failure_reason
+
+    def test_parallel_never_worse_than_components(self, d5_stack, d5_syndromes):
+        """|| selects by weight, so its solution weight is min of the two."""
+        _exp, _dem, graph = d5_stack
+        mwpm = MWPMDecoder(graph)
+        ag = AstreaGDecoder(graph)
+        parallel = ParallelDecoder(graph, mwpm, ag)
+        for events in d5_syndromes.events[:30]:
+            combined = parallel.decode(events)
+            assert combined.weight <= mwpm.decode(events).weight + 1e-9

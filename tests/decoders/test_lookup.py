@@ -1,0 +1,104 @@
+"""Tests for the LILLIPUT-style lookup-table decoder."""
+
+import pytest
+
+from repro.circuits import build_memory_circuit
+from repro.codes import RotatedSurfaceCode
+from repro.decoders import LookupTableDecoder, MWPMDecoder
+from repro.decoders.lookup import (
+    lut_storage_bits,
+    memory_experiment_detector_count,
+)
+from repro.graph import build_decoding_graph
+from repro.noise import CodeCapacityNoiseModel
+from repro.sim import DemSampler, build_detector_error_model
+
+
+@pytest.fixture(scope="module")
+def code_capacity_d3():
+    code = RotatedSurfaceCode(3)
+    exp = build_memory_circuit(code, rounds=1, noise=CodeCapacityNoiseModel())
+    dem = build_detector_error_model(exp.circuit)
+    graph = build_decoding_graph(dem, 0.05)
+    return dem, graph
+
+
+class TestLookupDecoder:
+    def test_matches_mwpm_everywhere(self, code_capacity_d3):
+        """The LUT is MWPM by construction: verify over every *reachable*
+        syndrome (patterns over detectors that actually have incident
+        error mechanisms -- the closure layer of the code-capacity graph
+        is silent and therefore never addressed)."""
+        _dem, graph = code_capacity_d3
+        lut = LookupTableDecoder(graph, lazy=False)
+        mwpm = MWPMDecoder(graph)
+        connected = [
+            node
+            for node in range(graph.n_nodes)
+            if graph.neighbors(node) or graph.boundary_edge(node)
+        ]
+        for pattern in range(1 << len(connected)):
+            events = tuple(
+                connected[i]
+                for i in range(len(connected))
+                if pattern & (1 << i)
+            )
+            assert (
+                lut.decode(events).observable_mask
+                == mwpm.decode(events).observable_mask
+            )
+
+    def test_lazy_equals_eager(self, code_capacity_d3):
+        dem, graph = code_capacity_d3
+        lazy = LookupTableDecoder(graph, lazy=True)
+        eager = LookupTableDecoder(graph, lazy=False)
+        batch = DemSampler(dem, 0.05, rng=3).sample(300)
+        for events in batch.events:
+            assert (
+                lazy.decode(events).observable_mask
+                == eager.decode(events).observable_mask
+            )
+
+    def test_constant_latency(self, code_capacity_d3):
+        _dem, graph = code_capacity_d3
+        lut = LookupTableDecoder(graph)
+        assert lut.decode(()).cycles == lut.decode((0, 1)).cycles
+
+    def test_refuses_large_graphs(self):
+        code = RotatedSurfaceCode(5)
+        from repro.noise import CircuitNoiseModel
+        from repro.eval.cache import load_or_build_dem
+
+        dem = load_or_build_dem(code, 5, CircuitNoiseModel())
+        graph = build_decoding_graph(dem, 1e-3)
+        with pytest.raises(ValueError, match="exponential"):
+            LookupTableDecoder(graph)
+
+    def test_table_entries(self, code_capacity_d3):
+        _dem, graph = code_capacity_d3
+        lut = LookupTableDecoder(graph)
+        assert lut.table_entries == 1 << graph.n_nodes
+
+
+class TestStorageScaling:
+    def test_exponential_growth(self):
+        assert lut_storage_bits(10) == 1024
+        assert lut_storage_bits(11) == 2 * lut_storage_bits(10)
+
+    def test_detector_counts(self):
+        # (d^2-1)/2 plaquettes x (d+1) layers.
+        assert memory_experiment_detector_count(3) == 16
+        assert memory_experiment_detector_count(11) == 720
+        assert memory_experiment_detector_count(13) == 1176
+
+    def test_lut_wall_versus_promatch_tables(self):
+        """Figure 2(c)'s point: the full-distance LUT is astronomically
+        larger than Promatch's polynomial tables even at d = 5."""
+        n5 = memory_experiment_detector_count(5)
+        lut_bits = lut_storage_bits(n5)
+        promatch_path_table_bits = n5 * n5 * 2
+        assert lut_bits > promatch_path_table_bits * 10**15
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            lut_storage_bits(-1)

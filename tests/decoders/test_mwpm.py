@@ -1,0 +1,82 @@
+"""Tests for the idealized MWPM decoder."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_graph  # noqa: E402
+
+from repro.decoders import MWPMDecoder
+from repro.sim import DemSampler
+
+
+class TestMWPMOnSyntheticGraphs:
+    def test_empty_syndrome(self):
+        graph = make_graph(2, [(0, 1, 1.0)], [(0, 1.0), (1, 1.0)])
+        result = MWPMDecoder(graph).decode(())
+        assert result.success and result.observable_mask == 0
+
+    def test_single_event_goes_to_boundary(self):
+        graph = make_graph(
+            2, [(0, 1, 1.0)], [(0, 1.0), (1, 1.0)],
+            observables={(0, -1): 1},
+        )
+        result = MWPMDecoder(graph).decode((0,))
+        assert result.boundary == [0]
+        assert result.observable_mask == 1
+
+    def test_adjacent_pair_matched(self):
+        graph = make_graph(
+            3, [(0, 1, 1.0), (1, 2, 1.0)], [(0, 5.0), (2, 5.0)],
+            observables={(0, 1): 1},
+        )
+        result = MWPMDecoder(graph).decode((0, 1))
+        assert result.pairs == [(0, 1)]
+        assert result.observable_mask == 1
+
+    def test_boundary_split_when_cheaper(self):
+        graph = make_graph(
+            2, [(0, 1, 10.0)], [(0, 1.0), (1, 1.0)],
+        )
+        result = MWPMDecoder(graph).decode((0, 1))
+        # Matching both to boundary costs 2 < 10; MWPM must split --
+        # whether reported as two boundary matches or a pair routed
+        # through the boundary, the weight is the giveaway.
+        assert result.weight == pytest.approx(2.0)
+
+
+class TestMWPMOnRealGraphs:
+    def test_single_fault_always_corrected(self, d3_stack):
+        """Any single mechanism's syndrome must decode without logical error."""
+        _exp, dem, graph = d3_stack
+        decoder = MWPMDecoder(graph)
+        for mechanism in dem.mechanisms:
+            result = decoder.decode(mechanism.detectors)
+            assert result.success
+            assert result.observable_mask == mechanism.observable_mask, (
+                f"single-fault miscorrection for {mechanism}"
+            )
+
+    def test_dp_and_blossom_paths_agree(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        small = MWPMDecoder(graph, dp_limit=12)
+        forced_blossom = MWPMDecoder(graph, dp_limit=0)
+        for events in d5_syndromes.events[:60]:
+            a = small.decode(events)
+            b = forced_blossom.decode(events)
+            # Equal-weight ties may legitimately pick different matchings;
+            # optimality (total weight) is the invariant.
+            assert a.weight == pytest.approx(b.weight, rel=1e-9)
+
+    def test_weight_reported(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        decoder = MWPMDecoder(graph)
+        for events in d5_syndromes.events[:20]:
+            result = decoder.decode(events)
+            recomputed = sum(
+                graph.distance(u, v) for u, v in result.pairs
+            ) + sum(graph.boundary_distance(u) for u in result.boundary)
+            assert result.weight == pytest.approx(recomputed, rel=1e-9)

@@ -1,0 +1,57 @@
+"""Tests for the Smith et al. predecoder baseline."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import figure7_graph, make_path_graph  # noqa: E402
+
+from repro.decoders import SmithPredecoder
+from repro.graph.subgraph import DecodingSubgraph
+
+
+class TestSmith:
+    def test_high_coverage_no_adjacent_leftovers(self, d5_stack, d5_syndromes):
+        """After the sweep, no two adjacent flipped bits remain unmatched."""
+        _exp, _dem, graph = d5_stack
+        smith = SmithPredecoder(graph)
+        for events in d5_syndromes.events[:80]:
+            report = smith.predecode(events)
+            leftover = DecodingSubgraph(graph, report.remaining)
+            assert leftover.n_edges == 0
+
+    def test_matches_are_real_edges(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        smith = SmithPredecoder(graph)
+        for events in d5_syndromes.events[:40]:
+            report = smith.predecode(events)
+            for u, v in report.pairs:
+                assert graph.direct_edge_weight(u, v) is not None
+
+    def test_blind_to_singleton_creation(self):
+        """On the Figure-7 chain, Smith strands the outer nodes: scanning
+        in index order, node 0 grabs node 1 (its only neighbor), then node
+        2 grabs node 3 -- by luck correct here; on the reversed-weight
+        chain (cheap middle), index order still matches (0,1) first, but a
+        chain starting mid-pattern strands ends."""
+        graph = make_path_graph(3)  # 0 - 1 - 2
+        smith = SmithPredecoder(graph)
+        report = smith.predecode((0, 1, 2))
+        assert report.pairs == [(0, 1)]
+        assert report.remaining == (2,)  # stranded singleton
+
+    def test_pairs_disjoint(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        smith = SmithPredecoder(graph)
+        for events in d5_syndromes.events[:40]:
+            report = smith.predecode(events)
+            used = [u for pair in report.pairs for u in pair]
+            assert len(used) == len(set(used))
+            assert set(used) | set(report.remaining) == set(events)
+
+    def test_cycles_charged(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        report = SmithPredecoder(graph).predecode(())
+        assert report.cycles >= 1

@@ -1,0 +1,54 @@
+"""Tests for the union-find (AFS proxy) decoder."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_path_graph  # noqa: E402
+
+from repro.decoders import MWPMDecoder, UnionFindDecoder
+from repro.eval.ler import count_failures
+
+
+class TestUnionFind:
+    def test_empty(self, d5_stack):
+        _exp, _dem, graph = d5_stack
+        assert UnionFindDecoder(graph).decode(()).success
+
+    def test_single_fault_corrected(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        decoder = UnionFindDecoder(graph)
+        for mechanism in dem.mechanisms:
+            result = decoder.decode(mechanism.detectors)
+            assert result.success
+            assert result.observable_mask == mechanism.observable_mask
+
+    def test_adjacent_pair_on_line(self):
+        graph = make_path_graph(5)
+        result = UnionFindDecoder(graph).decode((1, 2))
+        assert result.success
+
+    def test_single_event_reaches_boundary(self):
+        graph = make_path_graph(5)
+        result = UnionFindDecoder(graph).decode((2,))
+        assert result.success
+
+    def test_sampled_syndromes_all_decoded(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        decoder = UnionFindDecoder(graph)
+        for events in d5_syndromes.events[:150]:
+            assert decoder.decode(events).success
+
+    def test_accuracy_between_nothing_and_mwpm(self, d5_stack, d5_syndromes):
+        """UF must beat 'no correction' and lose (or tie) against MWPM --
+        the Figure 4 ordering."""
+        _exp, _dem, graph = d5_stack
+        uf_failures, shots = count_failures(UnionFindDecoder(graph), d5_syndromes)
+        mwpm_failures, _ = count_failures(MWPMDecoder(graph), d5_syndromes)
+        no_correction_failures = int(
+            (d5_syndromes.observables & 1).sum()
+        )
+        assert mwpm_failures <= uf_failures
+        assert uf_failures < max(no_correction_failures, 1) * 2

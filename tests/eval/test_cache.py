@@ -1,0 +1,52 @@
+"""Tests for the DEM disk cache."""
+
+import pickle
+
+import pytest
+
+from repro.codes import RotatedSurfaceCode
+from repro.eval.cache import cache_directory, dem_cache_path, load_or_build_dem
+from repro.noise import CodeCapacityNoiseModel
+
+
+class TestCache:
+    def test_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = RotatedSurfaceCode(3)
+        noise = CodeCapacityNoiseModel()
+        first = load_or_build_dem(code, 1, noise)
+        path = dem_cache_path(code, 1, noise, "Z")
+        assert path is not None and path.exists()
+        second = load_or_build_dem(code, 1, noise)
+        assert [m.detectors for m in first.mechanisms] == [
+            m.detectors for m in second.mechanisms
+        ]
+
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert cache_directory() is None
+        code = RotatedSurfaceCode(3)
+        noise = CodeCapacityNoiseModel()
+        assert dem_cache_path(code, 1, noise, "Z") is None
+        dem = load_or_build_dem(code, 1, noise)  # still builds
+        assert dem.n_detectors > 0
+
+    def test_corrupt_cache_rebuilt(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = RotatedSurfaceCode(3)
+        noise = CodeCapacityNoiseModel()
+        path = dem_cache_path(code, 1, noise, "Z")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("wb") as handle:
+            pickle.dump({"not": "a dem"}, handle)
+        dem = load_or_build_dem(code, 1, noise)
+        assert dem.n_detectors > 0
+
+    def test_distinct_configs_distinct_files(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        code = RotatedSurfaceCode(3)
+        noise = CodeCapacityNoiseModel()
+        a = dem_cache_path(code, 1, noise, "Z")
+        b = dem_cache_path(code, 2, noise, "Z")
+        c = dem_cache_path(code, 1, noise, "X")
+        assert len({a, b, c}) == 3

@@ -1,0 +1,113 @@
+"""Tests for the experiment workbench and censuses."""
+
+import numpy as np
+import pytest
+
+from repro.core import PromatchPredecoder
+from repro.decoders import AstreaDecoder, SmithPredecoder
+from repro.eval.experiments import (
+    Workbench,
+    chain_length_census,
+    hw_reduction_census,
+    latency_census,
+    step_usage_census,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench.build(distance=5, p=2e-3, rng=77)
+
+
+@pytest.fixture(scope="module")
+def high_hw_batch(bench):
+    batch = bench.sample_high_hw(shots_per_k=40, hw_min=11, k_max=12)
+    assert batch.shots > 0
+    return batch
+
+
+class TestWorkbench:
+    def test_zoo_contains_paper_configs(self, bench):
+        for name in (
+            "MWPM",
+            "Astrea-G",
+            "Promatch+Astrea",
+            "Smith+Astrea",
+            "Clique+Astrea",
+            "Promatch || AG",
+            "Smith || AG",
+            "UnionFind",
+        ):
+            assert name in bench.decoders
+
+    def test_sampling(self, bench):
+        batch = bench.sample(100)
+        assert batch.shots == 100
+
+    def test_exact_k(self, bench):
+        batch = bench.sample_exact_k(3, 50)
+        assert (batch.fault_counts == 3).all()
+
+    def test_defaults(self):
+        small = Workbench.build(distance=3, p=1e-3)
+        assert small.rounds == 3
+
+
+class TestHighHwSampling:
+    def test_hw_floor_respected(self, high_hw_batch):
+        assert (high_hw_batch.hamming_weights() >= 11).all()
+
+    def test_weights_are_probabilities(self, high_hw_batch):
+        assert high_hw_batch.weights is not None
+        assert (high_hw_batch.weights > 0).all()
+        # Total weighted mass = P(HW > 10), a small probability.
+        assert high_hw_batch.weights.sum() < 0.1
+
+
+class TestCensuses:
+    def test_chain_length_census_dominated_by_length1(self, bench, high_hw_batch):
+        """Figure 5's core claim: most matched chains have length 1."""
+        histogram = chain_length_census(bench.graph, high_hw_batch)
+        assert histogram.sum() == pytest.approx(1.0)
+        assert histogram[1] > 0.55
+
+    def test_hw_reduction_census(self, bench, high_hw_batch):
+        predecoders = {
+            "Promatch": PromatchPredecoder(bench.graph),
+            "Smith": SmithPredecoder(bench.graph),
+        }
+        histograms = hw_reduction_census(
+            bench.graph, high_hw_batch, predecoders
+        )
+        # Before: all mass at HW >= 11.
+        assert histograms["before"][:11].sum() == 0
+        # Promatch: coverage guarantee -> never above Astrea's limit.
+        assert histograms["Promatch"][11:].sum() == 0
+        # Masses match (same weights).
+        assert histograms["Promatch"].sum() == pytest.approx(
+            histograms["before"].sum()
+        )
+
+    def test_latency_census(self, bench, high_hw_batch):
+        census = latency_census(
+            bench.graph,
+            high_hw_batch,
+            PromatchPredecoder(bench.graph),
+            AstreaDecoder(bench.graph),
+        )
+        assert 0 < census.predecode_avg_ns <= census.predecode_max_ns
+        assert census.predecode_avg_ns < census.total_avg_ns
+        assert census.total_max_ns <= 1000.0
+        assert 0 <= census.deadline_miss_probability <= 1
+
+    def test_step_usage_census(self, bench, high_hw_batch):
+        usage = step_usage_census(high_hw_batch, PromatchPredecoder(bench.graph))
+        assert set(usage) == {1, 2, 3, 4}
+        total = sum(usage.values())
+        assert total == pytest.approx(1.0, abs=1e-6)
+        # Step 1 dominates (Table 6).  At d=5 the graph is small enough
+        # that dense patterns are relatively common, so the dominance is
+        # weaker than the paper's 99.6% at d=11 (asserted in the
+        # integration suite); here we only pin the ordering.
+        assert usage[1] > 0.5
+        assert usage[1] > usage[2] > max(usage[3], usage[4])

@@ -1,0 +1,128 @@
+"""Tests for the LER estimators."""
+
+import numpy as np
+import pytest
+
+from repro.decoders import MWPMDecoder
+from repro.decoders.base import DecodeResult, Decoder
+from repro.eval.ler import (
+    count_failures,
+    estimate_ler_direct,
+    estimate_ler_importance,
+    estimate_ler_suite,
+)
+from repro.sim.sampler import SyndromeBatch
+
+
+class _AlwaysWrong(Decoder):
+    name = "wrong"
+
+    def decode(self, events):
+        return DecodeResult(success=True, observable_mask=1 ^ 0)
+
+
+class _AlwaysFails(Decoder):
+    name = "fails"
+
+    def decode(self, events):
+        return DecodeResult(success=False, failure_reason="nope")
+
+
+class TestCounting:
+    def test_failure_flag_counts_as_error(self, d3_stack):
+        _exp, _dem, graph = d3_stack
+        batch = SyndromeBatch(events=[(), ()], observables=np.array([0, 0]))
+        failures, shots = count_failures(_AlwaysFails(graph), batch)
+        assert (failures, shots) == (2, 2)
+
+    def test_wrong_prediction_counts(self, d3_stack):
+        _exp, _dem, graph = d3_stack
+        batch = SyndromeBatch(events=[()], observables=np.array([0]))
+        failures, _ = count_failures(_AlwaysWrong(graph), batch)
+        assert failures == 1
+
+
+class TestEstimatorsAgree:
+    def test_direct_vs_importance(self, d3_stack):
+        """The two estimators must agree at an operating point where both
+        have plenty of statistics (d=3, p=3e-3)."""
+        _exp, dem, graph = d3_stack
+        decoders = {"MWPM": MWPMDecoder(graph)}
+        direct = estimate_ler_direct(decoders, dem, 3e-3, shots=60000, rng=3)
+        importance = estimate_ler_importance(
+            decoders, dem, 3e-3, k_max=8, shots_per_k=3000, rng=4
+        )
+        d_ler = direct["MWPM"].ler
+        i_ler = importance["MWPM"].ler
+        assert i_ler == pytest.approx(d_ler, rel=0.35)
+
+    def test_importance_truncation_reported(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        importance = estimate_ler_importance(
+            {"MWPM": MWPMDecoder(_graph_of(d3_stack))},
+            dem,
+            3e-3,
+            k_max=4,
+            shots_per_k=50,
+            rng=4,
+        )
+        assert importance["MWPM"].truncation_bound > 0
+
+
+def _graph_of(stack):
+    return stack[2]
+
+
+class TestSuite:
+    def test_parallel_derivation_consistent(self, d3_stack):
+        """Suite-derived || results equal direct ParallelDecoder results
+        (same seeds -> same syndromes -> same comparator outcome)."""
+        from repro.decoders import AstreaDecoder, AstreaGDecoder, ParallelDecoder
+        from repro.core import PromatchPredecoder
+        from repro.decoders import PredecodedDecoder
+
+        _exp, dem, graph = d3_stack
+        pa = PredecodedDecoder(graph, PromatchPredecoder(graph), AstreaDecoder(graph))
+        ag = AstreaGDecoder(graph, prune_probability=1e-12)
+        suite = estimate_ler_suite(
+            components={"PA": pa, "AG": ag},
+            parallel_specs={"PA || AG": ("PA", "AG")},
+            dem=dem,
+            p=5e-3,
+            k_max=5,
+            shots_per_k=300,
+            rng=11,
+        )
+        direct = estimate_ler_importance(
+            {"PA || AG": ParallelDecoder(graph, pa, ag)},
+            dem,
+            5e-3,
+            k_max=5,
+            shots_per_k=300,
+            rng=11,
+        )
+        assert suite["PA || AG"].ler == pytest.approx(
+            direct["PA || AG"].ler, rel=1e-9
+        )
+
+    def test_parallel_never_worse_than_components(self, d3_stack):
+        from repro.decoders import AstreaDecoder, AstreaGDecoder
+        from repro.core import PromatchPredecoder
+        from repro.decoders import PredecodedDecoder
+
+        _exp, dem, graph = d3_stack
+        pa = PredecodedDecoder(graph, PromatchPredecoder(graph), AstreaDecoder(graph))
+        ag = AstreaGDecoder(graph, prune_probability=1e-12)
+        suite = estimate_ler_suite(
+            components={"PA": pa, "AG": ag},
+            parallel_specs={"PA || AG": ("PA", "AG")},
+            dem=dem,
+            p=8e-3,
+            k_max=6,
+            shots_per_k=400,
+            rng=5,
+        )
+        best_component = min(suite["PA"].ler, suite["AG"].ler)
+        # The comparator picks the lower-weight solution, which is the
+        # more likely correction; allow MC slack.
+        assert suite["PA || AG"].ler <= best_component * 1.5 + 1e-12

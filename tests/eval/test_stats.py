@@ -1,0 +1,52 @@
+"""Tests for statistical helpers."""
+
+import numpy as np
+import pytest
+
+from repro.eval.stats import (
+    weighted_histogram,
+    weighted_mean_max,
+    wilson_interval,
+)
+
+
+class TestWilson:
+    def test_zero_successes_has_positive_upper(self):
+        est = wilson_interval(0, 100)
+        assert est.rate == 0.0
+        assert 0 < est.high < 0.06
+        assert est.low == 0.0
+
+    def test_contains_rate(self):
+        est = wilson_interval(30, 100)
+        assert est.low < 0.3 < est.high
+
+    def test_empty_trials(self):
+        est = wilson_interval(0, 0)
+        assert est.low == 0.0 and est.high == 1.0
+
+    def test_narrower_with_more_trials(self):
+        small = wilson_interval(5, 50)
+        large = wilson_interval(500, 5000)
+        assert (large.high - large.low) < (small.high - small.low)
+
+    def test_str(self):
+        assert "[" in str(wilson_interval(1, 10))
+
+
+class TestWeighted:
+    def test_histogram_accumulates(self):
+        hist = weighted_histogram([0, 2, 2], [0.5, 0.25, 0.25], n_bins=4)
+        assert hist.tolist() == [0.5, 0.0, 0.5, 0.0]
+
+    def test_histogram_overflow_to_last_bin(self):
+        hist = weighted_histogram([10], [1.0], n_bins=3)
+        assert hist.tolist() == [0.0, 0.0, 1.0]
+
+    def test_mean_max(self):
+        mean, peak = weighted_mean_max([1.0, 3.0], [3.0, 1.0])
+        assert mean == pytest.approx(1.5)
+        assert peak == 3.0
+
+    def test_empty(self):
+        assert weighted_mean_max([], []) == (0.0, 0.0)

@@ -1,0 +1,75 @@
+"""Tests for error-suppression / threshold analysis."""
+
+import pytest
+
+from repro.eval.threshold import crossing_point, lambda_factor, projected_ler
+
+
+class TestLambda:
+    def test_basic_ratio(self):
+        estimates = lambda_factor({3: 1e-3, 5: 2.5e-4}, p=1e-3)
+        assert len(estimates) == 1
+        assert estimates[0].lambda_factor == pytest.approx(4.0)
+        assert estimates[0].suppressing
+
+    def test_zero_rows_skipped(self):
+        estimates = lambda_factor({3: 1e-3, 5: 0.0, 7: 1e-5}, p=1e-3)
+        assert len(estimates) == 1
+        assert estimates[0].distance_small == 3
+        assert estimates[0].distance_large == 7
+
+    def test_above_threshold_not_suppressing(self):
+        estimates = lambda_factor({3: 1e-2, 5: 2e-2}, p=2e-2)
+        assert not estimates[0].suppressing
+
+    def test_empty(self):
+        assert lambda_factor({}, p=1e-3) == []
+
+
+class TestProjection:
+    def test_constant_lambda_extrapolation(self):
+        lers = {3: 1e-3, 5: 1e-4}  # Lambda = 10
+        assert projected_ler(lers, 1e-3, target_distance=9) == pytest.approx(
+            1e-6, rel=1e-9
+        )
+
+    def test_no_data(self):
+        assert projected_ler({3: 0.0}, 1e-3, 9) is None
+
+    def test_backwards_target_rejected(self):
+        with pytest.raises(ValueError):
+            projected_ler({3: 1e-3, 5: 1e-4}, 1e-3, target_distance=3)
+
+
+class TestCrossing:
+    def test_clean_crossing(self):
+        rates = [1e-3, 3e-3, 1e-2, 3e-2]
+        small = [1e-4, 1e-3, 1e-2, 5e-2]  # d small: shallower
+        large = [1e-5, 3e-4, 1e-2 * 1.0, 9e-2]  # crosses around 1e-2
+        crossing = crossing_point(rates, small, large)
+        assert crossing == pytest.approx(1e-2, rel=0.3)
+
+    def test_no_crossing_below_threshold(self):
+        rates = [1e-4, 2e-4]
+        small = [1e-6, 1e-5]
+        large = [1e-8, 1e-7]
+        assert crossing_point(rates, small, large) is None
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            crossing_point([1e-3], [1e-4, 1e-5], [1e-6])
+
+    def test_real_stack_below_threshold(self, d3_stack, d5_stack):
+        """At p = 1e-3 the d=3 -> d=5 suppression must be measurable."""
+        from repro.eval.ler import estimate_ler_direct
+        from repro.decoders import MWPMDecoder
+
+        lers = {}
+        for d, stack in ((3, d3_stack), (5, d5_stack)):
+            _exp, dem, graph = stack
+            out = estimate_ler_direct(
+                {"MWPM": MWPMDecoder(graph)}, dem, 1e-3, shots=30000, rng=13
+            )
+            lers[d] = out["MWPM"].ler
+        estimates = lambda_factor(lers, p=1e-3)
+        assert estimates and estimates[0].suppressing

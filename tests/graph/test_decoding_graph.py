@@ -1,0 +1,164 @@
+"""Tests for decoding-graph construction and shortest-path machinery."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_graph, make_path_graph  # noqa: E402
+
+from repro.circuits.ops import NoiseClass
+from repro.dem.model import DetectorErrorModel, Mechanism, NOISE_CLASS_ORDER, class_index
+from repro.graph.decoding_graph import (
+    BOUNDARY_SENTINEL,
+    build_decoding_graph,
+    _pair_singleton_partitions,
+)
+
+
+def mech(dets, obs=0, n=1):
+    counts = [0] * len(NOISE_CLASS_ORDER)
+    counts[class_index(NoiseClass.MEASUREMENT_FLIP)] = n
+    return Mechanism(tuple(dets), obs, tuple(counts))
+
+
+class TestBuildFromDem:
+    def test_basic_edges(self):
+        dem = DetectorErrorModel(
+            n_detectors=3,
+            n_observables=1,
+            mechanisms=[mech((0,)), mech((0, 1)), mech((1, 2), obs=1)],
+            detector_coords=[(0, 0, 0)] * 3,
+        )
+        graph = build_decoding_graph(dem, 0.01)
+        assert graph.n_nodes == 3
+        assert graph.boundary_edge(0) is not None
+        assert graph.boundary_edge(1) is None
+        assert graph.edge_observable(1, 2) == 1
+        assert graph.edge_observable(0, 1) == 0
+
+    def test_parallel_mechanisms_xor_combine(self):
+        dem = DetectorErrorModel(
+            n_detectors=2,
+            n_observables=1,
+            mechanisms=[mech((0, 1), n=1), mech((0, 1), n=2)],
+            detector_coords=[(0, 0, 0)] * 2,
+        )
+        # merge_raw would have combined these, but build must also cope
+        # with separate mechanisms sharing endpoints.
+        graph = build_decoding_graph(dem, 0.01)
+        edges = [e for e in graph.edges if not e.is_boundary]
+        assert len(edges) == 1
+        p1 = dem.mechanisms[0].probability(0.01)
+        p2 = dem.mechanisms[1].probability(0.01)
+        expected = p1 * (1 - p2) + p2 * (1 - p1)
+        assert edges[0].probability == pytest.approx(expected)
+
+    def test_multi_detector_decomposition(self):
+        # Mechanism {0,1,2,3} decomposes onto existing edges (0,1) + (2,3).
+        dem = DetectorErrorModel(
+            n_detectors=4,
+            n_observables=1,
+            mechanisms=[
+                mech((0, 1)),
+                mech((2, 3)),
+                mech((0, 1, 2, 3)),
+            ],
+            detector_coords=[(0, 0, 0)] * 4,
+        )
+        graph = build_decoding_graph(dem, 0.01)
+        assert graph.decomposition_stats["multi_mechanisms"] == 1
+        assert graph.decomposition_stats["undecomposable"] == 0
+        edge01 = [e for e in graph.edges if (e.u, e.v) == (0, 1)][0]
+        single = dem.mechanisms[0].probability(0.01)
+        multi = dem.mechanisms[2].probability(0.01)
+        assert edge01.probability == pytest.approx(
+            single * (1 - multi) + multi * (1 - single)
+        )
+
+    def test_undecomposable_counted(self):
+        dem = DetectorErrorModel(
+            n_detectors=4,
+            n_observables=1,
+            mechanisms=[mech((0, 1, 2, 3))],  # no elementary edges exist
+            detector_coords=[(0, 0, 0)] * 4,
+        )
+        graph = build_decoding_graph(dem, 0.01)
+        assert graph.decomposition_stats["undecomposable"] == 1
+
+
+class TestShortestPaths:
+    def test_line_distances(self):
+        graph = make_path_graph(5, weight=2.0)
+        # Ends of the line connect more cheaply through the boundary
+        # (2 + 2) than along the line (4 edges x 2): routing through the
+        # boundary is equivalent to two boundary matches and is allowed.
+        assert graph.distance(0, 4) == pytest.approx(4.0)
+        assert graph.distance(0, 1) == pytest.approx(2.0)  # direct edge wins
+        assert graph.distance(2, 2) == 0.0
+        assert graph.boundary_distance(0) == pytest.approx(2.0)
+        # middle node reaches boundary through either end: 2 hops + exit
+        assert graph.boundary_distance(2) == pytest.approx(6.0)
+
+    def test_distance_symmetry(self, d3_stack):
+        _exp, _dem, graph = d3_stack
+        graph.ensure_distances()
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            u, v = rng.integers(0, graph.n_nodes, 2)
+            assert graph.distance(int(u), int(v)) == pytest.approx(
+                graph.distance(int(v), int(u))
+            )
+
+    def test_path_nodes_are_connected(self, d3_stack):
+        _exp, _dem, graph = d3_stack
+        nodes = graph.path_nodes(0, graph.n_nodes - 1)
+        assert nodes[0] == 0 and nodes[-1] == graph.n_nodes - 1
+        for a, b in zip(nodes, nodes[1:]):
+            assert graph.direct_edge_weight(a, b) is not None
+
+    def test_path_length_edges(self):
+        graph = make_path_graph(6)
+        assert graph.path_length_edges(0, 3) == 3
+        assert graph.path_length_edges(2, 2) == 0
+
+    def test_path_observable_accumulates(self):
+        graph = make_graph(
+            n_nodes=3,
+            edges=[(0, 1, 1.0), (1, 2, 1.0)],
+            boundary=[(0, 1.0), (2, 1.0)],
+            observables={(0, 1): 1, (1, 2): 1},
+        )
+        assert graph.path_observable(0, 1) == 1
+        assert graph.path_observable(0, 2) == 0  # two flips cancel
+
+    def test_boundary_sentinel_alias(self):
+        graph = make_path_graph(4)
+        assert graph.distance(1, BOUNDARY_SENTINEL) == graph.boundary_distance(1)
+
+    def test_disconnected_raises(self):
+        graph = make_graph(n_nodes=2, edges=[], boundary=[(0, 1.0)])
+        with pytest.raises(ValueError):
+            graph.path_nodes(0, 1)
+
+    def test_event_distance_matrix(self):
+        graph = make_path_graph(5)
+        pair, boundary = graph.event_distance_matrix([0, 2, 4])
+        assert pair.shape == (3, 3)
+        assert pair[0, 1] == pytest.approx(2.0)
+        assert boundary.tolist() == pytest.approx([1.0, 3.0, 1.0])
+
+
+class TestPartitions:
+    def test_partition_counts(self):
+        # 3 elements: 4 partitions into blocks of size <= 2;
+        # 4 elements: 10.
+        assert len(list(_pair_singleton_partitions([1, 2, 3]))) == 4
+        assert len(list(_pair_singleton_partitions([1, 2, 3, 4]))) == 10
+
+    def test_partition_blocks_cover(self):
+        for partition in _pair_singleton_partitions([1, 2, 3, 4]):
+            flat = sorted(x for block in partition for x in block)
+            assert flat == [1, 2, 3, 4]

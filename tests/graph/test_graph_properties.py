@@ -1,0 +1,109 @@
+"""Property-based tests on decoding-graph invariants (hypothesis)."""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_graph  # noqa: E402
+
+from repro.graph.subgraph import DecodingSubgraph
+
+
+@st.composite
+def random_graph(draw):
+    """A random connected-ish synthetic decoding graph."""
+    n = draw(st.integers(min_value=2, max_value=10))
+    possible_edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    chosen = draw(
+        st.lists(
+            st.sampled_from(possible_edges),
+            min_size=1,
+            max_size=len(possible_edges),
+            unique=True,
+        )
+    )
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.5, max_value=20.0),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    edges = [(u, v, w) for (u, v), w in zip(chosen, weights)]
+    boundary_nodes = draw(
+        st.lists(st.integers(min_value=0, max_value=n - 1), min_size=1, unique=True)
+    )
+    boundary = [(u, draw(st.floats(min_value=0.5, max_value=20.0))) for u in boundary_nodes]
+    return make_graph(n, edges, boundary), edges, boundary
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_distance_bounded_by_direct_edge(data):
+    graph, edges, _boundary = data
+    for u, v, w in edges:
+        assert graph.distance(u, v) <= w + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_distance_symmetric_and_triangle(data):
+    graph, edges, _boundary = data
+    n = graph.n_nodes
+    for u in range(n):
+        for v in range(n):
+            duv = graph.distance(u, v)
+            assert duv == pytest.approx(graph.distance(v, u))
+    # Triangle inequality through the first edge's endpoints.
+    u, v, _w = edges[0]
+    for w_node in range(n):
+        assert graph.distance(u, w_node) <= (
+            graph.distance(u, v) + graph.distance(v, w_node) + 1e-9
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph())
+def test_path_weight_equals_distance(data):
+    graph, edges, _boundary = data
+    u, v, _w = edges[0]
+    if not np.isfinite(graph.distance(u, v)):
+        return
+    nodes = graph.path_nodes(u, v)
+    total = 0.0
+    for a, b in zip(nodes, nodes[1:]):
+        step = graph.direct_edge_weight(a, b)
+        assert step is not None
+        total += step
+    assert total == pytest.approx(graph.distance(u, v))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graph(), st.data())
+def test_subgraph_degree_sum(data, rng_data):
+    graph, _edges, _boundary = data
+    n = graph.n_nodes
+    events = rng_data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n - 1),
+            min_size=0,
+            max_size=n,
+            unique=True,
+        )
+    )
+    sub = DecodingSubgraph(graph, events)
+    # Handshake lemma.
+    assert sum(sub.degree) == 2 * sub.n_edges
+    # Dependents are a subset of neighbors.
+    for i in range(sub.n_nodes):
+        assert 0 <= sub.dependent[i] <= sub.degree[i]
+    # Isolated pairs and singletons are disjoint categories.
+    singleton_set = set(sub.singletons())
+    for edge in sub.isolated_pairs():
+        assert edge.i not in singleton_set
+        assert edge.j not in singleton_set

@@ -1,0 +1,99 @@
+"""Tests for the Promatch decoding subgraph."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import figure7_graph, figure9_graph, make_graph, make_path_graph  # noqa: E402
+
+from repro.graph.subgraph import DecodingSubgraph
+
+
+class TestConstruction:
+    def test_only_flipped_edges_kept(self):
+        graph = make_path_graph(6)
+        sub = DecodingSubgraph(graph, [0, 1, 4])
+        assert sub.n_nodes == 3
+        assert sub.n_edges == 1  # only (0, 1); 4 has no flipped neighbor
+        assert sub.degree == [1, 1, 0]
+
+    def test_duplicate_events_rejected(self):
+        graph = make_path_graph(4)
+        with pytest.raises(ValueError):
+            DecodingSubgraph(graph, [1, 1])
+
+    def test_node_id_mapping(self):
+        graph = make_path_graph(6)
+        sub = DecodingSubgraph(graph, [5, 2, 0])
+        assert [sub.node_id(i) for i in range(3)] == [0, 2, 5]
+
+
+class TestStructuralQueries:
+    def test_singletons(self):
+        graph = make_path_graph(8)
+        sub = DecodingSubgraph(graph, [0, 1, 5])
+        assert sub.singletons() == [2]
+
+    def test_isolated_pairs(self):
+        graph = make_path_graph(8)
+        sub = DecodingSubgraph(graph, [0, 1, 4, 5])
+        pairs = sub.isolated_pairs()
+        assert {(e.i, e.j) for e in pairs} == {(0, 1), (2, 3)}
+
+    def test_chain_has_no_isolated_pairs(self):
+        graph = make_path_graph(8)
+        sub = DecodingSubgraph(graph, [2, 3, 4])
+        assert sub.isolated_pairs() == []
+
+    def test_dependent_counts_figure9(self):
+        """Figure 9: node a has three dependents (b, c, d); e has none."""
+        sub = DecodingSubgraph(figure9_graph(), [0, 1, 2, 3, 4, 5])
+        a = 0
+        assert sub.degree[a] == 4
+        assert sub.dependent[a] == 3  # b, c, d (e has f as backup)
+        e = 4
+        assert sub.dependent[e] == 1  # f depends on e
+
+
+class TestCreatesSingleton:
+    def test_figure9_matching_ab_creates_singletons(self):
+        sub = DecodingSubgraph(figure9_graph(), [0, 1, 2, 3, 4, 5])
+        edge_ab = next(e for e in sub.edges if {e.i, e.j} == {0, 1})
+        assert sub.creates_singleton(edge_ab)
+
+    def test_figure9_matching_ef_safe(self):
+        sub = DecodingSubgraph(figure9_graph(), [0, 1, 2, 3, 4, 5])
+        edge_ef = next(e for e in sub.edges if {e.i, e.j} == {4, 5})
+        # Matching e-f leaves a with b, c, d still matchable via a.
+        assert not sub.creates_singleton(edge_ef)
+
+    def test_figure7_middle_edge_risky(self):
+        sub = DecodingSubgraph(figure7_graph(), [0, 1, 2, 3])
+        middle = next(e for e in sub.edges if {e.i, e.j} == {1, 2})
+        outer = next(e for e in sub.edges if {e.i, e.j} == {0, 1})
+        assert sub.creates_singleton(middle)
+        assert not sub.creates_singleton(outer)
+
+    def test_triangle_hardware_vs_exact(self):
+        """A degree-2 node adjacent to both endpoints: the hardware test
+        (Figure 11) misses it; the exact check catches it."""
+        graph = make_graph(
+            n_nodes=3,
+            edges=[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0)],
+            boundary=[(0, 9.0), (1, 9.0), (2, 9.0)],
+        )
+        sub = DecodingSubgraph(graph, [0, 1, 2])
+        edge01 = next(e for e in sub.edges if {e.i, e.j} == {0, 1})
+        assert not sub.creates_singleton(edge01, exact=False)
+        assert sub.creates_singleton(edge01, exact=True)
+
+
+class TestWithoutNodes:
+    def test_removal_rebuilds(self):
+        graph = make_path_graph(6)
+        sub = DecodingSubgraph(graph, [0, 1, 2, 3])
+        smaller = sub.without_nodes([0, 1])
+        assert smaller.nodes == [2, 3]
+        assert smaller.n_edges == 1

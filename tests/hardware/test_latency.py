@@ -1,0 +1,56 @@
+"""Tests for the cycle-accurate latency model."""
+
+import pytest
+
+from repro.hardware.latency import (
+    ASTREA_MATCHINGS_PER_CYCLE,
+    BUDGET_CYCLES,
+    CYCLE_NS,
+    DEADLINE_NS,
+    PARALLEL_COMPARE_CYCLES,
+    astrea_cycles,
+    astrea_fits_budget,
+    cycles_to_ns,
+    ns_to_cycles,
+)
+
+
+class TestConstants:
+    def test_clock_maths(self):
+        assert CYCLE_NS == pytest.approx(4.0)
+        assert BUDGET_CYCLES == 240  # 960 ns, Section 6.4
+        assert DEADLINE_NS - PARALLEL_COMPARE_CYCLES * CYCLE_NS == pytest.approx(960.0)
+
+    def test_conversions_roundtrip(self):
+        assert cycles_to_ns(240) == pytest.approx(960.0)
+        assert ns_to_cycles(960.0) == 240
+        assert ns_to_cycles(cycles_to_ns(114)) == 114
+
+
+class TestAstreaCycles:
+    def test_hw10_matches_paper_latency(self):
+        """Astrea's published latency is ~456 ns for a full HW=10 search."""
+        assert cycles_to_ns(astrea_cycles(10)) == pytest.approx(456, abs=8)
+
+    def test_search_space_scaling(self):
+        assert astrea_cycles(10) == -(-9496 // ASTREA_MATCHINGS_PER_CYCLE)
+
+    def test_minimum_one_cycle(self):
+        assert astrea_cycles(0) == 1
+        assert astrea_cycles(1) == 1
+
+    def test_monotone(self):
+        values = [astrea_cycles(h) for h in range(12)]
+        assert values == sorted(values)
+
+    def test_hw10_fits_budget(self):
+        assert astrea_fits_budget(10, BUDGET_CYCLES)
+        assert not astrea_fits_budget(10, 50)
+
+    def test_hw12_blows_realtime_budget(self):
+        """The reason predecoding exists: HW 12 brute force cannot finish."""
+        assert not astrea_fits_budget(12, BUDGET_CYCLES)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            astrea_cycles(-1)

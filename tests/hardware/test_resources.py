@@ -1,0 +1,55 @@
+"""Tests for the FPGA resource and storage models (Tables 7/8)."""
+
+import pytest
+
+from repro.eval.cache import load_or_build_dem
+from repro.codes import RotatedSurfaceCode
+from repro.graph import build_decoding_graph
+from repro.hardware.resources import (
+    estimate_fpga_utilization,
+    estimate_storage,
+)
+from repro.noise import CircuitNoiseModel
+
+
+@pytest.fixture(scope="module")
+def graphs():
+    out = {}
+    for d in (11, 13):
+        dem = load_or_build_dem(RotatedSurfaceCode(d), d, CircuitNoiseModel())
+        out[d] = build_decoding_graph(dem, 1e-4)
+    return out
+
+
+class TestStorage:
+    def test_path_table_matches_paper(self, graphs):
+        """Path table = n^2 x 2 bits: 129 KB (d=11) and 345 KB (d=13)."""
+        est11 = estimate_storage(graphs[11])
+        est13 = estimate_storage(graphs[13])
+        assert est11.path_table_kb == pytest.approx(129, rel=0.05)
+        assert est13.path_table_kb == pytest.approx(345, rel=0.05)
+
+    def test_edge_table_same_scale_as_paper(self, graphs):
+        """Edge table: 3.6 KB (d=11) and 6 KB (d=13) at one byte/edge."""
+        est11 = estimate_storage(graphs[11])
+        est13 = estimate_storage(graphs[13])
+        assert est11.edge_table_kb == pytest.approx(3.6, rel=0.35)
+        assert est13.edge_table_kb == pytest.approx(6.0, rel=0.35)
+
+    def test_detector_counts(self, graphs):
+        assert estimate_storage(graphs[11]).n_detectors == 60 * 12
+        assert estimate_storage(graphs[13]).n_detectors == 84 * 14
+
+
+class TestUtilization:
+    def test_matches_table7(self):
+        """Table 7: ~3% LUTs, ~1% FFs at 250 MHz on the KU5P."""
+        util = estimate_fpga_utilization()
+        assert util.lut_percent == pytest.approx(3.0, abs=0.5)
+        assert util.ff_percent == pytest.approx(1.0, abs=0.3)
+        assert util.clock_mhz == 250
+
+    def test_scales_with_slots(self):
+        small = estimate_fpga_utilization(edge_slots=10)
+        large = estimate_fpga_utilization(edge_slots=100)
+        assert large.luts == 10 * small.luts

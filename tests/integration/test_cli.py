@@ -1,0 +1,80 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["info"])
+        assert args.distance == 5
+        assert args.p == 1e-3
+
+    def test_ler_options(self):
+        args = build_parser().parse_args(
+            ["ler", "--method", "eq1", "--shots-per-k", "50", "--k-max", "6"]
+        )
+        assert args.method == "eq1"
+        assert args.shots_per_k == 50
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--distance", "3", "--p", "2e-3"]) == 0
+        out = capsys.readouterr().out
+        assert "detectors" in out
+        assert "Astrea capability" in out
+        assert "HW <= 10" in out
+
+    def test_ler_direct(self, capsys):
+        code = main(
+            [
+                "ler",
+                "--distance", "3",
+                "--p", "5e-3",
+                "--shots", "2000",
+                "--decoders", "MWPM,Promatch+Astrea",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MWPM" in out and "Promatch+Astrea" in out
+
+    def test_ler_eq1(self, capsys):
+        code = main(
+            [
+                "ler",
+                "--distance", "3",
+                "--p", "2e-3",
+                "--method", "eq1",
+                "--shots-per-k", "40",
+                "--k-max", "4",
+                "--decoders", "MWPM",
+            ]
+        )
+        assert code == 0
+        assert "Eq. (1)" in capsys.readouterr().out
+
+    def test_ler_unknown_decoder(self):
+        with pytest.raises(SystemExit):
+            main(["ler", "--distance", "3", "--decoders", "NotADecoder"])
+
+    def test_steps(self, capsys):
+        code = main(
+            ["steps", "--distance", "5", "--p", "3e-3",
+             "--shots-per-k", "20", "--k-max", "10"]
+        )
+        assert code == 0
+        assert "step 1" in capsys.readouterr().out
+
+    def test_decode_trace(self, capsys):
+        code = main(["decode", "--distance", "5", "--p", "5e-3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "syndrome HW" in out
+        assert "Astrea" in out

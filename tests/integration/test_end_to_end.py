@@ -1,0 +1,100 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import build_workbench
+from repro.circuits import build_memory_circuit
+from repro.codes import RotatedSurfaceCode
+from repro.decoders import MWPMDecoder
+from repro.eval.ler import count_failures, estimate_ler_direct
+from repro.graph import build_decoding_graph
+from repro.noise import CircuitNoiseModel
+from repro.sim import DemSampler, FrameSimulator, build_detector_error_model
+
+
+class TestErrorSuppression:
+    """The defining property of a working QEC stack: LER falls with d and p."""
+
+    def test_ler_improves_with_distance(self):
+        results = {}
+        for d in (3, 5):
+            bench = build_workbench(distance=d, p=1e-3, rng=42)
+            out = estimate_ler_direct(
+                {"MWPM": bench.decoders["MWPM"]}, bench.dem, 1e-3,
+                shots=40000, rng=9,
+            )
+            results[d] = out["MWPM"].ler
+        assert results[5] < results[3] / 1.8
+
+    def test_ler_improves_with_rate(self):
+        bench_high = build_workbench(distance=3, p=3e-3, rng=1)
+        bench_low = build_workbench(distance=3, p=1e-3, rng=1)
+        high = estimate_ler_direct(
+            {"MWPM": bench_high.decoders["MWPM"]}, bench_high.dem, 3e-3,
+            shots=20000, rng=2,
+        )["MWPM"].ler
+        low = estimate_ler_direct(
+            {"MWPM": bench_low.decoders["MWPM"]}, bench_low.dem, 1e-3,
+            shots=20000, rng=2,
+        )["MWPM"].ler
+        assert low < high
+
+    def test_mwpm_beats_no_correction(self):
+        bench = build_workbench(distance=3, p=3e-3, rng=5)
+        batch = bench.sample(20000)
+        failures, shots = count_failures(bench.decoders["MWPM"], batch)
+        baseline = int((batch.observables & 1).sum())
+        assert failures < baseline / 2
+
+
+class TestSamplerConsistency:
+    def test_frame_and_dem_sampler_agree_on_observable_rate(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        dem = build_detector_error_model(exp.circuit)
+        p, shots = 8e-3, 50000
+        frame = FrameSimulator(exp.circuit, p, rng=3).sample(shots)
+        demsam = DemSampler(dem, p, rng=4).sample(shots)
+        frame_rate = frame.observables.mean()
+        dem_rate = (demsam.observables & 1).mean()
+        assert dem_rate == pytest.approx(frame_rate, rel=0.1)
+
+
+class TestXBasisMemory:
+    def test_x_memory_full_stack(self):
+        """The X-basis experiment must decode just as well (symmetry)."""
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(
+            code, rounds=3, noise=CircuitNoiseModel(), basis="X"
+        )
+        dem = build_detector_error_model(exp.circuit)
+        graph = build_decoding_graph(dem, 3e-3)
+        decoder = MWPMDecoder(graph)
+        batch = DemSampler(dem, 3e-3, rng=6).sample(5000)
+        failures, shots = count_failures(decoder, batch)
+        assert failures / shots < 0.05
+
+    def test_x_memory_single_faults_correctable(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(
+            code, rounds=3, noise=CircuitNoiseModel(), basis="X"
+        )
+        dem = build_detector_error_model(exp.circuit)
+        graph = build_decoding_graph(dem, 1e-3)
+        decoder = MWPMDecoder(graph)
+        for mechanism in dem.mechanisms:
+            result = decoder.decode(mechanism.detectors)
+            assert result.observable_mask == mechanism.observable_mask
+
+
+class TestFullZoo:
+    def test_all_decoders_run_on_shared_workload(self):
+        bench = build_workbench(distance=5, p=6e-3, rng=8)
+        batch = bench.sample(150)
+        for name, decoder in bench.decoders.items():
+            for events, obs in zip(batch.events, batch.observables):
+                result = decoder.decode(events)
+                assert result is not None
+                if result.success:
+                    assert result.observable_mask in (0, 1)

@@ -1,0 +1,38 @@
+"""Smoke tests: the lightweight example scripts must run end to end.
+
+Only the fast examples are executed (the d=11 studies belong to the
+benchmark tier); this catches API drift between the library and its
+documented entry points.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", ["complex_patterns.py"])
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "Promatch" in output
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    output = capsys.readouterr().out
+    assert "logical error rate" in output
+    assert "latency" in output
+
+
+def test_examples_exist_and_are_documented():
+    """Every example is runnable python with a module docstring."""
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        source = script.read_text()
+        assert source.lstrip().startswith(('"""', "#!")), script.name
+        assert "Run:" in source, f"{script.name} lacks a Run: line"

@@ -1,0 +1,118 @@
+"""Integration tests across the three noise-model variants.
+
+The paper uses the full circuit-level model; the weaker models exist as
+validation substrates.  These tests pin the relationships between them:
+the same decoder stack must work under all three, and their severity
+must order correctly (code capacity < phenomenological < circuit level
+in both detector activity and logical error rate at fixed p).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_memory_circuit
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.decoders import MWPMDecoder
+from repro.eval.ler import count_failures
+from repro.graph import build_decoding_graph
+from repro.noise import (
+    CircuitNoiseModel,
+    CodeCapacityNoiseModel,
+    PhenomenologicalNoiseModel,
+)
+from repro.sim import DemSampler, build_detector_error_model
+
+
+def build_stack(noise, d=3, rounds=None, p=2e-3):
+    code = RotatedSurfaceCode(d)
+    rounds = rounds if rounds is not None else d
+    exp = build_memory_circuit(code, rounds=rounds, noise=noise)
+    dem = build_detector_error_model(exp.circuit)
+    graph = build_decoding_graph(dem, p)
+    return exp, dem, graph
+
+
+class TestModelSeverityOrdering:
+    def test_mechanism_counts_order(self):
+        stacks = {
+            "cc": build_stack(CodeCapacityNoiseModel()),
+            "ph": build_stack(PhenomenologicalNoiseModel()),
+            "cl": build_stack(CircuitNoiseModel()),
+        }
+        counts = {k: len(dem.mechanisms) for k, (_e, dem, _g) in stacks.items()}
+        assert counts["cc"] < counts["ph"] < counts["cl"]
+
+    def test_expected_fault_count_order(self):
+        p = 2e-3
+        expectations = {}
+        for key, noise in (
+            ("cc", CodeCapacityNoiseModel()),
+            ("ph", PhenomenologicalNoiseModel()),
+            ("cl", CircuitNoiseModel()),
+        ):
+            _exp, dem, _graph = build_stack(noise, p=p)
+            expectations[key] = dem.expected_fault_count(p)
+        assert expectations["cc"] < expectations["ph"] < expectations["cl"]
+
+    def test_ler_ordering_at_fixed_p(self):
+        """More noise channels at the same p => more logical errors."""
+        p = 8e-3
+        shots = 12000
+        lers = {}
+        for key, noise in (
+            ("cc", CodeCapacityNoiseModel()),
+            ("cl", CircuitNoiseModel()),
+        ):
+            _exp, dem, graph = build_stack(noise, p=p)
+            batch = DemSampler(dem, p, rng=5).sample(shots)
+            failures, _ = count_failures(MWPMDecoder(graph), batch)
+            lers[key] = failures / shots
+        assert lers["cc"] < lers["cl"]
+
+
+class TestPhenomenologicalStructure:
+    def test_no_gate_mechanisms(self):
+        _exp, dem, _graph = build_stack(PhenomenologicalNoiseModel())
+        from repro.circuits.ops import NoiseClass
+        from repro.dem.model import class_index
+
+        gate2 = class_index(NoiseClass.GATE2_DEPOLARIZE)
+        for mechanism in dem.mechanisms:
+            assert mechanism.class_counts[gate2] == 0
+
+    def test_measurement_errors_make_time_edges(self):
+        """Phenomenological graphs must contain time-like edges (same
+        plaquette, adjacent layers) -- that is their defining feature."""
+        _exp, dem, graph = build_stack(PhenomenologicalNoiseModel(), d=3)
+        coords = graph.node_coords
+        time_edges = [
+            e
+            for e in graph.edges
+            if not e.is_boundary
+            and coords[e.u][:2] == coords[e.v][:2]
+            and abs(coords[e.u][2] - coords[e.v][2]) == 1
+        ]
+        assert time_edges
+
+    def test_single_faults_decodable(self):
+        _exp, dem, graph = build_stack(PhenomenologicalNoiseModel(), d=3)
+        decoder = MWPMDecoder(graph)
+        for mechanism in dem.mechanisms:
+            result = decoder.decode(mechanism.detectors)
+            assert result.observable_mask == mechanism.observable_mask
+
+
+class TestRepetitionCodeAcrossModels:
+    @pytest.mark.parametrize(
+        "noise",
+        [CodeCapacityNoiseModel(), PhenomenologicalNoiseModel(), CircuitNoiseModel()],
+    )
+    def test_full_stack_runs(self, noise):
+        code = RepetitionCode(5)
+        exp = build_memory_circuit(code, rounds=3, noise=noise)
+        dem = build_detector_error_model(exp.circuit)
+        graph = build_decoding_graph(dem, 5e-3)
+        decoder = MWPMDecoder(graph)
+        batch = DemSampler(dem, 5e-3, rng=1).sample(1000)
+        failures, shots = count_failures(decoder, batch)
+        assert failures / shots < 0.05

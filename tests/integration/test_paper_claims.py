@@ -1,0 +1,99 @@
+"""Integration tests pinned to specific claims in the paper's text."""
+
+import numpy as np
+import pytest
+
+from repro import build_workbench
+from repro.core import PromatchPredecoder
+from repro.decoders import AstreaDecoder, SmithPredecoder
+from repro.decoders.astrea import ASTREA_MAX_HAMMING_WEIGHT
+from repro.eval.experiments import chain_length_census, step_usage_census
+from repro.hardware.latency import BUDGET_CYCLES, astrea_cycles, cycles_to_ns
+from repro.matching.exact import involution_count
+
+
+@pytest.fixture(scope="module")
+def bench11():
+    return build_workbench(distance=11, p=1e-4, rng=101)
+
+
+@pytest.fixture(scope="module")
+def high_hw_11(bench11):
+    return bench11.sample_high_hw(shots_per_k=25, k_max=14)
+
+
+class TestSection2Claims:
+    def test_945_perfect_matchings_at_hw10(self):
+        """'The number of possible matchings for syndromes of Hamming
+        weight 10 is 945' -- perfect matchings without boundary."""
+        double_factorial = 1
+        for odd in range(1, 10, 2):
+            double_factorial *= odd
+        assert double_factorial == 945
+        # With boundary fallbacks the space is the involution number.
+        assert involution_count(10) == 9496
+
+    def test_astrea_capability_window(self):
+        """Astrea handles HW <= 10 within the real-time budget; HW 12+
+        cannot fit, which is the entire motivation for predecoding."""
+        assert astrea_cycles(ASTREA_MAX_HAMMING_WEIGHT) <= BUDGET_CYCLES
+        assert astrea_cycles(12) > BUDGET_CYCLES
+
+
+class TestSection3Claims:
+    def test_most_chains_have_length_one(self, bench11, high_hw_11):
+        """Figure 5: 'More than 90% of error chains ... has length of 1'
+        (d=13 in the paper; d=11 here for test runtime, same physics)."""
+        histogram = chain_length_census(bench11.graph, high_hw_11)
+        assert histogram[1] > 0.80
+
+
+class TestSection4Claims:
+    def test_promatch_coverage_guarantee(self, bench11, high_hw_11):
+        """Figures 16/17: 'Promatch consistently lowers syndrome Hamming
+        weight to 10 or less'."""
+        promatch = PromatchPredecoder(bench11.graph)
+        for events in high_hw_11.events:
+            report = promatch.predecode(events)
+            if not report.aborted:
+                assert len(report.remaining) <= ASTREA_MAX_HAMMING_WEIGHT
+
+    def test_step1_dominates(self, bench11, high_hw_11):
+        """Table 6: at d=11, ~99.6% of high-HW samples need only Step 1."""
+        usage = step_usage_census(high_hw_11, PromatchPredecoder(bench11.graph))
+        assert usage[1] > 0.95
+
+    def test_latency_within_budget(self, bench11, high_hw_11):
+        """Tables 4/5: predecode+decode fits 960 ns on (almost) all
+        high-HW syndromes; misses are measured at ~1e-17 probability."""
+        promatch = PromatchPredecoder(bench11.graph)
+        astrea = AstreaDecoder(bench11.graph)
+        misses = 0
+        for events in high_hw_11.events:
+            report = promatch.predecode(events)
+            if report.aborted:
+                misses += 1
+                continue
+            result = astrea.decode(
+                report.remaining,
+                budget_cycles=promatch.budget_cycles - report.cycles,
+            )
+            if not result.success:
+                misses += 1
+        assert misses / max(1, high_hw_11.shots) < 0.02
+
+    def test_smith_lacks_coverage_guarantee(self, bench11):
+        """Section 6.3: Smith 'cannot guarantee enough coverage' -- on
+        syndromes made of mutually non-adjacent events it matches nothing."""
+        smith = SmithPredecoder(bench11.graph)
+        spread = []
+        for node in range(bench11.graph.n_nodes):
+            if all(
+                bench11.graph.direct_edge_weight(node, other) is None
+                for other in spread
+            ):
+                spread.append(node)
+            if len(spread) == 12:
+                break
+        report = smith.predecode(tuple(spread))
+        assert len(report.remaining) == 12

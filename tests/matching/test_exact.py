@@ -1,0 +1,105 @@
+"""Tests for the exact matching engines (DP, blossom, brute force)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching.exact import (
+    MatchingSolution,
+    _solve_bitmask_dp,
+    _solve_blossom,
+    brute_force_minimum,
+    enumerate_matchings,
+    involution_count,
+    solve_exact_matching,
+)
+
+
+def random_instance(rng: np.random.Generator, n: int):
+    pair = rng.uniform(0.5, 10.0, size=(n, n))
+    pair = (pair + pair.T) / 2
+    np.fill_diagonal(pair, 0.0)
+    boundary = rng.uniform(0.5, 10.0, size=n)
+    return pair, boundary
+
+
+class TestInvolutions:
+    def test_known_values(self):
+        assert involution_count(0) == 1
+        assert involution_count(1) == 1
+        assert involution_count(2) == 2
+        assert involution_count(4) == 10
+        assert involution_count(10) == 9496  # the paper's HW=10 search space
+
+    def test_enumeration_matches_count(self):
+        for n in range(6):
+            assert len(list(enumerate_matchings(n))) == involution_count(n)
+
+    def test_enumeration_covers(self):
+        for pairs, boundary in enumerate_matchings(4):
+            used = sorted([i for p in pairs for i in p] + list(boundary))
+            assert used == [0, 1, 2, 3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            involution_count(-1)
+
+
+class TestEnginesAgree:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 5, 7, 8])
+    def test_dp_equals_brute_force(self, n, rng):
+        pair, boundary = random_instance(rng, n)
+        dp = _solve_bitmask_dp(pair, boundary)
+        brute = brute_force_minimum(pair, boundary)
+        assert dp.total_weight == pytest.approx(brute.total_weight)
+        assert dp.covers(n)
+
+    @pytest.mark.parametrize("n", [2, 5, 9, 12])
+    def test_blossom_equals_dp(self, n, rng):
+        pair, boundary = random_instance(rng, n)
+        dp = _solve_bitmask_dp(pair, boundary)
+        blossom = _solve_blossom(pair, boundary)
+        assert blossom.total_weight == pytest.approx(dp.total_weight)
+        assert blossom.covers(n)
+
+    def test_dispatch_small_and_large(self, rng):
+        pair, boundary = random_instance(rng, 15)
+        solution = solve_exact_matching(pair, boundary, dp_limit=12)
+        assert solution.covers(15)
+
+    def test_empty(self):
+        solution = solve_exact_matching(np.zeros((0, 0)), np.zeros(0))
+        assert solution.pairs == [] and solution.boundary == []
+        assert solution.total_weight == 0.0
+
+    def test_boundary_only_optimum(self):
+        pair = np.full((2, 2), 100.0)
+        np.fill_diagonal(pair, 0)
+        boundary = np.array([1.0, 1.0])
+        solution = solve_exact_matching(pair, boundary)
+        assert solution.boundary == [0, 1]
+        assert solution.total_weight == pytest.approx(2.0)
+
+    def test_pair_preferred_when_cheap(self):
+        pair = np.array([[0.0, 1.0], [1.0, 0.0]])
+        boundary = np.array([10.0, 10.0])
+        solution = solve_exact_matching(pair, boundary)
+        assert solution.pairs == [(0, 1)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=6), st.integers(min_value=0, max_value=2**31 - 1))
+def test_property_dp_optimal(n, seed):
+    rng = np.random.default_rng(seed)
+    pair, boundary = random_instance(rng, n)
+    dp = _solve_bitmask_dp(pair, boundary)
+    brute = brute_force_minimum(pair, boundary)
+    assert dp.total_weight == pytest.approx(brute.total_weight)
+
+
+class TestSolutionType:
+    def test_covers_detects_missing(self):
+        solution = MatchingSolution(pairs=[(0, 1)], boundary=[])
+        assert solution.covers(2)
+        assert not solution.covers(3)

@@ -1,0 +1,54 @@
+"""Tests for the greedy completion matcher."""
+
+import numpy as np
+import pytest
+
+from repro.matching.exact import solve_exact_matching
+from repro.matching.greedy import greedy_matching
+
+
+def instance(rng, n):
+    pair = rng.uniform(0.5, 10.0, size=(n, n))
+    pair = (pair + pair.T) / 2
+    np.fill_diagonal(pair, 0.0)
+    boundary = rng.uniform(0.5, 10.0, size=n)
+    return pair, boundary
+
+
+class TestGreedy:
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_always_complete(self, n, rng):
+        pair, boundary = instance(rng, n)
+        solution = greedy_matching(pair, boundary)
+        assert solution.covers(n)
+
+    def test_never_better_than_optimal(self, rng):
+        for _ in range(10):
+            pair, boundary = instance(rng, 8)
+            greedy = greedy_matching(pair, boundary)
+            optimal = solve_exact_matching(pair, boundary)
+            assert greedy.total_weight >= optimal.total_weight - 1e-9
+
+    def test_takes_obvious_cheap_pair(self):
+        pair = np.array([[0.0, 0.1], [0.1, 0.0]])
+        boundary = np.array([5.0, 5.0])
+        solution = greedy_matching(pair, boundary)
+        assert solution.pairs == [(0, 1)]
+
+    def test_allowed_pairs_respected(self, rng):
+        pair, boundary = instance(rng, 4)
+        solution = greedy_matching(pair, boundary, allowed_pairs=[(0, 1)])
+        for i, j in solution.pairs:
+            assert (i, j) == (0, 1)
+        assert solution.covers(4)
+
+    def test_subset_of_events(self, rng):
+        pair, boundary = instance(rng, 6)
+        solution = greedy_matching(pair, boundary, events=[1, 3, 5])
+        matched = {i for p in solution.pairs for i in p} | set(solution.boundary)
+        assert matched == {1, 3, 5}
+
+    def test_empty_allowed_pairs_forces_boundary(self, rng):
+        pair, boundary = instance(rng, 3)
+        solution = greedy_matching(pair, boundary, allowed_pairs=[])
+        assert solution.boundary == [0, 1, 2]

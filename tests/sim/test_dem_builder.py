@@ -1,0 +1,119 @@
+"""Tests for detector-error-model extraction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import build_memory_circuit
+from repro.circuits.circuit import Circuit, DetectorSpec, ObservableSpec
+from repro.circuits.ops import NoiseClass, OpKind
+from repro.codes import RepetitionCode, RotatedSurfaceCode
+from repro.dem.model import NOISE_CLASS_ORDER, class_index
+from repro.noise import CircuitNoiseModel, CodeCapacityNoiseModel
+from repro.sim import FrameSimulator, build_detector_error_model
+
+
+class TestCodeCapacityRepetition:
+    """d=3 repetition code, one perfect round: fully hand-checkable."""
+
+    @pytest.fixture(scope="class")
+    def dem(self):
+        code = RepetitionCode(3)
+        exp = build_memory_circuit(code, rounds=1, noise=CodeCapacityNoiseModel())
+        return build_detector_error_model(exp.circuit)
+
+    def test_mechanism_count(self, dem):
+        # Three data qubits; X and Y components share a signature, Z is
+        # invisible -> exactly one merged mechanism per data qubit.
+        assert len(dem.mechanisms) == 3
+
+    def test_signatures(self, dem):
+        # Detector layout: layer 0 = checks (0, 1); layer 1 (closure) =
+        # detectors (2, 3).  A data X flips the adjacent round-0 checks;
+        # in the closure layer the ancilla flip and the final data-
+        # measurement flip *cancel*, so closure detectors stay quiet:
+        #   qubit 0 -> {check 0},  qubit 1 -> {check 0, check 1},
+        #   qubit 2 -> {check 1}.
+        signatures = {m.detectors for m in dem.mechanisms}
+        assert signatures == {(0,), (0, 1), (1,)}
+
+    def test_merge_counts_x_plus_y(self, dem):
+        # Each merged mechanism aggregates the X and Y components (2 faults
+        # of the DATA_DEPOLARIZE class).
+        idx = class_index(NoiseClass.DATA_DEPOLARIZE)
+        for m in dem.mechanisms:
+            assert m.class_counts[idx] == 2
+
+    def test_probability_formula(self, dem):
+        p = 0.03
+        component = p / 3
+        expected = 2 * component * (1 - component)  # XOR of two components
+        for m in dem.mechanisms:
+            assert m.probability(p) == pytest.approx(expected, rel=1e-12)
+
+    def test_observable_mechanisms_exist(self, dem):
+        # logical_z = qubit 0: X on qubit 0 flips the observable.
+        flipping = [m for m in dem.mechanisms if m.observable_mask]
+        assert len(flipping) == 1
+
+
+class TestSurfaceCodeStructure:
+    @pytest.mark.parametrize("d", [3, 5])
+    def test_all_mechanisms_graphlike(self, d):
+        code = RotatedSurfaceCode(d)
+        exp = build_memory_circuit(code, rounds=d, noise=CircuitNoiseModel())
+        dem = build_detector_error_model(exp.circuit)
+        assert dem.max_detectors_per_mechanism() <= 2
+        dem.validate()
+
+    def test_no_undetectable_logical(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        dem = build_detector_error_model(exp.circuit)
+        for m in dem.mechanisms:
+            if m.observable_mask:
+                assert m.detectors, "logical flip without any detector"
+
+    def test_detector_coords_align(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        dem = build_detector_error_model(exp.circuit)
+        assert len(dem.detector_coords) == dem.n_detectors
+        assert dem.detector_coords == [d.coord for d in exp.circuit.detectors]
+
+    def test_measurement_flip_mechanism(self):
+        """A p=1 forced measurement flip shows up as a 2-detector mechanism."""
+        circuit = Circuit(n_qubits=1)
+        circuit.append(OpKind.RESET, [0])
+        circuit.append(OpKind.MEASURE, [0])
+        circuit.append(OpKind.MEASURE_FLIP, [0], NoiseClass.MEASUREMENT_FLIP)
+        circuit.append(OpKind.MEASURE, [0])
+        circuit.append(OpKind.MEASURE, [0])
+        circuit.detectors.append(DetectorSpec((0, 1), (0, 0, 1), "Z"))
+        circuit.detectors.append(DetectorSpec((1, 2), (0, 0, 2), "Z"))
+        dem = build_detector_error_model(circuit)
+        assert len(dem.mechanisms) == 1
+        assert dem.mechanisms[0].detectors == (0, 1)
+
+
+class TestAgainstFrameSimulator:
+    """The DEM's per-detector marginals must match Monte-Carlo sampling."""
+
+    def test_marginal_rates_match(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        dem = build_detector_error_model(exp.circuit)
+        p = 0.02
+        shots = 30000
+        samples = FrameSimulator(exp.circuit, p, rng=17).sample(shots)
+        mc_rates = samples.detectors.mean(axis=0)
+
+        # Independent-mechanism prediction: detector fires iff an odd
+        # number of incident mechanisms fire.
+        predicted = np.zeros(dem.n_detectors)
+        for det in range(dem.n_detectors):
+            prod = 1.0
+            for m in dem.mechanisms:
+                if det in m.detectors:
+                    prod *= 1 - 2 * m.probability(p)
+            predicted[det] = (1 - prod) / 2
+        assert np.abs(mc_rates - predicted).max() < 0.01

@@ -1,0 +1,108 @@
+"""Tests for the Pauli-frame Monte-Carlo simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit, DetectorSpec, ObservableSpec
+from repro.circuits.ops import NoiseClass, OpKind
+from repro.circuits import build_memory_circuit
+from repro.codes import RotatedSurfaceCode
+from repro.noise import CircuitNoiseModel
+from repro.sim import FrameSimulator
+
+
+def forced_error_circuit(error_kind: OpKind, target: int) -> Circuit:
+    """Two qubits measured twice; a p=1 noise op fires between rounds."""
+    circuit = Circuit(n_qubits=2)
+    circuit.append(OpKind.RESET, [0, 1])
+    circuit.append(OpKind.MEASURE, [0, 1])  # records 0, 1
+    noise_class = (
+        NoiseClass.MEASUREMENT_FLIP
+        if error_kind is OpKind.MEASURE_FLIP
+        else NoiseClass.RESET_FLIP
+    )
+    circuit.append(error_kind, [target], noise_class)
+    circuit.append(OpKind.MEASURE, [0, 1])  # records 2, 3
+    for q in range(2):
+        circuit.detectors.append(
+            DetectorSpec(measurements=(q, q + 2), coord=(0, q, 1), basis="Z")
+        )
+    circuit.observables.append(ObservableSpec(measurements=(2,)))
+    return circuit
+
+
+class TestDeterministicErrors:
+    def test_forced_x_error_flips_detector(self):
+        circuit = forced_error_circuit(OpKind.X_ERROR, target=0)
+        samples = FrameSimulator(circuit, p=1.0, rng=3).sample(32)
+        assert samples.detectors[:, 0].all()
+        assert not samples.detectors[:, 1].any()
+        assert samples.observables[:, 0].all()
+
+    def test_forced_measure_flip(self):
+        circuit = forced_error_circuit(OpKind.MEASURE_FLIP, target=1)
+        samples = FrameSimulator(circuit, p=1.0, rng=3).sample(32)
+        assert samples.detectors[:, 1].all()
+        assert not samples.detectors[:, 0].any()
+        # Measurement flips are classical: the frame is untouched.
+        assert not samples.observables[:, 0].any()
+
+    def test_h_conjugation_moves_x_to_z(self):
+        # X before H becomes Z after H: a Z-basis measurement is unaffected
+        # after a second H undoes the rotation... but between the two H's
+        # the frame is Z, so a CX control picks up nothing.
+        circuit = Circuit(n_qubits=2)
+        circuit.append(OpKind.RESET, [0, 1])
+        circuit.append(OpKind.X_ERROR, [0], NoiseClass.RESET_FLIP)
+        circuit.append(OpKind.H, [0])
+        circuit.append(OpKind.CX, [0, 1])  # Z on control does not propagate
+        circuit.append(OpKind.H, [0])
+        circuit.append(OpKind.MEASURE, [0, 1])
+        circuit.detectors.append(
+            DetectorSpec(measurements=(0,), coord=(0, 0, 0), basis="Z")
+        )
+        circuit.detectors.append(
+            DetectorSpec(measurements=(1,), coord=(0, 1, 0), basis="Z")
+        )
+        samples = FrameSimulator(circuit, p=1.0, rng=3).sample(16)
+        assert samples.detectors[:, 0].all()  # X restored on qubit 0
+        assert not samples.detectors[:, 1].any()  # nothing reached qubit 1
+
+    def test_cx_propagates_x_to_target(self):
+        circuit = Circuit(n_qubits=2)
+        circuit.append(OpKind.RESET, [0, 1])
+        circuit.append(OpKind.X_ERROR, [0], NoiseClass.RESET_FLIP)
+        circuit.append(OpKind.CX, [0, 1])
+        circuit.append(OpKind.MEASURE, [0, 1])
+        circuit.detectors.append(
+            DetectorSpec(measurements=(1,), coord=(0, 1, 0), basis="Z")
+        )
+        samples = FrameSimulator(circuit, p=1.0, rng=3).sample(8)
+        assert samples.detectors[:, 0].all()
+
+
+class TestStatistics:
+    def test_zero_rate_is_quiet(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        samples = FrameSimulator(exp.circuit, p=0.0, rng=5).sample(50)
+        assert not samples.detectors.any()
+
+    def test_detector_rate_scales_with_p(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        low = FrameSimulator(exp.circuit, p=1e-3, rng=5).sample(2000)
+        high = FrameSimulator(exp.circuit, p=1e-2, rng=5).sample(2000)
+        assert high.detectors.mean() > 3 * low.detectors.mean()
+
+    def test_shot_validation(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        with pytest.raises(ValueError):
+            FrameSimulator(exp.circuit, p=0.1).sample(0)
+
+    def test_p_validation(self):
+        code = RotatedSurfaceCode(3)
+        exp = build_memory_circuit(code, rounds=3, noise=CircuitNoiseModel())
+        with pytest.raises(ValueError):
+            FrameSimulator(exp.circuit, p=1.5)

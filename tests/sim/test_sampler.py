@@ -1,0 +1,111 @@
+"""Tests for the DEM-level samplers."""
+
+import numpy as np
+import pytest
+
+from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
+
+
+class TestDemSampler:
+    def test_zero_rate_quiet(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        batch = DemSampler(dem, 0.0, rng=1).sample(100)
+        assert all(len(e) == 0 for e in batch.events)
+        assert not batch.observables.any()
+
+    def test_deterministic_with_seed(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        a = DemSampler(dem, 5e-3, rng=9).sample(200)
+        b = DemSampler(dem, 5e-3, rng=9).sample(200)
+        assert a.events == b.events
+        assert (a.observables == b.observables).all()
+
+    def test_mean_fault_count_matches_expectation(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        p = 5e-3
+        batch = DemSampler(dem, p, rng=4).sample(8000)
+        expected = dem.expected_fault_count(p)
+        measured = batch.fault_counts.mean()
+        assert measured == pytest.approx(expected, rel=0.1)
+
+    def test_events_sorted_unique(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        batch = DemSampler(dem, 2e-2, rng=4).sample(500)
+        for events in batch.events:
+            assert list(events) == sorted(set(events))
+
+    def test_shots_validation(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        with pytest.raises(ValueError):
+            DemSampler(dem, 1e-3, rng=1).sample(0)
+
+
+class TestExactKSampler:
+    def test_exactly_k_faults(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        for k in (1, 3, 6):
+            batch = ExactKSampler(dem, 1e-4, rng=2).sample(k, 50)
+            assert (batch.fault_counts == k).all()
+
+    def test_k_zero(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        batch = ExactKSampler(dem, 1e-4, rng=2).sample(0, 10)
+        assert all(len(e) == 0 for e in batch.events)
+
+    def test_hamming_weight_bounded_by_2k(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        k = 4
+        batch = ExactKSampler(dem, 1e-4, rng=7).sample(k, 200)
+        assert (batch.hamming_weights() <= 2 * k).all()
+
+    def test_k_out_of_range(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        sampler = ExactKSampler(dem, 1e-4, rng=2)
+        with pytest.raises(ValueError):
+            sampler.sample(-1, 10)
+        with pytest.raises(ValueError):
+            sampler.sample(10**9, 10)
+
+    def test_weighting_prefers_likely_mechanisms(self, d3_stack):
+        """Mechanism pick frequency should track p_i (Gumbel top-k)."""
+        _exp, dem, _graph = d3_stack
+        probs = dem.probabilities(1e-3)
+        sampler = ExactKSampler(dem, 1e-3, rng=5)
+        counts = np.zeros(len(dem.mechanisms))
+        shots = 3000
+        batch = sampler.sample(1, shots)
+        for events, obs in zip(batch.events, batch.observables):
+            # find which mechanism produced this signature
+            for idx, m in enumerate(dem.mechanisms):
+                if m.detectors == events and m.observable_mask == int(obs):
+                    counts[idx] += 1
+                    break
+        # The most probable mechanisms should be picked more often than the
+        # least probable ones by roughly their probability ratio.
+        top = np.argsort(probs)[-5:]
+        bottom = np.argsort(probs)[:5]
+        assert counts[top].sum() > counts[bottom].sum()
+
+
+class TestSyndromeBatch:
+    def test_extend(self):
+        a = SyndromeBatch(
+            events=[(1, 2)],
+            observables=np.array([1]),
+            fault_counts=np.array([1]),
+            weights=np.array([0.5]),
+        )
+        b = SyndromeBatch(
+            events=[(3,)],
+            observables=np.array([0]),
+            fault_counts=np.array([2]),
+            weights=np.array([0.25]),
+        )
+        a.extend(b)
+        assert a.shots == 2
+        assert a.events == [(1, 2), (3,)]
+        assert a.weights.tolist() == [0.5, 0.25]
+
+    def test_hamming_weights(self):
+        batch = SyndromeBatch(events=[(), (1, 2, 3)], observables=np.array([0, 1]))
+        assert batch.hamming_weights().tolist() == [0, 3]

@@ -1,0 +1,81 @@
+"""Tests for probability/weight algebra helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    nonzero_tuple,
+    parity,
+    popcount_rows,
+    probability_to_weight,
+    weight_to_probability,
+    xor_combine_probabilities,
+    xor_combine_two,
+)
+
+probability = st.floats(min_value=0.0, max_value=0.5, allow_nan=False)
+
+
+class TestXorCombine:
+    def test_two_known(self):
+        assert xor_combine_two(0.0, 0.25) == pytest.approx(0.25)
+        assert xor_combine_two(0.5, 0.5) == pytest.approx(0.5)
+        assert xor_combine_two(0.1, 0.2) == pytest.approx(0.1 * 0.8 + 0.2 * 0.9)
+
+    def test_many_equals_iterated_two(self):
+        ps = [0.01, 0.02, 0.03, 0.04]
+        acc = 0.0
+        for p in ps:
+            acc = xor_combine_two(acc, p)
+        assert xor_combine_probabilities(ps) == pytest.approx(acc)
+
+    @given(probability, probability)
+    def test_symmetry(self, p1, p2):
+        assert xor_combine_two(p1, p2) == pytest.approx(xor_combine_two(p2, p1))
+
+    @given(st.lists(probability, max_size=10))
+    def test_result_in_range(self, ps):
+        combined = xor_combine_probabilities(ps)
+        assert -1e-12 <= combined <= 0.5 + 1e-12
+
+    @given(probability)
+    def test_identity_element(self, p):
+        assert xor_combine_two(0.0, p) == pytest.approx(p)
+
+
+class TestWeights:
+    def test_weight_of_half_is_zero_plus(self):
+        assert probability_to_weight(0.5) >= 0.0
+
+    def test_roundtrip(self):
+        for p in (1e-6, 1e-4, 0.01, 0.3):
+            assert weight_to_probability(probability_to_weight(p)) == pytest.approx(
+                p, rel=1e-9
+            )
+
+    def test_monotone_decreasing_in_p(self):
+        weights = [probability_to_weight(p) for p in (1e-5, 1e-4, 1e-3, 1e-2)]
+        assert weights == sorted(weights, reverse=True)
+
+    @given(st.floats(min_value=1e-12, max_value=0.49))
+    def test_positive(self, p):
+        assert probability_to_weight(p) > 0
+
+
+class TestBitHelpers:
+    def test_parity(self):
+        assert parity([1, 1, 0]) == 0
+        assert parity([1, 0, 0]) == 1
+        assert parity([]) == 0
+
+    def test_popcount_rows(self):
+        m = np.array([[True, False, True], [False, False, False]])
+        assert popcount_rows(m).tolist() == [2, 0]
+
+    def test_nonzero_tuple(self):
+        v = np.array([False, True, False, True])
+        assert nonzero_tuple(v) == (1, 3)

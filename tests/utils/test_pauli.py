@@ -1,0 +1,101 @@
+"""Unit and property tests for the symplectic Pauli layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.pauli import (
+    ONE_QUBIT_DEPOLARIZING_PAULIS,
+    TWO_QUBIT_DEPOLARIZING_PAULIS,
+    Pauli,
+    PauliString,
+)
+
+PAULIS = [Pauli.I, Pauli.X, Pauli.Y, Pauli.Z]
+
+
+class TestPauli:
+    def test_bits_roundtrip(self):
+        for p in PAULIS:
+            assert Pauli.from_bits(p.x_bit, p.z_bit) is p
+
+    def test_product_table(self):
+        assert Pauli.X * Pauli.Z is Pauli.Y
+        assert Pauli.X * Pauli.Y is Pauli.Z
+        assert Pauli.Y * Pauli.Z is Pauli.X
+        for p in PAULIS:
+            assert p * Pauli.I is p
+            assert p * p is Pauli.I
+
+    def test_commutation(self):
+        assert Pauli.X.commutes_with(Pauli.X)
+        assert Pauli.I.commutes_with(Pauli.Z)
+        assert not Pauli.X.commutes_with(Pauli.Z)
+        assert not Pauli.Y.commutes_with(Pauli.X)
+        assert not Pauli.Y.commutes_with(Pauli.Z)
+
+    def test_depolarizing_expansions(self):
+        assert len(ONE_QUBIT_DEPOLARIZING_PAULIS) == 3
+        assert len(TWO_QUBIT_DEPOLARIZING_PAULIS) == 15
+        assert (Pauli.I, Pauli.I) not in TWO_QUBIT_DEPOLARIZING_PAULIS
+        assert len(set(TWO_QUBIT_DEPOLARIZING_PAULIS)) == 15
+
+
+pauli_strategy = st.sampled_from(PAULIS)
+
+
+@given(pauli_strategy, pauli_strategy)
+def test_product_commutes_mod_phase(a, b):
+    # Pauli products commute up to phase, which the symplectic form drops.
+    assert a * b is b * a
+
+
+@given(pauli_strategy, pauli_strategy, pauli_strategy)
+def test_product_associative(a, b, c):
+    assert (a * b) * c is a * (b * c)
+
+
+string_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=7), pauli_strategy), max_size=8
+).map(PauliString.from_pairs)
+
+
+class TestPauliString:
+    def test_identity_entries_dropped(self):
+        s = PauliString.from_pairs([(0, Pauli.X), (1, Pauli.I)])
+        assert len(s) == 1
+        assert s[1] is Pauli.I
+
+    def test_setitem_cancellation(self):
+        s = PauliString()
+        s[3] = Pauli.X
+        s[3] = s[3] * Pauli.X
+        assert not s
+
+    def test_supports(self):
+        s = PauliString.from_pairs([(0, Pauli.X), (1, Pauli.Y), (2, Pauli.Z)])
+        assert s.x_support() == (0, 1)
+        assert s.z_support() == (1, 2)
+
+    def test_known_commutation(self):
+        xx = PauliString.from_pairs([(0, Pauli.X), (1, Pauli.X)])
+        zz = PauliString.from_pairs([(0, Pauli.Z), (1, Pauli.Z)])
+        zi = PauliString.from_pairs([(0, Pauli.Z)])
+        assert xx.commutes_with(zz)
+        assert not xx.commutes_with(zi)
+
+    @given(string_strategy, string_strategy)
+    def test_product_weight_bound(self, a, b):
+        assert len(a * b) <= len(a) + len(b)
+
+    @given(string_strategy)
+    def test_self_product_is_identity(self, a):
+        assert not (a * a)
+
+    @given(string_strategy, string_strategy)
+    def test_commutation_symmetric(self, a, b):
+        assert a.commutes_with(b) == b.commutes_with(a)
+
+    @given(string_strategy)
+    def test_commutes_with_self(self, a):
+        assert a.commutes_with(a)
