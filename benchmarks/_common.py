@@ -11,6 +11,13 @@ variables:
 * ``REPRO_BENCH_KMAX``         -- largest injected-fault count (default 16).
 * ``REPRO_BENCH_DISTANCES``    -- comma-separated distances for the
   headline tables (default "11,13").
+* ``REPRO_BENCH_SHARDS``       -- worker processes for the Eq. (1)
+  estimators (default 1 = inline; estimates are identical either way).
+* ``REPRO_BENCH_BATCH_SIZE``   -- cap on shots per decode_batch call
+  (default 0 = unbounded).
+* ``REPRO_BENCH_SPEEDUP_DISTANCE`` / ``REPRO_BENCH_SPEEDUP_SHOTS`` --
+  workload of the batch-vs-loop speedup bench (defaults 5 / 20000;
+  CI smoke shrinks both).
 
 Each benchmark prints its table (so ``pytest benchmarks/ --benchmark-only
 -s`` shows the paper-shaped output) and writes a JSON artifact under
@@ -22,7 +29,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.eval.experiments import Workbench
 from repro.utils.rng import stable_seed
@@ -49,6 +56,15 @@ def k_max() -> int:
 def headline_distances() -> List[int]:
     raw = os.environ.get("REPRO_BENCH_DISTANCES", "11,13")
     return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def eval_shards() -> int:
+    return max(1, env_int("REPRO_BENCH_SHARDS", 1))
+
+
+def eval_batch_size() -> Optional[int]:
+    value = env_int("REPRO_BENCH_BATCH_SIZE", 0)
+    return value if value > 0 else None
 
 
 _WORKBENCHES: Dict = {}

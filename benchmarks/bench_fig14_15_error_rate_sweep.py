@@ -16,6 +16,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    eval_batch_size,
+    eval_shards,
     get_workbench,
     headline_distances,
     k_max,
@@ -51,6 +53,8 @@ def run_sweep() -> dict:
                 k_max=k_max(),
                 shots_per_k=sweep_shots,
                 rng=stable_seed("fig14_15", distance, p),
+                shards=eval_shards(),
+                batch_size=eval_batch_size(),
             )
             per_p[f"{p:.0e}"] = {name: r.ler for name, r in results.items()}
         payload["series"][str(distance)] = per_p

@@ -17,6 +17,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    eval_batch_size,
+    eval_shards,
     env_int,
     get_workbench,
     k_max,
@@ -57,6 +59,8 @@ def run_fig4() -> dict:
             k_max=min(k_max(), 2 * distance),
             shots_per_k=sweep_shots,
             rng=stable_seed("fig4", distance),
+            shards=eval_shards(),
+            batch_size=eval_batch_size(),
         )
         payload["series"][str(distance)] = {
             name: result.ler for name, result in results.items()

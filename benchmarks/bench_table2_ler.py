@@ -24,6 +24,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    eval_batch_size,
+    eval_shards,
     get_workbench,
     headline_distances,
     k_max,
@@ -84,6 +86,8 @@ def run_table2() -> dict:
             shots_per_k=shots_per_k(),
             shots_for_k=tiered_shots(shots_per_k()),
             rng=stable_seed("table2", distance),
+            shards=eval_shards(),
+            batch_size=eval_batch_size(),
         )
         payload["rows"][str(distance)] = {
             name: {

@@ -20,6 +20,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    eval_batch_size,
+    eval_shards,
     get_workbench,
     headline_distances,
     k_max,
@@ -49,6 +51,8 @@ def run_table3() -> dict:
             k_max=k_max(),
             shots_per_k=shots_per_k(),
             rng=stable_seed("table3", distance),
+            shards=eval_shards(),
+            batch_size=eval_batch_size(),
         )
         payload["rows"][str(distance)] = {
             name: result.ler for name, result in results.items()

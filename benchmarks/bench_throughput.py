@@ -5,18 +5,32 @@ benches time the *Python implementation* itself on a fixed high-HW
 workload, so regressions in the algorithmic hot paths (subgraph builds,
 candidate scans, exact matching) show up in CI.  Unlike the experiment
 benches these use pytest-benchmark's statistical timing loop.
+
+``bench_batch_decode_speedup`` additionally compares the batch decode
+fast path against the per-shot reference loop on a d=5 Monte-Carlo
+workload for the vectorizable decoders (lookup, Clique+Astrea,
+union-find) and prints the shots/sec speedup table.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from _common import get_workbench  # noqa: E402
+from _common import env_int, get_workbench  # noqa: E402
 
 from repro.core import PromatchPredecoder  # noqa: E402
-from repro.decoders import AstreaDecoder, MWPMDecoder, PredecodedDecoder  # noqa: E402
+from repro.decoders import (  # noqa: E402
+    AstreaDecoder,
+    CliquePredecoder,
+    LookupTableDecoder,
+    MWPMDecoder,
+    PredecodedDecoder,
+    UnionFindDecoder,
+)
+from repro.sim.sampler import DemSampler  # noqa: E402
 
 P = 1e-4
 DISTANCE = 11
@@ -66,6 +80,62 @@ def bench_mwpm_decode_throughput(benchmark):
             mwpm.decode(e)
 
     benchmark(run)
+
+
+def _batch_decoders(bench):
+    """The vectorizable d=5 configurations of the batch-vs-loop comparison."""
+    graph = bench.graph
+    return {
+        "lookup": LookupTableDecoder(
+            graph, max_detectors=graph.n_nodes, lazy=True
+        ),
+        "clique": PredecodedDecoder(
+            graph, CliquePredecoder(graph), AstreaDecoder(graph)
+        ),
+        "unionfind": UnionFindDecoder(graph),
+    }
+
+
+def bench_batch_decode_speedup(benchmark):
+    """Batch fast path vs per-shot reference loop at d=5 (>= 3x target).
+
+    Uses the paper's p = 1e-4 operating point, where the Monte-Carlo
+    workload is dominated by repeated sparse syndromes -- exactly the
+    regime the batch dedup fast path exists for.  CI smoke runs shrink
+    the workload via REPRO_BENCH_SPEEDUP_DISTANCE / _SHOTS.
+    """
+    distance = env_int("REPRO_BENCH_SPEEDUP_DISTANCE", 5)
+    shots = env_int("REPRO_BENCH_SPEEDUP_SHOTS", 20000)
+    bench = get_workbench(distance, 1e-4)
+    bench.graph.ensure_distances()
+    batch = DemSampler(bench.dem, 1e-4, rng=20240720).sample(shots)
+    decoders = _batch_decoders(bench)
+
+    def run_batch():
+        return {
+            name: decoder.decode_batch(batch)
+            for name, decoder in decoders.items()
+        }
+
+    run_batch()  # warm lazy tables and distance caches before timing
+    rows = []
+    for name, decoder in decoders.items():
+        start = time.perf_counter()
+        loop_results = decoder.decode_batch_reference(batch)
+        loop_s = time.perf_counter() - start
+        start = time.perf_counter()
+        batch_results = decoder.decode_batch(batch)
+        batch_s = time.perf_counter() - start
+        assert loop_results == batch_results, f"{name}: batch != loop"
+        rows.append((name, batch.shots / loop_s, batch.shots / batch_s,
+                     loop_s / batch_s))
+    print()
+    print(f"batch vs per-shot loop, d={distance}, p=1e-4, {batch.shots} shots:")
+    for name, loop_rate, batch_rate, speedup in rows:
+        print(f"  {name:10s} loop {loop_rate:10.0f} shots/s   "
+              f"batch {batch_rate:10.0f} shots/s   speedup {speedup:5.1f}x")
+    benchmark.extra_info["speedups"] = {name: s for name, _l, _b, s in rows}
+    benchmark(run_batch)
 
 
 def bench_subgraph_construction(benchmark):

@@ -55,6 +55,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--decoders", default="MWPM,Promatch+Astrea,Astrea-G",
         help="comma-separated decoder names from the zoo",
     )
+    ler.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the evaluation (Eq. (1) shards over k "
+             "slices with identical results; direct MC shards over shots)",
+    )
+    ler.add_argument(
+        "--batch-size", type=int, default=None,
+        help="cap on shots per decode_batch call (bounds decode-side "
+             "memory; sampling memory scales with shots per shard, so "
+             "use --shards to bound that; default all)",
+    )
 
     latency = sub.add_parser("latency", help="Tables 4/5 latency census")
     add_common(latency)
@@ -120,7 +131,8 @@ def _run_ler(args) -> None:
         from repro.eval.ler import estimate_ler_direct
 
         results = estimate_ler_direct(
-            decoders, bench.dem, args.p, shots=args.shots, rng=args.seed
+            decoders, bench.dem, args.p, shots=args.shots, rng=args.seed,
+            shards=args.shards, batch_size=args.batch_size,
         )
         rows = [[n, str(r.estimate)] for n, r in results.items()]
         print(format_table(["decoder", "LER [95% CI]"], rows,
@@ -131,6 +143,7 @@ def _run_ler(args) -> None:
         results = estimate_ler_importance(
             decoders, bench.dem, args.p,
             k_max=args.k_max, shots_per_k=args.shots_per_k, rng=args.seed,
+            shards=args.shards, batch_size=args.batch_size,
         )
         rows = [
             [n, format_scientific(r.ler), f"<= {format_scientific(r.ler_high)}"]

@@ -95,6 +95,9 @@ class PromatchPredecoder(Predecoder):
                 break
             subgraph = DecodingSubgraph(self.graph, active)
             cycles_before = result.cycles
+            pairs_before = len(result.pairs)
+            weight_before = result.weight
+            steps_before = result.steps_used
             committed, step_label = self._run_round(subgraph, result, budget)
             if self.collect_trace:
                 result.trace.append(
@@ -111,6 +114,14 @@ class PromatchPredecoder(Predecoder):
                     )
                 )
             if result.cycles > budget:
+                # The deadline fell inside this round: its commits never
+                # made it to the main decoder, so roll them back -- the
+                # aborted round's nodes stay in ``remaining`` and must not
+                # also appear in ``pairs``/``weight``/``pair_observables``.
+                del result.pairs[pairs_before:]
+                del result.pair_observables[pairs_before:]
+                result.weight = weight_before
+                result.steps_used = steps_before
                 result.aborted = True
                 break
             if not committed:
@@ -118,6 +129,10 @@ class PromatchPredecoder(Predecoder):
             active = self._remove_matched(active, committed)
             result.rounds += 1
         result.remaining = tuple(active)
+        assert not (
+            {node for pair in result.pairs for node in pair}
+            & set(result.remaining)
+        ), "predecode invariant violated: committed pairs overlap remaining"
         return result
 
     # -- round logic -----------------------------------------------------------------

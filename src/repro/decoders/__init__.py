@@ -22,7 +22,12 @@ from repro.decoders.astrea import AstreaDecoder
 from repro.decoders.astrea_g import AstreaGDecoder
 from repro.decoders.base import DecodeResult, Decoder, PredecodeResult, Predecoder
 from repro.decoders.clique import CliquePredecoder
-from repro.decoders.combined import ParallelDecoder, PredecodedDecoder
+from repro.decoders.combined import (
+    ParallelDecoder,
+    PredecodedDecoder,
+    combine_parallel_batch,
+    combine_parallel_results,
+)
 from repro.decoders.lookup import LookupTableDecoder
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.smith import SmithPredecoder
@@ -42,4 +47,6 @@ __all__ = [
     "MWPMDecoder",
     "SmithPredecoder",
     "UnionFindDecoder",
+    "combine_parallel_batch",
+    "combine_parallel_results",
 ]

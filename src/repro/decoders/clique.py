@@ -63,3 +63,9 @@ class CliquePredecoder(Predecoder):
             cycles=result.cycles,
             rounds=1,
         )
+
+    # Batch predecoding: Clique's all-or-nothing rule makes its output a
+    # pure function of the syndrome, so the inherited dedup fast path
+    # (Predecoder.predecode_batch) IS the batch implementation -- one
+    # subgraph build per distinct syndrome, results shared across the
+    # shots that repeat it.

@@ -18,7 +18,7 @@ Two composition patterns cover every configuration in the paper's tables:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.decoders.astrea import AstreaDecoder
 from repro.decoders.base import DecodeResult, Decoder, Predecoder
@@ -116,6 +116,36 @@ class ParallelDecoder(Decoder):
         first = self.primary.decode(events)
         second = self.secondary.decode(events)
         return combine_parallel_results(first, second)
+
+    def decode_batch(self, batch_events) -> List[DecodeResult]:
+        """Batched ``||``: both sides decode the batch, then one comparator pass.
+
+        Each component uses its own batch fast path (dedup, table
+        addressing, ...), so the parallel configuration inherits every
+        component speedup; the comparator itself is a cheap element-wise
+        pass.  Element-wise identical to the per-shot loop.
+        """
+        return combine_parallel_batch(
+            self.primary.decode_batch(batch_events),
+            self.secondary.decode_batch(batch_events),
+        )
+
+
+def combine_parallel_batch(
+    first: Sequence[DecodeResult], second: Sequence[DecodeResult]
+) -> List[DecodeResult]:
+    """Element-wise ``||`` comparator over two aligned result lists.
+
+    The batch analogue of :func:`combine_parallel_results`: evaluation
+    harnesses decode each component batch once and derive every parallel
+    configuration from the stored results.
+    """
+    if len(first) != len(second):
+        raise ValueError(
+            f"cannot combine parallel batches of {len(first)} and "
+            f"{len(second)} results"
+        )
+    return [combine_parallel_results(a, b) for a, b in zip(first, second)]
 
 
 def combine_parallel_results(

@@ -102,6 +102,12 @@ class UnionFindDecoder(Decoder):
             failure_reason="" if matched_ok else "peeling left unmatched events",
         )
 
+    # Batch decoding: growth and peeling are cluster-local graph
+    # algorithms with no cross-shot structure to vectorize, so the
+    # inherited dedup fast path (Decoder.decode_batch) IS the batch
+    # implementation -- low-rate workloads repeat the same handful of
+    # sparse syndromes, and each distinct one is grown/peeled once.
+
     # -- growth ---------------------------------------------------------------------
 
     def _grow_clusters(self, events: Sequence[int]) -> Set[int]:

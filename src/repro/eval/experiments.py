@@ -160,9 +160,10 @@ class Workbench:
             observables=np.zeros(0, dtype=np.int64),
             fault_counts=np.zeros(0, dtype=np.int64),
             weights=np.zeros(0, dtype=np.float64),
+            dense=np.zeros((0, self.dem.n_detectors), dtype=bool),
         )
         k_lo = max(1, hw_min // 2)  # a fault flips at most two detectors
-        for k in range(k_lo, k_max + 1):
+        for k in range(k_lo, min(k_max, sampler.n_positive) + 1):
             if pmf[k] <= 0.0:
                 continue
             batch = sampler.sample(k, shots_per_k)
@@ -170,18 +171,16 @@ class Workbench:
             if not mask.any():
                 continue
             keep_idx = np.nonzero(mask)[0]
-            kept.events.extend(batch.events[i] for i in keep_idx)
-            kept.observables = np.concatenate(
-                [kept.observables, batch.observables[keep_idx]]
-            )
-            kept.fault_counts = np.concatenate(
-                [kept.fault_counts, np.full(keep_idx.size, k, dtype=np.int64)]
-            )
-            kept.weights = np.concatenate(
-                [
-                    kept.weights,
-                    np.full(keep_idx.size, pmf[k] / shots_per_k, dtype=np.float64),
-                ]
+            kept.extend(
+                SyndromeBatch(
+                    events=[batch.events[i] for i in keep_idx],
+                    observables=batch.observables[keep_idx],
+                    fault_counts=np.full(keep_idx.size, k, dtype=np.int64),
+                    weights=np.full(
+                        keep_idx.size, pmf[k] / shots_per_k, dtype=np.float64
+                    ),
+                    dense=None if batch.dense is None else batch.dense[keep_idx],
+                )
             )
         return kept
 
@@ -206,8 +205,7 @@ def chain_length_census(
         else np.ones(batch.shots, dtype=np.float64)
     )
     histogram = np.zeros(max_length + 1, dtype=np.float64)
-    for events, weight in zip(batch.events, weights):
-        result = decoder.decode(events)
+    for result, weight in zip(decoder.decode_batch(batch), weights):
         for u, v in result.pairs:
             histogram[min(graph.path_length_edges(u, v), max_length)] += weight
         for u in result.boundary:
@@ -239,10 +237,9 @@ def hw_reduction_census(
         )
     }
     for name, predecoder in predecoders.items():
-        reduced: List[int] = []
-        for events in batch.events:
-            report = predecoder.predecode(events)
-            reduced.append(len(report.remaining))
+        reduced = [
+            len(report.remaining) for report in predecoder.predecode_batch(batch)
+        ]
         histograms[name] = weighted_histogram(reduced, weights, n_bins)
     return histograms
 
@@ -272,9 +269,9 @@ def latency_census(
     total_ns: List[float] = []
     miss_weight = 0.0
     total_weight = 0.0
-    for events, weight in zip(batch.events, weights):
+    reports = promatch.predecode_batch(batch)
+    for report, weight in zip(reports, weights):
         total_weight += weight
-        report = promatch.predecode(events)
         pre_ns = cycles_to_ns(report.cycles)
         main_result = main.decode(
             report.remaining, budget_cycles=promatch.budget_cycles - report.cycles
@@ -316,8 +313,7 @@ def step_usage_census(
     )
     usage = {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}
     total = 0.0
-    for events, weight in zip(batch.events, weights):
-        report = promatch.predecode(events)
+    for report, weight in zip(promatch.predecode_batch(batch), weights):
         total += weight
         if report.steps_used in usage:
             usage[report.steps_used] += weight

@@ -17,16 +17,25 @@ exceeded), matching the paper's accounting.
 Both estimators evaluate *many decoders on the same sampled workload*, so
 comparisons between decoders are paired (sharper than independent runs)
 and sampling cost is amortized.
+
+Decoding goes through the batch API (:meth:`Decoder.decode_batch`), which
+is element-wise identical to the per-shot loop; failure counting is a
+vectorized comparison over the collected results.  Each ``k`` slice of the
+Eq. (1) sum draws its syndromes from an independent child RNG stream
+seeded up front from the caller's generator, so the work can optionally be
+sharded across processes (``shards > 1``) without changing any estimate:
+the per-k results are identical however the slices are scheduled.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.decoders.base import Decoder
+from repro.decoders.base import DecodeResult, Decoder
 from repro.dem.model import DetectorErrorModel
 from repro.eval.poisson_binomial import poisson_binomial_pmf
 from repro.eval.stats import RateEstimate, wilson_interval
@@ -34,16 +43,61 @@ from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
 from repro.utils.rng import RngLike, ensure_rng
 
 
+def decode_batch_chunked(
+    decoder: Decoder,
+    batch: SyndromeBatch,
+    batch_size: Optional[int] = None,
+    reference: bool = False,
+) -> List[DecodeResult]:
+    """Decode a batch through the batch API, optionally in bounded chunks.
+
+    ``batch_size`` caps the shots handed to one ``decode_batch`` call (a
+    memory knob for very large batches); ``reference`` forces the per-shot
+    loop.  All three paths return element-wise identical results.
+    """
+    if reference:
+        return decoder.decode_batch_reference(batch)
+    if batch_size is None or batch_size >= batch.shots:
+        return decoder.decode_batch(batch)
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    results: List[DecodeResult] = []
+    for start in range(0, batch.shots, batch_size):
+        results.extend(decoder.decode_batch(batch.slice(start, start + batch_size)))
+    return results
+
+
+def count_result_failures(
+    results: Sequence[DecodeResult], observables: np.ndarray
+) -> int:
+    """Vectorized failure count: give-ups plus wrong logical predictions."""
+    if len(results) != len(observables):
+        raise ValueError(
+            f"{len(results)} decode results for {len(observables)} observables"
+        )
+    if not results:
+        return 0
+    predicted = np.fromiter(
+        (r.observable_mask for r in results), dtype=np.int64, count=len(results)
+    )
+    success = np.fromiter(
+        (r.success for r in results), dtype=bool, count=len(results)
+    )
+    observed = np.asarray(observables, dtype=np.int64)
+    return int(np.count_nonzero(~success | (predicted != observed)))
+
+
 def count_failures(
-    decoder: Decoder, batch: SyndromeBatch
+    decoder: Decoder,
+    batch: SyndromeBatch,
+    batch_size: Optional[int] = None,
+    reference: bool = False,
 ) -> Tuple[int, int]:
-    """(failures, shots) of a decoder on a sampled batch."""
-    failures = 0
-    for events, observable in zip(batch.events, batch.observables):
-        result = decoder.decode(events)
-        if not result.success or result.observable_mask != int(observable):
-            failures += 1
-    return failures, batch.shots
+    """(failures, shots) of a decoder on a sampled batch (batch decode path)."""
+    results = decode_batch_chunked(
+        decoder, batch, batch_size=batch_size, reference=reference
+    )
+    return count_result_failures(results, batch.observables), batch.shots
 
 
 @dataclass
@@ -58,19 +112,109 @@ class DirectMonteCarloResult:
         return self.estimate.rate
 
 
+#: Heavy per-run state (decoders, DEM, ...) shared with pool workers.
+#: On fork platforms children inherit it copy-on-write -- nothing is
+#: pickled per task and non-picklable decoder configs keep working; on
+#: spawn-only platforms the pool initializer ships it once per worker.
+_POOL_SHARED = None
+
+
+def _init_pool_shared(shared) -> None:
+    global _POOL_SHARED
+    _POOL_SHARED = shared
+
+
+def _run_sharded(shared, worker, tasks: List[Tuple], processes: int) -> List:
+    """Map ``worker`` over ``tasks`` in a process pool.
+
+    Tasks stay tiny (ints only); ``shared`` reaches the workers through
+    fork inheritance of :data:`_POOL_SHARED` where available, otherwise
+    through the initializer.
+    """
+    global _POOL_SHARED
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if use_fork else None)
+    previous = _POOL_SHARED
+    _POOL_SHARED = shared
+    try:
+        with context.Pool(
+            processes=processes,
+            initializer=None if use_fork else _init_pool_shared,
+            initargs=() if use_fork else (shared,),
+        ) as pool:
+            return pool.map(worker, tasks)
+    finally:
+        _POOL_SHARED = previous
+
+
+def _count_direct_shard(
+    decoders: Mapping[str, Decoder],
+    dem: DetectorErrorModel,
+    p: float,
+    shots: int,
+    seed: int,
+    batch_size: Optional[int],
+) -> Dict[str, Tuple[int, int]]:
+    """Sample one direct-MC shot slice and count failures per decoder."""
+    sampler = DemSampler(dem, p, rng=int(seed))
+    batch = sampler.sample(shots)
+    return {
+        name: count_failures(decoder, batch, batch_size=batch_size)
+        for name, decoder in decoders.items()
+    }
+
+
+def _direct_shard_worker(task: Tuple[int, int]) -> Dict[str, Tuple[int, int]]:
+    shots, seed = task
+    decoders, dem, p, batch_size = _POOL_SHARED
+    return _count_direct_shard(decoders, dem, p, shots, seed, batch_size)
+
+
 def estimate_ler_direct(
     decoders: Mapping[str, Decoder],
     dem: DetectorErrorModel,
     p: float,
     shots: int,
     rng: RngLike = None,
+    shards: int = 1,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, DirectMonteCarloResult]:
-    """Direct Monte-Carlo LER of several decoders on a shared workload."""
-    sampler = DemSampler(dem, p, rng=ensure_rng(rng))
-    batch = sampler.sample(shots)
+    """Direct Monte-Carlo LER of several decoders on a shared workload.
+
+    With ``shards > 1`` the shot budget is split into that many
+    independently-seeded slices evaluated in worker processes; every
+    decoder still sees the identical pooled workload.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    generator = ensure_rng(rng)
+    if shards == 1:
+        batch = DemSampler(dem, p, rng=generator).sample(shots)
+        return {
+            name: DirectMonteCarloResult(
+                decoder_name=name,
+                estimate=wilson_interval(
+                    *count_failures(decoder, batch, batch_size=batch_size)
+                ),
+            )
+            for name, decoder in decoders.items()
+        }
+    shard_shots = [shots // shards] * shards
+    for index in range(shots % shards):
+        shard_shots[index] += 1
+    shard_shots = [s for s in shard_shots if s > 0]
+    seeds = generator.integers(0, 2**63 - 1, size=len(shard_shots))
+    tasks = [(s, int(seed)) for s, seed in zip(shard_shots, seeds)]
+    outputs = _run_sharded(
+        (dict(decoders), dem, p, batch_size),
+        _direct_shard_worker,
+        tasks,
+        processes=min(shards, len(tasks)),
+    )
     results: Dict[str, DirectMonteCarloResult] = {}
-    for name, decoder in decoders.items():
-        failures, trials = count_failures(decoder, batch)
+    for name in decoders:
+        failures = sum(out[name][0] for out in outputs)
+        trials = sum(out[name][1] for out in outputs)
         results[name] = DirectMonteCarloResult(
             decoder_name=name, estimate=wilson_interval(failures, trials)
         )
@@ -98,126 +242,112 @@ class ImportanceLerResult:
     truncation_bound: float = 0.0
 
 
-def estimate_ler_importance(
-    decoders: Mapping[str, Decoder],
-    dem: DetectorErrorModel,
-    p: float,
-    k_max: int = 16,
-    shots_per_k: int = 200,
-    rng: RngLike = None,
-    k_min: int = 1,
-) -> Dict[str, ImportanceLerResult]:
-    """Eq. (1) LER of several decoders on shared per-k workloads.
-
-    Args:
-        decoders: Name -> decoder map; all see identical syndromes.
-        dem: The detector error model.
-        p: Physical error rate.
-        k_max: Largest injected fault count (the paper uses up to 24).
-        shots_per_k: Syndromes sampled per k.
-        rng: Randomness.
-        k_min: Smallest k sampled (k=0 contributes zero failures).
-
-    Returns:
-        Name -> :class:`ImportanceLerResult`.
-    """
-    generator = ensure_rng(rng)
-    probabilities = dem.probabilities(p)
-    pmf, tail = poisson_binomial_pmf(probabilities, k_max)
-    sampler = ExactKSampler(dem, p, rng=generator)
-
-    per_decoder_rows: Dict[str, List[Tuple[int, float, RateEstimate]]] = {
-        name: [] for name in decoders
-    }
-    for k in range(k_min, k_max + 1):
-        if pmf[k] <= 0.0:
-            continue
-        batch = sampler.sample(k, shots_per_k)
-        for name, decoder in decoders.items():
-            failures, trials = count_failures(decoder, batch)
-            per_decoder_rows[name].append(
-                (k, float(pmf[k]), wilson_interval(failures, trials))
-            )
-
-    results: Dict[str, ImportanceLerResult] = {}
-    for name, rows in per_decoder_rows.items():
-        point = sum(po * est.rate for _k, po, est in rows)
-        low = sum(po * est.low for _k, po, est in rows)
-        high = sum(po * est.high for _k, po, est in rows) + tail
-        results[name] = ImportanceLerResult(
-            decoder_name=name,
-            ler=point,
-            ler_low=low,
-            ler_high=high,
-            per_k=rows,
-            truncation_bound=tail,
-        )
-    return results
-
-
-def estimate_ler_suite(
+def _evaluate_k_slice(
     components: Mapping[str, Decoder],
     parallel_specs: Mapping[str, Tuple[str, str]],
     dem: DetectorErrorModel,
     p: float,
-    k_max: int = 16,
-    shots_per_k: int = 200,
-    rng: RngLike = None,
-    k_min: int = 1,
-    shots_for_k: Optional[Callable[[int], int]] = None,
-) -> Dict[str, ImportanceLerResult]:
-    """Eq. (1) LER for component decoders *and* parallel combinations.
+    k: int,
+    k_shots: int,
+    seed: int,
+    batch_size: Optional[int],
+) -> Tuple[int, Dict[str, Tuple[int, int]]]:
+    """Sample one exact-k workload and count failures for every config.
 
-    Each component decodes every syndrome exactly once; the ``a || b``
-    configurations are derived from the stored component results with the
-    hardware's comparator rule (:func:`combine_parallel_results`), which
-    halves the decode cost of evaluating the paper's Table 2.
-
-    Args:
-        components: Name -> decoder for every directly-evaluated config.
-        parallel_specs: Name -> (component_a, component_b) for each
-            parallel configuration to derive.
-        shots_for_k: Optional per-k shot schedule overriding
-            ``shots_per_k``.  Decoder differences concentrate at
-            mid-range fault counts (sparse syndromes everyone decodes;
-            astronomically-rare dense ones nobody weights), so headline
-            tables boost shots exactly there.
+    The unit of sharded work: components decode the shared batch through
+    their batch fast paths; parallel configurations are derived from the
+    stored component results with the hardware comparator rule.  Only
+    (failures, trials) counts cross the process boundary.
     """
-    from repro.decoders.combined import combine_parallel_results
+    from repro.decoders.combined import combine_parallel_batch
 
+    sampler = ExactKSampler(dem, p, rng=int(seed))
+    batch = sampler.sample(k, k_shots)
+    component_results = {
+        name: decode_batch_chunked(decoder, batch, batch_size=batch_size)
+        for name, decoder in components.items()
+    }
+    counts: Dict[str, Tuple[int, int]] = {
+        name: (count_result_failures(results, batch.observables), batch.shots)
+        for name, results in component_results.items()
+    }
+    for name, (first, second) in parallel_specs.items():
+        combined = combine_parallel_batch(
+            component_results[first], component_results[second]
+        )
+        counts[name] = (
+            count_result_failures(combined, batch.observables),
+            batch.shots,
+        )
+    return k, counts
+
+
+def _k_slice_worker(
+    task: Tuple[int, int, int]
+) -> Tuple[int, Dict[str, Tuple[int, int]]]:
+    k, k_shots, seed = task
+    components, parallel_specs, dem, p, batch_size = _POOL_SHARED
+    return _evaluate_k_slice(
+        components, parallel_specs, dem, p, k, k_shots, seed, batch_size
+    )
+
+
+def _estimate_eq1(
+    components: Mapping[str, Decoder],
+    parallel_specs: Mapping[str, Tuple[str, str]],
+    dem: DetectorErrorModel,
+    p: float,
+    k_max: int,
+    shots_per_k: int,
+    rng: RngLike,
+    k_min: int,
+    shots_for_k: Optional[Callable[[int], int]],
+    shards: int,
+    batch_size: Optional[int],
+) -> Dict[str, ImportanceLerResult]:
+    """Shared Eq. (1) engine behind both importance estimators.
+
+    Per-k child seeds are drawn up front from the caller's generator, so
+    the sampled workloads -- and therefore every estimate -- are
+    identical whether the k slices run inline (``shards == 1``) or
+    distributed over a process pool.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
     generator = ensure_rng(rng)
     probabilities = dem.probabilities(p)
     pmf, tail = poisson_binomial_pmf(probabilities, k_max)
-    sampler = ExactKSampler(dem, p, rng=generator)
+
+    k_values = [k for k in range(k_min, k_max + 1) if pmf[k] > 0.0]
+    seeds = generator.integers(0, 2**63 - 1, size=len(k_values))
+    tasks = [
+        (k, shots_for_k(k) if shots_for_k is not None else shots_per_k, int(seed))
+        for k, seed in zip(k_values, seeds)
+    ]
+    if shards == 1 or len(tasks) <= 1:
+        outputs = [
+            _evaluate_k_slice(
+                components, parallel_specs, dem, p, k, k_shots, seed, batch_size
+            )
+            for k, k_shots, seed in tasks
+        ]
+    else:
+        outputs = _run_sharded(
+            (dict(components), dict(parallel_specs), dem, p, batch_size),
+            _k_slice_worker,
+            tasks,
+            processes=min(shards, len(tasks)),
+        )
 
     all_names = list(components) + list(parallel_specs)
     rows: Dict[str, List[Tuple[int, float, RateEstimate]]] = {
         name: [] for name in all_names
     }
-    for k in range(k_min, k_max + 1):
-        if pmf[k] <= 0.0:
-            continue
-        k_shots = shots_for_k(k) if shots_for_k is not None else shots_per_k
-        batch = sampler.sample(k, k_shots)
-        shot_results: Dict[str, List] = {
-            name: [decoder.decode(events) for events in batch.events]
-            for name, decoder in components.items()
-        }
-        for name, (a, b) in parallel_specs.items():
-            shot_results[name] = [
-                combine_parallel_results(ra, rb)
-                for ra, rb in zip(shot_results[a], shot_results[b])
-            ]
+    for k, counts in sorted(outputs, key=lambda item: item[0]):
         for name in all_names:
-            failures = sum(
-                1
-                for result, observable in zip(
-                    shot_results[name], batch.observables
-                )
-                if not result.success or result.observable_mask != int(observable)
-            )
+            failures, trials = counts[name]
             rows[name].append(
-                (k, float(pmf[k]), wilson_interval(failures, batch.shots))
+                (k, float(pmf[k]), wilson_interval(failures, trials))
             )
 
     results: Dict[str, ImportanceLerResult] = {}
@@ -234,3 +364,107 @@ def estimate_ler_suite(
             truncation_bound=tail,
         )
     return results
+
+
+def estimate_ler_importance(
+    decoders: Mapping[str, Decoder],
+    dem: DetectorErrorModel,
+    p: float,
+    k_max: int = 16,
+    shots_per_k: int = 200,
+    rng: RngLike = None,
+    k_min: int = 1,
+    shards: int = 1,
+    batch_size: Optional[int] = None,
+) -> Dict[str, ImportanceLerResult]:
+    """Eq. (1) LER of several decoders on shared per-k workloads.
+
+    Args:
+        decoders: Name -> decoder map; all see identical syndromes.
+        dem: The detector error model.
+        p: Physical error rate.
+        k_max: Largest injected fault count (the paper uses up to 24).
+        shots_per_k: Syndromes sampled per k.
+        rng: Randomness.
+        k_min: Smallest k sampled (k=0 contributes zero failures).
+        shards: Process-pool width for the k slices (1 = inline; any
+            value yields identical estimates).
+        batch_size: Cap on shots per ``decode_batch`` call (memory knob).
+
+    Returns:
+        Name -> :class:`ImportanceLerResult`.
+    """
+    return _estimate_eq1(
+        components=decoders,
+        parallel_specs={},
+        dem=dem,
+        p=p,
+        k_max=k_max,
+        shots_per_k=shots_per_k,
+        rng=rng,
+        k_min=k_min,
+        shots_for_k=None,
+        shards=shards,
+        batch_size=batch_size,
+    )
+
+
+def estimate_ler_suite(
+    components: Mapping[str, Decoder],
+    parallel_specs: Mapping[str, Tuple[str, str]],
+    dem: DetectorErrorModel,
+    p: float,
+    k_max: int = 16,
+    shots_per_k: int = 200,
+    rng: RngLike = None,
+    k_min: int = 1,
+    shots_for_k: Optional[Callable[[int], int]] = None,
+    shards: int = 1,
+    batch_size: Optional[int] = None,
+) -> Dict[str, ImportanceLerResult]:
+    """Eq. (1) LER for component decoders *and* parallel combinations.
+
+    Each component decodes every syndrome exactly once; the ``a || b``
+    configurations are derived from the stored component results with the
+    hardware's comparator rule (:func:`combine_parallel_batch`), which
+    halves the decode cost of evaluating the paper's Table 2.
+
+    Args:
+        components: Name -> decoder for every directly-evaluated config.
+        parallel_specs: Name -> (component_a, component_b) for each
+            parallel configuration to derive.
+        shots_for_k: Optional per-k shot schedule overriding
+            ``shots_per_k``.  Decoder differences concentrate at
+            mid-range fault counts (sparse syndromes everyone decodes;
+            astronomically-rare dense ones nobody weights), so headline
+            tables boost shots exactly there.
+        shards: Process-pool width for the k slices (1 = inline; any
+            value yields identical estimates).
+        batch_size: Cap on shots per ``decode_batch`` call (memory knob).
+    """
+    unknown = {
+        name: spec
+        for name, spec in parallel_specs.items()
+        if spec[0] not in components or spec[1] not in components
+    }
+    if unknown:
+        raise ValueError(f"parallel specs reference unknown components: {unknown}")
+    collisions = set(components) & set(parallel_specs)
+    if collisions:
+        raise ValueError(
+            "parallel configuration names collide with component names "
+            f"(their per-k rows would be double-counted): {sorted(collisions)}"
+        )
+    return _estimate_eq1(
+        components=components,
+        parallel_specs=parallel_specs,
+        dem=dem,
+        p=p,
+        k_max=k_max,
+        shots_per_k=shots_per_k,
+        rng=rng,
+        k_min=k_min,
+        shots_for_k=shots_for_k,
+        shards=shards,
+        batch_size=batch_size,
+    )

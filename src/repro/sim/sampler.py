@@ -15,6 +15,13 @@ Two sampling regimes cover the paper's evaluation:
   probability proportional to its odds weights via the Gumbel top-k trick
   (exact for the sequential-without-replacement approximation, which is
   tight when every p_i << 1).
+
+Both samplers accumulate syndromes into a dense shots x detectors boolean
+matrix via scatter-XOR (:class:`_SignatureAccumulator`), so the cost of
+signature accumulation is a handful of NumPy kernels instead of per-shot
+Python set updates.  The resulting :class:`SyndromeBatch` carries both the
+sparse per-shot event tuples (what decoders consume) and the dense matrix
+(what the batch decode fast paths consume).
 """
 
 from __future__ import annotations
@@ -28,6 +35,40 @@ from repro.dem.model import DetectorErrorModel
 from repro.utils.rng import RngLike, ensure_rng
 
 
+def _dense_signatures(dem: DetectorErrorModel) -> Tuple[np.ndarray, np.ndarray]:
+    """Dense mechanism signatures, cached on the DEM instance.
+
+    Returns ``(incidence, observable_masks)`` where ``incidence`` is a
+    ``n_mechanisms x n_detectors`` uint8 matrix (1 where the mechanism
+    flips the detector) and ``observable_masks`` the int64 logical masks.
+    """
+    cached = getattr(dem, "_dense_signature_cache", None)
+    shape = (len(dem.mechanisms), dem.n_detectors)
+    if cached is None or cached[0].shape != shape:
+        incidence = np.zeros(shape, dtype=np.uint8)
+        for row, mechanism in enumerate(dem.mechanisms):
+            incidence[row, list(mechanism.detectors)] = 1
+        observable_masks = np.array(
+            [m.observable_mask for m in dem.mechanisms], dtype=np.int64
+        )
+        cached = (incidence, observable_masks)
+        dem._dense_signature_cache = cached
+    return cached
+
+
+def events_from_dense(dense: np.ndarray) -> List[Tuple[int, ...]]:
+    """Per-shot sorted detection-event tuples of a dense syndrome matrix."""
+    shots = dense.shape[0]
+    if shots == 0:
+        return []
+    rows, cols = np.nonzero(dense)
+    counts = np.bincount(rows, minlength=shots)
+    boundaries = np.cumsum(counts)[:-1]
+    return [
+        tuple(map(int, chunk)) for chunk in np.split(cols, boundaries)
+    ]
+
+
 @dataclass
 class SyndromeBatch:
     """A batch of sampled syndromes in sparse (detection-event) form.
@@ -38,12 +79,33 @@ class SyndromeBatch:
         fault_counts: Per shot, how many mechanisms fired (when known).
         weights: Optional per-shot importance weights (used by conditioned
             censuses); ``None`` means uniform weight 1.
+        dense: Optional shots x n_detectors boolean matrix mirroring
+            ``events``; batch decode fast paths use it for vectorized
+            deduplication and key packing.  ``None`` when unknown.
     """
 
     events: List[Tuple[int, ...]]
     observables: np.ndarray
     fault_counts: Optional[np.ndarray] = None
     weights: Optional[np.ndarray] = None
+    dense: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        observables: np.ndarray,
+        fault_counts: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> "SyndromeBatch":
+        """Build a batch from a dense shots x detectors boolean matrix."""
+        return cls(
+            events=events_from_dense(dense),
+            observables=observables,
+            fault_counts=fault_counts,
+            weights=weights,
+            dense=dense,
+        )
 
     @property
     def shots(self) -> int:
@@ -51,41 +113,118 @@ class SyndromeBatch:
 
     def hamming_weights(self) -> np.ndarray:
         """Syndrome Hamming weight (number of detection events) per shot."""
+        if self.dense is not None:
+            return self.dense.sum(axis=1, dtype=np.int64)
         return np.array([len(e) for e in self.events], dtype=np.int64)
 
+    def to_dense(self, n_detectors: int) -> np.ndarray:
+        """Dense boolean matrix of the batch (computed from events if absent)."""
+        if self.dense is not None and self.dense.shape[1] == n_detectors:
+            return self.dense
+        dense = np.zeros((self.shots, n_detectors), dtype=bool)
+        for shot, events in enumerate(self.events):
+            if events:
+                dense[shot, list(events)] = True
+        return dense
+
+    def packed(self) -> Optional[np.ndarray]:
+        """Bit-packed dense matrix (shots x ceil(n_detectors/8) uint8)."""
+        if self.dense is None:
+            return None
+        return np.packbits(self.dense, axis=1)
+
+    def slice(self, start: int, stop: int) -> "SyndromeBatch":
+        """Contiguous sub-batch [start, stop) (views where possible)."""
+        return SyndromeBatch(
+            events=self.events[start:stop],
+            observables=self.observables[start:stop],
+            fault_counts=(
+                None if self.fault_counts is None else self.fault_counts[start:stop]
+            ),
+            weights=None if self.weights is None else self.weights[start:stop],
+            dense=None if self.dense is None else self.dense[start:stop],
+        )
+
     def extend(self, other: "SyndromeBatch") -> None:
-        """Append another batch (used when accumulating conditioned samples)."""
+        """Append another batch (used when accumulating conditioned samples).
+
+        Metadata must stay aligned with the grown event list: mixing a
+        batch that tracks ``fault_counts`` with one that does not raises
+        (there is no meaningful default fault count), while a missing
+        ``weights`` array is materialized as uniform weight 1 (its
+        documented meaning) before concatenating.
+        """
+        if (self.fault_counts is None) != (other.fault_counts is None):
+            raise ValueError(
+                "cannot extend: one batch tracks fault_counts and the other "
+                "does not; concatenating would misalign metadata with shots"
+            )
+        self_weights, other_weights = self.weights, other.weights
+        if (self_weights is None) != (other_weights is None):
+            if self_weights is None:
+                self_weights = np.ones(self.shots, dtype=np.float64)
+            else:
+                other_weights = np.ones(other.shots, dtype=np.float64)
+        if (
+            self.dense is not None
+            and other.dense is not None
+            and self.dense.shape[1] == other.dense.shape[1]
+        ):
+            self.dense = np.concatenate([self.dense, other.dense])
+        else:
+            self.dense = None
         self.events.extend(other.events)
         self.observables = np.concatenate([self.observables, other.observables])
-        if self.fault_counts is not None and other.fault_counts is not None:
+        if self.fault_counts is not None:
             self.fault_counts = np.concatenate(
                 [self.fault_counts, other.fault_counts]
             )
-        if self.weights is not None and other.weights is not None:
-            self.weights = np.concatenate([self.weights, other.weights])
+        if self_weights is not None:
+            self.weights = np.concatenate([self_weights, other_weights])
 
 
 class _SignatureAccumulator:
-    """XOR-accumulates mechanism signatures into per-shot syndromes."""
+    """Scatter-XORs mechanism signatures into a dense syndrome matrix.
+
+    The accumulator owns a shots x n_detectors boolean matrix; every
+    entry point XORs whole index blocks at once, replacing the historic
+    per-shot Python-set symmetric differences.
+    """
 
     def __init__(self, dem: DetectorErrorModel, shots: int) -> None:
-        self._det_sets = [m.detectors for m in dem.mechanisms]
-        self._obs_masks = np.array(
-            [m.observable_mask for m in dem.mechanisms], dtype=np.int64
-        )
-        self._shot_sets: List[set] = [set() for _ in range(shots)]
+        self._incidence, self._obs_masks = _dense_signatures(dem)
+        self._matrix = np.zeros((shots, dem.n_detectors), dtype=bool)
         self._shot_obs = np.zeros(shots, dtype=np.int64)
         self._shot_counts = np.zeros(shots, dtype=np.int64)
 
     def add(self, shot: int, mechanism: int) -> None:
-        self._shot_sets[shot].symmetric_difference_update(self._det_sets[mechanism])
-        self._shot_obs[shot] ^= self._obs_masks[mechanism]
-        self._shot_counts[shot] += 1
+        """XOR one mechanism into one shot (reference entry point)."""
+        self.scatter(np.array([shot], dtype=np.int64), mechanism)
+
+    def scatter(self, shot_ids: np.ndarray, mechanism: int) -> None:
+        """XOR one mechanism's signature into many (distinct) shots."""
+        detectors = np.nonzero(self._incidence[mechanism])[0]
+        self._matrix[np.ix_(shot_ids, detectors)] ^= True
+        self._shot_obs[shot_ids] ^= int(self._obs_masks[mechanism])
+        self._shot_counts[shot_ids] += 1
+
+    def scatter_rows(self, start: int, mechanisms: np.ndarray) -> None:
+        """XOR k distinct mechanisms into each of a block of shots.
+
+        ``mechanisms`` is a (rows, k) index array; shot ``start + r``
+        receives the XOR of the signatures in row ``r``.
+        """
+        rows, k = mechanisms.shape
+        parity = (self._incidence[mechanisms].sum(axis=1) & 1).astype(bool)
+        self._matrix[start : start + rows] ^= parity
+        self._shot_obs[start : start + rows] ^= np.bitwise_xor.reduce(
+            self._obs_masks[mechanisms], axis=1
+        )
+        self._shot_counts[start : start + rows] += k
 
     def finish(self) -> SyndromeBatch:
-        events = [tuple(sorted(s)) for s in self._shot_sets]
-        return SyndromeBatch(
-            events=events,
+        return SyndromeBatch.from_dense(
+            dense=self._matrix,
             observables=self._shot_obs,
             fault_counts=self._shot_counts,
         )
@@ -114,8 +253,7 @@ class DemSampler:
         for mechanism in np.nonzero(fire_counts)[0]:
             count = int(fire_counts[mechanism])
             shot_ids = self.rng.choice(shots, size=count, replace=False)
-            for shot in shot_ids:
-                accumulator.add(int(shot), int(mechanism))
+            accumulator.scatter(shot_ids, int(mechanism))
         return accumulator.finish()
 
 
@@ -134,11 +272,18 @@ class ExactKSampler:
         with np.errstate(divide="ignore"):
             self._log_odds = np.log(probabilities) - np.log1p(-probabilities)
         self.n_mechanisms = len(dem.mechanisms)
+        self.n_positive = int(np.count_nonzero(probabilities > 0.0))
 
     def sample(self, k: int, shots: int) -> SyndromeBatch:
         """Draw ``shots`` syndromes with exactly ``k`` distinct faults each."""
         if not 0 <= k <= self.n_mechanisms:
             raise ValueError(f"k={k} out of range for {self.n_mechanisms} mechanisms")
+        if k > self.n_positive:
+            raise ValueError(
+                f"k={k} exceeds the {self.n_positive} mechanisms with nonzero "
+                "probability; a syndrome with that many faults cannot occur "
+                "(zero-probability mechanisms must never be injected)"
+            )
         accumulator = _SignatureAccumulator(self.dem, shots)
         if k == 0:
             return accumulator.finish()
@@ -149,8 +294,6 @@ class ExactKSampler:
             gumbel = self.rng.gumbel(size=(batch, self.n_mechanisms))
             keys = gumbel + self._log_odds
             top_k = np.argpartition(-keys, k - 1, axis=1)[:, :k]
-            for row in range(batch):
-                for mechanism in top_k[row]:
-                    accumulator.add(done + row, int(mechanism))
+            accumulator.scatter_rows(done, top_k)
             done += batch
         return accumulator.finish()

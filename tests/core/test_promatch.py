@@ -63,6 +63,33 @@ class TestAdaptiveStopping:
         report = promatch.predecode(tuple(range(18)), budget_cycles=0)
         assert report.aborted
 
+    def test_aborted_round_commits_rolled_back(self):
+        """Regression: blowing the budget mid-round used to leave the
+        round's commits in ``pairs``/``weight`` while the same nodes also
+        stayed in ``remaining``.  An aborted round must be rolled back
+        entirely: pairs and remaining stay disjoint."""
+        promatch = PromatchPredecoder(isolated_pairs_graph(2), main_capability=0)
+        events = (0, 1, 2, 3)
+        # The first round costs >= n_edges cycles; a sub-cycle budget
+        # guarantees the abort lands after the round committed its pairs.
+        report = promatch.predecode(events, budget_cycles=0.5)
+        assert report.aborted
+        assert report.pairs == []
+        assert report.pair_observables == []
+        assert report.weight == 0.0
+        assert report.steps_used == 0
+        assert report.remaining == events
+
+    def test_aborted_pairs_and_remaining_always_disjoint(self):
+        """The disjointness invariant across a spread of tight budgets."""
+        promatch = PromatchPredecoder(isolated_pairs_graph(9), main_capability=0)
+        events = tuple(range(18))
+        for budget in (0.5, 1, 2, 5, 9, 10, 18, 27, 40):
+            report = promatch.predecode(events, budget_cycles=budget)
+            matched = {node for pair in report.pairs for node in pair}
+            assert not matched & set(report.remaining), f"budget={budget}"
+            assert len(report.pairs) == len(report.pair_observables)
+
 
 class TestStepEscalation:
     def test_chain_uses_risky_step_when_forced(self):

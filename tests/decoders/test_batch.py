@@ -1,0 +1,129 @@
+"""Batch decoding API: element-wise equivalence with the per-shot loop.
+
+The tentpole contract of the batch pipeline: for every decoder in the
+zoo, ``decode_batch`` must return results element-wise identical to the
+per-shot ``decode`` loop on the same workload (and likewise for
+``predecode_batch``).  DecodeResult/PredecodeResult are dataclasses, so
+``==`` compares every field.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.core import PromatchPredecoder
+from repro.decoders import (
+    AstreaDecoder,
+    CliquePredecoder,
+    LookupTableDecoder,
+    SmithPredecoder,
+    combine_parallel_batch,
+)
+from repro.decoders.base import fan_out, unique_syndromes
+from repro.eval.experiments import Workbench
+from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
+
+
+@pytest.fixture(scope="module")
+def zoo_bench():
+    return Workbench.build(distance=3, p=3e-3, rng=17)
+
+
+@pytest.fixture(scope="module")
+def shared_workload(zoo_bench):
+    """Monte-Carlo shots plus a dense exact-k tail (exercises high HW)."""
+    batch = DemSampler(zoo_bench.dem, 3e-3, rng=31).sample(300)
+    tail = ExactKSampler(zoo_bench.dem, 3e-3, rng=32).sample(5, 60)
+    batch.extend(tail)
+    return batch
+
+
+class TestDecodeBatchEquivalence:
+    def test_zoo_wide_batch_equals_loop(self, zoo_bench, shared_workload):
+        for name, decoder in zoo_bench.decoders.items():
+            fast = decoder.decode_batch(shared_workload)
+            reference = decoder.decode_batch_reference(shared_workload)
+            assert len(fast) == shared_workload.shots
+            for shot, (a, b) in enumerate(zip(fast, reference)):
+                assert a == b, f"{name} diverges at shot {shot}"
+
+    def test_batch_accepts_plain_event_lists(self, zoo_bench, shared_workload):
+        decoder = zoo_bench.decoders["MWPM"]
+        from_batch = decoder.decode_batch(shared_workload)
+        from_list = decoder.decode_batch(list(shared_workload.events))
+        assert from_batch == from_list
+
+    def test_lookup_batch_equals_loop(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        lut = LookupTableDecoder(graph, max_detectors=graph.n_nodes)
+        batch = DemSampler(dem, 3e-3, rng=5).sample(200)
+        assert lut.decode_batch(batch) == lut.decode_batch_reference(batch)
+
+    def test_parallel_batch_combinator_matches_elementwise(
+        self, zoo_bench, shared_workload
+    ):
+        pa = zoo_bench.decoders["Promatch+Astrea"]
+        ag = zoo_bench.decoders["Astrea-G"]
+        combined = combine_parallel_batch(
+            pa.decode_batch(shared_workload), ag.decode_batch(shared_workload)
+        )
+        direct = zoo_bench.decoders["Promatch || AG"].decode_batch(
+            shared_workload
+        )
+        assert combined == direct
+
+    def test_parallel_batch_length_mismatch_raises(self, zoo_bench):
+        results = zoo_bench.decoders["MWPM"].decode_batch([(), ()])
+        with pytest.raises(ValueError):
+            combine_parallel_batch(results, results[:1])
+
+
+class TestPredecodeBatchEquivalence:
+    @pytest.mark.parametrize(
+        "factory", [PromatchPredecoder, SmithPredecoder, CliquePredecoder]
+    )
+    def test_predecoders_batch_equals_loop(
+        self, factory, zoo_bench, shared_workload
+    ):
+        predecoder = factory(zoo_bench.graph)
+        fast = predecoder.predecode_batch(shared_workload)
+        reference = [
+            predecoder.predecode(events) for events in shared_workload.events
+        ]
+        assert fast == reference
+
+    def test_budget_forwarded(self, zoo_bench, shared_workload):
+        predecoder = PromatchPredecoder(zoo_bench.graph)
+        fast = predecoder.predecode_batch(shared_workload, budget_cycles=40)
+        reference = [
+            predecoder.predecode(events, budget_cycles=40)
+            for events in shared_workload.events
+        ]
+        assert fast == reference
+
+
+class TestUniqueSyndromes:
+    def test_dense_and_dict_paths_group_identically(self, shared_workload):
+        dense_uniques, dense_inverse = unique_syndromes(shared_workload)
+        dict_uniques, dict_inverse = unique_syndromes(
+            list(shared_workload.events)
+        )
+        rebuilt_dense = [dense_uniques[i] for i in dense_inverse]
+        rebuilt_dict = [dict_uniques[i] for i in dict_inverse]
+        assert rebuilt_dense == rebuilt_dict == [
+            tuple(e) for e in shared_workload.events
+        ]
+        assert sorted(dense_uniques) == sorted(dict_uniques)
+
+    def test_fan_out_preserves_order(self):
+        inverse = np.array([2, 0, 1, 0], dtype=np.int64)
+        assert fan_out(["a", "b", "c"], inverse) == ["c", "a", "b", "a"]
+
+    def test_empty_batch(self):
+        uniques, inverse = unique_syndromes([])
+        assert uniques == [] and len(inverse) == 0
+        assert fan_out(uniques, inverse) == []

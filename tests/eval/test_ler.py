@@ -73,6 +73,99 @@ def _graph_of(stack):
     return stack[2]
 
 
+class TestBatchPath:
+    def test_count_failures_matches_per_shot_loop(self, d3_stack):
+        """The batch decode path must count exactly what the historic
+        per-shot loop counted."""
+        from repro.sim.sampler import DemSampler
+
+        _exp, dem, graph = d3_stack
+        decoder = MWPMDecoder(graph)
+        batch = DemSampler(dem, 5e-3, rng=21).sample(400)
+        failures, shots = count_failures(decoder, batch)
+        loop_failures = sum(
+            1
+            for events, observable in zip(batch.events, batch.observables)
+            if (r := decoder.decode(events)).success is False
+            or r.observable_mask != int(observable)
+        )
+        assert (failures, shots) == (loop_failures, batch.shots)
+        assert count_failures(decoder, batch, reference=True) == (
+            loop_failures,
+            batch.shots,
+        )
+
+    def test_batch_size_chunking_identical(self, d3_stack):
+        from repro.sim.sampler import DemSampler
+
+        _exp, dem, graph = d3_stack
+        decoder = MWPMDecoder(graph)
+        batch = DemSampler(dem, 5e-3, rng=22).sample(250)
+        whole = count_failures(decoder, batch)
+        for batch_size in (1, 7, 100, 10_000):
+            assert count_failures(decoder, batch, batch_size=batch_size) == whole
+        with pytest.raises(ValueError):
+            count_failures(decoder, batch, batch_size=0)
+
+
+class TestSharding:
+    def test_eq1_shards_identical_to_inline(self, d3_stack):
+        """Per-k RNG streams are seeded up front, so sharding over
+        processes must not change a single estimate."""
+        _exp, dem, graph = d3_stack
+        decoders = {"MWPM": MWPMDecoder(graph)}
+        inline = estimate_ler_importance(
+            decoders, dem, 3e-3, k_max=5, shots_per_k=80, rng=77, shards=1
+        )
+        sharded = estimate_ler_importance(
+            decoders, dem, 3e-3, k_max=5, shots_per_k=80, rng=77, shards=3
+        )
+        assert inline["MWPM"].ler == sharded["MWPM"].ler
+        assert inline["MWPM"].per_k == sharded["MWPM"].per_k
+
+    def test_direct_sharded_pools_all_shots(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        decoders = {"MWPM": MWPMDecoder(graph)}
+        out = estimate_ler_direct(
+            decoders, dem, 3e-3, shots=1001, rng=13, shards=3
+        )
+        assert out["MWPM"].estimate.trials == 1001
+
+    def test_invalid_shards_rejected(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        with pytest.raises(ValueError):
+            estimate_ler_importance(
+                {"MWPM": MWPMDecoder(graph)}, dem, 3e-3, k_max=3, rng=1, shards=0
+            )
+
+    def test_suite_rejects_unknown_parallel_components(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        with pytest.raises(ValueError, match="unknown components"):
+            estimate_ler_suite(
+                components={"MWPM": MWPMDecoder(graph)},
+                parallel_specs={"bad": ("MWPM", "missing")},
+                dem=dem,
+                p=3e-3,
+                k_max=3,
+                rng=1,
+            )
+
+    def test_suite_rejects_component_parallel_name_collision(self, d3_stack):
+        """Regression: a name in both maps used to double-append its per-k
+        rows, silently doubling the reported LER."""
+        _exp, dem, graph = d3_stack
+        mwpm = MWPMDecoder(graph)
+        with pytest.raises(ValueError, match="collide"):
+            estimate_ler_suite(
+                components={"A": mwpm, "B": mwpm},
+                parallel_specs={"A": ("A", "B")},
+                dem=dem,
+                p=3e-3,
+                k_max=3,
+                rng=1,
+            )
+
+
 class TestSuite:
     def test_parallel_derivation_consistent(self, d3_stack):
         """Suite-derived || results equal direct ParallelDecoder results

@@ -66,6 +66,20 @@ class TestExactKSampler:
         with pytest.raises(ValueError):
             sampler.sample(10**9, 10)
 
+    def test_k_beyond_nonzero_mechanisms_raises(self, d3_stack):
+        """Regression: with p = 0 every mechanism probability is zero, yet
+        the Gumbel keys (-inf) still survived argpartition and the sampler
+        happily emitted impossible syndromes.  k must be validated against
+        the count of mechanisms that can actually fire."""
+        _exp, dem, _graph = d3_stack
+        sampler = ExactKSampler(dem, 0.0, rng=2)
+        assert sampler.n_positive == 0
+        with pytest.raises(ValueError, match="nonzero"):
+            sampler.sample(1, 10)
+        # k = 0 stays legal: the all-quiet syndrome always exists.
+        batch = sampler.sample(0, 5)
+        assert all(len(e) == 0 for e in batch.events)
+
     def test_weighting_prefers_likely_mechanisms(self, d3_stack):
         """Mechanism pick frequency should track p_i (Gumbel top-k)."""
         _exp, dem, _graph = d3_stack
@@ -109,3 +123,63 @@ class TestSyndromeBatch:
     def test_hamming_weights(self):
         batch = SyndromeBatch(events=[(), (1, 2, 3)], observables=np.array([0, 1]))
         assert batch.hamming_weights().tolist() == [0, 3]
+
+    def test_extend_mismatched_fault_counts_raises(self):
+        """Regression: extending a fault-counted batch with an uncounted
+        one used to silently keep the stale array, misaligned with the
+        grown event list."""
+        counted = SyndromeBatch(
+            events=[(1,)],
+            observables=np.array([0]),
+            fault_counts=np.array([1]),
+        )
+        uncounted = SyndromeBatch(events=[(2,)], observables=np.array([0]))
+        with pytest.raises(ValueError, match="fault_counts"):
+            counted.extend(uncounted)
+        with pytest.raises(ValueError, match="fault_counts"):
+            uncounted.extend(counted)
+        # Nothing was concatenated before the raise.
+        assert counted.shots == 1 and uncounted.shots == 1
+
+    def test_extend_materializes_uniform_weights(self):
+        """A missing weights array means uniform weight 1; extending a
+        weighted batch with an unweighted one (or vice versa) must
+        materialize those ones instead of dropping the metadata."""
+        weighted = SyndromeBatch(
+            events=[(1,)],
+            observables=np.array([0]),
+            weights=np.array([0.25]),
+        )
+        unweighted = SyndromeBatch(events=[(2,), (3,)], observables=np.array([0, 0]))
+        weighted.extend(unweighted)
+        assert weighted.weights.tolist() == [0.25, 1.0, 1.0]
+        other = SyndromeBatch(
+            events=[(4,)], observables=np.array([0]), weights=np.array([0.5])
+        )
+        unweighted2 = SyndromeBatch(events=[(5,)], observables=np.array([0]))
+        unweighted2.extend(other)
+        assert unweighted2.weights.tolist() == [1.0, 0.5]
+
+    def test_dense_mirrors_events(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        batch = DemSampler(dem, 5e-3, rng=3).sample(150)
+        assert batch.dense is not None
+        assert batch.dense.shape == (150, dem.n_detectors)
+        for shot, events in enumerate(batch.events):
+            assert tuple(np.nonzero(batch.dense[shot])[0]) == events
+        rebuilt = batch.to_dense(dem.n_detectors)
+        assert (rebuilt == batch.dense).all()
+        packed = batch.packed()
+        assert packed.shape == (150, (dem.n_detectors + 7) // 8)
+
+    def test_slice_aligns_all_fields(self, d3_stack):
+        _exp, dem, _graph = d3_stack
+        batch = DemSampler(dem, 5e-3, rng=3).sample(50)
+        batch.weights = np.arange(50, dtype=np.float64)
+        part = batch.slice(10, 20)
+        assert part.shots == 10
+        assert part.events == batch.events[10:20]
+        assert (part.observables == batch.observables[10:20]).all()
+        assert (part.fault_counts == batch.fault_counts[10:20]).all()
+        assert part.weights.tolist() == list(range(10, 20))
+        assert (part.dense == batch.dense[10:20]).all()
