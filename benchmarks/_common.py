@@ -13,15 +13,29 @@ variables:
   headline tables (default "11,13").
 * ``REPRO_BENCH_SHARDS``       -- worker processes for the Eq. (1)
   estimators (default 1 = inline; estimates are identical either way).
+* ``REPRO_BENCH_CENSUS_SHARDS`` -- worker processes for the high-HW
+  censuses (default = ``REPRO_BENCH_SHARDS``; identical results).
 * ``REPRO_BENCH_BATCH_SIZE``   -- cap on shots per decode_batch call
   (default 0 = unbounded).
+* ``REPRO_BENCH_STORE``        -- experiment-store file (``--store``):
+  every completed Eq. (1) / direct-MC work slice is persisted so a
+  killed sweep keeps its progress (default unset = no store).
+* ``REPRO_BENCH_RESUME``       -- ``1`` replays slices already in the
+  store and runs only the residual shots (``--resume``); bitwise
+  identical to an uninterrupted run.  Default 1 when a store is set.
+* ``REPRO_BENCH_MIN_REL_PRECISION`` -- optional relative-precision
+  target (``--min-rel-precision``): shots keep doubling on the widest
+  k rows until every decoder's statistical CI width is below
+  ``target * LER`` (default unset = fixed budgets).
 * ``REPRO_BENCH_SPEEDUP_DISTANCE`` / ``REPRO_BENCH_SPEEDUP_SHOTS`` --
   workload of the batch-vs-loop speedup bench (defaults 5 / 20000;
   CI smoke shrinks both).
 
 Each benchmark prints its table (so ``pytest benchmarks/ --benchmark-only
 -s`` shows the paper-shaped output) and writes a JSON artifact under
-``benchmarks/results/`` for EXPERIMENTS.md.
+``benchmarks/results/`` for EXPERIMENTS.md; the artifact embeds the
+run context (shot knobs, store/resume state) so resumed and fresh
+sweeps are distinguishable after the fact.
 """
 
 from __future__ import annotations
@@ -32,6 +46,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from repro.eval.experiments import Workbench
+from repro.eval.store import ExperimentStore
 from repro.utils.rng import stable_seed
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -67,6 +82,58 @@ def eval_batch_size() -> Optional[int]:
     return value if value > 0 else None
 
 
+def census_shards() -> int:
+    return max(1, env_int("REPRO_BENCH_CENSUS_SHARDS", eval_shards()))
+
+
+def experiment_store() -> Optional[ExperimentStore]:
+    """The shared experiment store, or ``None`` when not configured."""
+    path = os.environ.get("REPRO_BENCH_STORE", "").strip()
+    return ExperimentStore(path) if path else None
+
+
+def resume_enabled() -> bool:
+    """Resume defaults on whenever a store is configured."""
+    return bool(env_int("REPRO_BENCH_RESUME", 1))
+
+
+def min_rel_precision() -> Optional[float]:
+    raw = os.environ.get("REPRO_BENCH_MIN_REL_PRECISION", "").strip()
+    return float(raw) if raw else None
+
+
+def ler_store_kwargs(bench: Workbench, kind: str = "eq1") -> dict:
+    """Store/resume/precision kwargs for one estimator call.
+
+    The store key is derived from the workbench's full configuration
+    (code, distance, rounds, noise, p, estimator kind), so each
+    operating point of a sweep owns an independent set of slices in the
+    shared store file.
+    """
+    store = experiment_store()
+    return dict(
+        store=store,
+        store_key=bench.store_key(kind) if store is not None else None,
+        resume=store is not None and resume_enabled(),
+        min_rel_precision=min_rel_precision(),
+    )
+
+
+def run_context() -> dict:
+    """The knob state embedded into every result artifact."""
+    store = experiment_store()
+    return {
+        "shots_per_k": shots_per_k(),
+        "census_shots": census_shots(),
+        "k_max": k_max(),
+        "shards": eval_shards(),
+        "census_shards": census_shards(),
+        "store": str(store.path) if store is not None else None,
+        "resume": store is not None and resume_enabled(),
+        "min_rel_precision": min_rel_precision(),
+    }
+
+
 _WORKBENCHES: Dict = {}
 
 
@@ -81,8 +148,14 @@ def get_workbench(distance: int, p: float) -> Workbench:
 
 
 def save_results(name: str, payload: dict) -> Path:
-    """Persist a benchmark's numbers for the EXPERIMENTS.md comparison."""
+    """Persist a benchmark's numbers for the EXPERIMENTS.md comparison.
+
+    The run context (shot knobs, store/resume state) is attached under
+    ``"context"`` unless the payload already carries one.
+    """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("context", run_context())
     path = RESULTS_DIR / f"{name}.json"
     with path.open("w") as handle:
         json.dump(payload, handle, indent=2, default=float)

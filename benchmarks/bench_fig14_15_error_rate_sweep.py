@@ -21,6 +21,7 @@ from _common import (  # noqa: E402
     get_workbench,
     headline_distances,
     k_max,
+    ler_store_kwargs,
     run_once,
     save_results,
     shots_per_k,
@@ -55,6 +56,7 @@ def run_sweep() -> dict:
                 rng=stable_seed("fig14_15", distance, p),
                 shards=eval_shards(),
                 batch_size=eval_batch_size(),
+                **ler_store_kwargs(bench),
             )
             per_p[f"{p:.0e}"] = {name: r.ler for name, r in results.items()}
         payload["series"][str(distance)] = per_p

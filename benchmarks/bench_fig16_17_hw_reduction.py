@@ -16,6 +16,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    census_shards,
     census_shots,
     get_workbench,
     headline_distances,
@@ -45,6 +46,7 @@ def run_hw_reduction() -> dict:
                 "Smith": SmithPredecoder(bench.graph),
             },
             n_bins=2 * k_max() + 2,
+            shards=census_shards(),
         )
         payload["histograms"][str(distance)] = {
             name: hist.tolist() for name, hist in histograms.items()

@@ -22,6 +22,7 @@ from _common import (  # noqa: E402
     env_int,
     get_workbench,
     k_max,
+    ler_store_kwargs,
     run_once,
     save_results,
     shots_per_k,
@@ -61,6 +62,7 @@ def run_fig4() -> dict:
             rng=stable_seed("fig4", distance),
             shards=eval_shards(),
             batch_size=eval_batch_size(),
+            **ler_store_kwargs(bench),
         )
         payload["series"][str(distance)] = {
             name: result.ler for name, result in results.items()

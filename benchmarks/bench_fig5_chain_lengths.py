@@ -15,6 +15,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    census_shards,
     census_shots,
     get_workbench,
     headline_distances,
@@ -35,7 +36,9 @@ def run_fig5() -> dict:
     for distance in headline_distances():
         bench = get_workbench(distance, P)
         batch = bench.sample_high_hw(shots_per_k=census_shots(), k_max=k_max())
-        histogram = chain_length_census(bench.graph, batch, max_length=MAX_LENGTH)
+        histogram = chain_length_census(
+            bench.graph, batch, max_length=MAX_LENGTH, shards=census_shards()
+        )
         payload["histograms"][str(distance)] = histogram.tolist()
     return payload
 

@@ -29,6 +29,7 @@ from _common import (  # noqa: E402
     get_workbench,
     headline_distances,
     k_max,
+    ler_store_kwargs,
     run_once,
     save_results,
     shots_per_k,
@@ -88,6 +89,7 @@ def run_table2() -> dict:
             rng=stable_seed("table2", distance),
             shards=eval_shards(),
             batch_size=eval_batch_size(),
+            **ler_store_kwargs(bench),
         )
         payload["rows"][str(distance)] = {
             name: {

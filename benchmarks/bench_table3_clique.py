@@ -25,6 +25,7 @@ from _common import (  # noqa: E402
     get_workbench,
     headline_distances,
     k_max,
+    ler_store_kwargs,
     run_once,
     save_results,
     shots_per_k,
@@ -53,6 +54,7 @@ def run_table3() -> dict:
             rng=stable_seed("table3", distance),
             shards=eval_shards(),
             batch_size=eval_batch_size(),
+            **ler_store_kwargs(bench),
         )
         payload["rows"][str(distance)] = {
             name: result.ler for name, result in results.items()

@@ -20,6 +20,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    census_shards,
     census_shots,
     get_workbench,
     headline_distances,
@@ -46,6 +47,7 @@ def run_latency() -> dict:
             batch,
             PromatchPredecoder(bench.graph),
             AstreaDecoder(bench.graph),
+            shards=census_shards(),
         )
         payload["rows"][str(distance)] = {
             "predecode_max_ns": census.predecode_max_ns,

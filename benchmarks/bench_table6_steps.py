@@ -21,6 +21,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
+    census_shards,
     census_shots,
     get_workbench,
     headline_distances,
@@ -41,7 +42,9 @@ def run_steps() -> dict:
     for distance in headline_distances():
         bench = get_workbench(distance, P)
         batch = bench.sample_high_hw(shots_per_k=census_shots(), k_max=k_max())
-        usage = step_usage_census(batch, PromatchPredecoder(bench.graph))
+        usage = step_usage_census(
+            batch, PromatchPredecoder(bench.graph), shards=census_shards()
+        )
         payload["rows"][str(distance)] = {str(s): v for s, v in usage.items()}
     return payload
 

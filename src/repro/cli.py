@@ -14,8 +14,15 @@ Examples::
     python -m repro info --distance 11 --p 1e-4
     python -m repro ler --distance 5 --p 3e-3 --shots 20000
     python -m repro ler --distance 11 --p 1e-4 --method eq1 --shots-per-k 200
-    python -m repro latency --distance 11
+    python -m repro ler --distance 11 --p 1e-4 --method eq1 \\
+        --store sweep.jsonl --resume         # kill-and-resume safe
+    python -m repro latency --distance 11 --shards 4
     python -m repro decode --distance 11 --p 1e-4
+
+The ``--store``/``--resume`` pair makes ``ler`` runs restartable: every
+completed work slice is appended to the store file, and a resumed run
+replays them and pays only for the residual shots (see
+docs/experiment_store.md).
 """
 
 from __future__ import annotations
@@ -66,16 +73,40 @@ def build_parser() -> argparse.ArgumentParser:
              "memory; sampling memory scales with shots per shard, so "
              "use --shards to bound that; default all)",
     )
+    ler.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="experiment-store file (JSON lines); completed work slices "
+             "are appended so a killed run can be resumed",
+    )
+    ler.add_argument(
+        "--resume", action="store_true",
+        help="replay slices already in --store and run only the residual "
+             "shots (bitwise identical to an uninterrupted run)",
+    )
+    ler.add_argument(
+        "--min-rel-precision", type=float, default=None, metavar="R",
+        help="keep doubling shots on the widest k rows until every "
+             "decoder's statistical CI width is below R * LER "
+             "(Eq. (1) method only)",
+    )
 
     latency = sub.add_parser("latency", help="Tables 4/5 latency census")
     add_common(latency)
     latency.add_argument("--shots-per-k", type=int, default=100)
     latency.add_argument("--k-max", type=int, default=16)
+    latency.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the census (identical results)",
+    )
 
     steps = sub.add_parser("steps", help="Table 6 step-usage census")
     add_common(steps)
     steps.add_argument("--shots-per-k", type=int, default=100)
     steps.add_argument("--k-max", type=int, default=16)
+    steps.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes for the census (identical results)",
+    )
 
     decode = sub.add_parser("decode", help="trace one high-HW syndrome")
     add_common(decode)
@@ -121,18 +152,26 @@ def _run_info(args) -> None:
 
 
 def _run_ler(args) -> None:
+    from repro.eval.store import open_store
+
     bench = _build(args)
     names = [n.strip() for n in args.decoders.split(",") if n.strip()]
     unknown = [n for n in names if n not in bench.decoders]
     if unknown:
         sys.exit(f"unknown decoders: {unknown}; available: {list(bench.decoders)}")
     decoders = {n: bench.decoders[n] for n in names}
+    store = open_store(args.store)
+    store_kwargs = dict(
+        store=store,
+        store_key=bench.store_key(args.method) if store is not None else None,
+        resume=args.resume,
+    )
     if args.method == "direct":
         from repro.eval.ler import estimate_ler_direct
 
         results = estimate_ler_direct(
             decoders, bench.dem, args.p, shots=args.shots, rng=args.seed,
-            shards=args.shards, batch_size=args.batch_size,
+            shards=args.shards, batch_size=args.batch_size, **store_kwargs,
         )
         rows = [[n, str(r.estimate)] for n, r in results.items()]
         print(format_table(["decoder", "LER [95% CI]"], rows,
@@ -144,6 +183,7 @@ def _run_ler(args) -> None:
             decoders, bench.dem, args.p,
             k_max=args.k_max, shots_per_k=args.shots_per_k, rng=args.seed,
             shards=args.shards, batch_size=args.batch_size,
+            min_rel_precision=args.min_rel_precision, **store_kwargs,
         )
         rows = [
             [n, format_scientific(r.ler), f"<= {format_scientific(r.ler_high)}"]
@@ -164,7 +204,7 @@ def _run_latency(args) -> None:
     batch = bench.sample_high_hw(shots_per_k=args.shots_per_k, k_max=args.k_max)
     census = latency_census(
         bench.graph, batch, PromatchPredecoder(bench.graph),
-        AstreaDecoder(bench.graph),
+        AstreaDecoder(bench.graph), shards=args.shards,
     )
     print(format_table(
         ["phase", "avg (ns)", "max (ns)"],
@@ -185,7 +225,9 @@ def _run_steps(args) -> None:
 
     bench = _build(args)
     batch = bench.sample_high_hw(shots_per_k=args.shots_per_k, k_max=args.k_max)
-    usage = step_usage_census(batch, PromatchPredecoder(bench.graph))
+    usage = step_usage_census(
+        batch, PromatchPredecoder(bench.graph), shards=args.shards
+    )
     rows = [[f"step {s}", f"{v:.3e}"] for s, v in usage.items()]
     print(format_table(["deepest step", "fraction"], rows,
                        title=f"{batch.shots} HW>10 syndromes"))

@@ -10,13 +10,28 @@ chain lengths (Figure 5), HW reduction (Figures 16/17), predecoding
 latency (Tables 4/5), and step usage (Table 6).  They run on syndromes
 sampled *conditioned on* HW exceeding Astrea's capability, importance-
 weighted by the exact Poisson-binomial fault-count distribution so that
-reported histograms are genuine probabilities, not per-sample fractions.
+reported histograms are genuine probabilities, not per-sample fractions:
+each kept syndrome sampled at exactly ``k`` faults carries weight
+``P_o(k) / shots_per_k``, so weighted sums estimate joint probabilities
+with the conditioning event (see :meth:`Workbench.sample_high_hw`).
+
+Sharded censuses
+----------------
+Every census accepts ``shards``: the batch is split into contiguous
+shot ranges evaluated in the same pre-seeded process pool the Eq. (1)
+estimators use (:func:`repro.eval.pool.run_sharded`).  Workers do only
+the expensive part -- decoding / predecoding their range -- and return
+**per-shot rows**; the parent concatenates the rows back into shot order
+and aggregates exactly as the sequential path does.  Because the
+decoders are deterministic and no randomness is drawn census-side, the
+result is bitwise identical at any shard width.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +48,7 @@ from repro.decoders.unionfind import UnionFindDecoder
 from repro.dem.model import DetectorErrorModel
 from repro.eval.cache import build_experiment_and_dem
 from repro.eval.poisson_binomial import poisson_binomial_pmf
+from repro.eval.pool import pool_shared, run_sharded
 from repro.eval.stats import weighted_histogram
 from repro.graph.decoding_graph import DecodingGraph, build_decoding_graph
 from repro.hardware.latency import cycles_to_ns
@@ -51,6 +67,7 @@ class Workbench:
     dem: DetectorErrorModel
     graph: DecodingGraph
     rng: np.random.Generator
+    noise: Optional[NoiseModel] = None
     decoders: Dict[str, Decoder] = field(default_factory=dict)
 
     @classmethod
@@ -82,11 +99,32 @@ class Workbench:
             dem=dem,
             graph=graph,
             rng=ensure_rng(rng),
+            noise=noise,
         )
         bench.decoders = bench.build_decoder_zoo(
             prune_probability=prune_probability
         )
         return bench
+
+    def store_key(self, kind: str) -> str:
+        """Stable experiment-store key for this operating point.
+
+        Hashes the full configuration description -- code family,
+        distance, rounds, noise-model token, physical error rate and
+        estimator ``kind`` -- so stored counts are only ever reused for
+        an identically-configured sweep.
+        """
+        from repro.eval.store import config_key
+
+        noise = self.noise or CircuitNoiseModel()
+        return config_key(
+            code="rotated_surface",
+            distance=self.distance,
+            rounds=self.rounds,
+            noise=noise.cache_token(),
+            p=self.p,
+            kind=kind,
+        )
 
     # -- decoder zoo -----------------------------------------------------------------
 
@@ -151,7 +189,10 @@ class Workbench:
         HW >= ``hw_min`` and attaches weight ``P_o(k) / shots_per_k``, so
         weighted sums over the batch estimate joint probabilities
         P(syndrome property AND HW >= hw_min) -- the quantity behind the
-        paper's Figures 5/16/17 and Tables 4-6.
+        paper's Figures 5/16/17 and Tables 4-6.  The weighting assumes
+        independent mechanism firing (the same Poisson-binomial model as
+        Eq. (1)); ``k`` ranges from ``hw_min // 2`` (a fault flips at
+        most two detectors) to ``k_max``.
         """
         pmf, _tail = poisson_binomial_pmf(self.dem.probabilities(self.p), k_max)
         sampler = ExactKSampler(self.dem, self.p, rng=self.rng)
@@ -188,8 +229,78 @@ class Workbench:
 # -- censuses over high-HW syndromes ------------------------------------------------
 
 
+def _batch_weights(batch: SyndromeBatch) -> np.ndarray:
+    """Per-shot occurrence weights (uniform 1 when the batch has none)."""
+    if batch.weights is not None:
+        return batch.weights
+    return np.ones(batch.shots, dtype=np.float64)
+
+
+def _census_range_worker(task: Tuple[int, int]) -> list:
+    """Run the shared row function on one contiguous shot range."""
+    start, stop = task
+    row_fn, batch, args = pool_shared()
+    return row_fn(batch.slice(start, stop), *args)
+
+
+def _census_rows(
+    row_fn: Callable[..., list],
+    batch: SyndromeBatch,
+    args: Tuple,
+    shards: int,
+) -> list:
+    """Per-shot census rows, optionally computed in a process pool.
+
+    Splits the batch into ``shards`` contiguous ranges, maps ``row_fn``
+    over them (the expensive decode/predecode work) and concatenates the
+    returned rows back into shot order.  Aggregation happens caller-side
+    on the full ordered row list, so every shard width produces bitwise
+    the sequential result.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shots = batch.shots
+    if shards == 1 or shots <= 1:
+        return row_fn(batch, *args)
+    bounds = np.linspace(0, shots, min(shards, shots) + 1, dtype=int)
+    tasks = [
+        (int(start), int(stop))
+        for start, stop in zip(bounds[:-1], bounds[1:])
+        if stop > start
+    ]
+    outputs = run_sharded(
+        (row_fn, batch, args),
+        _census_range_worker,
+        tasks,
+        processes=min(len(tasks), os.cpu_count() or 1),
+    )
+    rows: list = []
+    for chunk in outputs:
+        rows.extend(chunk)
+    return rows
+
+
+def _chain_length_rows(
+    batch: SyndromeBatch, graph: DecodingGraph
+) -> List[List[int]]:
+    """Per shot, the edge lengths of every MWPM-matched chain."""
+    decoder = MWPMDecoder(graph)
+    rows: List[List[int]] = []
+    for result in decoder.decode_batch(batch):
+        lengths = [graph.path_length_edges(u, v) for u, v in result.pairs]
+        lengths.extend(
+            graph.path_length_edges(u, graph.boundary_index)
+            for u in result.boundary
+        )
+        rows.append(lengths)
+    return rows
+
+
 def chain_length_census(
-    graph: DecodingGraph, batch: SyndromeBatch, max_length: int = 12
+    graph: DecodingGraph,
+    batch: SyndromeBatch,
+    max_length: int = 12,
+    shards: int = 1,
 ) -> np.ndarray:
     """Figure 5: distribution of MWPM error-chain lengths.
 
@@ -197,22 +308,29 @@ def chain_length_census(
     decoding-graph edges each matched pair (or boundary match) spans,
     weighted by syndrome occurrence probability; the result is normalized
     to a probability distribution over chain length 1..max_length.
+    ``shards`` fans the MWPM decoding over worker processes with bitwise
+    identical output (see the module docstring).
     """
-    decoder = MWPMDecoder(graph)
-    weights = (
-        batch.weights
-        if batch.weights is not None
-        else np.ones(batch.shots, dtype=np.float64)
-    )
+    rows = _census_rows(_chain_length_rows, batch, (graph,), shards)
+    weights = _batch_weights(batch)
     histogram = np.zeros(max_length + 1, dtype=np.float64)
-    for result, weight in zip(decoder.decode_batch(batch), weights):
-        for u, v in result.pairs:
-            histogram[min(graph.path_length_edges(u, v), max_length)] += weight
-        for u in result.boundary:
-            length = graph.path_length_edges(u, graph.boundary_index)
+    for lengths, weight in zip(rows, weights):
+        for length in lengths:
             histogram[min(length, max_length)] += weight
     total = histogram.sum()
     return histogram / total if total > 0 else histogram
+
+
+def _hw_reduction_rows(
+    batch: SyndromeBatch, predecoders: Dict[str, Predecoder]
+) -> List[Tuple[int, ...]]:
+    """Per shot, (HW before, HW after predecoder 1, after predecoder 2, ...)."""
+    before = [len(events) for events in batch.events]
+    after = [
+        [len(report.remaining) for report in predecoder.predecode_batch(batch)]
+        for predecoder in predecoders.values()
+    ]
+    return [tuple(row) for row in zip(before, *after)]
 
 
 def hw_reduction_census(
@@ -220,28 +338,24 @@ def hw_reduction_census(
     batch: SyndromeBatch,
     predecoders: Dict[str, Predecoder],
     n_bins: int = 33,
+    shards: int = 1,
 ) -> Dict[str, np.ndarray]:
     """Figures 16/17: HW distribution before and after predecoding.
 
     Returns probability-weighted histograms (joint with the HW > 10
     conditioning event): key "before" plus one key per predecoder.
+    ``shards`` fans the predecoding over worker processes with bitwise
+    identical output.
     """
-    weights = (
-        batch.weights
-        if batch.weights is not None
-        else np.ones(batch.shots, dtype=np.float64)
-    )
-    histograms: Dict[str, np.ndarray] = {
-        "before": weighted_histogram(
-            [len(e) for e in batch.events], weights, n_bins
+    rows = _census_rows(_hw_reduction_rows, batch, (predecoders,), shards)
+    weights = _batch_weights(batch)
+    names = ["before"] + list(predecoders)
+    return {
+        name: weighted_histogram(
+            [row[column] for row in rows], weights, n_bins
         )
+        for column, name in enumerate(names)
     }
-    for name, predecoder in predecoders.items():
-        reduced = [
-            len(report.remaining) for report in predecoder.predecode_batch(batch)
-        ]
-        histograms[name] = weighted_histogram(reduced, weights, n_bins)
-    return histograms
 
 
 @dataclass
@@ -255,37 +369,48 @@ class LatencyCensus:
     deadline_miss_probability: float
 
 
-def latency_census(
-    graph: DecodingGraph, batch: SyndromeBatch, promatch: PromatchPredecoder,
-    main: AstreaDecoder,
-) -> LatencyCensus:
-    """Measure Promatch's cycle consumption on a high-HW workload."""
-    weights = (
-        batch.weights
-        if batch.weights is not None
-        else np.ones(batch.shots, dtype=np.float64)
-    )
-    predecode_ns: List[float] = []
-    total_ns: List[float] = []
-    miss_weight = 0.0
-    total_weight = 0.0
-    reports = promatch.predecode_batch(batch)
-    for report, weight in zip(reports, weights):
-        total_weight += weight
+def _latency_rows(
+    batch: SyndromeBatch, promatch: PromatchPredecoder, main: AstreaDecoder
+) -> List[Tuple[float, float, bool]]:
+    """Per shot, (predecode ns, total ns, deadline missed)."""
+    rows: List[Tuple[float, float, bool]] = []
+    for report in promatch.predecode_batch(batch):
         pre_ns = cycles_to_ns(report.cycles)
         main_result = main.decode(
             report.remaining, budget_cycles=promatch.budget_cycles - report.cycles
         )
         if report.aborted or not main_result.success:
-            miss_weight += weight
-            predecode_ns.append(pre_ns)
-            total_ns.append(cycles_to_ns(promatch.budget_cycles))
-            continue
-        predecode_ns.append(pre_ns)
-        total_ns.append(pre_ns + cycles_to_ns(main_result.cycles or 0))
-    pre = np.asarray(predecode_ns)
-    tot = np.asarray(total_ns)
-    w = np.asarray(weights[: len(predecode_ns)])
+            rows.append((pre_ns, cycles_to_ns(promatch.budget_cycles), True))
+        else:
+            rows.append(
+                (pre_ns, pre_ns + cycles_to_ns(main_result.cycles or 0), False)
+            )
+    return rows
+
+
+def latency_census(
+    graph: DecodingGraph,
+    batch: SyndromeBatch,
+    promatch: PromatchPredecoder,
+    main: AstreaDecoder,
+    shards: int = 1,
+) -> LatencyCensus:
+    """Measure Promatch's cycle consumption on a high-HW workload.
+
+    A deadline miss (predecoder abort or main-decoder failure within the
+    residual budget) is pinned at the full hardware budget.  ``shards``
+    fans the decoding over worker processes with bitwise identical
+    output.
+    """
+    rows = _census_rows(_latency_rows, batch, (promatch, main), shards)
+    weights = _batch_weights(batch)
+    pre = np.asarray([row[0] for row in rows], dtype=np.float64)
+    tot = np.asarray([row[1] for row in rows], dtype=np.float64)
+    miss_weight = float(
+        sum(weight for row, weight in zip(rows, weights) if row[2])
+    )
+    total_weight = float(weights[: len(rows)].sum())
+    w = np.asarray(weights[: len(rows)])
     w_sum = w.sum() if w.sum() > 0 else 1.0
     return LatencyCensus(
         predecode_avg_ns=float((pre * w).sum() / w_sum),
@@ -298,25 +423,30 @@ def latency_census(
     )
 
 
-def step_usage_census(
+def _step_usage_rows(
     batch: SyndromeBatch, promatch: PromatchPredecoder
+) -> List[int]:
+    """Per shot, the deepest Promatch step used."""
+    return [report.steps_used for report in promatch.predecode_batch(batch)]
+
+
+def step_usage_census(
+    batch: SyndromeBatch, promatch: PromatchPredecoder, shards: int = 1
 ) -> Dict[int, float]:
     """Table 6: fraction of high-HW syndromes whose deepest step is s.
 
     Returns conditional frequencies (normalized over the batch weights)
-    for steps 1..4.
+    for steps 1..4.  ``shards`` fans the predecoding over worker
+    processes with bitwise identical output.
     """
-    weights = (
-        batch.weights
-        if batch.weights is not None
-        else np.ones(batch.shots, dtype=np.float64)
-    )
+    rows = _census_rows(_step_usage_rows, batch, (promatch,), shards)
+    weights = _batch_weights(batch)
     usage = {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}
     total = 0.0
-    for report, weight in zip(promatch.predecode_batch(batch), weights):
+    for steps_used, weight in zip(rows, weights):
         total += weight
-        if report.steps_used in usage:
-            usage[report.steps_used] += weight
+        if steps_used in usage:
+            usage[steps_used] += weight
     if total > 0:
         usage = {step: value / total for step, value in usage.items()}
     return usage

@@ -12,7 +12,12 @@ where ``P_o(k)`` is the exact Poisson-binomial probability that exactly
 ``k`` fault mechanisms fire and ``P_f(k)`` is the decoding-failure rate
 measured on syndromes with exactly ``k`` injected faults.  A *failure* is
 a wrong logical prediction **or** a real-time give-up (deadline/capability
-exceeded), matching the paper's accounting.
+exceeded), matching the paper's accounting.  The importance weighting
+assumes the DEM's mechanisms fire independently (the Poisson-binomial
+model) and that ``P_f(k)`` is estimated on ``ExactKSampler`` workloads
+drawn from the conditional distribution given ``k`` faults; truncating
+the sum at ``k_max`` discards at most ``P(count > k_max)`` of LER mass,
+which is reported as ``truncation_bound``.
 
 Both estimators evaluate *many decoders on the same sampled workload*, so
 comparisons between decoders are paired (sharper than independent runs)
@@ -20,16 +25,45 @@ and sampling cost is amortized.
 
 Decoding goes through the batch API (:meth:`Decoder.decode_batch`), which
 is element-wise identical to the per-shot loop; failure counting is a
-vectorized comparison over the collected results.  Each ``k`` slice of the
-Eq. (1) sum draws its syndromes from an independent child RNG stream
-seeded up front from the caller's generator, so the work can optionally be
-sharded across processes (``shards > 1``) without changing any estimate:
-the per-k results are identical however the slices are scheduled.
+vectorized comparison over the collected results.
+
+Shard-seeding contract
+----------------------
+The unit of work is a *slice*: one exact-k workload (Eq. (1)) or one
+shot-range (direct MC).  Every slice's base seed is drawn **up front**
+from the caller's generator, in a fixed order, before any work runs.
+Consequences:
+
+* ``shards > 1`` distributes slices over a process pool without changing
+  any estimate -- the per-slice workloads are identical however the
+  slices are scheduled;
+* re-running the same command re-derives the same slice seeds, which is
+  what makes the experiment store's resume path exact (see below).
+
+Experiment store (resume / refine)
+----------------------------------
+Passing ``store=`` (an :class:`~repro.eval.store.ExperimentStore`) makes
+every completed slice durable: its (failures, trials) counts are appended
+to the store keyed by ``(store_key, kind, k, seed)``.  With
+``resume=True`` the estimators replay stored slice runs first and execute
+only the residual shots, so
+
+* a killed sweep re-run with the same arguments reproduces the
+  uninterrupted result **bitwise** while paying only for the slices that
+  had not completed, and
+* raising the shot budget later samples only the delta, in sub-runs with
+  deterministically derived seeds (:func:`repro.eval.store.derived_seed`).
+
+``min_rel_precision`` turns a fixed shot budget into a target: after the
+requested shots, slices keep growing (doubling, concentrated on the k
+values contributing the most confidence-interval width) until every
+decoder's statistical CI width is below ``min_rel_precision * LER`` or
+``max_refine_rounds`` is exhausted.  The refinement trajectory is a
+deterministic function of the counts, so it is itself resumable.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -38,7 +72,14 @@ import numpy as np
 from repro.decoders.base import DecodeResult, Decoder
 from repro.dem.model import DetectorErrorModel
 from repro.eval.poisson_binomial import poisson_binomial_pmf
+from repro.eval.pool import pool_shared, run_sharded
 from repro.eval.stats import RateEstimate, wilson_interval
+from repro.eval.store import (
+    ExperimentStore,
+    SliceRecord,
+    dem_config_key,
+    derived_seed,
+)
 from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
 from repro.utils.rng import RngLike, ensure_rng
 
@@ -112,41 +153,6 @@ class DirectMonteCarloResult:
         return self.estimate.rate
 
 
-#: Heavy per-run state (decoders, DEM, ...) shared with pool workers.
-#: On fork platforms children inherit it copy-on-write -- nothing is
-#: pickled per task and non-picklable decoder configs keep working; on
-#: spawn-only platforms the pool initializer ships it once per worker.
-_POOL_SHARED = None
-
-
-def _init_pool_shared(shared) -> None:
-    global _POOL_SHARED
-    _POOL_SHARED = shared
-
-
-def _run_sharded(shared, worker, tasks: List[Tuple], processes: int) -> List:
-    """Map ``worker`` over ``tasks`` in a process pool.
-
-    Tasks stay tiny (ints only); ``shared`` reaches the workers through
-    fork inheritance of :data:`_POOL_SHARED` where available, otherwise
-    through the initializer.
-    """
-    global _POOL_SHARED
-    use_fork = "fork" in multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if use_fork else None)
-    previous = _POOL_SHARED
-    _POOL_SHARED = shared
-    try:
-        with context.Pool(
-            processes=processes,
-            initializer=None if use_fork else _init_pool_shared,
-            initargs=() if use_fork else (shared,),
-        ) as pool:
-            return pool.map(worker, tasks)
-    finally:
-        _POOL_SHARED = previous
-
-
 def _count_direct_shard(
     decoders: Mapping[str, Decoder],
     dem: DetectorErrorModel,
@@ -166,8 +172,16 @@ def _count_direct_shard(
 
 def _direct_shard_worker(task: Tuple[int, int]) -> Dict[str, Tuple[int, int]]:
     shots, seed = task
-    decoders, dem, p, batch_size = _POOL_SHARED
+    decoders, dem, p, batch_size = pool_shared()
     return _count_direct_shard(decoders, dem, p, shots, seed, batch_size)
+
+
+def _split_shots(shots: int, shards: int) -> List[int]:
+    """Split a shot budget into ``shards`` near-equal positive pieces."""
+    shard_shots = [shots // shards] * shards
+    for index in range(shots % shards):
+        shard_shots[index] += 1
+    return [s for s in shard_shots if s > 0]
 
 
 def estimate_ler_direct(
@@ -178,17 +192,43 @@ def estimate_ler_direct(
     rng: RngLike = None,
     shards: int = 1,
     batch_size: Optional[int] = None,
+    store: Optional[ExperimentStore] = None,
+    store_key: Optional[str] = None,
+    resume: bool = False,
 ) -> Dict[str, DirectMonteCarloResult]:
     """Direct Monte-Carlo LER of several decoders on a shared workload.
 
-    With ``shards > 1`` the shot budget is split into that many
-    independently-seeded slices evaluated in worker processes; every
-    decoder still sees the identical pooled workload.
+    Args:
+        decoders: Name -> decoder map; all see identical syndromes.
+        dem: The detector error model.
+        p: Physical error rate.
+        shots: Total Monte-Carlo shots.
+        rng: Randomness; slice seeds are drawn from it up front (see the
+            module docstring's shard-seeding contract).
+        shards: Split the budget into that many independently-seeded
+            slices evaluated in worker processes; every decoder still
+            sees the identical pooled workload.
+        batch_size: Cap on shots per ``decode_batch`` call (memory knob).
+        store: Optional experiment store; completed slices are appended.
+            Note that with ``shards == 1`` attaching a store switches
+            sampling from the historic inline path (the generator feeds
+            the sampler directly) to the pre-seeded slice path, so the
+            workload differs from the storeless run with the same
+            ``rng``; store-backed runs are bitwise-stable among
+            themselves (and match storeless runs whenever both use
+            whole slices, i.e. ``shards > 1``).
+        store_key: Experiment key for the store (defaults to a hash of
+            the DEM content and ``p``).
+        resume: Replay stored slices and run only the residual shots.
+
+    Returns:
+        Name -> :class:`DirectMonteCarloResult`.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     generator = ensure_rng(rng)
-    if shards == 1:
+    if shards == 1 and store is None:
+        # Historic inline path: the generator feeds the sampler directly.
         batch = DemSampler(dem, p, rng=generator).sample(shots)
         return {
             name: DirectMonteCarloResult(
@@ -199,26 +239,72 @@ def estimate_ler_direct(
             )
             for name, decoder in decoders.items()
         }
-    shard_shots = [shots // shards] * shards
-    for index in range(shots % shards):
-        shard_shots[index] += 1
-    shard_shots = [s for s in shard_shots if s > 0]
-    seeds = generator.integers(0, 2**63 - 1, size=len(shard_shots))
-    tasks = [(s, int(seed)) for s, seed in zip(shard_shots, seeds)]
-    outputs = _run_sharded(
-        (dict(decoders), dem, p, batch_size),
-        _direct_shard_worker,
-        tasks,
-        processes=min(shards, len(tasks)),
-    )
-    results: Dict[str, DirectMonteCarloResult] = {}
-    for name in decoders:
-        failures = sum(out[name][0] for out in outputs)
-        trials = sum(out[name][1] for out in outputs)
-        results[name] = DirectMonteCarloResult(
-            decoder_name=name, estimate=wilson_interval(failures, trials)
+    names = list(decoders)
+    if store is not None and store_key is None:
+        store_key = dem_config_key(dem, p, kind="direct")
+    shard_shots = _split_shots(shots, shards)
+    seeds = [
+        int(s) for s in generator.integers(0, 2**63 - 1, size=len(shard_shots))
+    ]
+    totals: Dict[str, List[int]] = {name: [0, 0] for name in names}
+    tasks: List[Tuple[int, int]] = []
+    pending: List[Tuple[int, int]] = []  # (seed, run) of each task, in order
+    for slice_shots, seed in zip(shard_shots, seeds):
+        have = 0
+        runs = 0
+        if store is not None and resume:
+            for record in store.usable_runs(store_key, "direct", None, seed, names):
+                if have >= slice_shots:
+                    break
+                for name in names:
+                    failures, trials = record.counts[name]
+                    totals[name][0] += failures
+                    totals[name][1] += trials
+                have += record.shots
+                runs += 1
+        residual = slice_shots - have
+        if residual > 0:
+            tasks.append((residual, derived_seed(seed, runs)))
+            pending.append((seed, runs))
+    if tasks:
+        if shards == 1 or len(tasks) <= 1:
+            outputs = [
+                _count_direct_shard(decoders, dem, p, n, s, batch_size)
+                for n, s in tasks
+            ]
+        else:
+            outputs = run_sharded(
+                (dict(decoders), dem, p, batch_size),
+                _direct_shard_worker,
+                tasks,
+                processes=min(shards, len(tasks)),
+            )
+        for (task_shots, _sub_seed), (seed, run), counts in zip(
+            tasks, pending, outputs
+        ):
+            for name in names:
+                failures, trials = counts[name]
+                totals[name][0] += failures
+                totals[name][1] += trials
+            if store is not None:
+                store.append(
+                    SliceRecord(
+                        config=store_key,
+                        kind="direct",
+                        k=None,
+                        seed=seed,
+                        run=run,
+                        shots=task_shots,
+                        counts={n: tuple(counts[n]) for n in names},
+                    )
+                )
+    return {
+        name: DirectMonteCarloResult(
+            decoder_name=name,
+            estimate=wilson_interval(totals[name][0], totals[name][1]),
         )
-    return results
+        for name in names
+    }
 
 
 @dataclass
@@ -241,6 +327,16 @@ class ImportanceLerResult:
     per_k: List[Tuple[int, float, RateEstimate]] = field(default_factory=list)
     truncation_bound: float = 0.0
 
+    @property
+    def statistical_width(self) -> float:
+        """CI width attributable to finite shots (excludes truncation).
+
+        ``sum_k P_o(k) (high_k - low_k)`` -- the part of the interval
+        more shots can shrink; the truncation tail cannot be bought down
+        without raising ``k_max``.
+        """
+        return sum(po * (est.high - est.low) for _k, po, est in self.per_k)
+
 
 def _evaluate_k_slice(
     components: Mapping[str, Decoder],
@@ -251,7 +347,7 @@ def _evaluate_k_slice(
     k_shots: int,
     seed: int,
     batch_size: Optional[int],
-) -> Tuple[int, Dict[str, Tuple[int, int]]]:
+) -> Dict[str, Tuple[int, int]]:
     """Sample one exact-k workload and count failures for every config.
 
     The unit of sharded work: components decode the shared batch through
@@ -279,17 +375,54 @@ def _evaluate_k_slice(
             count_result_failures(combined, batch.observables),
             batch.shots,
         )
-    return k, counts
+    return counts
 
 
-def _k_slice_worker(
-    task: Tuple[int, int, int]
-) -> Tuple[int, Dict[str, Tuple[int, int]]]:
+def _k_slice_worker(task: Tuple[int, int, int]) -> Dict[str, Tuple[int, int]]:
     k, k_shots, seed = task
-    components, parallel_specs, dem, p, batch_size = _POOL_SHARED
+    components, parallel_specs, dem, p, batch_size = pool_shared()
     return _evaluate_k_slice(
         components, parallel_specs, dem, p, k, k_shots, seed, batch_size
     )
+
+
+def _refinement_plan(
+    results: Mapping[str, ImportanceLerResult],
+    trials_by_k: Mapping[int, int],
+    min_rel_precision: float,
+) -> Dict[int, int]:
+    """Extra shots per k for the next refinement round (empty = done).
+
+    For every decoder whose statistical CI width still exceeds
+    ``min_rel_precision * LER``, the k values contributing the top 90%
+    of that width get their trial count doubled.  Zero-LER decoders are
+    excluded (no relative target exists for a zero point estimate; their
+    upper bound shrinks as a side effect of other rows' shots).  The
+    plan is a deterministic function of the counts, so refinement is
+    reproducible and resumable.
+    """
+    extra: Dict[int, int] = {}
+    for result in results.values():
+        if result.ler <= 0.0:
+            continue
+        width = result.statistical_width
+        if width <= min_rel_precision * result.ler:
+            continue
+        contributions = sorted(
+            (
+                (po * (est.high - est.low), k)
+                for k, po, est in result.per_k
+                if trials_by_k.get(k, 0) > 0
+            ),
+            key=lambda item: (-item[0], item[1]),
+        )
+        accumulated = 0.0
+        for contribution, k in contributions:
+            if accumulated >= 0.9 * width or contribution <= 0.0:
+                break
+            accumulated += contribution
+            extra[k] = max(extra.get(k, 0), trials_by_k[k])
+    return extra
 
 
 def _estimate_eq1(
@@ -304,66 +437,139 @@ def _estimate_eq1(
     shots_for_k: Optional[Callable[[int], int]],
     shards: int,
     batch_size: Optional[int],
+    store: Optional[ExperimentStore],
+    store_key: Optional[str],
+    resume: bool,
+    min_rel_precision: Optional[float],
+    max_refine_rounds: int,
 ) -> Dict[str, ImportanceLerResult]:
     """Shared Eq. (1) engine behind both importance estimators.
 
-    Per-k child seeds are drawn up front from the caller's generator, so
+    Per-k base seeds are drawn up front from the caller's generator, so
     the sampled workloads -- and therefore every estimate -- are
     identical whether the k slices run inline (``shards == 1``) or
-    distributed over a process pool.
+    distributed over a process pool, and a resumed run re-derives the
+    same seeds and recognizes its stored slices.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if min_rel_precision is not None and min_rel_precision <= 0:
+        raise ValueError("min_rel_precision must be positive")
     generator = ensure_rng(rng)
     probabilities = dem.probabilities(p)
     pmf, tail = poisson_binomial_pmf(probabilities, k_max)
 
     k_values = [k for k in range(k_min, k_max + 1) if pmf[k] > 0.0]
-    seeds = generator.integers(0, 2**63 - 1, size=len(k_values))
-    tasks = [
-        (k, shots_for_k(k) if shots_for_k is not None else shots_per_k, int(seed))
-        for k, seed in zip(k_values, seeds)
-    ]
-    if shards == 1 or len(tasks) <= 1:
-        outputs = [
-            _evaluate_k_slice(
-                components, parallel_specs, dem, p, k, k_shots, seed, batch_size
-            )
-            for k, k_shots, seed in tasks
-        ]
-    else:
-        outputs = _run_sharded(
-            (dict(components), dict(parallel_specs), dem, p, batch_size),
-            _k_slice_worker,
-            tasks,
-            processes=min(shards, len(tasks)),
-        )
-
+    drawn = generator.integers(0, 2**63 - 1, size=len(k_values))
+    seeds = {k: int(seed) for k, seed in zip(k_values, drawn)}
     all_names = list(components) + list(parallel_specs)
-    rows: Dict[str, List[Tuple[int, float, RateEstimate]]] = {
-        name: [] for name in all_names
-    }
-    for k, counts in sorted(outputs, key=lambda item: item[0]):
-        for name in all_names:
-            failures, trials = counts[name]
-            rows[name].append(
-                (k, float(pmf[k]), wilson_interval(failures, trials))
-            )
+    if store is not None and store_key is None:
+        store_key = dem_config_key(dem, p, kind="eq1")
 
-    results: Dict[str, ImportanceLerResult] = {}
-    for name, name_rows in rows.items():
-        point = sum(po * est.rate for _k, po, est in name_rows)
-        low = sum(po * est.low for _k, po, est in name_rows)
-        high = sum(po * est.high for _k, po, est in name_rows) + tail
-        results[name] = ImportanceLerResult(
-            decoder_name=name,
-            ler=point,
-            ler_low=low,
-            ler_high=high,
-            per_k=name_rows,
-            truncation_bound=tail,
-        )
-    return results
+    # Accumulated (failures, trials) per (k, name), plus the next sub-run
+    # index of each k slice (stored runs replay first).
+    totals: Dict[int, Dict[str, List[int]]] = {
+        k: {name: [0, 0] for name in all_names} for k in k_values
+    }
+    next_run: Dict[int, int] = {k: 0 for k in k_values}
+    if store is not None and resume:
+        for k in k_values:
+            for record in store.usable_runs(
+                store_key, "eq1", k, seeds[k], all_names
+            ):
+                for name in all_names:
+                    failures, trials = record.counts[name]
+                    totals[k][name][0] += failures
+                    totals[k][name][1] += trials
+                next_run[k] += 1
+
+    def trials_of(k: int) -> int:
+        return totals[k][all_names[0]][1] if all_names else 0
+
+    def evaluate_round(extra: Mapping[int, int]) -> None:
+        """Run one batch of residual sub-runs and fold in their counts."""
+        tasks: List[Tuple[int, int, int]] = []
+        runs: List[int] = []
+        for k in k_values:
+            n = extra.get(k, 0)
+            if n <= 0:
+                continue
+            run = next_run[k]
+            tasks.append((k, n, derived_seed(seeds[k], run)))
+            runs.append(run)
+        if not tasks:
+            return
+        if shards == 1 or len(tasks) <= 1:
+            outputs = [
+                _evaluate_k_slice(
+                    components, parallel_specs, dem, p, k, n, s, batch_size
+                )
+                for k, n, s in tasks
+            ]
+        else:
+            outputs = run_sharded(
+                (dict(components), dict(parallel_specs), dem, p, batch_size),
+                _k_slice_worker,
+                tasks,
+                processes=min(shards, len(tasks)),
+            )
+        for (k, n, _sub_seed), run, counts in zip(tasks, runs, outputs):
+            for name in all_names:
+                failures, trials = counts[name]
+                totals[k][name][0] += failures
+                totals[k][name][1] += trials
+            next_run[k] = run + 1
+            if store is not None:
+                store.append(
+                    SliceRecord(
+                        config=store_key,
+                        kind="eq1",
+                        k=k,
+                        seed=seeds[k],
+                        run=run,
+                        shots=n,
+                        counts={name: tuple(counts[name]) for name in all_names},
+                    )
+                )
+
+    def assemble() -> Dict[str, ImportanceLerResult]:
+        results: Dict[str, ImportanceLerResult] = {}
+        for name in all_names:
+            name_rows = [
+                (k, float(pmf[k]), wilson_interval(*totals[k][name]))
+                for k in k_values
+            ]
+            point = sum(po * est.rate for _k, po, est in name_rows)
+            low = sum(po * est.low for _k, po, est in name_rows)
+            high = sum(po * est.high for _k, po, est in name_rows) + tail
+            results[name] = ImportanceLerResult(
+                decoder_name=name,
+                ler=point,
+                ler_low=low,
+                ler_high=high,
+                per_k=name_rows,
+                truncation_bound=tail,
+            )
+        return results
+
+    evaluate_round(
+        {
+            k: (shots_for_k(k) if shots_for_k is not None else shots_per_k)
+            - trials_of(k)
+            for k in k_values
+        }
+    )
+    if min_rel_precision is not None:
+        for _round in range(max_refine_rounds):
+            plan = _refinement_plan(
+                assemble(),
+                {k: trials_of(k) for k in k_values},
+                min_rel_precision,
+            )
+            if not plan:
+                break
+            evaluate_round(plan)
+    return assemble()
 
 
 def estimate_ler_importance(
@@ -376,6 +582,11 @@ def estimate_ler_importance(
     k_min: int = 1,
     shards: int = 1,
     batch_size: Optional[int] = None,
+    store: Optional[ExperimentStore] = None,
+    store_key: Optional[str] = None,
+    resume: bool = False,
+    min_rel_precision: Optional[float] = None,
+    max_refine_rounds: int = 6,
 ) -> Dict[str, ImportanceLerResult]:
     """Eq. (1) LER of several decoders on shared per-k workloads.
 
@@ -383,13 +594,24 @@ def estimate_ler_importance(
         decoders: Name -> decoder map; all see identical syndromes.
         dem: The detector error model.
         p: Physical error rate.
-        k_max: Largest injected fault count (the paper uses up to 24).
+        k_max: Largest injected fault count (the paper uses up to 24);
+            mass beyond it is reported as ``truncation_bound``.
         shots_per_k: Syndromes sampled per k.
-        rng: Randomness.
+        rng: Randomness; per-k base seeds are drawn from it up front
+            (the module docstring's shard-seeding contract).
         k_min: Smallest k sampled (k=0 contributes zero failures).
         shards: Process-pool width for the k slices (1 = inline; any
             value yields identical estimates).
         batch_size: Cap on shots per ``decode_batch`` call (memory knob).
+        store: Optional experiment store; completed k slices are
+            appended so sweeps are kill-and-resume safe.
+        store_key: Experiment key for the store (defaults to a hash of
+            the DEM content and ``p``).
+        resume: Replay stored slices and run only the residual shots.
+        min_rel_precision: Optional target relative CI width; shots keep
+            doubling on the widest k rows until met (see
+            :func:`_refinement_plan`).
+        max_refine_rounds: Cap on refinement rounds.
 
     Returns:
         Name -> :class:`ImportanceLerResult`.
@@ -406,6 +628,11 @@ def estimate_ler_importance(
         shots_for_k=None,
         shards=shards,
         batch_size=batch_size,
+        store=store,
+        store_key=store_key,
+        resume=resume,
+        min_rel_precision=min_rel_precision,
+        max_refine_rounds=max_refine_rounds,
     )
 
 
@@ -421,6 +648,11 @@ def estimate_ler_suite(
     shots_for_k: Optional[Callable[[int], int]] = None,
     shards: int = 1,
     batch_size: Optional[int] = None,
+    store: Optional[ExperimentStore] = None,
+    store_key: Optional[str] = None,
+    resume: bool = False,
+    min_rel_precision: Optional[float] = None,
+    max_refine_rounds: int = 6,
 ) -> Dict[str, ImportanceLerResult]:
     """Eq. (1) LER for component decoders *and* parallel combinations.
 
@@ -441,6 +673,12 @@ def estimate_ler_suite(
         shards: Process-pool width for the k slices (1 = inline; any
             value yields identical estimates).
         batch_size: Cap on shots per ``decode_batch`` call (memory knob).
+        store / store_key / resume: Experiment-store wiring; see
+            :func:`estimate_ler_importance`.  Stored slices are reusable
+            only when they cover every name in ``components`` and
+            ``parallel_specs`` (paired workloads).
+        min_rel_precision / max_refine_rounds: Precision-targeted
+            refinement; see :func:`estimate_ler_importance`.
     """
     unknown = {
         name: spec
@@ -467,4 +705,9 @@ def estimate_ler_suite(
         shots_for_k=shots_for_k,
         shards=shards,
         batch_size=batch_size,
+        store=store,
+        store_key=store_key,
+        resume=resume,
+        min_rel_precision=min_rel_precision,
+        max_refine_rounds=max_refine_rounds,
     )

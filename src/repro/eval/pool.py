@@ -1,0 +1,60 @@
+"""Shared process-pool plumbing for sharded evaluation.
+
+Both the Eq. (1) estimators (:mod:`repro.eval.ler`) and the high-HW
+censuses (:mod:`repro.eval.experiments`) fan tiny index-only tasks over a
+pool of worker processes while the heavy per-run state (decoders, DEM,
+sampled batches) is shared out-of-band:
+
+* on fork platforms the children inherit :data:`_POOL_SHARED`
+  copy-on-write -- nothing is pickled per task and non-picklable decoder
+  configurations keep working;
+* on spawn-only platforms the pool initializer ships the shared state
+  once per worker.
+
+Workers read the state back with :func:`pool_shared`.  Because only
+(failures, trials) counts or per-shot rows cross the process boundary,
+and every task's randomness is seeded up front by the parent, results
+are identical however the tasks are scheduled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import List, Tuple
+
+#: Heavy per-run state (decoders, DEM, batches, ...) shared with pool
+#: workers.  See the module docstring for the fork/spawn delivery story.
+_POOL_SHARED = None
+
+
+def _init_pool_shared(shared) -> None:
+    global _POOL_SHARED
+    _POOL_SHARED = shared
+
+
+def pool_shared():
+    """The shared state installed by :func:`run_sharded` (worker side)."""
+    return _POOL_SHARED
+
+
+def run_sharded(shared, worker, tasks: List[Tuple], processes: int) -> List:
+    """Map ``worker`` over ``tasks`` in a process pool.
+
+    Tasks stay tiny (ints only); ``shared`` reaches the workers through
+    fork inheritance of :data:`_POOL_SHARED` where available, otherwise
+    through the initializer.  Output order matches task order.
+    """
+    global _POOL_SHARED
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if use_fork else None)
+    previous = _POOL_SHARED
+    _POOL_SHARED = shared
+    try:
+        with context.Pool(
+            processes=processes,
+            initializer=None if use_fork else _init_pool_shared,
+            initargs=() if use_fork else (shared,),
+        ) as pool:
+            return pool.map(worker, tasks)
+    finally:
+        _POOL_SHARED = previous

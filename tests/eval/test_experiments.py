@@ -111,3 +111,84 @@ class TestCensuses:
         # integration suite); here we only pin the ordering.
         assert usage[1] > 0.5
         assert usage[1] > usage[2] > max(usage[3], usage[4])
+
+
+class TestShardedCensuses:
+    """Sharded censuses must return exactly the sequential results.
+
+    Workers only decode/predecode their shot range; aggregation runs
+    caller-side on the concatenated per-shot rows, so any ``shards``
+    width must be bitwise identical to ``shards=1``.
+    """
+
+    @pytest.fixture(scope="class")
+    def d3_bench(self):
+        return Workbench.build(distance=3, p=3e-3, rng=31)
+
+    @pytest.fixture(scope="class")
+    def d3_batch(self, d3_bench):
+        batch = d3_bench.sample_high_hw(shots_per_k=80, hw_min=5, k_max=8)
+        assert batch.shots > 3
+        return batch
+
+    @pytest.mark.parametrize("shards", [2, 3, 7])
+    def test_chain_length_shard_equality(self, d3_bench, d3_batch, shards):
+        sequential = chain_length_census(d3_bench.graph, d3_batch, max_length=6)
+        sharded = chain_length_census(
+            d3_bench.graph, d3_batch, max_length=6, shards=shards
+        )
+        assert np.array_equal(sequential, sharded)
+
+    @pytest.mark.parametrize("shards", [2, 5])
+    def test_hw_reduction_shard_equality(self, d3_bench, d3_batch, shards):
+        predecoders = {
+            "Promatch": PromatchPredecoder(d3_bench.graph),
+            "Smith": SmithPredecoder(d3_bench.graph),
+        }
+        sequential = hw_reduction_census(
+            d3_bench.graph, d3_batch, predecoders, n_bins=16
+        )
+        sharded = hw_reduction_census(
+            d3_bench.graph, d3_batch, predecoders, n_bins=16, shards=shards
+        )
+        assert set(sequential) == set(sharded)
+        for name in sequential:
+            assert np.array_equal(sequential[name], sharded[name]), name
+
+    def test_latency_shard_equality(self, d3_bench, d3_batch):
+        sequential = latency_census(
+            d3_bench.graph,
+            d3_batch,
+            PromatchPredecoder(d3_bench.graph),
+            AstreaDecoder(d3_bench.graph),
+        )
+        sharded = latency_census(
+            d3_bench.graph,
+            d3_batch,
+            PromatchPredecoder(d3_bench.graph),
+            AstreaDecoder(d3_bench.graph),
+            shards=3,
+        )
+        assert sequential == sharded
+
+    def test_step_usage_shard_equality(self, d3_bench, d3_batch):
+        sequential = step_usage_census(
+            d3_batch, PromatchPredecoder(d3_bench.graph)
+        )
+        sharded = step_usage_census(
+            d3_batch, PromatchPredecoder(d3_bench.graph), shards=4
+        )
+        assert sequential == sharded
+
+    def test_wider_than_batch_is_fine(self, d3_bench, d3_batch):
+        sequential = step_usage_census(
+            d3_batch, PromatchPredecoder(d3_bench.graph)
+        )
+        oversharded = step_usage_census(
+            d3_batch, PromatchPredecoder(d3_bench.graph), shards=1000
+        )
+        assert sequential == oversharded
+
+    def test_invalid_shards_rejected(self, d3_bench, d3_batch):
+        with pytest.raises(ValueError):
+            chain_length_census(d3_bench.graph, d3_batch, shards=0)

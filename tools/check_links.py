@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Link-check markdown docs: every intra-repo reference must resolve.
+
+Scans the given markdown files (default: README.md and docs/*.md) for
+inline links and validates the repo-relative ones:
+
+* the target file or directory must exist (relative to the containing
+  file's directory);
+* a ``#fragment`` pointing into a markdown file must match one of its
+  headings (GitHub-style slugs).
+
+External links (http/https/mailto) are not fetched -- CI must not
+depend on the network.  Exit status 1 when any reference is broken.
+Stdlib only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Inline markdown links, skipping images is unnecessary (same rules).
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (close enough for our docs)."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown_path: Path) -> set:
+    text = markdown_path.read_text(encoding="utf-8")
+    text = CODE_FENCE_RE.sub("", text)
+    return {github_slug(match) for match in HEADING_RE.findall(text)}
+
+
+def check_file(markdown_path: Path) -> list:
+    """All broken references in one markdown file."""
+    errors = []
+    text = markdown_path.read_text(encoding="utf-8")
+    scannable = CODE_FENCE_RE.sub("", text)
+    for target in LINK_RE.findall(scannable):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target_path, _, fragment = target.partition("#")
+        if not target_path:  # same-file anchor
+            resolved = markdown_path
+        else:
+            resolved = (markdown_path.parent / target_path).resolve()
+            if not resolved.exists():
+                errors.append(f"{markdown_path}: broken link -> {target}")
+                continue
+            if REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+                errors.append(f"{markdown_path}: link escapes repo -> {target}")
+                continue
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in heading_slugs(resolved):
+                errors.append(
+                    f"{markdown_path}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main(argv) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = [REPO_ROOT / "README.md"] + sorted(
+            (REPO_ROOT / "docs").glob("*.md")
+        )
+    errors = []
+    for markdown_path in files:
+        if not markdown_path.exists():
+            errors.append(f"{markdown_path}: file not found")
+            continue
+        errors.extend(check_file(markdown_path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"checked {len(files)} file(s): "
+        + ("FAILED" if errors else "all intra-repo links resolve")
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
