@@ -27,9 +27,16 @@ variables:
   target (``--min-rel-precision``): shots keep doubling on the widest
   k rows until every decoder's statistical CI width is below
   ``target * LER`` (default unset = fixed budgets).
+* ``REPRO_BENCH_GRID``             -- the sweep benchmark's operating
+  grid as ``"d1,d2:p1,p2"`` (distances before the colon, error rates
+  after; default = the headline distances x the Figures 14/15 rates).
 * ``REPRO_BENCH_SPEEDUP_DISTANCE`` / ``REPRO_BENCH_SPEEDUP_SHOTS`` --
   workload of the batch-vs-loop speedup bench (defaults 5 / 20000;
   CI smoke shrinks both).
+
+When ``REPRO_BENCH_SHARDS > 1`` every driver shares one persistent
+:func:`worker_pool` (a :class:`repro.eval.pool.WorkerPool`), so a bench
+session forks its worker set once instead of once per estimator round.
 
 Each benchmark prints its table (so ``pytest benchmarks/ --benchmark-only
 -s`` shows the paper-shaped output) and writes a JSON artifact under
@@ -43,9 +50,10 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.eval.experiments import Workbench
+from repro.eval.pool import WorkerPool
 from repro.eval.store import ExperimentStore
 from repro.utils.rng import stable_seed
 
@@ -84,6 +92,44 @@ def eval_batch_size() -> Optional[int]:
 
 def census_shards() -> int:
     return max(1, env_int("REPRO_BENCH_CENSUS_SHARDS", eval_shards()))
+
+
+def grid_from_env() -> Tuple[List[int], List[float]]:
+    """The sweep benchmark's (distances, error rates) operating grid.
+
+    ``REPRO_BENCH_GRID`` is ``"d1,d2:p1,p2"``; unset falls back to the
+    headline distances x the Figures 14/15 error-rate range.
+    """
+    raw = os.environ.get("REPRO_BENCH_GRID", "").strip()
+    if not raw:
+        return headline_distances(), [1e-4, 3e-4, 5e-4]
+    distance_part, _, rate_part = raw.partition(":")
+    distances = [int(tok) for tok in distance_part.split(",") if tok.strip()]
+    rates = [float(tok) for tok in rate_part.split(",") if tok.strip()]
+    if not distances or not rates:
+        raise ValueError(
+            f"REPRO_BENCH_GRID must look like 'd1,d2:p1,p2', got {raw!r}"
+        )
+    return distances, rates
+
+
+_WORKER_POOL: Optional[WorkerPool] = None
+
+
+def worker_pool() -> Optional[WorkerPool]:
+    """The bench session's shared persistent worker pool.
+
+    One :class:`WorkerPool` of ``eval_shards()`` processes serves every
+    driver in the process (``None`` when sharding is off), so the fork
+    cost is paid once per bench session rather than once per estimator
+    round; results are identical either way.
+    """
+    global _WORKER_POOL
+    if eval_shards() <= 1:
+        return None
+    if _WORKER_POOL is None:
+        _WORKER_POOL = WorkerPool(eval_shards())
+    return _WORKER_POOL
 
 
 def experiment_store() -> Optional[ExperimentStore]:

@@ -25,6 +25,7 @@ from _common import (  # noqa: E402
     run_once,
     save_results,
     shots_per_k,
+    worker_pool,
 )
 
 from repro.eval.ler import estimate_ler_suite  # noqa: E402
@@ -56,6 +57,7 @@ def run_sweep() -> dict:
                 rng=stable_seed("fig14_15", distance, p),
                 shards=eval_shards(),
                 batch_size=eval_batch_size(),
+                pool=worker_pool(),
                 **ler_store_kwargs(bench),
             )
             per_p[f"{p:.0e}"] = {name: r.ler for name, r in results.items()}

@@ -26,6 +26,7 @@ from _common import (  # noqa: E402
     run_once,
     save_results,
     shots_per_k,
+    worker_pool,
 )
 
 from repro.decoders import CliquePredecoder, MWPMDecoder, PredecodedDecoder  # noqa: E402
@@ -62,6 +63,7 @@ def run_fig4() -> dict:
             rng=stable_seed("fig4", distance),
             shards=eval_shards(),
             batch_size=eval_batch_size(),
+            pool=worker_pool(),
             **ler_store_kwargs(bench),
         )
         payload["series"][str(distance)] = {

@@ -1,0 +1,93 @@
+"""Whole-table sweep: one orchestrated (distance, p) grid, one artifact.
+
+Drives :func:`repro.eval.sweep.run_sweep` over ``REPRO_BENCH_GRID``
+(default: the headline distances x the Figures 14/15 error-rate range)
+with the session's shared store, resume and precision knobs -- the
+one-command reproduction of a paper table.  Every grid point's slices
+land in the same store file, so killing this benchmark and re-running
+it resumes bitwise; all sharded work rides the session's persistent
+worker pool (one fork for the whole grid).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    grid_from_env,
+    eval_batch_size,
+    eval_shards,
+    experiment_store,
+    k_max,
+    min_rel_precision,
+    resume_enabled,
+    run_once,
+    save_results,
+    shots_per_k,
+    worker_pool,
+)
+
+from repro.eval.reporting import format_scientific, format_table  # noqa: E402
+from repro.eval.sweep import SweepGrid, run_sweep  # noqa: E402
+
+DECODERS = ("MWPM", "Promatch+Astrea", "Astrea-G", "Smith+Astrea")
+PARALLEL = {
+    "Promatch || AG": ("Promatch+Astrea", "Astrea-G"),
+    "Smith || AG": ("Smith+Astrea", "Astrea-G"),
+}
+
+
+def run_grid_sweep() -> dict:
+    distances, error_rates = grid_from_env()
+    store = experiment_store()
+    grid = SweepGrid(
+        distances=tuple(distances),
+        error_rates=tuple(error_rates),
+        kind="eq1",
+        decoders=DECODERS,
+        parallel=PARALLEL,
+        shots_per_k=max(60, shots_per_k() // 2),
+        k_max=k_max(),
+    )
+    result = run_sweep(
+        grid,
+        store=store,
+        resume=store is not None and resume_enabled(),
+        min_rel_precision=min_rel_precision(),
+        shards=eval_shards(),
+        batch_size=eval_batch_size(),
+        pool=worker_pool(),
+    )
+    return result.to_payload()
+
+
+def bench_sweep_grid(benchmark):
+    payload = run_once(benchmark, run_grid_sweep)
+    names = list(DECODERS) + list(PARALLEL)
+    grid = payload["grid"]
+    by_point = {
+        (entry["distance"], entry["p"]): entry for entry in payload["points"]
+    }
+    for distance in grid["distances"]:
+        rows = [
+            [name]
+            + [
+                format_scientific(
+                    by_point[(distance, p)]["decoders"][name]["ler"]
+                )
+                for p in grid["error_rates"]
+            ]
+            for name in names
+        ]
+        print()
+        print(
+            format_table(
+                ["Decoder"] + [f"p={p:g}" for p in grid["error_rates"]],
+                rows,
+                title=f"Sweep | LER grid, d={distance}",
+            )
+        )
+    print(f"worker-pool forks this sweep: {payload['stats']['pool_forks']}")
+    save_results("sweep_grid", payload)

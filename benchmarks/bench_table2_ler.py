@@ -33,6 +33,7 @@ from _common import (  # noqa: E402
     run_once,
     save_results,
     shots_per_k,
+    worker_pool,
 )
 
 from repro.eval.ler import estimate_ler_suite  # noqa: E402
@@ -89,6 +90,7 @@ def run_table2() -> dict:
             rng=stable_seed("table2", distance),
             shards=eval_shards(),
             batch_size=eval_batch_size(),
+            pool=worker_pool(),
             **ler_store_kwargs(bench),
         )
         payload["rows"][str(distance)] = {

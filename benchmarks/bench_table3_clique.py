@@ -29,6 +29,7 @@ from _common import (  # noqa: E402
     run_once,
     save_results,
     shots_per_k,
+    worker_pool,
 )
 
 from repro.eval.ler import estimate_ler_suite  # noqa: E402
@@ -54,6 +55,7 @@ def run_table3() -> dict:
             rng=stable_seed("table3", distance),
             shards=eval_shards(),
             batch_size=eval_batch_size(),
+            pool=worker_pool(),
             **ler_store_kwargs(bench),
         )
         payload["rows"][str(distance)] = {

@@ -52,9 +52,15 @@ def run_steps() -> dict:
 def bench_table6_step_usage(benchmark):
     payload = run_once(benchmark, run_steps)
     distances = list(payload["rows"])
+    labels = {"0": "No step", "5": "Step > 4"}
     rows = [
-        [f"Step {s}"] + [f"{payload['rows'][d][s]:.3e}" for d in distances]
-        for s in ("1", "2", "3", "4")
+        [labels.get(s, f"Step {s}")]
+        + [f"{payload['rows'][d][s]:.3e}" for d in distances]
+        for s in ("1", "2", "3", "4", "0", "5")
+        # The explicit out-of-range buckets only earn a row when they
+        # carry mass; with them the fractions sum to 1 over the batch.
+        if s in ("1", "2", "3", "4")
+        or any(payload["rows"][d][s] > 0 for d in distances)
     ]
     print()
     print(

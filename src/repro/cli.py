@@ -5,6 +5,9 @@ Subcommands mirror the workflows a downstream user actually wants:
 * ``info``      -- stack summary for a configuration (graph sizes, storage,
   Astrea capability window).
 * ``ler``       -- logical error rate, direct Monte-Carlo or Eq. (1).
+* ``sweep``     -- a whole (distance, p) grid of LER points as one
+  resumable unit: single store, per-point keys, round-robin precision
+  refinement, one persistent worker pool, one JSON artifact.
 * ``latency``   -- the Tables 4/5 latency census.
 * ``steps``     -- the Table 6 step-usage census.
 * ``decode``    -- sample one syndrome and show the full decoding trace.
@@ -16,13 +19,16 @@ Examples::
     python -m repro ler --distance 11 --p 1e-4 --method eq1 --shots-per-k 200
     python -m repro ler --distance 11 --p 1e-4 --method eq1 \\
         --store sweep.jsonl --resume         # kill-and-resume safe
+    python -m repro sweep --distances 11,13 --ps 1e-4,3e-4,5e-4 \\
+        --shots-per-k 200 --shards 4 --store table.jsonl --resume \\
+        --min-rel-precision 0.2 --out table.json
     python -m repro latency --distance 11 --shards 4
     python -m repro decode --distance 11 --p 1e-4
 
-The ``--store``/``--resume`` pair makes ``ler`` runs restartable: every
-completed work slice is appended to the store file, and a resumed run
-replays them and pays only for the residual shots (see
-docs/experiment_store.md).
+The ``--store``/``--resume`` pair makes ``ler`` and ``sweep`` runs
+restartable: every completed work slice is appended to the store file,
+and a resumed run replays them and pays only for the residual shots
+(see docs/experiment_store.md).
 """
 
 from __future__ import annotations
@@ -90,6 +96,71 @@ def build_parser() -> argparse.ArgumentParser:
              "(Eq. (1) method only)",
     )
 
+    sweep = sub.add_parser(
+        "sweep",
+        help="walk a (distance, p) grid of LER points as one resumable "
+             "sweep against a single store",
+    )
+    sweep.add_argument(
+        "--distances", default="3,5", metavar="D1,D2,...",
+        help="comma-separated code distances",
+    )
+    sweep.add_argument(
+        "--ps", default="1e-3,3e-3", metavar="P1,P2,...",
+        help="comma-separated physical error rates",
+    )
+    sweep.add_argument("--seed", type=int, default=2024, help="sweep seed")
+    sweep.add_argument(
+        "--method", choices=("direct", "eq1"), default="eq1",
+        help="estimator evaluated at every grid point",
+    )
+    sweep.add_argument(
+        "--decoders", default="MWPM,Promatch+Astrea,Astrea-G",
+        help="comma-separated decoder names from the zoo",
+    )
+    sweep.add_argument(
+        "--shots", type=int, default=20000,
+        help="direct-MC shots per grid point",
+    )
+    sweep.add_argument(
+        "--shots-per-k", type=int, default=150,
+        help="Eq. (1) base shots per k at every grid point",
+    )
+    sweep.add_argument("--k-max", type=int, default=14, help="Eq. (1) largest k")
+    sweep.add_argument(
+        "--shards", type=int, default=1,
+        help="worker processes; the whole grid shares one persistent "
+             "pool (identical results at any width)",
+    )
+    sweep.add_argument(
+        "--batch-size", type=int, default=None,
+        help="cap on shots per decode_batch call",
+    )
+    sweep.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="single experiment-store file shared by every grid point "
+             "(per-point keys)",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="replay slices already in --store and run only the "
+             "residual shots (a killed sweep resumes bitwise)",
+    )
+    sweep.add_argument(
+        "--min-rel-precision", type=float, default=None, metavar="R",
+        help="global precision target: refinement rounds are allocated "
+             "round-robin across grid points until every decoder's CI "
+             "width is below R * LER",
+    )
+    sweep.add_argument(
+        "--max-refine-rounds", type=int, default=6,
+        help="cap on refinement rounds per grid point",
+    )
+    sweep.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the consolidated JSON artifact here",
+    )
+
     latency = sub.add_parser("latency", help="Tables 4/5 latency census")
     add_common(latency)
     latency.add_argument("--shots-per-k", type=int, default=100)
@@ -118,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {
         "info": _run_info,
         "ler": _run_ler,
+        "sweep": _run_sweep,
         "latency": _run_latency,
         "steps": _run_steps,
         "decode": _run_decode,
@@ -195,6 +267,64 @@ def _run_ler(args) -> None:
         ))
 
 
+def _run_sweep(args) -> None:
+    from repro.eval.store import open_store
+    from repro.eval.sweep import SweepGrid, run_sweep
+
+    distances = tuple(
+        int(tok) for tok in args.distances.split(",") if tok.strip()
+    )
+    error_rates = tuple(
+        float(tok) for tok in args.ps.split(",") if tok.strip()
+    )
+    names = tuple(n.strip() for n in args.decoders.split(",") if n.strip())
+    grid = SweepGrid(
+        distances=distances,
+        error_rates=error_rates,
+        kind=args.method,
+        decoders=names,
+        shots_per_k=args.shots_per_k,
+        k_max=args.k_max,
+        shots=args.shots,
+    )
+    try:
+        result = run_sweep(
+            grid,
+            seed=args.seed,
+            store=open_store(args.store),
+            resume=args.resume,
+            min_rel_precision=args.min_rel_precision,
+            max_refine_rounds=args.max_refine_rounds,
+            shards=args.shards,
+            batch_size=args.batch_size,
+            progress=lambda line: print(f"  [sweep] {line}"),
+        )
+    except ValueError as error:
+        sys.exit(str(error))
+    for distance in distances:
+        rows = []
+        for name in names:
+            rows.append([name] + [
+                format_scientific(result.point(distance, p).results[name].ler)
+                for p in error_rates
+            ])
+        print(format_table(
+            ["decoder"] + [f"p={p:g}" for p in error_rates],
+            rows,
+            title=f"sweep ({args.method}) | d={distance}",
+        ))
+    if result.points and result.points[0].usable_trials is not None:
+        trials = ", ".join(
+            f"d={entry.distance}/p={entry.p:g}: {entry.usable_trials}"
+            for entry in result.points
+        )
+        print(f"usable trials in store: {trials}")
+    print(f"worker-pool forks this sweep: {result.pool_forks}")
+    if args.out:
+        path = result.save(args.out)
+        print(f"consolidated artifact written to {path}")
+
+
 def _run_latency(args) -> None:
     from repro.core import PromatchPredecoder
     from repro.decoders import AstreaDecoder
@@ -228,7 +358,10 @@ def _run_steps(args) -> None:
     usage = step_usage_census(
         batch, PromatchPredecoder(bench.graph), shards=args.shards
     )
-    rows = [[f"step {s}", f"{v:.3e}"] for s, v in usage.items()]
+    labels = {0: "no step", 5: "step > 4"}
+    rows = [
+        [labels.get(s, f"step {s}"), f"{v:.3e}"] for s, v in usage.items()
+    ]
     print(format_table(["deepest step", "fraction"], rows,
                        title=f"{batch.shots} HW>10 syndromes"))
 

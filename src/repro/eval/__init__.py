@@ -1,22 +1,30 @@
-"""Evaluation harness: LER estimation, censuses, caching, reporting."""
+"""Evaluation harness: LER estimation, sweeps, censuses, caching, reporting."""
 
 from repro.eval.ler import (
     DirectMonteCarloResult,
+    Eq1Session,
     ImportanceLerResult,
     estimate_ler_direct,
     estimate_ler_importance,
 )
 from repro.eval.poisson_binomial import poisson_binomial_pmf
 from repro.eval.experiments import Workbench
+from repro.eval.pool import WorkerPool
+from repro.eval.sweep import SweepGrid, SweepResult, run_sweep
 from repro.eval.threshold import crossing_point, lambda_factor, projected_ler
 
 __all__ = [
     "DirectMonteCarloResult",
+    "Eq1Session",
     "ImportanceLerResult",
     "estimate_ler_direct",
     "estimate_ler_importance",
     "poisson_binomial_pmf",
     "Workbench",
+    "WorkerPool",
+    "SweepGrid",
+    "SweepResult",
+    "run_sweep",
     "crossing_point",
     "lambda_factor",
     "projected_ler",

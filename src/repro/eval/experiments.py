@@ -48,7 +48,7 @@ from repro.decoders.unionfind import UnionFindDecoder
 from repro.dem.model import DetectorErrorModel
 from repro.eval.cache import build_experiment_and_dem
 from repro.eval.poisson_binomial import poisson_binomial_pmf
-from repro.eval.pool import pool_shared, run_sharded
+from repro.eval.pool import WorkerPool, pool_shared, run_sharded
 from repro.eval.stats import weighted_histogram
 from repro.graph.decoding_graph import DecodingGraph, build_decoding_graph
 from repro.hardware.latency import cycles_to_ns
@@ -248,6 +248,7 @@ def _census_rows(
     batch: SyndromeBatch,
     args: Tuple,
     shards: int,
+    pool: Optional[WorkerPool] = None,
 ) -> list:
     """Per-shot census rows, optionally computed in a process pool.
 
@@ -255,7 +256,8 @@ def _census_rows(
     over them (the expensive decode/predecode work) and concatenates the
     returned rows back into shot order.  Aggregation happens caller-side
     on the full ordered row list, so every shard width produces bitwise
-    the sequential result.
+    the sequential result.  A persistent ``pool`` reuses live workers
+    instead of forking per census.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
@@ -273,6 +275,7 @@ def _census_rows(
         _census_range_worker,
         tasks,
         processes=min(len(tasks), os.cpu_count() or 1),
+        pool=pool,
     )
     rows: list = []
     for chunk in outputs:
@@ -301,6 +304,7 @@ def chain_length_census(
     batch: SyndromeBatch,
     max_length: int = 12,
     shards: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> np.ndarray:
     """Figure 5: distribution of MWPM error-chain lengths.
 
@@ -309,9 +313,10 @@ def chain_length_census(
     weighted by syndrome occurrence probability; the result is normalized
     to a probability distribution over chain length 1..max_length.
     ``shards`` fans the MWPM decoding over worker processes with bitwise
-    identical output (see the module docstring).
+    identical output (see the module docstring); ``pool`` reuses a
+    persistent :class:`~repro.eval.pool.WorkerPool`.
     """
-    rows = _census_rows(_chain_length_rows, batch, (graph,), shards)
+    rows = _census_rows(_chain_length_rows, batch, (graph,), shards, pool)
     weights = _batch_weights(batch)
     histogram = np.zeros(max_length + 1, dtype=np.float64)
     for lengths, weight in zip(rows, weights):
@@ -339,15 +344,16 @@ def hw_reduction_census(
     predecoders: Dict[str, Predecoder],
     n_bins: int = 33,
     shards: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[str, np.ndarray]:
     """Figures 16/17: HW distribution before and after predecoding.
 
     Returns probability-weighted histograms (joint with the HW > 10
     conditioning event): key "before" plus one key per predecoder.
     ``shards`` fans the predecoding over worker processes with bitwise
-    identical output.
+    identical output; ``pool`` reuses a persistent worker pool.
     """
-    rows = _census_rows(_hw_reduction_rows, batch, (predecoders,), shards)
+    rows = _census_rows(_hw_reduction_rows, batch, (predecoders,), shards, pool)
     weights = _batch_weights(batch)
     names = ["before"] + list(predecoders)
     return {
@@ -394,15 +400,16 @@ def latency_census(
     promatch: PromatchPredecoder,
     main: AstreaDecoder,
     shards: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> LatencyCensus:
     """Measure Promatch's cycle consumption on a high-HW workload.
 
     A deadline miss (predecoder abort or main-decoder failure within the
     residual budget) is pinned at the full hardware budget.  ``shards``
     fans the decoding over worker processes with bitwise identical
-    output.
+    output; ``pool`` reuses a persistent worker pool.
     """
-    rows = _census_rows(_latency_rows, batch, (promatch, main), shards)
+    rows = _census_rows(_latency_rows, batch, (promatch, main), shards, pool)
     weights = _batch_weights(batch)
     pre = np.asarray([row[0] for row in rows], dtype=np.float64)
     tot = np.asarray([row[1] for row in rows], dtype=np.float64)
@@ -430,23 +437,38 @@ def _step_usage_rows(
     return [report.steps_used for report in promatch.predecode_batch(batch)]
 
 
+#: ``step_usage_census`` bucket for shots whose deepest step exceeds the
+#: paper's four Promatch steps (key 0 covers "no step engaged").
+STEP_USAGE_OVERFLOW = 5
+
+
 def step_usage_census(
-    batch: SyndromeBatch, promatch: PromatchPredecoder, shards: int = 1
+    batch: SyndromeBatch,
+    promatch: PromatchPredecoder,
+    shards: int = 1,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[int, float]:
     """Table 6: fraction of high-HW syndromes whose deepest step is s.
 
     Returns conditional frequencies (normalized over the batch weights)
-    for steps 1..4.  ``shards`` fans the predecoding over worker
-    processes with bitwise identical output.
+    for steps 1..4, plus two explicit out-of-range buckets: key 0 for
+    shots where no step engaged, and :data:`STEP_USAGE_OVERFLOW` (key 5)
+    for steps beyond the paper's four.  The buckets partition the batch,
+    so the reported fractions always sum to 1 -- out-of-range shots used
+    to vanish from the numerator while still inflating the denominator.
+    ``shards`` fans the predecoding over worker processes with bitwise
+    identical output; ``pool`` reuses a persistent worker pool.
     """
-    rows = _census_rows(_step_usage_rows, batch, (promatch,), shards)
+    rows = _census_rows(_step_usage_rows, batch, (promatch,), shards, pool)
     weights = _batch_weights(batch)
-    usage = {1: 0.0, 2: 0.0, 3: 0.0, 4: 0.0}
+    usage = {step: 0.0 for step in range(STEP_USAGE_OVERFLOW + 1)}
     total = 0.0
     for steps_used, weight in zip(rows, weights):
         total += weight
-        if steps_used in usage:
-            usage[steps_used] += weight
+        bucket = steps_used if 0 <= steps_used < STEP_USAGE_OVERFLOW else (
+            STEP_USAGE_OVERFLOW
+        )
+        usage[bucket] += weight
     if total > 0:
         usage = {step: value / total for step, value in usage.items()}
     return usage

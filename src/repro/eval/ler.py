@@ -58,8 +58,23 @@ only the residual shots, so
 requested shots, slices keep growing (doubling, concentrated on the k
 values contributing the most confidence-interval width) until every
 decoder's statistical CI width is below ``min_rel_precision * LER`` or
-``max_refine_rounds`` is exhausted.  The refinement trajectory is a
-deterministic function of the counts, so it is itself resumable.
+every contributing slice has grown ``2 ** max_refine_rounds`` times its
+base budget.  Both the refinement trajectory and its stopping rule are
+deterministic functions of the accumulated counts -- never of how many
+rounds the current process happened to execute -- so refinement is
+itself resumable: a killed run continues, and stops, exactly where the
+uninterrupted run would have.
+
+Persistent worker pools
+-----------------------
+Every estimator accepts ``pool=`` (a
+:class:`~repro.eval.pool.WorkerPool`): the sharded rounds then reuse the
+pool's live workers instead of forking a throwaway pool per round.  The
+Eq. (1) engine is additionally exposed incrementally as
+:class:`Eq1Session`, so the sweep orchestrator
+(:mod:`repro.eval.sweep`) can interleave refinement rounds of many
+operating points over one pool.  Results are identical with or without
+a pool at any width (the shard-seeding contract above).
 """
 
 from __future__ import annotations
@@ -72,7 +87,7 @@ import numpy as np
 from repro.decoders.base import DecodeResult, Decoder
 from repro.dem.model import DetectorErrorModel
 from repro.eval.poisson_binomial import poisson_binomial_pmf
-from repro.eval.pool import pool_shared, run_sharded
+from repro.eval.pool import WorkerPool, pool_shared, run_sharded
 from repro.eval.stats import RateEstimate, wilson_interval
 from repro.eval.store import (
     ExperimentStore,
@@ -195,6 +210,7 @@ def estimate_ler_direct(
     store: Optional[ExperimentStore] = None,
     store_key: Optional[str] = None,
     resume: bool = False,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[str, DirectMonteCarloResult]:
     """Direct Monte-Carlo LER of several decoders on a shared workload.
 
@@ -220,6 +236,17 @@ def estimate_ler_direct(
         store_key: Experiment key for the store (defaults to a hash of
             the DEM content and ``p``).
         resume: Replay stored slices and run only the residual shots.
+            Stored runs are folded in only up to the requested budget:
+            a run that would overshoot it is left on disk and the
+            residual is sampled fresh, so trials never exceed the
+            request.  When the budget is no larger than a slice's first
+            stored run, the result is bitwise what a fresh run at that
+            budget produces; a budget landing strictly inside a longer
+            stored run ladder replays the fitting prefix and samples
+            the residual from the next derived seed (statistically
+            sound, but a fresh run would draw all shots from run 0).
+        pool: Optional persistent :class:`WorkerPool`; sharded rounds
+            reuse its live workers instead of forking per call.
 
     Returns:
         Name -> :class:`DirectMonteCarloResult`.
@@ -248,13 +275,20 @@ def estimate_ler_direct(
     ]
     totals: Dict[str, List[int]] = {name: [0, 0] for name in names}
     tasks: List[Tuple[int, int]] = []
-    pending: List[Tuple[int, int]] = []  # (seed, run) of each task, in order
+    # (seed, run, persist) of each task, in task order.
+    pending: List[Tuple[int, int, bool]] = []
     for slice_shots, seed in zip(shard_shots, seeds):
         have = 0
         runs = 0
+        overshoot = False
         if store is not None and resume:
             for record in store.usable_runs(store_key, "direct", None, seed, names):
-                if have >= slice_shots:
+                if have + record.shots > slice_shots:
+                    # Folding this run would replay trials past the
+                    # requested budget; leave it on disk and sample the
+                    # residual fresh, so the estimate matches a fresh
+                    # run at this budget bitwise.
+                    overshoot = True
                     break
                 for name in names:
                     failures, trials = record.counts[name]
@@ -264,8 +298,12 @@ def estimate_ler_direct(
                 runs += 1
         residual = slice_shots - have
         if residual > 0:
+            # After an overshoot the store already holds a (larger) run
+            # at this index; appending a second record with the same
+            # (seed, run) identity would make the sub-run sequence
+            # ambiguous, so the residual run is not persisted.
             tasks.append((residual, derived_seed(seed, runs)))
-            pending.append((seed, runs))
+            pending.append((seed, runs, not overshoot))
     if tasks:
         if shards == 1 or len(tasks) <= 1:
             outputs = [
@@ -278,15 +316,16 @@ def estimate_ler_direct(
                 _direct_shard_worker,
                 tasks,
                 processes=min(shards, len(tasks)),
+                pool=pool,
             )
-        for (task_shots, _sub_seed), (seed, run), counts in zip(
+        for (task_shots, _sub_seed), (seed, run, persist), counts in zip(
             tasks, pending, outputs
         ):
             for name in names:
                 failures, trials = counts[name]
                 totals[name][0] += failures
                 totals[name][1] += trials
-            if store is not None:
+            if store is not None and persist:
                 store.append(
                     SliceRecord(
                         config=store_key,
@@ -425,6 +464,213 @@ def _refinement_plan(
     return extra
 
 
+class Eq1Session:
+    """Incremental Eq. (1) evaluation state of one operating point.
+
+    The session owns everything one (DEM, p) experiment accumulates --
+    the up-front per-k seeds, the merged (failures, trials) counts, the
+    next sub-run index of every k slice, and the store wiring -- and
+    exposes the evaluation loop as separate steps (:meth:`base_plan`,
+    :meth:`refinement_plan`, :meth:`evaluate_round`, :meth:`assemble`).
+    The single-point estimators drive one session start to finish; the
+    sweep orchestrator (:mod:`repro.eval.sweep`) keeps one session per
+    grid point and round-robins refinement rounds across all of them
+    over one persistent :class:`~repro.eval.pool.WorkerPool`.
+
+    Per-k base seeds are drawn up front from the caller's generator, so
+    the sampled workloads -- and therefore every estimate -- are
+    identical whether the k slices run inline (``shards == 1``) or
+    distributed over a process pool, and a resumed session re-derives
+    the same seeds and recognizes its stored slices.
+    """
+
+    def __init__(
+        self,
+        components: Mapping[str, Decoder],
+        parallel_specs: Mapping[str, Tuple[str, str]],
+        dem: DetectorErrorModel,
+        p: float,
+        k_max: int,
+        rng: RngLike = None,
+        k_min: int = 1,
+        shards: int = 1,
+        batch_size: Optional[int] = None,
+        store: Optional[ExperimentStore] = None,
+        store_key: Optional[str] = None,
+        resume: bool = False,
+        pool: Optional[WorkerPool] = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.components = dict(components)
+        self.parallel_specs = dict(parallel_specs)
+        self.dem = dem
+        self.p = p
+        self.shards = shards
+        self.batch_size = batch_size
+        self.store = store
+        self.pool = pool
+        self.all_names = list(self.components) + list(self.parallel_specs)
+        self._base_budget: Optional[Dict[int, int]] = None
+        generator = ensure_rng(rng)
+        self.pmf, self.tail = poisson_binomial_pmf(dem.probabilities(p), k_max)
+        self.k_values = [
+            k for k in range(k_min, k_max + 1) if self.pmf[k] > 0.0
+        ]
+        drawn = generator.integers(0, 2**63 - 1, size=len(self.k_values))
+        self.seeds = {k: int(seed) for k, seed in zip(self.k_values, drawn)}
+        if store is not None and store_key is None:
+            store_key = dem_config_key(dem, p, kind="eq1")
+        self.store_key = store_key
+        # The pool payload is built once so a persistent WorkerPool
+        # (identity-checked) ships it to the workers at most once per
+        # session, not once per refinement round.
+        self._shared = (
+            self.components, self.parallel_specs, dem, p, batch_size
+        )
+        # Accumulated (failures, trials) per (k, name), plus the next
+        # sub-run index of each k slice (stored runs replay first).
+        self.totals: Dict[int, Dict[str, List[int]]] = {
+            k: {name: [0, 0] for name in self.all_names}
+            for k in self.k_values
+        }
+        self.next_run: Dict[int, int] = {k: 0 for k in self.k_values}
+        if store is not None and resume:
+            for k in self.k_values:
+                for record in store.usable_runs(
+                    store_key, "eq1", k, self.seeds[k], self.all_names
+                ):
+                    for name in self.all_names:
+                        failures, trials = record.counts[name]
+                        self.totals[k][name][0] += failures
+                        self.totals[k][name][1] += trials
+                    self.next_run[k] += 1
+
+    def trials_of(self, k: int) -> int:
+        """Trials accumulated so far on the k slice (any decoder's view)."""
+        return self.totals[k][self.all_names[0]][1] if self.all_names else 0
+
+    def base_plan(
+        self,
+        shots_per_k: int,
+        shots_for_k: Optional[Callable[[int], int]] = None,
+    ) -> Dict[int, int]:
+        """Residual shots taking every k slice to its base budget.
+
+        The budgets are remembered: :meth:`refinement_plan` caps each
+        slice's growth relative to them.
+        """
+        self._base_budget = {
+            k: (shots_for_k(k) if shots_for_k is not None else shots_per_k)
+            for k in self.k_values
+        }
+        return {
+            k: budget - self.trials_of(k)
+            for k, budget in self._base_budget.items()
+        }
+
+    def refinement_plan(
+        self, min_rel_precision: float, max_refine_rounds: int = 6
+    ) -> Dict[int, int]:
+        """Extra shots per k for the next refinement round (empty = done).
+
+        ``max_refine_rounds`` caps every slice's budget amplification at
+        ``2 ** max_refine_rounds`` times its base budget.  Phrasing the
+        cap in accumulated trials rather than rounds-executed-by-this-
+        process keeps the stopping rule a pure function of the counts,
+        so a killed-and-resumed run stops exactly where the
+        uninterrupted run would have -- a per-process round counter
+        would reset on resume and overshoot.
+        """
+        plan = _refinement_plan(
+            self.assemble(),
+            {k: self.trials_of(k) for k in self.k_values},
+            min_rel_precision,
+        )
+        if self._base_budget is None:
+            return plan
+        limit = 2**max_refine_rounds
+        return {
+            k: n
+            for k, n in plan.items()
+            if self.trials_of(k) + n <= self._base_budget[k] * limit
+        }
+
+    def evaluate_round(self, extra: Mapping[int, int]) -> None:
+        """Run one batch of residual sub-runs and fold in their counts."""
+        tasks: List[Tuple[int, int, int]] = []
+        runs: List[int] = []
+        for k in self.k_values:
+            n = extra.get(k, 0)
+            if n <= 0:
+                continue
+            run = self.next_run[k]
+            tasks.append((k, n, derived_seed(self.seeds[k], run)))
+            runs.append(run)
+        if not tasks:
+            return
+        if self.shards == 1 or len(tasks) <= 1:
+            outputs = [
+                _evaluate_k_slice(
+                    self.components, self.parallel_specs, self.dem, self.p,
+                    k, n, s, self.batch_size,
+                )
+                for k, n, s in tasks
+            ]
+        else:
+            outputs = run_sharded(
+                self._shared,
+                _k_slice_worker,
+                tasks,
+                processes=min(self.shards, len(tasks)),
+                pool=self.pool,
+            )
+        for (k, n, _sub_seed), run, counts in zip(tasks, runs, outputs):
+            for name in self.all_names:
+                failures, trials = counts[name]
+                self.totals[k][name][0] += failures
+                self.totals[k][name][1] += trials
+            self.next_run[k] = run + 1
+            if self.store is not None:
+                self.store.append(
+                    SliceRecord(
+                        config=self.store_key,
+                        kind="eq1",
+                        k=k,
+                        seed=self.seeds[k],
+                        run=run,
+                        shots=n,
+                        counts={
+                            name: tuple(counts[name])
+                            for name in self.all_names
+                        },
+                    )
+                )
+
+    def assemble(self) -> Dict[str, ImportanceLerResult]:
+        """Eq. (1) results from the counts accumulated so far."""
+        results: Dict[str, ImportanceLerResult] = {}
+        for name in self.all_names:
+            name_rows = [
+                (k, float(self.pmf[k]), wilson_interval(*self.totals[k][name]))
+                for k in self.k_values
+            ]
+            point = sum(po * est.rate for _k, po, est in name_rows)
+            low = sum(po * est.low for _k, po, est in name_rows)
+            high = (
+                sum(po * est.high for _k, po, est in name_rows) + self.tail
+            )
+            results[name] = ImportanceLerResult(
+                decoder_name=name,
+                ler=point,
+                ler_low=low,
+                ler_high=high,
+                per_k=name_rows,
+                truncation_bound=self.tail,
+            )
+        return results
+
+
 def _estimate_eq1(
     components: Mapping[str, Decoder],
     parallel_specs: Mapping[str, Tuple[str, str]],
@@ -442,134 +688,38 @@ def _estimate_eq1(
     resume: bool,
     min_rel_precision: Optional[float],
     max_refine_rounds: int,
+    pool: Optional[WorkerPool],
 ) -> Dict[str, ImportanceLerResult]:
-    """Shared Eq. (1) engine behind both importance estimators.
-
-    Per-k base seeds are drawn up front from the caller's generator, so
-    the sampled workloads -- and therefore every estimate -- are
-    identical whether the k slices run inline (``shards == 1``) or
-    distributed over a process pool, and a resumed run re-derives the
-    same seeds and recognizes its stored slices.
-    """
-    if shards < 1:
-        raise ValueError("shards must be >= 1")
+    """Drive one :class:`Eq1Session` start to finish (both estimators)."""
     if min_rel_precision is not None and min_rel_precision <= 0:
         raise ValueError("min_rel_precision must be positive")
-    generator = ensure_rng(rng)
-    probabilities = dem.probabilities(p)
-    pmf, tail = poisson_binomial_pmf(probabilities, k_max)
-
-    k_values = [k for k in range(k_min, k_max + 1) if pmf[k] > 0.0]
-    drawn = generator.integers(0, 2**63 - 1, size=len(k_values))
-    seeds = {k: int(seed) for k, seed in zip(k_values, drawn)}
-    all_names = list(components) + list(parallel_specs)
-    if store is not None and store_key is None:
-        store_key = dem_config_key(dem, p, kind="eq1")
-
-    # Accumulated (failures, trials) per (k, name), plus the next sub-run
-    # index of each k slice (stored runs replay first).
-    totals: Dict[int, Dict[str, List[int]]] = {
-        k: {name: [0, 0] for name in all_names} for k in k_values
-    }
-    next_run: Dict[int, int] = {k: 0 for k in k_values}
-    if store is not None and resume:
-        for k in k_values:
-            for record in store.usable_runs(
-                store_key, "eq1", k, seeds[k], all_names
-            ):
-                for name in all_names:
-                    failures, trials = record.counts[name]
-                    totals[k][name][0] += failures
-                    totals[k][name][1] += trials
-                next_run[k] += 1
-
-    def trials_of(k: int) -> int:
-        return totals[k][all_names[0]][1] if all_names else 0
-
-    def evaluate_round(extra: Mapping[int, int]) -> None:
-        """Run one batch of residual sub-runs and fold in their counts."""
-        tasks: List[Tuple[int, int, int]] = []
-        runs: List[int] = []
-        for k in k_values:
-            n = extra.get(k, 0)
-            if n <= 0:
-                continue
-            run = next_run[k]
-            tasks.append((k, n, derived_seed(seeds[k], run)))
-            runs.append(run)
-        if not tasks:
-            return
-        if shards == 1 or len(tasks) <= 1:
-            outputs = [
-                _evaluate_k_slice(
-                    components, parallel_specs, dem, p, k, n, s, batch_size
-                )
-                for k, n, s in tasks
-            ]
-        else:
-            outputs = run_sharded(
-                (dict(components), dict(parallel_specs), dem, p, batch_size),
-                _k_slice_worker,
-                tasks,
-                processes=min(shards, len(tasks)),
-            )
-        for (k, n, _sub_seed), run, counts in zip(tasks, runs, outputs):
-            for name in all_names:
-                failures, trials = counts[name]
-                totals[k][name][0] += failures
-                totals[k][name][1] += trials
-            next_run[k] = run + 1
-            if store is not None:
-                store.append(
-                    SliceRecord(
-                        config=store_key,
-                        kind="eq1",
-                        k=k,
-                        seed=seeds[k],
-                        run=run,
-                        shots=n,
-                        counts={name: tuple(counts[name]) for name in all_names},
-                    )
-                )
-
-    def assemble() -> Dict[str, ImportanceLerResult]:
-        results: Dict[str, ImportanceLerResult] = {}
-        for name in all_names:
-            name_rows = [
-                (k, float(pmf[k]), wilson_interval(*totals[k][name]))
-                for k in k_values
-            ]
-            point = sum(po * est.rate for _k, po, est in name_rows)
-            low = sum(po * est.low for _k, po, est in name_rows)
-            high = sum(po * est.high for _k, po, est in name_rows) + tail
-            results[name] = ImportanceLerResult(
-                decoder_name=name,
-                ler=point,
-                ler_low=low,
-                ler_high=high,
-                per_k=name_rows,
-                truncation_bound=tail,
-            )
-        return results
-
-    evaluate_round(
-        {
-            k: (shots_for_k(k) if shots_for_k is not None else shots_per_k)
-            - trials_of(k)
-            for k in k_values
-        }
+    session = Eq1Session(
+        components=components,
+        parallel_specs=parallel_specs,
+        dem=dem,
+        p=p,
+        k_max=k_max,
+        rng=rng,
+        k_min=k_min,
+        shards=shards,
+        batch_size=batch_size,
+        store=store,
+        store_key=store_key,
+        resume=resume,
+        pool=pool,
     )
+    session.evaluate_round(session.base_plan(shots_per_k, shots_for_k))
     if min_rel_precision is not None:
-        for _round in range(max_refine_rounds):
-            plan = _refinement_plan(
-                assemble(),
-                {k: trials_of(k) for k in k_values},
-                min_rel_precision,
-            )
+        # Terminates: every executed round doubles at least one k row,
+        # and each row is capped at 2**max_refine_rounds its base
+        # budget, so rows drop out of the plan after finitely many
+        # doublings.
+        while True:
+            plan = session.refinement_plan(min_rel_precision, max_refine_rounds)
             if not plan:
                 break
-            evaluate_round(plan)
-    return assemble()
+            session.evaluate_round(plan)
+    return session.assemble()
 
 
 def estimate_ler_importance(
@@ -587,6 +737,7 @@ def estimate_ler_importance(
     resume: bool = False,
     min_rel_precision: Optional[float] = None,
     max_refine_rounds: int = 6,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[str, ImportanceLerResult]:
     """Eq. (1) LER of several decoders on shared per-k workloads.
 
@@ -611,7 +762,12 @@ def estimate_ler_importance(
         min_rel_precision: Optional target relative CI width; shots keep
             doubling on the widest k rows until met (see
             :func:`_refinement_plan`).
-        max_refine_rounds: Cap on refinement rounds.
+        max_refine_rounds: Cap on refinement: each k row may grow to at
+            most ``2 ** max_refine_rounds`` times its base budget (a
+            counts-based rule, so it resumes exactly; see
+            :meth:`Eq1Session.refinement_plan`).
+        pool: Optional persistent :class:`WorkerPool`; sharded rounds
+            reuse its live workers instead of forking per round.
 
     Returns:
         Name -> :class:`ImportanceLerResult`.
@@ -633,6 +789,7 @@ def estimate_ler_importance(
         resume=resume,
         min_rel_precision=min_rel_precision,
         max_refine_rounds=max_refine_rounds,
+        pool=pool,
     )
 
 
@@ -653,6 +810,7 @@ def estimate_ler_suite(
     resume: bool = False,
     min_rel_precision: Optional[float] = None,
     max_refine_rounds: int = 6,
+    pool: Optional[WorkerPool] = None,
 ) -> Dict[str, ImportanceLerResult]:
     """Eq. (1) LER for component decoders *and* parallel combinations.
 
@@ -679,6 +837,8 @@ def estimate_ler_suite(
             ``parallel_specs`` (paired workloads).
         min_rel_precision / max_refine_rounds: Precision-targeted
             refinement; see :func:`estimate_ler_importance`.
+        pool: Optional persistent :class:`WorkerPool`; see
+            :func:`estimate_ler_importance`.
     """
     unknown = {
         name: spec
@@ -710,4 +870,5 @@ def estimate_ler_suite(
         resume=resume,
         min_rel_precision=min_rel_precision,
         max_refine_rounds=max_refine_rounds,
+        pool=pool,
     )

@@ -312,12 +312,37 @@ class ExperimentStore:
         ]
 
     def total_trials(self, config: str, kind: str) -> int:
-        """Total stored trials for one experiment (any decoder's view)."""
+        """Total stored trials for one experiment (any decoder's view).
+
+        Counts every record, including runs a resume would reject
+        (gapped run sequences, runs missing some decoder); use
+        :meth:`usable_trials` for resume-visible progress.
+        """
         self._refresh()
         total = 0
         for (cfg, knd, _k, _seed), runs in self._index.items():
             if cfg == config and knd == kind:
                 total += sum(record.shots for record in runs.values())
+        return total
+
+    def usable_trials(
+        self, config: str, kind: str, names: Sequence[str]
+    ) -> int:
+        """Stored trials a resume requesting ``names`` would replay.
+
+        Unlike :meth:`total_trials` this applies the :meth:`usable_runs`
+        rules per slice -- gapless run prefixes only, every run covering
+        all requested decoder names -- so it reports the progress a
+        resumed sweep will actually credit, not just what is on disk.
+        """
+        self._refresh()
+        total = 0
+        for cfg, knd, k, seed in list(self._index):
+            if cfg == config and knd == kind:
+                total += sum(
+                    record.shots
+                    for record in self.usable_runs(config, kind, k, seed, names)
+                )
         return total
 
     # -- maintenance -------------------------------------------------------------

@@ -1,0 +1,497 @@
+"""Store-backed sweep orchestrator: one command, one paper table.
+
+The paper's headline results (Table 2, Figures 4/14/15) are grids of
+(distance, physical error rate) operating points, each an Eq. (1) or
+direct Monte-Carlo LER run.  :func:`run_sweep` walks such a grid as one
+resumable unit of work:
+
+* every point owns an independent set of slices in a **single**
+  :class:`~repro.eval.store.ExperimentStore`, keyed by
+  ``Workbench.store_key`` (code, distance, rounds, noise, p, estimator
+  kind), so one store file accumulates a whole table and a killed sweep
+  re-run with ``resume=True`` reproduces the uninterrupted grid bitwise
+  while paying only the residual shots;
+* shot allocation toward ``min_rel_precision`` is **round-robin across
+  the grid**: each refinement round computes every point's plan (the
+  :func:`~repro.eval.ler._refinement_plan` rule -- double the k rows
+  whose CI width x Poisson-binomial mass contributes most) and executes
+  one round per unfinished point before any point gets a second round,
+  so an interrupted sweep leaves balanced progress instead of one
+  polished point and untouched neighbors;
+* all sharded work of the whole grid runs on **one persistent**
+  :class:`~repro.eval.pool.WorkerPool` -- one worker-set fork per sweep
+  instead of one per refinement round, k-slice batch, and grid point;
+* the outcome is one consolidated, JSON-serializable artifact
+  (:class:`SweepResult`) carrying every point's per-decoder estimates
+  plus run statistics.
+
+Per-point RNG seeds are derived from the sweep seed and the point
+coordinates (:func:`~repro.utils.rng.stable_seed`), not from a shared
+generator stream, so estimates are independent of grid walk order and a
+resumed sweep recognizes its stored slices no matter where it was
+killed.  The refinement trajectory *and its stopping rule* (target met,
+or budgets amplified ``2 ** max_refine_rounds`` over base) are pure
+functions of the accumulated counts, never of per-process round
+counters, so resume equals fresh bitwise even when the cap binds.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.eval.ler import (
+    DirectMonteCarloResult,
+    Eq1Session,
+    ImportanceLerResult,
+    estimate_ler_direct,
+)
+from repro.eval.pool import WorkerPool
+from repro.eval.store import ExperimentStore
+from repro.utils.rng import stable_seed
+
+SWEEP_KINDS = ("eq1", "direct")
+
+#: Default decoder configurations evaluated at every grid point.
+DEFAULT_DECODERS = ("MWPM", "Promatch+Astrea", "Astrea-G")
+
+
+@dataclass(frozen=True)
+class SweepGrid:
+    """A (distance x physical error rate) grid of LER operating points.
+
+    Attributes:
+        distances: Code distances to evaluate.
+        error_rates: Physical error rates to evaluate.
+        kind: Estimator family -- ``"eq1"`` (the paper's importance
+            method) or ``"direct"`` (plain Monte-Carlo).
+        decoders: Zoo configuration names evaluated at every point
+            (resolved against ``Workbench.decoders``).
+        parallel: ``name -> (component_a, component_b)`` parallel
+            configurations derived from stored component results
+            (Eq. (1) only; components must appear in ``decoders``).
+        shots_per_k: Base Eq. (1) budget per injected-fault count.
+        k_max / k_min: Eq. (1) fault-count range.
+        shots: Base direct-MC budget per point.
+    """
+
+    distances: Tuple[int, ...]
+    error_rates: Tuple[float, ...]
+    kind: str = "eq1"
+    decoders: Tuple[str, ...] = DEFAULT_DECODERS
+    parallel: Mapping[str, Tuple[str, str]] = field(default_factory=dict)
+    shots_per_k: int = 200
+    k_max: int = 16
+    k_min: int = 1
+    shots: int = 20000
+
+    def __post_init__(self) -> None:
+        if self.kind not in SWEEP_KINDS:
+            raise ValueError(
+                f"kind must be one of {SWEEP_KINDS}, got {self.kind!r}"
+            )
+        if not self.distances or not self.error_rates:
+            raise ValueError("the grid needs at least one distance and one p")
+        if not self.decoders:
+            raise ValueError("the grid needs at least one decoder")
+        unknown = {
+            name: spec
+            for name, spec in self.parallel.items()
+            if spec[0] not in self.decoders or spec[1] not in self.decoders
+        }
+        if unknown:
+            raise ValueError(
+                f"parallel specs reference unknown components: {unknown}"
+            )
+        collisions = set(self.decoders) & set(self.parallel)
+        if collisions:
+            raise ValueError(
+                "parallel configuration names collide with component names: "
+                f"{sorted(collisions)}"
+            )
+        if self.parallel and self.kind != "eq1":
+            raise ValueError("parallel configurations require kind='eq1'")
+
+    def points(self) -> List[Tuple[int, float]]:
+        """The grid's (distance, p) points in walk order."""
+        return [(d, p) for d in self.distances for p in self.error_rates]
+
+    def to_payload(self) -> dict:
+        return {
+            "distances": list(self.distances),
+            "error_rates": list(self.error_rates),
+            "kind": self.kind,
+            "decoders": list(self.decoders),
+            "parallel": {k: list(v) for k, v in self.parallel.items()},
+            "shots_per_k": self.shots_per_k,
+            "k_max": self.k_max,
+            "k_min": self.k_min,
+            "shots": self.shots,
+        }
+
+
+def _estimate_payload(result) -> dict:
+    """JSON row for one decoder's estimate (either estimator family)."""
+    if isinstance(result, DirectMonteCarloResult):
+        est = result.estimate
+        return {
+            "ler": est.rate,
+            "low": est.low,
+            "high": est.high,
+            "failures": est.successes,
+            "trials": est.trials,
+        }
+    assert isinstance(result, ImportanceLerResult)
+    return {
+        "ler": result.ler,
+        "ler_low": result.ler_low,
+        "ler_high": result.ler_high,
+        "truncation_bound": result.truncation_bound,
+        "trials": sum(est.trials for _k, _po, est in result.per_k),
+        "per_k": [
+            {
+                "k": k,
+                "p_o": po,
+                "failures": est.successes,
+                "trials": est.trials,
+                "rate": est.rate,
+                "low": est.low,
+                "high": est.high,
+            }
+            for k, po, est in result.per_k
+        ],
+    }
+
+
+@dataclass
+class SweepPointResult:
+    """One grid point's estimates and bookkeeping."""
+
+    distance: int
+    p: float
+    kind: str
+    store_key: Optional[str]
+    results: Dict[str, object]
+    refine_rounds: int = 0
+    usable_trials: Optional[int] = None
+
+    def to_payload(self) -> dict:
+        # ``refine_rounds`` counts rounds executed by *this* run (a
+        # resumed run replays stored counts and may need none), so it
+        # lives in the sweep-level "stats" block, not here.
+        return {
+            "distance": self.distance,
+            "p": self.p,
+            "kind": self.kind,
+            "store_key": self.store_key,
+            "usable_trials": self.usable_trials,
+            "decoders": {
+                name: _estimate_payload(result)
+                for name, result in self.results.items()
+            },
+        }
+
+
+@dataclass
+class SweepResult:
+    """The consolidated outcome of one sweep."""
+
+    grid: SweepGrid
+    min_rel_precision: Optional[float]
+    points: List[SweepPointResult]
+    pool_forks: int = 0
+
+    def point(self, distance: int, p: float) -> SweepPointResult:
+        for entry in self.points:
+            if entry.distance == distance and entry.p == p:
+                return entry
+        raise KeyError(f"no ({distance}, {p}) point in this sweep")
+
+    def to_payload(self) -> dict:
+        """JSON-serializable artifact.
+
+        Everything outside ``"stats"`` is a deterministic function of
+        the estimates, so a resumed sweep's payload equals the
+        uninterrupted one; ``"stats"`` carries run-dependent accounting
+        (fork counts) and is excluded from such comparisons.
+        """
+        return {
+            "grid": self.grid.to_payload(),
+            "min_rel_precision": self.min_rel_precision,
+            "points": [entry.to_payload() for entry in self.points],
+            "stats": {
+                "pool_forks": self.pool_forks,
+                "refine_rounds": {
+                    f"d={entry.distance},p={entry.p:g}": entry.refine_rounds
+                    for entry in self.points
+                },
+            },
+        }
+
+    def save(self, path) -> Path:
+        """Write the consolidated artifact as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, default=float)
+        return path
+
+
+def _default_workbench_factory(distance: int, p: float):
+    from repro.eval.experiments import Workbench
+
+    return Workbench.build(
+        distance=distance, p=p, rng=stable_seed("sweep-bench", distance, p)
+    )
+
+
+def _point_seed(seed: int, distance: int, p: float, kind: str) -> int:
+    """Per-point RNG seed, independent of grid walk order."""
+    return stable_seed("sweep-point", seed, distance, p, kind)
+
+
+def _direct_target_met(
+    results: Mapping[str, DirectMonteCarloResult], min_rel_precision: float
+) -> bool:
+    """Every nonzero-LER decoder's CI width within the relative target.
+
+    Zero-LER decoders are excluded, mirroring ``_refinement_plan``: no
+    relative target exists for a zero point estimate.
+    """
+    for result in results.values():
+        est = result.estimate
+        if est.rate > 0.0 and (est.high - est.low) > (
+            min_rel_precision * est.rate
+        ):
+            return False
+    return True
+
+
+def run_sweep(
+    grid: SweepGrid,
+    seed: int = 2024,
+    store: Optional[ExperimentStore] = None,
+    resume: bool = False,
+    min_rel_precision: Optional[float] = None,
+    max_refine_rounds: int = 6,
+    shards: int = 1,
+    batch_size: Optional[int] = None,
+    pool: Optional[WorkerPool] = None,
+    workbench_factory: Optional[Callable[[int, float], object]] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SweepResult:
+    """Walk a (distance, p) grid against one store with a global target.
+
+    Args:
+        grid: The operating-point grid and per-point budgets.
+        seed: Sweep seed; every point derives its own stream from it.
+        store: One :class:`ExperimentStore` shared by the whole grid
+            (per-point ``store_key``); completed slices are appended.
+        resume: Replay stored slices and run only the residual shots --
+            a killed sweep re-run with the same arguments reproduces the
+            uninterrupted grid bitwise.
+        min_rel_precision: Global relative-precision target; refinement
+            rounds are allocated round-robin across unfinished points
+            (see the module docstring).
+        max_refine_rounds: Refinement cap: no slice (Eq. (1) k row) or
+            point (direct MC) grows beyond ``2 ** max_refine_rounds``
+            times its base budget.  Counts-based, so it resumes exactly.
+        shards: Worker processes for each point's sharded rounds.
+        batch_size: Cap on shots per ``decode_batch`` call.
+        pool: Persistent :class:`WorkerPool` to run on; ``None`` with
+            ``shards > 1`` creates one for the duration of the sweep.
+        workbench_factory: ``(distance, p) -> Workbench``-like override
+            (must expose ``dem``, ``decoders`` and ``store_key``); used
+            by tests to inject instrumented decoders.
+        progress: Optional sink for human-readable progress lines.
+
+    Returns:
+        A :class:`SweepResult`; call ``save(path)`` for the artifact.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if min_rel_precision is not None and min_rel_precision <= 0:
+        raise ValueError("min_rel_precision must be positive")
+    factory = workbench_factory or _default_workbench_factory
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    own_pool = pool is None and shards > 1
+    if own_pool:
+        pool = WorkerPool(shards)
+    forks_before = pool.forks if pool is not None else 0
+    try:
+        points: List[SweepPointResult] = []
+        sessions: List[Tuple[SweepPointResult, object]] = []
+        for distance, p in grid.points():
+            bench = factory(distance, p)
+            store_key = (
+                bench.store_key(grid.kind) if store is not None else None
+            )
+            if (
+                store is not None
+                and not resume
+                and store.total_trials(store_key, grid.kind) > 0
+            ):
+                # Appending a fresh run's slices next to existing
+                # records for the same key would collide on run indices
+                # (and the growth rounds below replay the store), so a
+                # dirty store demands an explicit choice.
+                raise ValueError(
+                    f"store already holds records for d={distance} "
+                    f"p={p:g} ({grid.kind}); pass resume=True to continue "
+                    "them or point the sweep at a fresh store"
+                )
+            unknown = [
+                name for name in grid.decoders if name not in bench.decoders
+            ]
+            if unknown:
+                raise ValueError(
+                    f"unknown decoders {unknown} at d={distance}; "
+                    f"available: {list(bench.decoders)}"
+                )
+            decoder_map = {
+                name: bench.decoders[name] for name in grid.decoders
+            }
+            point_rng = _point_seed(seed, distance, p, grid.kind)
+            entry = SweepPointResult(
+                distance=distance,
+                p=p,
+                kind=grid.kind,
+                store_key=store_key,
+                results={},
+            )
+            points.append(entry)
+            if grid.kind == "eq1":
+                session = Eq1Session(
+                    components=decoder_map,
+                    parallel_specs=grid.parallel,
+                    dem=bench.dem,
+                    p=p,
+                    k_max=grid.k_max,
+                    rng=point_rng,
+                    k_min=grid.k_min,
+                    shards=shards,
+                    batch_size=batch_size,
+                    store=store,
+                    store_key=store_key,
+                    resume=resume,
+                    pool=pool,
+                )
+                session.evaluate_round(session.base_plan(grid.shots_per_k))
+                entry.results = session.assemble()
+                sessions.append((entry, session))
+            else:
+                entry.results = estimate_ler_direct(
+                    decoder_map,
+                    bench.dem,
+                    p,
+                    shots=grid.shots,
+                    rng=point_rng,
+                    shards=shards,
+                    batch_size=batch_size,
+                    store=store,
+                    store_key=store_key,
+                    resume=resume,
+                    pool=pool,
+                )
+                # Growth rounds replay the records this sweep just
+                # wrote, so they resume against the store regardless of
+                # the caller's resume flag.
+                sessions.append((entry, (decoder_map, bench.dem, grid.shots)))
+            if progress is not None:
+                # usable_trials re-reads the store; only pay for it
+                # when someone is listening.
+                suffix = (
+                    f" ({store.usable_trials(store_key, grid.kind, _result_names(grid))}"
+                    " usable trials in store)"
+                    if store is not None
+                    else ""
+                )
+                note(f"base pass d={distance} p={p:g} done{suffix}")
+
+        if min_rel_precision is not None:
+            # Round-robin: every unfinished point gets one refinement
+            # round before any point gets a second.  Each point's
+            # stopping rule (target met, or budgets amplified
+            # 2**max_refine_rounds over base) is a pure function of its
+            # accumulated counts, so a killed sweep resumes -- and
+            # stops -- exactly where the uninterrupted one would have;
+            # the loop terminates because every executed round doubles
+            # capped budgets.
+            while True:
+                any_work = False
+                for entry, state in sessions:
+                    if grid.kind == "eq1":
+                        plan = state.refinement_plan(
+                            min_rel_precision, max_refine_rounds
+                        )
+                        if not plan:
+                            continue
+                        state.evaluate_round(plan)
+                        entry.results = state.assemble()
+                    else:
+                        if _direct_target_met(
+                            entry.results, min_rel_precision
+                        ):
+                            continue
+                        decoder_map, dem, base_shots = state
+                        # Next budget doubles the trials accumulated so
+                        # far (not a per-process round counter), capped
+                        # at 2**max_refine_rounds times the base.
+                        current = next(
+                            iter(entry.results.values())
+                        ).estimate.trials
+                        budget = 2 * max(base_shots, current)
+                        if budget > base_shots * 2**max_refine_rounds:
+                            continue
+                        entry.results = estimate_ler_direct(
+                            decoder_map,
+                            dem,
+                            entry.p,
+                            shots=budget,
+                            rng=_point_seed(
+                                seed, entry.distance, entry.p, grid.kind
+                            ),
+                            shards=shards,
+                            batch_size=batch_size,
+                            store=store,
+                            store_key=entry.store_key,
+                            resume=store is not None,
+                            pool=pool,
+                        )
+                    entry.refine_rounds += 1
+                    any_work = True
+                    note(
+                        f"refine round {entry.refine_rounds} "
+                        f"d={entry.distance} p={entry.p:g}"
+                    )
+                if not any_work:
+                    break
+
+        if store is not None:
+            names = _result_names(grid)
+            for entry in points:
+                entry.usable_trials = store.usable_trials(
+                    entry.store_key, grid.kind, names
+                )
+        return SweepResult(
+            grid=grid,
+            min_rel_precision=min_rel_precision,
+            points=points,
+            # The delta, not the pool's lifetime count -- an external
+            # long-lived pool may have forked before this sweep.
+            pool_forks=(pool.forks - forks_before) if pool is not None else 0,
+        )
+    finally:
+        if own_pool:
+            pool.close()
+
+
+def _result_names(grid: SweepGrid) -> List[str]:
+    """Every configuration name a stored slice must cover for reuse."""
+    return list(grid.decoders) + list(grid.parallel)

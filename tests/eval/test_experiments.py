@@ -102,7 +102,7 @@ class TestCensuses:
 
     def test_step_usage_census(self, bench, high_hw_batch):
         usage = step_usage_census(high_hw_batch, PromatchPredecoder(bench.graph))
-        assert set(usage) == {1, 2, 3, 4}
+        assert set(usage) == {0, 1, 2, 3, 4, 5}
         total = sum(usage.values())
         assert total == pytest.approx(1.0, abs=1e-6)
         # Step 1 dominates (Table 6).  At d=5 the graph is small enough
@@ -111,6 +111,54 @@ class TestCensuses:
         # integration suite); here we only pin the ordering.
         assert usage[1] > 0.5
         assert usage[1] > usage[2] > max(usage[3], usage[4])
+
+
+class _FixedStepsPredecoder:
+    """Census stub reporting a fixed steps_used sequence."""
+
+    def __init__(self, steps):
+        self.steps = list(steps)
+
+    def predecode_batch(self, batch):
+        from types import SimpleNamespace
+
+        return [
+            SimpleNamespace(steps_used=s) for s in self.steps[: batch.shots]
+        ]
+
+
+class TestStepUsageBuckets:
+    """Out-of-range steps must land in explicit buckets, not vanish.
+
+    Regression: shots whose deepest step fell outside 1..4 were dropped
+    from the numerator while still counting in the denominator, so the
+    reported Table 6 fractions summed to less than 1."""
+
+    def _batch(self, shots):
+        from repro.sim.sampler import SyndromeBatch
+
+        return SyndromeBatch(
+            events=[() for _ in range(shots)],
+            observables=np.zeros(shots, dtype=np.int64),
+        )
+
+    def test_fractions_partition_the_batch(self):
+        usage = step_usage_census(
+            self._batch(6), _FixedStepsPredecoder([0, 1, 1, 2, 7, 4])
+        )
+        assert set(usage) == {0, 1, 2, 3, 4, 5}
+        assert sum(usage.values()) == pytest.approx(1.0)
+        assert usage[0] == pytest.approx(1 / 6)   # no step engaged
+        assert usage[1] == pytest.approx(2 / 6)
+        assert usage[5] == pytest.approx(1 / 6)   # beyond step 4
+
+    def test_in_range_only_matches_historic_fractions(self):
+        usage = step_usage_census(
+            self._batch(4), _FixedStepsPredecoder([1, 2, 2, 3])
+        )
+        assert usage[1] == pytest.approx(0.25)
+        assert usage[2] == pytest.approx(0.5)
+        assert usage[0] == usage[5] == 0.0
 
 
 class TestShardedCensuses:

@@ -138,6 +138,42 @@ class TestSharding:
                 {"MWPM": MWPMDecoder(graph)}, dem, 3e-3, k_max=3, rng=1, shards=0
             )
 
+    def test_persistent_pool_identical_across_payload_swaps(self, d3_stack):
+        """One WorkerPool serving several estimator calls -- including a
+        shared-state swap between different p values -- must reproduce
+        the per-call-pool results exactly, with a single fork."""
+        from repro.eval.pool import WorkerPool
+
+        _exp, dem, graph = d3_stack
+        decoders = {"MWPM": MWPMDecoder(graph)}
+
+        def run(p, pool=None):
+            return estimate_ler_importance(
+                decoders, dem, p, k_max=5, shots_per_k=60, rng=42,
+                shards=3, pool=pool,
+            )["MWPM"]
+
+        with WorkerPool(3) as pool:
+            pooled = [run(3e-3, pool), run(5e-3, pool), run(3e-3, pool)]
+            assert pool.forks == 1
+        baseline = [run(3e-3), run(5e-3), run(3e-3)]
+        for pooled_result, base_result in zip(pooled, baseline):
+            assert pooled_result.per_k == base_result.per_k
+
+    def test_direct_persistent_pool_identical(self, d3_stack):
+        from repro.eval.pool import WorkerPool
+
+        _exp, dem, graph = d3_stack
+        decoders = {"MWPM": MWPMDecoder(graph)}
+        baseline = estimate_ler_direct(
+            decoders, dem, 3e-3, shots=900, rng=13, shards=3
+        )
+        with WorkerPool(3) as pool:
+            pooled = estimate_ler_direct(
+                decoders, dem, 3e-3, shots=900, rng=13, shards=3, pool=pool
+            )
+        assert pooled["MWPM"].estimate == baseline["MWPM"].estimate
+
     def test_suite_rejects_unknown_parallel_components(self, d3_stack):
         _exp, dem, graph = d3_stack
         with pytest.raises(ValueError, match="unknown components"):

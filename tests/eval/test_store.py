@@ -153,6 +153,29 @@ def _compacting_writer(args):
     return writer_id
 
 
+class TestUsableTrials:
+    def test_counts_only_resume_visible_progress(self, tmp_path):
+        """``total_trials`` counts everything on disk; ``usable_trials``
+        applies the resume rules (gapless prefixes covering all names),
+        so it never overstates what a resumed sweep will credit."""
+        store = ExperimentStore(tmp_path / "store.jsonl")
+        # Slice seed 11: complete two-run prefix.
+        store.append(_record(seed=11, run=0, shots=10))
+        store.append(_record(seed=11, run=1, shots=20))
+        # Slice seed 12: gapped (run 0 missing) -- nothing usable.
+        store.append(_record(seed=12, run=1, shots=40))
+        # Slice seed 13: run 1 misses a decoder -- only run 0 usable.
+        store.append(
+            _record(seed=13, run=0, shots=5, counts={"MWPM": (0, 5), "AG": (0, 5)})
+        )
+        store.append(_record(seed=13, run=1, shots=7, counts={"MWPM": (0, 7)}))
+        assert store.total_trials("cfg", "eq1") == 82
+        assert store.usable_trials("cfg", "eq1", ["MWPM"]) == 30 + 0 + 12
+        assert store.usable_trials("cfg", "eq1", ["MWPM", "AG"]) == 5
+        assert store.usable_trials("cfg", "eq1", ["MWPM", "other"]) == 0
+        assert store.usable_trials("other-cfg", "eq1", ["MWPM"]) == 0
+
+
 class TestConcurrentWriters:
     def test_interleaved_appends_all_survive(self, tmp_path):
         """Simulated concurrent shards: every record written by any
@@ -305,6 +328,75 @@ class TestResumeSemantics:
         assert first == second
         assert decoded_first == 700
         assert decoded_second == 0
+
+    def test_direct_resume_with_smaller_budget_equals_fresh(
+        self, d3_stack, tmp_path
+    ):
+        """Regression: resume used to fold whole stored runs in past the
+        requested budget, overcounting trials.  A stored run that would
+        overshoot must stay on disk, with the smaller budget sampled
+        fresh -- bitwise what a fresh run at that budget produces."""
+        _exp, dem, graph = d3_stack
+
+        def run(store, shots, resume):
+            decoder = CountingDecoder(MWPMDecoder(graph))
+            results = estimate_ler_direct(
+                {"MWPM": decoder},
+                dem,
+                3e-3,
+                shots=shots,
+                rng=9,
+                store=store,
+                store_key="direct-shrink",
+                resume=resume,
+            )
+            return results["MWPM"].estimate, decoder.shots_decoded
+
+        big_store = ExperimentStore(tmp_path / "big.jsonl")
+        run(big_store, shots=700, resume=False)
+
+        fresh_store = ExperimentStore(tmp_path / "fresh.jsonl")
+        fresh, decoded_fresh = run(fresh_store, shots=300, resume=False)
+        shrunk, decoded_shrunk = run(big_store, shots=300, resume=True)
+        assert shrunk == fresh
+        assert shrunk.trials == 300
+        assert decoded_fresh == decoded_shrunk == 300
+        # The overshooting stored run keeps its identity: no second
+        # record lands at its (seed, run) index.
+        runs_by_seed = {}
+        for record in big_store.records():
+            runs_by_seed.setdefault(record.seed, []).append(record)
+        for records in runs_by_seed.values():
+            assert [r.run for r in records] == [0]
+            assert records[0].shots == 700
+
+    def test_direct_resume_partial_overshoot_uses_stored_prefix(
+        self, d3_stack, tmp_path
+    ):
+        """When run 0 fits but run 1 would overshoot, the fitting prefix
+        is replayed and only the residual beyond it is decoded."""
+        _exp, dem, graph = d3_stack
+        store = ExperimentStore(tmp_path / "s.jsonl")
+
+        def run(shots, resume):
+            decoder = CountingDecoder(MWPMDecoder(graph))
+            results = estimate_ler_direct(
+                {"MWPM": decoder},
+                dem,
+                3e-3,
+                shots=shots,
+                rng=21,
+                store=store,
+                store_key="direct-partial",
+                resume=resume,
+            )
+            return results["MWPM"].estimate, decoder.shots_decoded
+
+        run(shots=200, resume=False)   # run 0: 200 shots
+        run(shots=600, resume=True)    # run 1: 400 shots
+        shrunk, decoded = run(shots=300, resume=True)
+        assert shrunk.trials == 300
+        assert decoded == 100  # replay run 0, decode only the residual
 
 
 class TestMinRelPrecision:

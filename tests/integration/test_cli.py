@@ -22,6 +22,21 @@ class TestParser:
         assert args.method == "eq1"
         assert args.shots_per_k == 50
 
+    def test_sweep_options(self):
+        args = build_parser().parse_args(
+            [
+                "sweep",
+                "--distances", "3,5",
+                "--ps", "1e-3,3e-3",
+                "--min-rel-precision", "0.3",
+                "--store", "s.jsonl",
+                "--resume",
+            ]
+        )
+        assert args.distances == "3,5"
+        assert args.min_rel_precision == 0.3
+        assert args.resume
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -63,6 +78,43 @@ class TestCommands:
     def test_ler_unknown_decoder(self):
         with pytest.raises(SystemExit):
             main(["ler", "--distance", "3", "--decoders", "NotADecoder"])
+
+    def test_sweep_with_store_resume_and_artifact(self, capsys, tmp_path):
+        store = tmp_path / "grid.jsonl"
+        argv = [
+            "sweep",
+            "--distances", "3",
+            "--ps", "2e-3,4e-3",
+            "--decoders", "MWPM",
+            "--shots-per-k", "30",
+            "--k-max", "3",
+            "--store", str(store),
+            "--out", str(tmp_path / "first.json"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "sweep (eq1) | d=3" in out
+        assert "usable trials in store" in out
+        assert store.exists()
+
+        argv[-1] = str(tmp_path / "second.json")
+        assert main(argv + ["--resume"]) == 0
+        capsys.readouterr()
+        import json
+
+        first = json.loads((tmp_path / "first.json").read_text())
+        second = json.loads((tmp_path / "second.json").read_text())
+        first.pop("stats")
+        second.pop("stats")
+        assert first == second
+
+    def test_sweep_unknown_decoder(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["sweep", "--distances", "3", "--ps", "2e-3",
+                 "--decoders", "NotADecoder", "--shots-per-k", "10",
+                 "--k-max", "3"]
+            )
 
     def test_steps(self, capsys):
         code = main(
