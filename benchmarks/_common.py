@@ -33,6 +33,11 @@ variables:
 * ``REPRO_BENCH_SPEEDUP_DISTANCE`` / ``REPRO_BENCH_SPEEDUP_SHOTS`` --
   workload of the batch-vs-loop speedup bench (defaults 5 / 20000;
   CI smoke shrinks both).
+* ``REPRO_BENCH_AFS_DISTANCE`` / ``REPRO_BENCH_AFS_P`` /
+  ``REPRO_BENCH_AFS_SHOTS`` -- operating point of the AFS union-find
+  growth-engine bench (defaults 9 / 3e-3 / 20000: the regime where
+  syndromes stop repeating and dedup stops paying; CI smoke shrinks
+  the shot count).
 
 When ``REPRO_BENCH_SHARDS > 1`` every driver shares one persistent
 :func:`worker_pool` (a :class:`repro.eval.pool.WorkerPool`), so a bench
@@ -79,6 +84,18 @@ def k_max() -> int:
 def headline_distances() -> List[int]:
     raw = os.environ.get("REPRO_BENCH_DISTANCES", "11,13")
     return [int(tok) for tok in raw.split(",") if tok.strip()]
+
+
+def afs_distance() -> int:
+    return env_int("REPRO_BENCH_AFS_DISTANCE", 9)
+
+
+def afs_p() -> float:
+    return float(os.environ.get("REPRO_BENCH_AFS_P", "3e-3"))
+
+
+def afs_shots() -> int:
+    return env_int("REPRO_BENCH_AFS_SHOTS", 20000)
 
 
 def eval_shards() -> int:

@@ -1,0 +1,94 @@
+"""AFS (union-find) growth-engine throughput: lock-step vs dedup-only.
+
+The Figure 4 AFS series decodes with :class:`UnionFindDecoder`.  At the
+paper's p = 1e-4 a Monte-Carlo batch is dominated by repeated sparse
+syndromes and the shared dedup fast path carries the whole batch; at
+higher physical error rates and d >= 9 almost every syndrome is
+distinct, dedup stops paying, and throughput collapses onto the scalar
+growth loop -- exactly the line-rate regime AFS-class hardware decoders
+target.
+
+This bench decodes one fixed Monte-Carlo workload in that regime with
+both engines:
+
+* ``dedup-only`` -- :class:`ReferenceUnionFindDecoder.decode_batch`,
+  the historic "dedup IS the batch implementation" path (full-edge-
+  rescan scalar growth per distinct syndrome);
+* ``vectorized`` -- :class:`UnionFindDecoder.decode_batch`, the
+  lock-step numpy growth engine (scalar fallback only for peeling).
+
+Results must be element-wise identical; the artifact records shots/sec
+for both plus the speedup (acceptance bar: >= 3x at d >= 9).  The CI
+smoke job shrinks the workload via ``REPRO_BENCH_AFS_SHOTS``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    afs_distance,
+    afs_p,
+    afs_shots,
+    get_workbench,
+    run_once,
+    save_results,
+)
+
+from repro.decoders import ReferenceUnionFindDecoder, UnionFindDecoder  # noqa: E402
+from repro.decoders.base import unique_syndromes  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+from repro.sim.sampler import DemSampler  # noqa: E402
+
+
+def run_afs_unionfind() -> dict:
+    distance, p, shots = afs_distance(), afs_p(), afs_shots()
+    bench = get_workbench(distance, p)
+    batch = DemSampler(bench.dem, p, rng=20260727).sample(shots)
+    uniques, _inverse = unique_syndromes(batch)
+    vectorized = UnionFindDecoder(bench.graph)
+    reference = ReferenceUnionFindDecoder(bench.graph)
+
+    start = time.perf_counter()
+    dedup_results = reference.decode_batch(batch)
+    dedup_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fast_results = vectorized.decode_batch(batch)
+    fast_s = time.perf_counter() - start
+
+    assert fast_results == dedup_results, (
+        "vectorized union-find diverged from the dedup-only reference"
+    )
+    assert all(r.cycles >= 1 for r in fast_results)
+    return {
+        "distance": distance,
+        "p": p,
+        "shots": batch.shots,
+        "unique_syndromes": len(uniques),
+        "dedup_shots_per_s": batch.shots / dedup_s,
+        "vectorized_shots_per_s": batch.shots / fast_s,
+        "speedup": dedup_s / fast_s,
+    }
+
+
+def bench_afs_unionfind_batch(benchmark):
+    payload = run_once(benchmark, run_afs_unionfind)
+    print()
+    print(format_table(
+        ["engine", "shots/s"],
+        [
+            ["dedup-only (reference)", f"{payload['dedup_shots_per_s']:.0f}"],
+            ["vectorized lock-step", f"{payload['vectorized_shots_per_s']:.0f}"],
+        ],
+        title=(
+            f"AFS union-find batch | d={payload['distance']}, "
+            f"p={payload['p']:g}, {payload['shots']} shots "
+            f"({payload['unique_syndromes']} distinct) | "
+            f"speedup {payload['speedup']:.1f}x"
+        ),
+    ))
+    save_results("afs_unionfind_batch", payload)

@@ -11,6 +11,8 @@ Subcommands mirror the workflows a downstream user actually wants:
 * ``latency``   -- the Tables 4/5 latency census.
 * ``steps``     -- the Table 6 step-usage census.
 * ``decode``    -- sample one syndrome and show the full decoding trace.
+* ``store``     -- inspect (``store info``) or garbage-collect
+  (``store prune --keep ...``) an experiment-store file.
 
 Examples::
 
@@ -24,6 +26,8 @@ Examples::
         --min-rel-precision 0.2 --out table.json
     python -m repro latency --distance 11 --shards 4
     python -m repro decode --distance 11 --p 1e-4
+    python -m repro store info sweep.jsonl
+    python -m repro store prune sweep.jsonl --keep 0123abcd4567ef89
 
 The ``--store``/``--resume`` pair makes ``ler`` and ``sweep`` runs
 restartable: every completed work slice is appended to the store file,
@@ -181,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
 
     decode = sub.add_parser("decode", help="trace one high-HW syndrome")
     add_common(decode)
+
+    store = sub.add_parser(
+        "store",
+        help="inspect and garbage-collect an experiment store file",
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_info = store_sub.add_parser(
+        "info", help="list stored (config, kind) groups with trial counts"
+    )
+    store_info.add_argument("path", metavar="STORE", help="store file (JSON lines)")
+    store_prune = store_sub.add_parser(
+        "prune",
+        help="drop records whose config key is not in --keep "
+             "(garbage-collect stale operating points)",
+    )
+    store_prune.add_argument("path", metavar="STORE", help="store file (JSON lines)")
+    store_prune.add_argument(
+        "--keep", required=True, metavar="KEY1,KEY2,...",
+        help="comma-separated config keys to retain (list them with "
+             "`store info`; a sweep prints each point's key via its "
+             "workbench store_key)",
+    )
+    store_prune.add_argument(
+        "--dry-run", action="store_true",
+        help="report how many records would be dropped without rewriting",
+    )
     return parser
 
 
@@ -193,6 +223,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "latency": _run_latency,
         "steps": _run_steps,
         "decode": _run_decode,
+        "store": _run_store,
     }[args.command]
     handler(args)
     return 0
@@ -390,6 +421,49 @@ def _run_decode(args) -> None:
     verdict = "ok" if main_result.success else "FAILED"
     print(f"  Astrea: {verdict}, total "
           f"{cycles_to_ns(report.cycles + (main_result.cycles or 0)):.0f} ns")
+
+
+def _run_store(args) -> None:
+    from pathlib import Path
+
+    from repro.eval.store import ExperimentStore
+
+    if not Path(args.path).exists():
+        sys.exit(f"no store file at {args.path}")
+    store = ExperimentStore(args.path)
+    if args.store_command == "info":
+        rows = [
+            [config, kind, str(records), str(trials)]
+            for config, kind, records, trials in store.config_summary()
+        ]
+        print(format_table(
+            ["config", "kind", "records", "trials"], rows,
+            title=f"store {args.path}",
+        ))
+        return
+    keep = {token.strip() for token in args.keep.split(",") if token.strip()}
+    if not keep:
+        sys.exit("--keep must name at least one config key")
+    # Refuse keep keys that match nothing: the rewrite is irreversible,
+    # so a typo'd key must not silently drop every record it was meant
+    # to protect (list the real keys with `store info`).
+    stored = {config for config, _kind, _records, _trials in store.config_summary()}
+    unknown = sorted(keep - stored)
+    if unknown:
+        sys.exit(
+            f"--keep key(s) not present in the store: {', '.join(unknown)}; "
+            "nothing was dropped (run `store info` for the stored keys)"
+        )
+    if args.dry_run:
+        doomed = sum(
+            records
+            for config, _kind, records, _trials in store.config_summary()
+            if config not in keep
+        )
+        print(f"would drop {doomed} records (dry run; store unchanged)")
+        return
+    dropped = store.prune(keep)
+    print(f"dropped {dropped} stale records from {args.path}")
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,7 +13,10 @@
 * :class:`~repro.decoders.clique.CliquePredecoder` -- Clique/Hierarchical
   non-syndrome-modifying baseline.
 * :class:`~repro.decoders.unionfind.UnionFindDecoder` -- union-find (the
-  AFS series of Figure 4).
+  AFS series of Figure 4): frontier-based scalar engine plus a lock-step
+  vectorized batch growth engine
+  (:class:`~repro.decoders.unionfind.ReferenceUnionFindDecoder` retains
+  the historic full-rescan engine as the equivalence oracle).
 * :mod:`repro.decoders.combined` -- predecoder+main pipelines and the
   parallel (``||``) combinator.
 """
@@ -31,7 +34,7 @@ from repro.decoders.combined import (
 from repro.decoders.lookup import LookupTableDecoder
 from repro.decoders.mwpm import MWPMDecoder
 from repro.decoders.smith import SmithPredecoder
-from repro.decoders.unionfind import UnionFindDecoder
+from repro.decoders.unionfind import ReferenceUnionFindDecoder, UnionFindDecoder
 
 __all__ = [
     "AstreaDecoder",
@@ -45,6 +48,7 @@ __all__ = [
     "ParallelDecoder",
     "PredecodedDecoder",
     "MWPMDecoder",
+    "ReferenceUnionFindDecoder",
     "SmithPredecoder",
     "UnionFindDecoder",
     "combine_parallel_batch",

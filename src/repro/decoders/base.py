@@ -202,19 +202,39 @@ class Decoder(abc.ABC):
         """Decode many syndromes; results align element-wise with input.
 
         Accepts a sequence of event tuples or a ``SyndromeBatch``.  The
-        shared fast path decodes each *distinct* syndrome once and fans
-        the result out, which is element-wise identical to the per-shot
-        loop for deterministic decoders (fanned-out ``DecodeResult``
-        objects are shared between shots -- treat them as immutable).
-        Subclasses with a vectorizable core override this with a real
-        batch implementation; :meth:`decode_batch_reference` stays the
-        per-shot reference fallback.
+        shared fast path groups identical syndromes (``unique_syndromes``),
+        hands the distinct ones to :meth:`decode_uniques`, and fans the
+        results out -- element-wise identical to the per-shot loop for
+        deterministic decoders (fanned-out ``DecodeResult`` objects are
+        shared between shots -- treat them as immutable).
+
+        Contract for subclasses: a vectorizable core overrides
+        :meth:`decode_uniques` (the per-distinct-syndrome hook), keeping
+        the dedup/fan-out plumbing shared; override ``decode_batch``
+        itself only to change the *grouping* (e.g. the parallel
+        combinator, which delegates whole batches to its components).
+        :meth:`decode_batch_reference` stays the per-shot reference
+        fallback either way.
         """
         if not self.deterministic:
             return self.decode_batch_reference(batch_events)
         uniques, inverse = unique_syndromes(batch_events)
-        unique_results = [self.decode(events) for events in uniques]
-        return fan_out(unique_results, inverse)
+        return fan_out(self.decode_uniques(uniques), inverse)
+
+    def decode_uniques(
+        self, uniques: Sequence[Tuple[int, ...]]
+    ) -> List[DecodeResult]:
+        """Decode each distinct syndrome once (the batch fast-path core).
+
+        The default is the scalar per-unique loop -- for low-rate
+        workloads dominated by repeated sparse syndromes, deduplication
+        alone is the big win.  Decoders whose growth/search core
+        vectorizes across *distinct* syndromes (union-find lock-step
+        growth, lookup-table addressing) override this hook; results
+        must stay element-wise identical to ``[self.decode(e) for e in
+        uniques]``.
+        """
+        return [self.decode(events) for events in uniques]
 
     def decode_batch_reference(self, batch_events) -> List[DecodeResult]:
         """Reference per-shot decode loop (no dedup, no sharing)."""

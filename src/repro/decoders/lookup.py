@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.decoders.base import DecodeResult, Decoder, fan_out, unique_syndromes
+from repro.decoders.base import DecodeResult, Decoder
 from repro.decoders.mwpm import MWPMDecoder
 from repro.graph.decoding_graph import DecodingGraph
 from repro.hardware.latency import ns_to_cycles
@@ -103,18 +103,16 @@ class LookupTableDecoder(Decoder):
             cycles=self._cycles,
         )
 
-    def decode_batch(self, batch_events) -> List[DecodeResult]:
+    def decode_uniques(
+        self, uniques: Sequence[Tuple[int, ...]]
+    ) -> List[DecodeResult]:
         """Batched table addressing: one lookup per distinct syndrome.
 
-        Deduplication is vectorized when the batch carries a dense matrix
-        (bit-packed rows, ``np.unique``); each distinct syndrome is then
-        resolved against the table directly -- matching the hardware,
+        Each distinct syndrome is resolved against the table directly,
+        skipping the per-shot decode dispatch -- matching the hardware,
         where every table access is independent of the shot it serves.
         Element-wise identical to the per-shot :meth:`decode` loop.
         """
-        if not self.deterministic:
-            return self.decode_batch_reference(batch_events)
-        uniques, inverse = unique_syndromes(batch_events)
         table = self._table
         unique_results = []
         for key in uniques:
@@ -128,7 +126,7 @@ class LookupTableDecoder(Decoder):
                     cycles=self._cycles,
                 )
             )
-        return fan_out(unique_results, inverse)
+        return unique_results
 
 
 def lut_storage_bits(n_detectors: int, bits_per_entry: int = 1) -> int:

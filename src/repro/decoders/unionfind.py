@@ -12,6 +12,28 @@ implementation grows edges in integer weight units (weighted growth), so
 low-probability edges take proportionally longer to traverse, matching
 the weighted variant AFS implements.
 
+Growth engine layout
+--------------------
+The decoder is array-based: the graph's columnar edge arrays
+(:meth:`~repro.graph.decoding_graph.DecodingGraph.edge_arrays`) and
+CSR incident-edge arrays (:meth:`incident_csr`) are bound once in
+``__init__``.  Two growth engines share the same stage semantics:
+
+* the scalar engine (:meth:`_grow_clusters`) keeps a *frontier*: each
+  stage visits only the incident edges of nodes currently in odd
+  clusters, never the full edge list;
+* the batch engine (:meth:`_grow_batch`) grows many distinct syndromes
+  in lock-step numpy stages over one ``n_active_shots x n_edges``
+  growth matrix, with per-shot odd-node masks and scalar union-find
+  forests only for the (rare) merge commits.  Shots retire from the
+  active set as soon as their odd clusters vanish.
+
+Peeling stays scalar per distinct syndrome; both engines feed the same
+deterministic peel, so ``decode_batch`` is element-wise identical to the
+per-shot loop.  :class:`ReferenceUnionFindDecoder` retains the historic
+full-edge-rescan engine + dedup-only batch path as the equivalence
+oracle and benchmark baseline.
+
 Substitution note (DESIGN.md): AFS's specific micro-architecture is not
 modelled -- only its algorithmic accuracy class; the Figure 4 bench uses
 this decoder for the AFS series shape.
@@ -20,6 +42,8 @@ this decoder for the AFS series shape.
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.decoders.base import DecodeResult, Decoder
 from repro.graph.decoding_graph import DecodingGraph
@@ -56,86 +80,338 @@ class _ClusterForest:
         self.touches_boundary[ra] |= self.touches_boundary[rb]
         return ra
 
+    def is_odd(self, node: int) -> bool:
+        """Is ``node``'s cluster still growing (odd and off-boundary)?"""
+        root = self.find(node)
+        return bool(self.parity[root]) and not self.touches_boundary[root]
+
 
 class UnionFindDecoder(Decoder):
-    """Weighted-growth union-find with peeling."""
+    """Weighted-growth union-find with peeling (array-based engine)."""
 
     name = "UnionFind"
 
+    #: Distinct syndromes grown per lock-step chunk.  Bounds the growth
+    #: matrix to roughly ``chunk x n_edges`` int32 regardless of batch
+    #: size; retirement shrinks the active rows within a chunk.
+    GROWTH_CHUNK = 2048
+
     def __init__(self, graph: DecodingGraph, weight_resolution: float = 1.0) -> None:
         super().__init__(graph)
-        boundary = graph.boundary_index
+        if weight_resolution <= 0:
+            raise ValueError("weight_resolution must be positive")
+        self.weight_resolution = float(weight_resolution)
+        arrays = graph.edge_arrays()
+        self._edge_u = arrays.u
+        self._edge_v = arrays.v
+        self._edge_obs = arrays.observable_mask
+        self._edge_weight = arrays.weight
         # Integer edge lengths for synchronous weighted growth.
-        self._edge_ends: List[Tuple[int, int]] = []
-        self._edge_length: List[int] = []
-        self._incident: Dict[int, List[int]] = {}
-        for index, edge in enumerate(graph.edges):
-            v = boundary if edge.is_boundary else edge.v
-            self._edge_ends.append((edge.u, v))
-            self._edge_length.append(
-                max(1, int(round(edge.weight / weight_resolution)))
-            )
-            self._incident.setdefault(edge.u, []).append(index)
-            self._incident.setdefault(v, []).append(index)
+        self._edge_length = np.maximum(
+            1, np.round(arrays.weight / self.weight_resolution).astype(np.int64)
+        )
+        indptr, incident = graph.incident_csr()
+        self._indptr = indptr.tolist()
+        self._incident = incident.tolist()
+        self._max_stages = int(self._edge_length.sum()) + 1  # safety bound
+
+    # -- per-shot entry point ---------------------------------------------------------
 
     def decode(self, events: Sequence[int]) -> DecodeResult:
-        events = tuple(events)
+        events = tuple(int(e) for e in events)
         if not events:
             return DecodeResult(success=True, observable_mask=0, cycles=1)
-        grown_edges = self._grow_clusters(events)
-        correction_edges, matched_ok = self._peel(events, grown_edges)
+        grown_edges, stages = self._grow_clusters(events)
+        return self._finish(events, grown_edges, stages)
+
+    def _finish(
+        self, events: Tuple[int, ...], grown_edges, stages: int
+    ) -> DecodeResult:
+        """Peel the grown region and assemble the result.
+
+        Growth stages dominate latency, so the cycle cost is the number
+        of stages executed; every decode -- including degenerate ones
+        (isolated event nodes, disconnected remainders) -- consumes at
+        least the one cycle the pipeline needs to latch a result, the
+        same floor the empty syndrome reports.
+        """
+        correction, matched_ok = self._peel(events, grown_edges)
         observable_mask = 0
         weight = 0.0
-        for u, v in correction_edges:
-            observable_mask ^= self.graph.edge_observable(u, v)
-            edge_weight = self.graph.direct_edge_weight(u, v)
-            if edge_weight is None:
-                raise AssertionError(f"peeled a non-existent edge ({u}, {v})")
-            weight += edge_weight
-        # Growth stages dominate latency; cycle cost = stages executed is
-        # tracked by _grow_clusters via self._last_stages.
+        for edge_index in correction:
+            observable_mask ^= int(self._edge_obs[edge_index])
+            weight += float(self._edge_weight[edge_index])
         return DecodeResult(
             success=matched_ok,
             observable_mask=observable_mask,
             weight=weight,
-            cycles=float(self._last_stages),
+            cycles=float(max(1, stages)),
             failure_reason="" if matched_ok else "peeling left unmatched events",
         )
 
-    # Batch decoding: growth and peeling are cluster-local graph
-    # algorithms with no cross-shot structure to vectorize, so the
-    # inherited dedup fast path (Decoder.decode_batch) IS the batch
-    # implementation -- low-rate workloads repeat the same handful of
-    # sparse syndromes, and each distinct one is grown/peeled once.
+    # -- scalar growth (frontier engine) ----------------------------------------------
 
-    # -- growth ---------------------------------------------------------------------
+    def _grow_clusters(self, events: Sequence[int]) -> Tuple[Set[int], int]:
+        """Grow odd clusters; returns (fully grown edge set, stages).
 
-    def _grow_clusters(self, events: Sequence[int]) -> Set[int]:
-        boundary = self.graph.boundary_index
-        forest = _ClusterForest(self.graph.n_nodes, boundary)
-        for e in events:
-            forest.parity[e] = 1
+        Stage semantics (shared with :meth:`_grow_batch` and the
+        reference engine): while any cluster is odd, charge one stage,
+        increment every not-yet-full border edge once per odd endpoint
+        (computed from the pre-stage forest), then commit newly full
+        edges as unions in ascending edge-index order.  A stage whose
+        border is empty (disconnected remainder) still counts, then
+        growth gives up.
+        """
+        forest = _ClusterForest(self.graph.n_nodes, self.graph.boundary_index)
+        for event in events:
+            forest.parity[event] = 1
         in_cluster: Set[int] = set(events)
-        growth = [0] * len(self._edge_ends)
+        indptr, incident = self._indptr, self._incident
+        lengths = self._edge_length
+        growth: Dict[int, int] = {}
         fully_grown: Set[int] = set()
-        self._last_stages = 0
-        max_stages = sum(self._edge_length) + 1  # absolute safety bound
+        stages = 0
+        while stages < self._max_stages:
+            odd_nodes = [n for n in in_cluster if forest.is_odd(n)]
+            if not odd_nodes:
+                break
+            stages += 1
+            # Frontier scan: only the incident edges of odd-cluster nodes
+            # are border candidates; an edge between two odd clusters
+            # collects one increment per odd endpoint (half-edge growth).
+            border: Dict[int, int] = {}
+            for node in odd_nodes:
+                for edge_index in incident[indptr[node] : indptr[node + 1]]:
+                    if edge_index not in fully_grown:
+                        border[edge_index] = border.get(edge_index, 0) + 1
+            if not border:
+                break  # disconnected remainder; give up growing
+            for edge_index in sorted(border):
+                total = growth.get(edge_index, 0) + border[edge_index]
+                growth[edge_index] = total
+                if total >= lengths[edge_index]:
+                    fully_grown.add(edge_index)
+                    u = int(self._edge_u[edge_index])
+                    v = int(self._edge_v[edge_index])
+                    in_cluster.add(u)
+                    in_cluster.add(v)
+                    forest.union(u, v)
+        return fully_grown, stages
 
-        def cluster_is_odd(node: int) -> bool:
-            root = forest.find(node)
-            return bool(forest.parity[root]) and not forest.touches_boundary[root]
+    # -- batch growth (lock-step engine) ----------------------------------------------
 
-        while self._last_stages < max_stages:
+    def decode_uniques(
+        self, uniques: Sequence[Tuple[int, ...]]
+    ) -> List[DecodeResult]:
+        """Vectorized batch core: grow distinct syndromes in lock-step.
+
+        Non-empty syndromes are grown together in chunks of
+        :data:`GROWTH_CHUNK` by :meth:`_grow_batch`; peeling falls back
+        to the scalar path per syndrome.  Element-wise identical to the
+        per-shot :meth:`decode` loop.
+        """
+        results: List[Optional[DecodeResult]] = [None] * len(uniques)
+        work: List[int] = []
+        for slot, events in enumerate(uniques):
+            if events:
+                work.append(slot)
+            else:
+                results[slot] = DecodeResult(success=True, observable_mask=0, cycles=1)
+        for start in range(0, len(work), self.GROWTH_CHUNK):
+            chunk = work[start : start + self.GROWTH_CHUNK]
+            grown_rows, stages = self._grow_batch(
+                [tuple(int(e) for e in uniques[slot]) for slot in chunk]
+            )
+            for row, slot in enumerate(chunk):
+                results[slot] = self._finish(
+                    uniques[slot], grown_rows[row], int(stages[row])
+                )
+        return results
+
+    def _grow_batch(
+        self, event_lists: Sequence[Tuple[int, ...]]
+    ) -> Tuple[List[List[int]], np.ndarray]:
+        """Grow many syndromes in lock-step numpy stages.
+
+        Per stage, for the shots still holding odd clusters: gather the
+        per-edge odd-endpoint counts from the shared odd-node mask (one
+        ``active x n_edges`` increment matrix), add them into the growth
+        matrix, commit newly full edges through the per-shot union-find
+        forests (ascending edge index, matching the scalar engine), and
+        refresh the odd mask only for shots that merged.  Shots retire
+        from the active set when their odd clusters vanish -- or, like
+        the scalar engine, one charged stage after their border empties.
+
+        Returns per-shot fully-grown edge-index lists (ascending) and
+        the per-shot stage counts.
+        """
+        n_shots = len(event_lists)
+        n_edges = self._edge_length.shape[0]
+        boundary = self.graph.boundary_index
+        forests = [
+            _ClusterForest(self.graph.n_nodes, boundary) for _ in range(n_shots)
+        ]
+        clusters: List[Set[int]] = []
+        odd = np.zeros((n_shots, self.graph.n_nodes + 1), dtype=bool)
+        for shot, events in enumerate(event_lists):
+            for event in events:
+                forests[shot].parity[event] = 1
+            clusters.append(set(events))
+            odd[shot, list(events)] = True
+        growth = np.zeros((n_shots, n_edges), dtype=np.int32)
+        fully = np.zeros((n_shots, n_edges), dtype=bool)
+        stages = np.zeros(n_shots, dtype=np.int64)
+        active = np.arange(n_shots)
+        edge_u, edge_v, lengths = self._edge_u, self._edge_v, self._edge_length
+        while active.size:
+            stages[active] += 1
+            # One gather per array per stage; the slabs are reused for
+            # every step below and written back once.
+            odd_active = odd[active]
+            fully_active = fully[active]
+            increment = (
+                odd_active[:, edge_u].view(np.int8)
+                + odd_active[:, edge_v].view(np.int8)
+            )
+            increment[fully_active] = 0
+            has_border = increment.any(axis=1)
+            grown = growth[active] + increment
+            growth[active] = grown
+            newly = (grown >= lengths[None, :]) & (increment > 0) & ~fully_active
+            fully_active |= newly
+            fully[active] = fully_active
+            has_odd = odd_active.any(axis=1)  # pre-merge; patched below
+            rows, cols = np.nonzero(newly)  # row-major: per-shot edge order
+            if rows.size:
+                merged_rows: Set[int] = set()
+                for row, edge_index in zip(rows.tolist(), cols.tolist()):
+                    shot = int(active[row])
+                    u = int(edge_u[edge_index])
+                    v = int(edge_v[edge_index])
+                    clusters[shot].add(u)
+                    clusters[shot].add(v)
+                    forests[shot].union(u, v)
+                    merged_rows.add(row)
+                for row in merged_rows:
+                    shot = int(active[row])
+                    row_mask = odd[shot]
+                    row_mask[:] = False
+                    forest = forests[shot]
+                    for node in clusters[shot]:
+                        if forest.is_odd(node):
+                            row_mask[node] = True
+                    # Odd-ness only changes for shots that merged.
+                    has_odd[row] = bool(row_mask.any())
+            keep = has_border & has_odd & (stages[active] < self._max_stages)
+            active = active[keep]
+        grown_rows = [
+            np.nonzero(fully[shot])[0].tolist() for shot in range(n_shots)
+        ]
+        return grown_rows, stages
+
+    # -- peeling ---------------------------------------------------------------------
+
+    def _peel(
+        self, events: Sequence[int], grown_edges
+    ) -> Tuple[List[int], bool]:
+        """Extract a correction from the grown region.
+
+        Deterministic by construction: components are rooted at the
+        boundary when reachable and otherwise at their smallest node id
+        (``sorted`` over ``(n != boundary, n)``), adjacency lists are
+        built in ascending edge-index order, and the spanning-tree DFS
+        follows that order -- so degenerate spanning trees peel the same
+        way on every fresh decoder instance, interpreter, and platform.
+
+        Returns the correction as edge indices plus a success flag
+        (False when an odd component never reached the boundary).
+        """
+        boundary = self.graph.boundary_index
+        adjacency: Dict[int, List[Tuple[int, int]]] = {}
+        for edge_index in sorted(grown_edges):
+            u = int(self._edge_u[edge_index])
+            v = int(self._edge_v[edge_index])
+            adjacency.setdefault(u, []).append((v, edge_index))
+            adjacency.setdefault(v, []).append((u, edge_index))
+
+        flip: Dict[int, int] = {int(e): 1 for e in events}
+        visited: Set[int] = set()
+        correction: List[int] = []
+        ok = True
+
+        nodes = set(adjacency) | set(int(e) for e in events)
+        # Root each component at the boundary when reachable so leftover
+        # parity is absorbed there.
+        for start in sorted(nodes, key=lambda n: (n != boundary, n)):
+            if start in visited:
+                continue
+            order: List[Tuple[int, int, int]] = []  # (node, parent, edge)
+            stack = [(start, -1, -1)]
+            visited.add(start)
+            while stack:
+                node, parent, via = stack.pop()
+                order.append((node, parent, via))
+                for neighbor, edge_index in adjacency.get(node, ()):  # spanning tree
+                    if neighbor not in visited:
+                        visited.add(neighbor)
+                        stack.append((neighbor, node, edge_index))
+            for node, parent, via in reversed(order):
+                if flip.get(node, 0) and parent >= 0:
+                    correction.append(via)
+                    flip[parent] = flip.get(parent, 0) ^ 1
+                    flip[node] = 0
+            root = order[0][0]
+            if flip.get(root, 0) and root != boundary:
+                ok = False  # odd component never reached the boundary
+        return correction, ok
+
+
+class ReferenceUnionFindDecoder(UnionFindDecoder):
+    """The retained pre-vectorization engine: full edge rescans + dedup.
+
+    ``_grow_clusters`` rescans the whole edge list on every growth stage
+    (the historic O(E * stages) engine) and ``decode_uniques`` falls back
+    to the shared per-unique scalar loop, so ``decode_batch`` is exactly
+    the historic "dedup IS the batch implementation" path.  Kept as the
+    equivalence oracle for the batch==loop test matrix and as the
+    baseline the AFS throughput bench measures the lock-step engine
+    against.  Results are element-wise identical to
+    :class:`UnionFindDecoder`; only the speed differs.
+    """
+
+    name = "UnionFind-reference"
+
+    def decode_uniques(
+        self, uniques: Sequence[Tuple[int, ...]]
+    ) -> List[DecodeResult]:
+        # Not redundant with Decoder.decode_uniques: the parent class
+        # shadows it with the lock-step engine, and this override
+        # restores the scalar per-unique loop the baseline must measure.
+        return [self.decode(events) for events in uniques]
+
+    def _grow_clusters(self, events: Sequence[int]) -> Tuple[Set[int], int]:
+        forest = _ClusterForest(self.graph.n_nodes, self.graph.boundary_index)
+        for event in events:
+            forest.parity[event] = 1
+        in_cluster: Set[int] = set(events)
+        lengths = self._edge_length
+        n_edges = lengths.shape[0]
+        growth = [0] * n_edges
+        fully_grown: Set[int] = set()
+        stages = 0
+        while stages < self._max_stages:
             odd_roots = {
-                forest.find(n) for n in in_cluster if cluster_is_odd(n)
+                forest.find(n) for n in in_cluster if forest.is_odd(n)
             }
             if not odd_roots:
                 break
-            self._last_stages += 1
+            stages += 1
             border: List[Tuple[int, int]] = []
-            for edge_index, (u, v) in enumerate(self._edge_ends):
+            for edge_index in range(n_edges):
                 if edge_index in fully_grown:
                     continue
+                u = int(self._edge_u[edge_index])
+                v = int(self._edge_v[edge_index])
                 u_in = u in in_cluster and forest.find(u) in odd_roots
                 v_in = v in in_cluster and forest.find(v) in odd_roots
                 if u_in or v_in:
@@ -146,53 +422,11 @@ class UnionFindDecoder(Decoder):
                 break  # disconnected remainder; give up growing
             for edge_index, increment in border:
                 growth[edge_index] += increment
-                if growth[edge_index] >= self._edge_length[edge_index]:
+                if growth[edge_index] >= lengths[edge_index]:
                     fully_grown.add(edge_index)
-                    u, v = self._edge_ends[edge_index]
+                    u = int(self._edge_u[edge_index])
+                    v = int(self._edge_v[edge_index])
                     in_cluster.add(u)
                     in_cluster.add(v)
                     forest.union(u, v)
-        return fully_grown
-
-    # -- peeling ---------------------------------------------------------------------
-
-    def _peel(
-        self, events: Sequence[int], grown_edges: Set[int]
-    ) -> Tuple[List[Tuple[int, int]], bool]:
-        boundary = self.graph.boundary_index
-        adjacency: Dict[int, List[Tuple[int, int]]] = {}
-        for edge_index in grown_edges:
-            u, v = self._edge_ends[edge_index]
-            adjacency.setdefault(u, []).append((v, edge_index))
-            adjacency.setdefault(v, []).append((u, edge_index))
-
-        flip: Dict[int, int] = {e: 1 for e in events}
-        visited: Set[int] = set()
-        correction: List[Tuple[int, int]] = []
-        ok = True
-
-        nodes = set(adjacency) | set(events)
-        # Root each component at the boundary when reachable so leftover
-        # parity is absorbed there.
-        for start in sorted(nodes, key=lambda n: (n != boundary,)):
-            if start in visited:
-                continue
-            order: List[Tuple[int, int]] = []  # (node, parent)
-            stack = [(start, -1)]
-            visited.add(start)
-            while stack:
-                node, parent = stack.pop()
-                order.append((node, parent))
-                for neighbor, _edge in adjacency.get(node, ()):  # spanning tree
-                    if neighbor not in visited:
-                        visited.add(neighbor)
-                        stack.append((neighbor, node))
-            for node, parent in reversed(order):
-                if flip.get(node, 0) and parent >= 0:
-                    correction.append((node, parent))
-                    flip[parent] = flip.get(parent, 0) ^ 1
-                    flip[node] = 0
-            root, _ = order[0]
-            if flip.get(root, 0) and root != boundary:
-                ok = False  # odd component never reached the boundary
-        return correction, ok
+        return fully_grown, stages

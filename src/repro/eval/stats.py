@@ -49,11 +49,22 @@ def weighted_histogram(
 ) -> np.ndarray:
     """Probability-weighted histogram over integer bins ``0..n_bins-1``.
 
-    Values beyond the range accumulate in the last bin.
+    Values beyond the range clamp into the edge bins: above-range values
+    accumulate in the last bin, negative values in bin 0.  (Historically
+    a negative value indexed from the *end* of the array via Python's
+    negative indexing, silently crediting the wrong bin.)
     """
+    if n_bins < 1:
+        raise ValueError("n_bins must be >= 1")
     hist = np.zeros(n_bins, dtype=np.float64)
-    for value, weight in zip(values, weights):
-        hist[min(int(value), n_bins - 1)] += float(weight)
+    values = np.asarray(values)
+    weights = np.asarray(weights, dtype=np.float64)
+    if values.size != weights.size:
+        raise ValueError("values and weights must have equal length")
+    if values.size == 0:
+        return hist
+    bins = np.clip(values.astype(np.int64), 0, n_bins - 1)
+    hist += np.bincount(bins, weights=weights, minlength=n_bins)
     return hist
 
 

@@ -311,6 +311,24 @@ class ExperimentStore:
             for i in sorted(runs)
         ]
 
+    def config_summary(self) -> List[Tuple[str, str, int, int]]:
+        """Per ``(config, kind)``: stored record and trial counts.
+
+        Sorted rows ``(config, kind, records, trials)`` -- the inventory
+        ``python -m repro store info`` prints so an operator can decide
+        which config hashes a :meth:`prune` should keep.
+        """
+        self._refresh()
+        summary: Dict[Tuple[str, str], List[int]] = {}
+        for record in self.records():
+            entry = summary.setdefault((record.config, record.kind), [0, 0])
+            entry[0] += 1
+            entry[1] += record.shots
+        return [
+            (config, kind, records, trials)
+            for (config, kind), (records, trials) in sorted(summary.items())
+        ]
+
     def total_trials(self, config: str, kind: str) -> int:
         """Total stored trials for one experiment (any decoder's view).
 
@@ -347,29 +365,61 @@ class ExperimentStore:
 
     # -- maintenance -------------------------------------------------------------
 
-    def compact(self) -> int:
-        """Rewrite the file dropping torn lines and exact duplicates.
+    def _rewrite_locked(self, keep) -> Tuple[int, int]:
+        """Locked read-filter-rewrite-rename cycle (compact/prune core).
 
-        Returns the number of surviving records.  Holds the writer lock
-        for the whole read-rewrite-rename cycle, so records appended by
-        concurrent processes are never lost to the rename; the
-        write-temp-then-rename dance means a crash mid-compaction never
-        loses data either.
+        Re-reads the store under the writer lock, keeps the records
+        ``keep(record)`` accepts, and atomically replaces the file via a
+        ``.tmp`` sibling.  Holding the lock for the whole cycle means
+        records appended by concurrent processes are never lost to the
+        rename, and the write-temp-then-rename dance means a crash
+        mid-rewrite never loses data.  Torn/foreign lines are always
+        dropped.  Returns ``(records_before, records_kept)``.
         """
         lock = self._acquire_lock()
         try:
             self._stat = None
             self._refresh()
             records = self.records()
+            kept = [record for record in records if keep(record)]
             tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
             with tmp_path.open("w", encoding="utf-8") as handle:
-                for record in records:
+                for record in kept:
                     handle.write(record.to_json() + "\n")
             tmp_path.replace(self.path)
             self._stat = None
         finally:
             self._release_lock(lock)
-        return len(records)
+        return len(records), len(kept)
+
+    def compact(self) -> int:
+        """Rewrite the file dropping torn lines and exact duplicates.
+
+        Returns the number of surviving records; see
+        :meth:`_rewrite_locked` for the concurrency guarantees.
+        """
+        _before, kept = self._rewrite_locked(lambda record: True)
+        return kept
+
+    def prune(self, keep_keys: Iterable[str]) -> int:
+        """Drop every record whose config key is not in ``keep_keys``.
+
+        Garbage-collects slices left behind by abandoned operating
+        points (old distances, retuned error rates, renamed noise
+        models) so a long-lived store file stops growing without bound.
+        Returns the number of records dropped; see
+        :meth:`_rewrite_locked` for the concurrency guarantees.
+
+        An empty or fully-mismatched keep-set empties the store; the
+        CLI front-end (``python -m repro store prune``) refuses keep
+        keys that match nothing so a typo cannot silently wipe months
+        of accumulated trials.
+        """
+        keep = {str(key) for key in keep_keys}
+        before, kept = self._rewrite_locked(
+            lambda record: record.config in keep
+        )
+        return before - kept
 
 
 def open_store(path) -> Optional[ExperimentStore]:

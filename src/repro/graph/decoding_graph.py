@@ -39,6 +39,33 @@ BOUNDARY_SENTINEL = -1
 
 
 @dataclass(frozen=True)
+class EdgeArrays:
+    """Columnar (structure-of-arrays) view of a graph's edge list.
+
+    Built once per graph and cached; array-based decoders (the union-find
+    growth engine) index these instead of walking ``GraphEdge`` objects.
+    Boundary edges carry ``boundary_index`` in ``v`` so every column is a
+    plain integer array.
+
+    Attributes:
+        u: Edge endpoint ``u`` per edge (``n_edges`` int64).
+        v: Edge endpoint ``v`` per edge, boundary mapped to
+            ``boundary_index``.
+        weight: Edge weight per edge (float64).
+        observable_mask: Logical mask per edge (int64).
+    """
+
+    u: np.ndarray
+    v: np.ndarray
+    weight: np.ndarray
+    observable_mask: np.ndarray
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.u.shape[0])
+
+
+@dataclass(frozen=True)
 class GraphEdge:
     """One edge of the decoding graph.
 
@@ -93,6 +120,8 @@ class DecodingGraph:
             self._edge_weight[key] = edge.weight
         self._distances: Optional[np.ndarray] = None
         self._predecessors: Optional[np.ndarray] = None
+        self._edge_arrays: Optional[EdgeArrays] = None
+        self._incident_csr: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- basic structure ---------------------------------------------------------
 
@@ -131,6 +160,51 @@ class DecodingGraph:
         if u in (BOUNDARY_SENTINEL, self.boundary_index):
             return (v, self.boundary_index)
         return (min(u, v), max(u, v))
+
+    def edge_arrays(self) -> EdgeArrays:
+        """Columnar numpy view of the edge list (cached).
+
+        Boundary edges report ``boundary_index`` as their ``v`` endpoint,
+        so the arrays describe a plain graph over ``n_nodes + 1`` nodes.
+        Treat the arrays as immutable: they are shared between callers.
+        """
+        if self._edge_arrays is None:
+            boundary = self.boundary_index
+            self._edge_arrays = EdgeArrays(
+                u=np.array([e.u for e in self.edges], dtype=np.int64),
+                v=np.array(
+                    [boundary if e.is_boundary else e.v for e in self.edges],
+                    dtype=np.int64,
+                ),
+                weight=np.array([e.weight for e in self.edges], dtype=np.float64),
+                observable_mask=np.array(
+                    [e.observable_mask for e in self.edges], dtype=np.int64
+                ),
+            )
+        return self._edge_arrays
+
+    def incident_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR incident-edge arrays over ``n_nodes + 1`` nodes (cached).
+
+        Returns ``(indptr, edge_ids)``: the edges incident to node ``n``
+        are ``edge_ids[indptr[n]:indptr[n + 1]]``, sorted by edge index
+        within each node (deterministic traversal order).  A self-loop
+        edge -- which the DEM construction never emits -- would appear
+        once per endpoint.
+        """
+        if self._incident_csr is None:
+            arrays = self.edge_arrays()
+            endpoints = np.concatenate([arrays.u, arrays.v])
+            edge_ids = np.concatenate(
+                [np.arange(arrays.n_edges, dtype=np.int64)] * 2
+            )
+            order = np.lexsort((edge_ids, endpoints))
+            counts = np.bincount(endpoints, minlength=self.n_nodes + 1)
+            indptr = np.concatenate(
+                [[0], np.cumsum(counts)]
+            ).astype(np.int64)
+            self._incident_csr = (indptr, edge_ids[order])
+        return self._incident_csr
 
     def adjacency_matrix(self) -> sparse.csr_matrix:
         """Symmetric weighted adjacency over ``n_nodes + 1`` nodes."""

@@ -14,13 +14,16 @@ import numpy as np
 import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_graph  # noqa: E402
 
 from repro.core import PromatchPredecoder
 from repro.decoders import (
     AstreaDecoder,
     CliquePredecoder,
     LookupTableDecoder,
+    ReferenceUnionFindDecoder,
     SmithPredecoder,
+    UnionFindDecoder,
     combine_parallel_batch,
 )
 from repro.decoders.base import fan_out, unique_syndromes
@@ -80,6 +83,104 @@ class TestDecodeBatchEquivalence:
         results = zoo_bench.decoders["MWPM"].decode_batch([(), ()])
         with pytest.raises(ValueError):
             combine_parallel_batch(results, results[:1])
+
+
+def _boundary_heavy_graph():
+    """Every node has a cheap boundary edge; internal edges are pricey.
+
+    Clusters touch the boundary almost immediately, exercising the
+    retire-from-batch rule (shots leave the lock-step engine after very
+    few stages) and boundary-rooted peeling.
+    """
+    n = 8
+    edges = [(i, i + 1, 6.0) for i in range(n - 1)] + [(0, 4, 7.0), (2, 6, 5.0)]
+    boundary = [(i, 0.5 + 0.25 * i) for i in range(n)]
+    return make_graph(n, edges, boundary)
+
+
+def _irregular_weight_graph():
+    """Wildly mixed edge weights: growth stages stay far out of phase."""
+    return make_graph(
+        n_nodes=7,
+        edges=[
+            (0, 1, 0.3),
+            (1, 2, 9.7),
+            (2, 3, 1.1),
+            (3, 4, 14.2),
+            (4, 5, 0.9),
+            (5, 6, 4.4),
+            (0, 6, 2.3),
+            (1, 5, 6.1),
+        ],
+        boundary=[(0, 11.0), (3, 3.3), (6, 0.7)],
+    )
+
+
+class TestUnionFindAdversarialBatch:
+    """The vectorized union-find engine on adversarial weighted graphs.
+
+    Each workload mixes high-HW syndromes, repeated syndromes (the
+    dedup path must still fan out), and empty shots; equality is
+    checked against both the per-shot loop and the retained reference
+    decoder, over irregular ``weight_resolution`` values that bend the
+    integer growth lengths out of shape.
+    """
+
+    GRAPH_FACTORIES = {
+        "boundary_heavy": _boundary_heavy_graph,
+        "irregular_weights": _irregular_weight_graph,
+    }
+
+    def _workload(self, graph, rng, shots=80):
+        workload = [()]
+        for _ in range(shots):
+            k = int(rng.integers(0, graph.n_nodes + 1))
+            events = tuple(
+                sorted(map(int, rng.choice(graph.n_nodes, size=k, replace=False)))
+            )
+            workload.append(events)
+        # Repeats and a full-weight syndrome (every detector fired).
+        workload.extend(workload[1:6])
+        workload.append(tuple(range(graph.n_nodes)))
+        workload.append(())
+        return workload
+
+    @pytest.mark.parametrize("graph_name", sorted(GRAPH_FACTORIES))
+    @pytest.mark.parametrize("weight_resolution", [1.0, 0.37, 2.5])
+    def test_batch_equals_loop_and_reference(self, graph_name, weight_resolution):
+        import zlib
+
+        graph = self.GRAPH_FACTORIES[graph_name]()
+        # Stable seed (str hash() is salted per process; failures must
+        # reproduce): crc32 over the parametrization.
+        seed = zlib.crc32(f"{graph_name}:{weight_resolution}".encode())
+        rng = np.random.default_rng(seed)
+        workload = self._workload(graph, rng)
+        fast = UnionFindDecoder(graph, weight_resolution=weight_resolution)
+        reference = ReferenceUnionFindDecoder(
+            graph, weight_resolution=weight_resolution
+        )
+        batched = fast.decode_batch(workload)
+        assert batched == fast.decode_batch_reference(workload)
+        assert batched == reference.decode_batch(workload)
+        assert all(r.cycles >= 1 for r in batched)
+
+    def test_disconnected_subgraph_failures_match(self):
+        """Events on a node with no edges fail identically in batch."""
+        graph = make_graph(4, edges=[(0, 1, 1.0)], boundary=[(0, 1.0)])
+        workload = [(3,), (0, 1), (), (3,), (1, 3)]
+        fast = UnionFindDecoder(graph)
+        batched = fast.decode_batch(workload)
+        assert batched == ReferenceUnionFindDecoder(graph).decode_batch(workload)
+        assert not batched[0].success and batched[0].cycles >= 1
+
+    def test_high_hw_and_empty_mix_on_real_graph(self, zoo_bench):
+        """Shots mixing dense exact-k tails with empty syndromes."""
+        dense = zoo_bench.sample_exact_k(9, 30)
+        workload = list(dense.events) + [()] * 5 + list(dense.events[:3])
+        fast = UnionFindDecoder(zoo_bench.graph)
+        reference = ReferenceUnionFindDecoder(zoo_bench.graph)
+        assert fast.decode_batch(workload) == reference.decode_batch(workload)
 
 
 class TestPredecodeBatchEquivalence:

@@ -3,13 +3,43 @@
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
-from helpers import make_path_graph  # noqa: E402
+from helpers import make_graph, make_path_graph  # noqa: E402
 
-from repro.decoders import MWPMDecoder, UnionFindDecoder
+from repro.decoders import (
+    MWPMDecoder,
+    ReferenceUnionFindDecoder,
+    UnionFindDecoder,
+)
 from repro.eval.ler import count_failures
+from repro.graph import build_decoding_graph
+from repro.sim import DemSampler
+from repro.sim.sampler import ExactKSampler
+
+
+def _random_syndromes(graph, count, rng, include_empty=True):
+    """Random event tuples over a graph's nodes (adversarial workload)."""
+    shots = []
+    for _ in range(count):
+        k = int(rng.integers(0, graph.n_nodes + 1))
+        events = tuple(
+            sorted(map(int, rng.choice(graph.n_nodes, size=k, replace=False)))
+        )
+        shots.append(events)
+    if include_empty:
+        shots.append(())
+    return shots
+
+
+def _degenerate_graph():
+    """A cycle with uniform weights: spanning trees are maximally degenerate."""
+    n = 6
+    edges = [(i, (i + 1) % n, 1.0) for i in range(n)]
+    boundary = [(0, 1.0), (3, 1.0)]
+    return make_graph(n, edges, boundary)
 
 
 class TestUnionFind:
@@ -52,3 +82,137 @@ class TestUnionFind:
         )
         assert mwpm_failures <= uf_failures
         assert uf_failures < max(no_correction_failures, 1) * 2
+
+    def test_invalid_weight_resolution_rejected(self):
+        graph = make_path_graph(3)
+        with pytest.raises(ValueError):
+            UnionFindDecoder(graph, weight_resolution=0.0)
+
+
+class TestDeterministicPeeling:
+    """Regression: peeling must not depend on set/dict iteration order.
+
+    The historic peel sorted component roots by ``(n != boundary,)``
+    only (a stable sort over set-iteration order) and walked neighbors
+    in dict-insertion order, so corrections for degenerate spanning
+    trees depended on hash-table internals.  Components are now rooted
+    by ``(n != boundary, n)`` and adjacency lists are built in ascending
+    edge-index order, so every fresh decoder instance peels the same
+    way.
+    """
+
+    def test_identical_corrections_across_fresh_instances(self):
+        graph = _degenerate_graph()
+        rng = np.random.default_rng(3)
+        syndromes = _random_syndromes(graph, 60, rng)
+        baseline = None
+        for _ in range(3):
+            decoder = UnionFindDecoder(graph)  # fresh instance each pass
+            peels = []
+            for events in syndromes:
+                grown, _stages = decoder._grow_clusters(events)
+                peels.append(decoder._peel(events, grown))
+            if baseline is None:
+                baseline = peels
+            else:
+                assert peels == baseline
+
+    def test_full_decode_identical_across_fresh_instances(self):
+        graph = _degenerate_graph()
+        rng = np.random.default_rng(5)
+        syndromes = _random_syndromes(graph, 40, rng)
+        first = [UnionFindDecoder(graph).decode(e) for e in syndromes]
+        second = [UnionFindDecoder(graph).decode(e) for e in syndromes]
+        reference = [ReferenceUnionFindDecoder(graph).decode(e) for e in syndromes]
+        assert first == second == reference
+
+    def test_component_roots_are_canonical(self):
+        """Equal-weight two-event syndrome on a cycle: both decodes of
+        the same degenerate instance must commit the same correction."""
+        graph = _degenerate_graph()
+        a = UnionFindDecoder(graph).decode((1, 4))
+        b = UnionFindDecoder(graph).decode((1, 4))
+        assert a == b and a.success
+
+
+class TestCycleAccounting:
+    """``cycles >= 1`` must hold for every decode, not just non-degenerate
+    ones: the pipeline always latches a result, so zero-latency decodes
+    cannot exist (the empty syndrome already reported 1)."""
+
+    def test_empty_syndrome_floor(self):
+        graph = make_path_graph(4)
+        assert UnionFindDecoder(graph).decode(()).cycles == 1
+
+    def test_isolated_event_node_floor(self):
+        # Node 2 has no incident edges: growth cannot make progress and
+        # peeling fails, but the decode still consumed pipeline cycles.
+        graph = make_graph(3, edges=[(0, 1, 1.0)], boundary=[(0, 1.0)])
+        for decoder in (UnionFindDecoder(graph), ReferenceUnionFindDecoder(graph)):
+            result = decoder.decode((2,))
+            assert not result.success
+            assert result.cycles >= 1
+            [batched] = decoder.decode_batch([(2,)])
+            assert batched == result
+
+    def test_edgeless_graph_floor(self):
+        graph = make_graph(2, edges=[], boundary=[])
+        result = UnionFindDecoder(graph).decode((0,))
+        assert not result.success
+        assert result.cycles >= 1
+
+    def test_all_sampled_decodes_respect_floor(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        decoder = UnionFindDecoder(graph)
+        batch = DemSampler(dem, 5e-3, rng=9).sample(300)
+        assert all(r.cycles >= 1 for r in decoder.decode_batch(batch))
+
+
+class TestVectorizedGrowthEngine:
+    """The lock-step batch engine vs the retained reference decoder.
+
+    Bar from the growth-engine rewrite: element-wise identical
+    ``DecodeResult``s (success, observable_mask, weight, cycles) across
+    a randomized (distance, p) grid, including high-HW tails and p well
+    above the paper's operating point where dedup stops paying.
+    """
+
+    @pytest.mark.parametrize("p", [1e-3, 4e-3, 8e-3])
+    def test_randomized_grid_d3(self, d3_stack, p):
+        _exp, dem, _graph = d3_stack
+        graph = build_decoding_graph(dem, p)
+        batch = DemSampler(dem, p, rng=int(p * 1e6)).sample(400)
+        batch.extend(ExactKSampler(dem, p, rng=2).sample(6, 40))
+        fast = UnionFindDecoder(graph)
+        reference = ReferenceUnionFindDecoder(graph)
+        assert fast.decode_batch(batch) == reference.decode_batch(batch)
+
+    @pytest.mark.parametrize("p", [3e-3, 6e-3])
+    def test_randomized_grid_d5(self, d5_stack, p):
+        _exp, dem, _graph = d5_stack
+        graph = build_decoding_graph(dem, p)
+        batch = DemSampler(dem, p, rng=int(p * 1e6) + 1).sample(250)
+        fast = UnionFindDecoder(graph)
+        reference = ReferenceUnionFindDecoder(graph)
+        assert fast.decode_batch(batch) == reference.decode_batch(batch)
+
+    def test_chunked_growth_matches_single_chunk(self, d3_stack):
+        """Forcing many lock-step chunks must not change any result."""
+        _exp, dem, graph = d3_stack
+        batch = DemSampler(dem, 6e-3, rng=13).sample(300)
+        whole = UnionFindDecoder(graph)
+        chunked = UnionFindDecoder(graph)
+        chunked.GROWTH_CHUNK = 7
+        assert chunked.decode_batch(batch) == whole.decode_batch(batch)
+
+    def test_scalar_frontier_equals_reference_engine(self, d3_stack):
+        """The frontier scan must visit exactly the reference's border."""
+        _exp, dem, graph = d3_stack
+        fast = UnionFindDecoder(graph)
+        reference = ReferenceUnionFindDecoder(graph)
+        rng = np.random.default_rng(17)
+        for events in _random_syndromes(graph, 50, rng):
+            grown_fast, stages_fast = fast._grow_clusters(events)
+            grown_ref, stages_ref = reference._grow_clusters(events)
+            assert grown_fast == grown_ref
+            assert stages_fast == stages_ref

@@ -100,6 +100,20 @@ class TestCensuses:
         assert census.total_max_ns <= 1000.0
         assert 0 <= census.deadline_miss_probability <= 1
 
+    def test_latency_census_cycle_floor(self, bench, high_hw_batch):
+        """Every decode consumes >= 1 pipeline cycle -- the latch floor.
+
+        Guards the union-find (AFS) cycle-accounting invariant on the
+        same census workload: degenerate decodes (empty syndromes,
+        isolated event nodes) must report ``cycles >= 1`` like every
+        other decode, or census averages silently sink below a cycle.
+        """
+        decoder = bench.decoders["UnionFind"]
+        workload = list(high_hw_batch.events) + [()]
+        results = decoder.decode_batch(workload)
+        assert all(r.cycles is not None and r.cycles >= 1 for r in results)
+        assert results[-1].cycles == 1  # the empty syndrome's floor
+
     def test_step_usage_census(self, bench, high_hw_batch):
         usage = step_usage_census(high_hw_batch, PromatchPredecoder(bench.graph))
         assert set(usage) == {0, 1, 2, 3, 4, 5}

@@ -43,6 +43,23 @@ class TestWeighted:
         hist = weighted_histogram([10], [1.0], n_bins=3)
         assert hist.tolist() == [0.0, 0.0, 1.0]
 
+    def test_negative_values_clamp_to_first_bin(self):
+        """Regression: a negative value used to wrap via Python negative
+        indexing and silently credit a bin at the END of the histogram."""
+        hist = weighted_histogram([-1, -7, 2], [0.5, 0.25, 1.0], n_bins=4)
+        assert hist.tolist() == [0.75, 0.0, 1.0, 0.0]
+
+    def test_empty_input(self):
+        assert weighted_histogram([], [], n_bins=3).tolist() == [0.0, 0.0, 0.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_histogram([1, 2], [1.0], n_bins=3)
+
+    def test_invalid_bin_count_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_histogram([1], [1.0], n_bins=0)
+
     def test_mean_max(self):
         mean, peak = weighted_mean_max([1.0, 3.0], [3.0, 1.0])
         assert mean == pytest.approx(1.5)

@@ -113,6 +113,59 @@ class TestRoundTrip:
         assert "garbage" not in path.read_text()
 
 
+class TestPrune:
+    """``prune(keep_keys)``: garbage-collect stale configs in place."""
+
+    def _mixed_store(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store.jsonl")
+        for k in (1, 2):
+            store.append(_record(k=k, config="live-a"))
+            store.append(_record(k=k, run=1, config="live-a"))
+        store.append(_record(k=1, config="live-b"))
+        for k in (1, 2, 3):
+            store.append(_record(k=k, config="stale"))
+        return store
+
+    def test_drops_only_stale_configs(self, tmp_path):
+        store = self._mixed_store(tmp_path)
+        assert store.prune({"live-a", "live-b"}) == 3
+        fresh = ExperimentStore(store.path)
+        assert {r.config for r in fresh.records()} == {"live-a", "live-b"}
+        assert len(fresh.records()) == 5
+        assert "stale" not in store.path.read_text()
+
+    def test_kept_slices_stay_usable(self, tmp_path):
+        store = self._mixed_store(tmp_path)
+        before = store.usable_runs("live-a", "eq1", 1, 11, ["MWPM"])
+        store.prune({"live-a"})
+        after = ExperimentStore(store.path).usable_runs(
+            "live-a", "eq1", 1, 11, ["MWPM"]
+        )
+        assert after == before and len(after) == 2
+
+    def test_keep_everything_drops_nothing(self, tmp_path):
+        store = self._mixed_store(tmp_path)
+        assert store.prune({"live-a", "live-b", "stale"}) == 0
+        assert len(ExperimentStore(store.path).records()) == 8
+
+    def test_prune_drops_torn_lines_like_compact(self, tmp_path):
+        store = self._mixed_store(tmp_path)
+        with store.path.open("a") as handle:
+            handle.write("garbage\n")
+        store.prune({"live-a", "live-b", "stale"})
+        assert "garbage" not in store.path.read_text()
+
+    def test_config_summary_reflects_groups(self, tmp_path):
+        store = self._mixed_store(tmp_path)
+        summary = store.config_summary()
+        assert ("live-a", "eq1", 4, 40) in summary
+        assert ("stale", "eq1", 3, 30) in summary
+        store.prune({"live-b"})
+        assert ExperimentStore(store.path).config_summary() == [
+            ("live-b", "eq1", 1, 10)
+        ]
+
+
 class TestUsableRuns:
     def test_gapless_prefix_only(self, tmp_path):
         store = ExperimentStore(tmp_path / "store.jsonl")

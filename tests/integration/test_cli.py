@@ -130,3 +130,63 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "syndrome HW" in out
         assert "Astrea" in out
+
+
+class TestStoreCommand:
+    """``python -m repro store info/prune``: store inspection and GC."""
+
+    def _seed_store(self, tmp_path):
+        from repro.eval.store import ExperimentStore, SliceRecord
+
+        path = tmp_path / "store.jsonl"
+        store = ExperimentStore(path)
+        for config, k in (("live", 1), ("live", 2), ("stale", 1)):
+            store.append(
+                SliceRecord(
+                    config=config, kind="eq1", k=k, seed=7, run=0,
+                    shots=50, counts={"MWPM": (1, 50)},
+                )
+            )
+        return path
+
+    def test_info_lists_configs(self, capsys, tmp_path):
+        path = self._seed_store(tmp_path)
+        assert main(["store", "info", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "live" in out and "stale" in out and "100" in out
+
+    def test_prune_drops_stale_configs(self, capsys, tmp_path):
+        path = self._seed_store(tmp_path)
+        assert main(["store", "prune", str(path), "--keep", "live"]) == 0
+        assert "dropped 1" in capsys.readouterr().out
+        content = path.read_text()
+        assert "stale" not in content and content.count("live") == 2
+
+    def test_prune_dry_run_leaves_store_untouched(self, capsys, tmp_path):
+        path = self._seed_store(tmp_path)
+        before = path.read_text()
+        assert main(["store", "prune", str(path), "--keep", "live",
+                     "--dry-run"]) == 0
+        assert "would drop 1" in capsys.readouterr().out
+        assert path.read_text() == before
+
+    def test_prune_missing_store_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["store", "prune", str(tmp_path / "nope.jsonl"),
+                  "--keep", "live"])
+
+    def test_prune_requires_keep_keys(self, tmp_path):
+        path = self._seed_store(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["store", "prune", str(path), "--keep", " , "])
+
+    def test_prune_refuses_unknown_keep_keys(self, tmp_path):
+        """A typo'd keep key must refuse, not silently empty the store."""
+        path = self._seed_store(tmp_path)
+        before = path.read_text()
+        with pytest.raises(SystemExit, match="not present in the store"):
+            main(["store", "prune", str(path), "--keep", "typo0123"])
+        assert path.read_text() == before
+        with pytest.raises(SystemExit, match="typo0123"):
+            main(["store", "prune", str(path), "--keep", "live,typo0123"])
+        assert path.read_text() == before
