@@ -38,6 +38,14 @@ variables:
   growth-engine bench (defaults 9 / 3e-3 / 20000: the regime where
   syndromes stop repeating and dedup stops paying; CI smoke shrinks
   the shot count).
+* ``REPRO_BENCH_PROMATCH_DISTANCE`` / ``REPRO_BENCH_PROMATCH_P`` /
+  ``REPRO_BENCH_PROMATCH_SHOTS_PER_K`` / ``REPRO_BENCH_PROMATCH_KMAX``
+  / ``REPRO_BENCH_PROMATCH_REPEATS`` -- workload of the Promatch
+  predecode bench (defaults 9 / 1e-3 / 20 / 40 / 5: a d=9 census-style
+  batch of all-distinct high-HW syndromes with a heavy tail, the
+  regime where predecoding rounds dominate; every engine is timed
+  ``REPEATS`` times and the fastest pass is kept, damping scheduler
+  noise on loaded machines; CI smoke shrinks the shot count).
 
 When ``REPRO_BENCH_SHARDS > 1`` every driver shares one persistent
 :func:`worker_pool` (a :class:`repro.eval.pool.WorkerPool`), so a bench
@@ -96,6 +104,26 @@ def afs_p() -> float:
 
 def afs_shots() -> int:
     return env_int("REPRO_BENCH_AFS_SHOTS", 20000)
+
+
+def promatch_distance() -> int:
+    return env_int("REPRO_BENCH_PROMATCH_DISTANCE", 9)
+
+
+def promatch_p() -> float:
+    return float(os.environ.get("REPRO_BENCH_PROMATCH_P", "1e-3"))
+
+
+def promatch_shots_per_k() -> int:
+    return env_int("REPRO_BENCH_PROMATCH_SHOTS_PER_K", 20)
+
+
+def promatch_k_max() -> int:
+    return env_int("REPRO_BENCH_PROMATCH_KMAX", 40)
+
+
+def promatch_repeats() -> int:
+    return max(1, env_int("REPRO_BENCH_PROMATCH_REPEATS", 5))
 
 
 def eval_shards() -> int:

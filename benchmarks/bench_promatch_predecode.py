@@ -1,0 +1,160 @@
+"""Promatch predecode throughput: batched+incremental vs dedup-only.
+
+The high-HW censuses (Figures 16/17, Tables 4-6) push census-sized
+batches of *all-distinct* heavy syndromes through
+``PromatchPredecoder.predecode_batch``.  With every syndrome distinct the
+shared dedup fast path degenerates to the per-shot loop, so throughput is
+set entirely by the per-syndrome engine:
+
+* ``dedup-only`` -- :class:`ReferencePromatchPredecoder.predecode_batch`,
+  the historic path: rebuild the decoding subgraph from the residual
+  events every round (per-node ``graph.neighbors`` walk) and run the
+  scalar per-edge candidate scan;
+* ``batched+incremental`` -- :class:`PromatchPredecoder.predecode_batch`:
+  one vectorized columnar subgraph construction per syndrome, in-place
+  node removal between rounds, vectorized candidate scans.
+
+The same workload is also pushed through the full ``Promatch + Astrea``
+pipeline both ways: the batched ``PredecodedDecoder.decode_uniques`` core
+(second-level residual dedup + Astrea's budget-aware matching cache)
+against a pipeline pinned to the historic dedup-only per-unique loop.
+
+Results must be element-wise identical (the reference predecoder's
+distinct ``name`` only surfaces inside pipeline failure strings, so the
+pipeline comparison strips ``failure_reason``); the artifact records
+shots/sec for both engines plus the speedup (acceptance bar: >= 3x).
+Every engine is timed ``REPRO_BENCH_PROMATCH_REPEATS`` times and the
+fastest pass is kept -- predecode batches are sub-second, so one
+scheduler preemption otherwise dominates the measurement.  The CI smoke
+job shrinks the workload via ``REPRO_BENCH_PROMATCH_SHOTS_PER_K``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    get_workbench,
+    promatch_distance,
+    promatch_k_max,
+    promatch_p,
+    promatch_repeats,
+    promatch_shots_per_k,
+    run_once,
+    save_results,
+)
+
+from repro.core import PromatchPredecoder, ReferencePromatchPredecoder  # noqa: E402
+from repro.decoders import AstreaDecoder, PredecodedDecoder  # noqa: E402
+from repro.decoders.base import Decoder, unique_syndromes  # noqa: E402
+from repro.eval.reporting import format_table  # noqa: E402
+
+
+class _DedupOnlyPipeline(PredecodedDecoder):
+    """``PredecodedDecoder`` pinned to the historic batch path.
+
+    Restores the base per-unique scalar loop ("dedup IS the batch
+    implementation"), bypassing the batched ``decode_uniques`` core --
+    the baseline the pipeline measurement compares against.
+    """
+
+    decode_uniques = Decoder.decode_uniques
+
+
+def _best_of(repeats: int, fn):
+    """Run ``fn`` ``repeats`` times; return (fastest seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_promatch_predecode() -> dict:
+    distance, p = promatch_distance(), promatch_p()
+    shots_per_k, k_max = promatch_shots_per_k(), promatch_k_max()
+    repeats = promatch_repeats()
+    bench = get_workbench(distance, p)
+    batch = bench.sample_high_hw(
+        shots_per_k=shots_per_k, k_max=k_max, rng=20260727
+    )
+    uniques, _inverse = unique_syndromes(batch)
+    bench.graph.ensure_distances()  # warm the shared shortest-path cache
+
+    incremental = PromatchPredecoder(bench.graph)
+    reference = ReferencePromatchPredecoder(bench.graph)
+    dedup_s, dedup_results = _best_of(
+        repeats, lambda: reference.predecode_batch(batch)
+    )
+    fast_s, fast_results = _best_of(
+        repeats, lambda: incremental.predecode_batch(batch)
+    )
+    assert fast_results == dedup_results, (
+        "incremental Promatch diverged from the rebuild-per-round reference"
+    )
+
+    pipeline_fast = PredecodedDecoder(
+        bench.graph, incremental, AstreaDecoder(bench.graph)
+    )
+    pipeline_dedup = _DedupOnlyPipeline(
+        bench.graph, reference, AstreaDecoder(bench.graph)
+    )
+    pipe_dedup_s, pipe_dedup_results = _best_of(
+        repeats, lambda: pipeline_dedup.decode_batch(batch)
+    )
+    pipe_fast_s, pipe_fast_results = _best_of(
+        repeats, lambda: pipeline_fast.decode_batch(batch)
+    )
+    # The engines are interchangeable except for the reference's distinct
+    # ``name``, which leaks into pipeline failure strings.
+    assert [replace(r, failure_reason="") for r in pipe_fast_results] == [
+        replace(r, failure_reason="") for r in pipe_dedup_results
+    ], "batched pipeline diverged from the dedup-only pipeline"
+
+    return {
+        "distance": distance,
+        "p": p,
+        "shots_per_k": shots_per_k,
+        "k_max": k_max,
+        "repeats": repeats,
+        "shots": batch.shots,
+        "unique_syndromes": len(uniques),
+        "dedup_shots_per_s": batch.shots / dedup_s,
+        "incremental_shots_per_s": batch.shots / fast_s,
+        "speedup": dedup_s / fast_s,
+        "pipeline_dedup_shots_per_s": batch.shots / pipe_dedup_s,
+        "pipeline_batched_shots_per_s": batch.shots / pipe_fast_s,
+        "pipeline_speedup": pipe_dedup_s / pipe_fast_s,
+    }
+
+
+def bench_promatch_predecode(benchmark):
+    payload = run_once(benchmark, run_promatch_predecode)
+    print()
+    print(format_table(
+        ["path", "shots/s"],
+        [
+            ["predecode dedup-only (reference)",
+             f"{payload['dedup_shots_per_s']:.0f}"],
+            ["predecode batched+incremental",
+             f"{payload['incremental_shots_per_s']:.0f}"],
+            ["pipeline dedup-only",
+             f"{payload['pipeline_dedup_shots_per_s']:.0f}"],
+            ["pipeline batched",
+             f"{payload['pipeline_batched_shots_per_s']:.0f}"],
+        ],
+        title=(
+            f"Promatch predecode batch | d={payload['distance']}, "
+            f"p={payload['p']:g}, {payload['shots']} high-HW shots "
+            f"({payload['unique_syndromes']} distinct) | "
+            f"predecode speedup {payload['speedup']:.1f}x, "
+            f"pipeline speedup {payload['pipeline_speedup']:.1f}x"
+        ),
+    ))
+    save_results("promatch_predecode_batch", payload)

@@ -1,15 +1,18 @@
 """Promatch: the paper's locality-aware adaptive predecoder."""
 
-from repro.core.promatch import PromatchPredecoder
+from repro.core.promatch import PromatchPredecoder, ReferencePromatchPredecoder
 from repro.core.steps import (
     StepCandidate,
     find_edge_candidates,
+    find_edge_candidates_scalar,
     find_step3_candidate,
 )
 
 __all__ = [
     "PromatchPredecoder",
+    "ReferencePromatchPredecoder",
     "StepCandidate",
     "find_edge_candidates",
+    "find_edge_candidates_scalar",
     "find_step3_candidate",
 ]

@@ -18,14 +18,26 @@ that may commit it:
 
 Step 1 (isolated pairs) needs no candidate scan -- see
 :meth:`~repro.graph.subgraph.DecodingSubgraph.isolated_pairs`.
+
+:func:`find_edge_candidates` is a vectorized numpy pass over the
+subgraph's columnar edge arrays (one boolean-mask classification plus one
+argmin per sub-step); :func:`find_edge_candidates_scalar` retains the
+historic per-edge Python loop as the equivalence oracle -- both return
+identical candidates, ties resolved by edge construction order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.graph.subgraph import DecodingSubgraph, SubgraphEdge
+import numpy as np
+
+from repro.graph.subgraph import (
+    VECTOR_MIN_EDGES,
+    DecodingSubgraph,
+    SubgraphEdge,
+)
 
 
 @dataclass(frozen=True)
@@ -38,6 +50,10 @@ class StepCandidate:
         weight: Edge weight (Steps 2/4) or shortest-path weight (Step 3).
         via_path: True when the match follows a multi-edge path (Step 3):
             the committed correction is the whole path.
+        edge_index: Columnar index of the candidate edge when the scan
+            that produced it knows one (the vectorized pass does; the
+            scalar oracle leaves it ``None``).  Excluded from equality --
+            it is an addressing hint, not part of the candidate identity.
     """
 
     step: str
@@ -45,6 +61,15 @@ class StepCandidate:
     j: int
     weight: float
     via_path: bool = False
+    edge_index: Optional[int] = field(default=None, compare=False)
+
+
+_EMPTY: Dict[str, Optional[StepCandidate]] = {
+    "2.1": None,
+    "2.2": None,
+    "4.1": None,
+    "4.2": None,
+}
 
 
 def find_edge_candidates(
@@ -52,15 +77,142 @@ def find_edge_candidates(
 ) -> Dict[str, Optional[StepCandidate]]:
     """One pipeline pass over the subgraph edges (Steps 2.1/2.2/4.1/4.2).
 
-    Returns the best (lowest-weight) candidate per sub-step, or ``None``
-    where no edge qualifies.
+    Vectorized over the columnar edge arrays: the hardware singleton test
+    (``#dependent_i - [deg_j == 1] > 0`` either way) and the degree-one
+    classification are evaluated for every edge at once, then one stable
+    sort by weight feeds a short walk that takes the first qualifying
+    edge per sub-step -- stability keeps ties in construction order,
+    exactly like the scalar scan's strict ``<``.
+    ``exact_singleton_check`` augments the hardware test with the scalar
+    degree-2 neighborhood check on the edges the vector pass cleared
+    (the ablation's corner case cannot be expressed as a per-edge
+    columnar predicate).
+
+    Returns the best candidate per sub-step, or ``None`` where no edge
+    qualifies.
     """
-    best: Dict[str, Optional[StepCandidate]] = {
-        "2.1": None,
-        "2.2": None,
-        "4.1": None,
-        "4.2": None,
-    }
+    n_live = subgraph.n_edges
+    if n_live == 0:
+        return dict(_EMPTY)
+    if n_live < VECTOR_MIN_EDGES:
+        return _find_edge_candidates_small(subgraph, exact_singleton_check)
+    columns = subgraph.edge_columns()
+    deg = subgraph.degree_array()
+    dep = subgraph.dependent_array()
+    ci, cj = columns.i, columns.j
+    di1 = deg[ci] == 1
+    dj1 = deg[cj] == 1
+    # dep_i > [deg_j == 1] is the scalar "#dependent_i - [deg_j==1] > 0".
+    creates = (dep[ci] > dj1) | (dep[cj] > di1)
+    degree_one = di1 | dj1
+    alive = subgraph.edge_alive
+    all_alive = n_live == len(alive)
+    if exact_singleton_check:
+        # The hardware test cleared these edges; re-check the degree-2
+        # corner case with the exact scalar predicate (live edges only).
+        cleared = ~creates if all_alive else (~creates & alive)
+        for k in np.nonzero(cleared)[0].tolist():
+            if subgraph.creates_singleton(subgraph.edge_at(k), exact=True):
+                creates[k] = True
+    # One stable sort by weight, then a short walk picking the first hit
+    # per sub-step: stability keeps ties in construction order, matching
+    # the scalar scan's strict "<".  Dead edges are pushed past every
+    # live edge instead of filtered, so no gather is needed.
+    weights = columns.weight
+    if all_alive:
+        order = np.argsort(weights, kind="stable")
+    else:
+        order = np.argsort(np.where(alive, weights, np.inf), kind="stable")
+    creates_flags = creates.tolist()
+    degree_one_flags = degree_one.tolist()
+    i_list, j_list = subgraph.endpoint_lists()
+    w_list = weights.tolist()
+    best: Dict[str, Optional[StepCandidate]] = dict(_EMPTY)
+    found = 0
+    taken = 0
+    for k in order.tolist():
+        if taken == n_live:
+            break  # only dead edges remain
+        taken += 1
+        if creates_flags[k]:
+            step = "4.1" if degree_one_flags[k] else "4.2"
+        else:
+            step = "2.1" if degree_one_flags[k] else "2.2"
+        if best[step] is None:
+            best[step] = StepCandidate(
+                step=step,
+                i=i_list[k],
+                j=j_list[k],
+                weight=w_list[k],
+                edge_index=k,
+            )
+            found += 1
+            if found == 4:
+                break
+    return best
+
+
+def _find_edge_candidates_small(
+    subgraph: DecodingSubgraph, exact_singleton_check: bool
+) -> Dict[str, Optional[StepCandidate]]:
+    """Small-subgraph short-circuit of :func:`find_edge_candidates`.
+
+    One interpreter pass over the cached plain-Python column views --
+    below :data:`~repro.graph.subgraph.VECTOR_MIN_EDGES` live edges,
+    numpy's per-call overhead costs more than the loop it saves.  Same
+    predicate, same strict-``<`` tie-breaking, identical results.
+    """
+    i_list, j_list, w_list, _o = subgraph.edge_value_lists()
+    degree = subgraph.degree
+    dependent = subgraph.dependent
+    inf = float("inf")
+    w21 = w22 = w41 = w42 = inf
+    k21 = k22 = k41 = k42 = -1
+    for k in subgraph.live_edge_indices():
+        i, j = i_list[k], j_list[k]
+        di1 = degree[i] == 1
+        dj1 = degree[j] == 1
+        # dep_i > [deg_j == 1] is the scalar "#dependent_i - [deg_j==1] > 0".
+        creates = dependent[i] > dj1 or dependent[j] > di1
+        if exact_singleton_check and not creates:
+            creates = subgraph.creates_singleton(
+                subgraph.edge_at(k), exact=True
+            )
+        weight = w_list[k]
+        if creates:
+            if di1 or dj1:
+                if weight < w41:
+                    w41, k41 = weight, k
+            elif weight < w42:
+                w42, k42 = weight, k
+        elif di1 or dj1:
+            if weight < w21:
+                w21, k21 = weight, k
+        elif weight < w22:
+            w22, k22 = weight, k
+    best: Dict[str, Optional[StepCandidate]] = dict(_EMPTY)
+    for step, k in (("2.1", k21), ("2.2", k22), ("4.1", k41), ("4.2", k42)):
+        if k >= 0:
+            best[step] = StepCandidate(
+                step=step,
+                i=i_list[k],
+                j=j_list[k],
+                weight=w_list[k],
+                edge_index=k,
+            )
+    return best
+
+
+def find_edge_candidates_scalar(
+    subgraph: DecodingSubgraph, exact_singleton_check: bool = False
+) -> Dict[str, Optional[StepCandidate]]:
+    """The historic per-edge Python scan (the equivalence oracle).
+
+    Retained verbatim for :class:`~repro.core.promatch.
+    ReferencePromatchPredecoder` and the vectorized-vs-scalar test
+    matrix; results are identical to :func:`find_edge_candidates`.
+    """
+    best: Dict[str, Optional[StepCandidate]] = dict(_EMPTY)
 
     def consider(step: str, edge: SubgraphEdge) -> None:
         current = best[step]
@@ -88,6 +240,8 @@ def find_step3_candidate(
     Returns the best candidate plus the number of paths examined (the
     cycle model charges ``max(#paths, #edges)`` for Step-3 rounds, since
     the Path Table is scanned by a unit parallel to the edge pipeline).
+    Iterates the *live* local nodes, so the same scan serves both the
+    rebuild-per-round and the incremental engines.
     """
     singletons = subgraph.singletons()
     if not singletons:
@@ -95,9 +249,10 @@ def find_step3_candidate(
     singleton_set = set(singletons)
     best: Optional[StepCandidate] = None
     paths_examined = 0
+    live = subgraph.live_locals()  # liveness cannot change mid-scan
     for s in singletons:
         node_s = subgraph.node_id(s)
-        for v in range(subgraph.n_nodes):
+        for v in live:
             if v == s:
                 continue
             if v in singleton_set and v < s:

@@ -17,7 +17,7 @@ by the cycle model.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.decoders.base import DecodeResult, Decoder, matching_observable_mask
 from repro.graph.decoding_graph import DecodingGraph
@@ -47,6 +47,15 @@ class AstreaDecoder(Decoder):
     ) -> DecodeResult:
         """Decode one syndrome; fail when HW or the cycle budget is exceeded."""
         events = tuple(events)
+        failure = self._gate(events, budget_cycles)
+        if failure is not None:
+            return failure
+        return self._solve(events)
+
+    def _gate(
+        self, events: Tuple[int, ...], budget_cycles: Optional[float]
+    ) -> Optional[DecodeResult]:
+        """The real-time admission checks (capability, then deadline)."""
         hamming_weight = len(events)
         if hamming_weight > self.max_hamming_weight:
             return DecodeResult(
@@ -62,6 +71,11 @@ class AstreaDecoder(Decoder):
                 failure_reason=f"Astrea needs {cycles} cycles, "
                 f"budget {budget_cycles:.0f}",
             )
+        return None
+
+    def _solve(self, events: Tuple[int, ...]) -> DecodeResult:
+        """The exact matching itself (budget-independent)."""
+        cycles = astrea_cycles(len(events))
         if not events:
             return DecodeResult(success=True, observable_mask=0, cycles=cycles)
         pair_w, boundary_w = self.graph.event_distance_matrix(events)
@@ -76,3 +90,30 @@ class AstreaDecoder(Decoder):
             pairs=pairs,
             boundary=boundary,
         )
+
+    def decode_budgeted_uniques(
+        self, jobs: Sequence[Tuple[Tuple[int, ...], Optional[float]]]
+    ) -> List[DecodeResult]:
+        """Share the exact matching across jobs repeating a syndrome.
+
+        The search result is budget-independent -- only the admission
+        gate (and its failure text) depends on the budget -- so jobs that
+        repeat a syndrome under different remaining budgets pay for one
+        matching.  This is what makes the predecoded pipeline's
+        second-level residual dedup effective with a real-time Astrea
+        main: distinct high-HW syndromes predecode to the same few
+        residuals but with shot-specific budgets.
+        """
+        cache: Dict[Tuple[int, ...], DecodeResult] = {}
+        results: List[DecodeResult] = []
+        for events, budget_cycles in jobs:
+            events = tuple(events)
+            failure = self._gate(events, budget_cycles)
+            if failure is not None:
+                results.append(failure)
+                continue
+            solved = cache.get(events)
+            if solved is None:
+                solved = cache[events] = self._solve(events)
+            results.append(solved)
+        return results

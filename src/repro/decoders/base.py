@@ -13,6 +13,7 @@ result carries the same latency/observable bookkeeping.
 from __future__ import annotations
 
 import abc
+import inspect
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -158,6 +159,27 @@ class PredecodeResult:
     def coverage_pairs(self) -> int:
         return len(self.pairs)
 
+    def copy(self) -> "PredecodeResult":
+        """A shallow per-shot copy with independent mutable containers.
+
+        ``predecode_batch`` fans one result per distinct syndrome out to
+        every shot repeating it; handing each shot its own copy keeps a
+        caller that mutates ``pairs``/``pair_observables``/``trace`` from
+        corrupting sibling shots through the shared lists.  (``RoundTrace``
+        entries are frozen, so sharing them is safe.)
+        """
+        return PredecodeResult(
+            pairs=list(self.pairs),
+            pair_observables=list(self.pair_observables),
+            remaining=self.remaining,
+            cycles=self.cycles,
+            weight=self.weight,
+            aborted=self.aborted,
+            steps_used=self.steps_used,
+            rounds=self.rounds,
+            trace=list(self.trace),
+        )
+
 
 @dataclass(frozen=True)
 class RoundTrace:
@@ -240,6 +262,61 @@ class Decoder(abc.ABC):
         """Reference per-shot decode loop (no dedup, no sharing)."""
         return [self.decode(events) for events in batch_event_list(batch_events)]
 
+    def decode_accepts_budget(self) -> bool:
+        """Whether ``decode`` takes ``budget_cycles`` (introspected once).
+
+        Signature inspection rather than a try/except-TypeError probe: a
+        probe would swallow genuine ``TypeError``s raised *inside* a
+        real-time decoder and silently re-decode with the deadline
+        ignored.  When the signature cannot be introspected the answer
+        defaults to True -- an unsupported keyword then raises visibly
+        instead of being masked.
+        """
+        cached = getattr(self, "_decode_accepts_budget", None)
+        if cached is None:
+            try:
+                parameters = inspect.signature(self.decode).parameters
+                cached = "budget_cycles" in parameters or any(
+                    p.kind is inspect.Parameter.VAR_KEYWORD
+                    for p in parameters.values()
+                )
+            except (TypeError, ValueError):
+                cached = True
+            self._decode_accepts_budget = cached
+        return cached
+
+    def decode_budgeted(
+        self, events: Sequence[int], budget_cycles: Optional[float]
+    ) -> DecodeResult:
+        """Decode one syndrome under a real-time cycle budget.
+
+        Real-time decoders accept ``budget_cycles`` on ``decode``;
+        idealized decoders (MWPM, lookup, union-find) do not and simply
+        ignore the budget.
+        """
+        if self.decode_accepts_budget():
+            return self.decode(events, budget_cycles=budget_cycles)
+        return self.decode(events)  # non-real-time decoder
+
+    def decode_budgeted_uniques(
+        self, jobs: Sequence[Tuple[Tuple[int, ...], Optional[float]]]
+    ) -> List[DecodeResult]:
+        """Decode distinct ``(events, budget_cycles)`` jobs once each.
+
+        The budget-aware analogue of :meth:`decode_uniques`, used by
+        ``PredecodedDecoder``'s batch core for real-time main decoders:
+        residual syndromes repeat heavily but arrive with shot-specific
+        remaining budgets, so the batch hook receives the deduplicated
+        (events, budget) pairs.  The default is the scalar per-job loop;
+        a decoder whose expensive work is budget-independent overrides
+        this to share it across jobs repeating a syndrome (e.g. Astrea's
+        exact matching).  Results must stay element-wise identical to
+        ``[self.decode_budgeted(e, b) for e, b in jobs]``.
+        """
+        return [
+            self.decode_budgeted(events, budget) for events, budget in jobs
+        ]
+
 
 class Predecoder(abc.ABC):
     """A predecoder bound to a decoding graph."""
@@ -264,8 +341,13 @@ class Predecoder(abc.ABC):
         """Predecode many syndromes; results align element-wise with input.
 
         Same contract as :meth:`Decoder.decode_batch`: distinct syndromes
-        are predecoded once and results fanned out (shared, treat as
-        immutable); element-wise identical to the per-shot loop.
+        are predecoded once (:meth:`predecode_uniques`) and the results
+        fanned out -- element-wise identical to the per-shot loop.
+        Unlike ``decode_batch``, results are never shared between shots:
+        ``pairs``/``pair_observables``/``trace`` are mutable lists, and
+        sharing them across the shots that repeat a syndrome would let
+        one caller's mutation corrupt its siblings -- repeats receive a
+        :meth:`PredecodeResult.copy`.
         """
         if not self.deterministic:
             return [
@@ -273,11 +355,42 @@ class Predecoder(abc.ABC):
                 for events in batch_event_list(batch_events)
             ]
         uniques, inverse = unique_syndromes(batch_events)
-        unique_results = [
+        unique_results = self.predecode_uniques(
+            uniques, budget_cycles=budget_cycles
+        )
+        # Each unique's first occurrence keeps the original object; only
+        # the repeats get copies -- the sibling-corruption hazard exists
+        # only from the second occurrence on, and all-distinct census
+        # batches stay copy-free.
+        first_seen = [False] * len(unique_results)
+        shots: List[PredecodeResult] = []
+        for slot in inverse.tolist():
+            result = unique_results[slot]
+            if first_seen[slot]:
+                result = result.copy()
+            else:
+                first_seen[slot] = True
+            shots.append(result)
+        return shots
+
+    def predecode_uniques(
+        self,
+        uniques: Sequence[Tuple[int, ...]],
+        budget_cycles: Optional[float] = None,
+    ) -> List[PredecodeResult]:
+        """Predecode each distinct syndrome once (the batch fast-path core).
+
+        The predecoder analogue of :meth:`Decoder.decode_uniques`: the
+        dedup/fan-out plumbing stays shared in :meth:`predecode_batch`,
+        and a predecoder with a vectorizable core overrides only this
+        hook.  Results must stay element-wise identical to
+        ``[self.predecode(e, budget_cycles=budget_cycles) for e in
+        uniques]``.
+        """
+        return [
             self.predecode(events, budget_cycles=budget_cycles)
             for events in uniques
         ]
-        return fan_out(unique_results, inverse)
 
 
 def matching_observable_mask(

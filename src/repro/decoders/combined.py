@@ -18,10 +18,10 @@ Two composition patterns cover every configuration in the paper's tables:
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.decoders.astrea import AstreaDecoder
-from repro.decoders.base import DecodeResult, Decoder, Predecoder
+from repro.decoders.base import DecodeResult, Decoder, PredecodeResult, Predecoder
 from repro.graph.decoding_graph import BOUNDARY_SENTINEL, DecodingGraph
 from repro.hardware.latency import BUDGET_CYCLES, PARALLEL_COMPARE_CYCLES
 
@@ -43,6 +43,11 @@ class PredecodedDecoder(Decoder):
         self.budget_cycles = budget_cycles
         self.name = name or f"{predecoder.name}+{main.name}"
 
+    @property
+    def deterministic(self) -> bool:  # type: ignore[override]
+        """The pipeline is deterministic iff both components are."""
+        return self.predecoder.deterministic and self.main.deterministic
+
     def _main_capability(self) -> float:
         """HW above which the predecoder engages.
 
@@ -54,10 +59,19 @@ class PredecodedDecoder(Decoder):
         return getattr(self.main, "max_hamming_weight", 10)
 
     def _decode_main(self, events, remaining_budget: float) -> DecodeResult:
-        try:
-            return self.main.decode(events, budget_cycles=remaining_budget)
-        except TypeError:
-            return self.main.decode(events)  # non-real-time main decoder
+        return self.main.decode_budgeted(events, remaining_budget)
+
+    def _main_accepts_budget(self) -> bool:
+        """Whether the main decoder's ``decode`` takes ``budget_cycles``.
+
+        Decides the batch routing: a budget-blind main decoder produces
+        identical results for any budget, so its residual jobs can be
+        keyed on the syndrome alone and pushed through its own
+        ``decode_batch`` fast path (engaging vectorized
+        ``decode_uniques`` cores); a budget-aware one goes through
+        :meth:`Decoder.decode_budgeted_uniques`.
+        """
+        return self.main.decode_accepts_budget()
 
     def decode(self, events: Sequence[int]) -> DecodeResult:
         events = tuple(events)
@@ -66,14 +80,119 @@ class PredecodedDecoder(Decoder):
 
         pre = self.predecoder.predecode(events, budget_cycles=self.budget_cycles)
         if pre.aborted:
-            return DecodeResult(
-                success=False,
-                cycles=min(pre.cycles, self.budget_cycles),
-                failure_reason=f"{self.predecoder.name} aborted at deadline",
-            )
+            return self._aborted_result(pre)
         main_result = self._decode_main(
             pre.remaining, self.budget_cycles - pre.cycles
         )
+        return self._combine(pre, main_result)
+
+    # -- batch core --------------------------------------------------------------------
+
+    def decode_uniques(
+        self, uniques: Sequence[Tuple[int, ...]]
+    ) -> List[DecodeResult]:
+        """Batched pipeline core: predecode, dedup residuals, batch-decode.
+
+        Mirrors :meth:`decode` per distinct syndrome: low-HW syndromes
+        skip the predecoder; the rest are predecoded once each through
+        :meth:`Predecoder.predecode_uniques`.  The surviving main-decoder
+        jobs -- low-HW syndromes plus non-aborted residuals -- are then
+        **deduplicated a second time** (residuals collapse heavily: most
+        are empty or repeat across distinct inputs) and routed through
+        the main decoder's own batch fast path, so predecoded
+        configurations inherit every vectorized main-decoder core.
+        Element-wise identical to the per-shot loop.
+        """
+        budget = self.budget_cycles
+        capability = self._main_capability()
+        results: List[Optional[DecodeResult]] = [None] * len(uniques)
+        low_slots: List[int] = []
+        high_slots: List[int] = []
+        for slot, events in enumerate(uniques):
+            if len(events) <= capability:
+                low_slots.append(slot)
+            else:
+                high_slots.append(slot)
+
+        pre_results = self.predecoder.predecode_uniques(
+            [uniques[slot] for slot in high_slots], budget_cycles=budget
+        )
+
+        # Main-decoder jobs: (slot, events, remaining budget).
+        jobs: List[Tuple[int, Tuple[int, ...], float]] = [
+            (slot, tuple(uniques[slot]), budget) for slot in low_slots
+        ]
+        pre_by_slot: Dict[int, PredecodeResult] = {}
+        for slot, pre in zip(high_slots, pre_results):
+            if pre.aborted:
+                results[slot] = self._aborted_result(pre)
+            else:
+                pre_by_slot[slot] = pre
+                jobs.append((slot, tuple(pre.remaining), budget - pre.cycles))
+
+        for (slot, _events, _budget), main_result in zip(
+            jobs, self._decode_main_jobs(jobs)
+        ):
+            pre = pre_by_slot.get(slot)
+            results[slot] = (
+                main_result if pre is None else self._combine(pre, main_result)
+            )
+        return results
+
+    def _decode_main_jobs(
+        self, jobs: Sequence[Tuple[int, Tuple[int, ...], float]]
+    ) -> List[DecodeResult]:
+        """Second-level dedup + batched main decode of ``(events, budget)`` jobs.
+
+        A budget-aware main decoder sees each distinct (events, budget)
+        pair once through :meth:`Decoder.decode_budgeted_uniques`; a
+        budget-blind one sees each distinct syndrome once through its
+        full ``decode_batch`` fast path (budgets dropped from the key --
+        they cannot affect its results).
+        """
+        if not jobs:
+            return []
+        if self._main_accepts_budget():
+            index: Dict[Tuple[Tuple[int, ...], float], int] = {}
+            order: List[Tuple[Tuple[int, ...], float]] = []
+            for _slot, events, job_budget in jobs:
+                key = (events, job_budget)
+                if key not in index:
+                    index[key] = len(order)
+                    order.append(key)
+            distinct = self.main.decode_budgeted_uniques(order)
+            return [
+                distinct[index[(events, job_budget)]]
+                for _slot, events, job_budget in jobs
+            ]
+        syndrome_index: Dict[Tuple[int, ...], int] = {}
+        syndrome_order: List[Tuple[int, ...]] = []
+        for _slot, events, _job_budget in jobs:
+            if events not in syndrome_index:
+                syndrome_index[events] = len(syndrome_order)
+                syndrome_order.append(events)
+        distinct = self.main.decode_batch(syndrome_order)
+        return [
+            distinct[syndrome_index[events]] for _slot, events, _job_budget in jobs
+        ]
+
+    # -- result assembly ---------------------------------------------------------------
+
+    def _aborted_result(self, pre: PredecodeResult) -> DecodeResult:
+        return DecodeResult(
+            success=False,
+            cycles=min(pre.cycles, self.budget_cycles),
+            failure_reason=f"{self.predecoder.name} aborted at deadline",
+        )
+
+    def _combine(
+        self, pre: PredecodeResult, main_result: DecodeResult
+    ) -> DecodeResult:
+        """Merge a predecode report with the main decoder's residual result.
+
+        Shared by the per-shot :meth:`decode` and the batch core, so both
+        assemble byte-identical results.
+        """
         if not main_result.success:
             return DecodeResult(
                 success=False,

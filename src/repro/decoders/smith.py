@@ -35,6 +35,20 @@ class SmithPredecoder(Predecoder):
         self, events: Sequence[int], budget_cycles: Optional[float] = None
     ) -> PredecodeResult:
         subgraph = DecodingSubgraph(self.graph, events)
+        # The sweep costs one pipeline pass over the subgraph edges; when
+        # that alone blows the budget the round aborts *before* anything
+        # reaches the main decoder.  The abort invariant (same as
+        # Promatch's mid-round abort): an aborted round's commits are
+        # rolled back entirely -- empty matching, the full syndrome left
+        # in ``remaining``, and the reported cycles clamped to the budget
+        # actually available (the pipeline is cut off at the deadline).
+        sweep_cycles = max(1, subgraph.n_edges)
+        if budget_cycles is not None and sweep_cycles > budget_cycles:
+            return PredecodeResult(
+                remaining=tuple(subgraph.nodes),
+                cycles=float(budget_cycles),
+                aborted=True,
+            )
         result = PredecodeResult(rounds=1)
         matched = [False] * subgraph.n_nodes
         for i in range(subgraph.n_nodes):
@@ -55,10 +69,8 @@ class SmithPredecoder(Predecoder):
             result.pair_observables.append(best_obs)
             result.weight += best_weight
         # One pipeline pass over the subgraph edges.
-        result.cycles = max(1, subgraph.n_edges)
+        result.cycles = sweep_cycles
         result.remaining = tuple(
             subgraph.node_id(i) for i in range(subgraph.n_nodes) if not matched[i]
         )
-        if budget_cycles is not None and result.cycles > budget_cycles:
-            result.aborted = True
         return result

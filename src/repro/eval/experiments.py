@@ -15,6 +15,13 @@ each kept syndrome sampled at exactly ``k`` faults carries weight
 ``P_o(k) / shots_per_k``, so weighted sums estimate joint probabilities
 with the conditioning event (see :meth:`Workbench.sample_high_hw`).
 
+The predecoding censuses (`hw_reduction_census`, `latency_census`,
+`step_usage_census`) drive ``Predecoder.predecode_batch`` on
+all-distinct high-HW workloads, so they ride the batched predecode
+pipeline of PR 5 -- Promatch's bulk subgraph construction plus the
+incremental round engine -- with results element-wise identical to the
+per-shot loop (see docs/batch_pipeline.md, "Batched predecoding").
+
 Sharded censuses
 ----------------
 Every census accepts ``shards``: the batch is split into contiguous
@@ -182,6 +189,7 @@ class Workbench:
         shots_per_k: int,
         hw_min: int = ASTREA_MAX_HAMMING_WEIGHT + 1,
         k_max: int = 24,
+        rng: RngLike = None,
     ) -> SyndromeBatch:
         """High-HW syndromes with per-shot occurrence-probability weights.
 
@@ -192,10 +200,14 @@ class Workbench:
         paper's Figures 5/16/17 and Tables 4-6.  The weighting assumes
         independent mechanism firing (the same Poisson-binomial model as
         Eq. (1)); ``k`` ranges from ``hw_min // 2`` (a fault flips at
-        most two detectors) to ``k_max``.
+        most two detectors) to ``k_max``.  ``rng`` overrides the
+        workbench's shared generator so drivers (e.g. the Promatch
+        predecode bench) can draw a seed-stable workload regardless of
+        what sampled before them.
         """
         pmf, _tail = poisson_binomial_pmf(self.dem.probabilities(self.p), k_max)
-        sampler = ExactKSampler(self.dem, self.p, rng=self.rng)
+        rng = self.rng if rng is None else ensure_rng(rng)
+        sampler = ExactKSampler(self.dem, self.p, rng=rng)
         kept = SyndromeBatch(
             events=[],
             observables=np.zeros(0, dtype=np.int64),

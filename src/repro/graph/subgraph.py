@@ -10,17 +10,52 @@ node the quantities driving Promatch's candidate logic are maintained:
   them as singletons,
 * the *singleton* set: flipped bits with no flipped neighbor at all.
 
-The structure is rebuilt per predecoding round (subgraphs have at most a
-few dozen nodes, and the hardware pipeline re-scans edges each round
-anyway, which is exactly what the cycle model charges for).
+Two usage patterns are supported:
+
+* **rebuild-per-round** (the historic engine, kept alive as Promatch's
+  equivalence oracle): construct a fresh subgraph from the residual
+  events each round via the plain constructor (the per-node
+  ``graph.neighbors`` walk, eager Python adjacency/edge objects);
+* **incremental**: construct once via the vectorized
+  :meth:`from_columnar` membership pass over the decoding graph's
+  columnar edge arrays, then :meth:`remove_nodes` matched nodes in
+  place.  Liveness flags, ``degree``/``dependent`` and the singleton
+  set are updated without touching the decoding graph again, local
+  indices stay stable across removals, and the Python-object views
+  (``adjacency``, ``edges``) are materialized lazily only when a caller
+  actually asks for them.
+
+Both constructors produce identical structures: the columnar pass sorts
+its edge selection by ``(smaller local endpoint, decoding-graph edge
+index)``, which is exactly the order the per-node walk emits, so
+tie-breaking downstream (candidate scans, Step-1 commit order) cannot
+tell them apart.
+
+The columnar state is the source of truth for the vectorized paths:
+:meth:`edge_columns` (parallel endpoint/weight/observable numpy arrays
+in construction order), :attr:`edge_alive` (liveness mask),
+:meth:`edge_value_lists` (cached plain-Python views of the same columns
+for the small-subgraph fast paths, where interpreter loops beat numpy's
+per-call overhead), and lazily materialized numpy mirrors of
+``degree``/``dependent`` (:meth:`degree_array` / :meth:`dependent_array`,
+invalidated by removals).  The hardware pipeline still re-scans the live
+edges each round, which is exactly what the cycle model charges for --
+only the *software* cost of rebuilding Python structures per round is
+removed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.graph.decoding_graph import DecodingGraph
+
+#: Below this many live edges the pure-Python fast paths win over numpy
+#: (per-call overhead dominates kernels on a few dozen elements).
+VECTOR_MIN_EDGES = 64
 
 
 @dataclass(frozen=True)
@@ -31,6 +66,21 @@ class SubgraphEdge:
     j: int
     weight: float
     observable_mask: int
+
+
+@dataclass(frozen=True)
+class SubgraphColumns:
+    """Columnar (structure-of-arrays) view of a subgraph's edge list.
+
+    Parallel arrays in construction order over *all* edges (dead ones
+    included -- filter with :attr:`DecodingSubgraph.edge_alive`).  Treat
+    as immutable.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    weight: np.ndarray
+    observable_mask: np.ndarray
 
 
 class DecodingSubgraph:
@@ -45,48 +95,366 @@ class DecodingSubgraph:
             node: i for i, node in enumerate(self.nodes)
         }
         n = len(self.nodes)
-        self.adjacency: List[List[Tuple[int, float, int]]] = [[] for _ in range(n)]
-        self.edges: List[SubgraphEdge] = []
+        adjacency: List[List[Tuple[int, float, int]]] = [[] for _ in range(n)]
+        self._edges: Optional[List[SubgraphEdge]] = []
         for i, node in enumerate(self.nodes):
             for neighbor, weight, obs_mask, _p in graph.neighbors(node):
                 j = self._local_index.get(neighbor)
                 if j is None or j <= i:
                     continue
-                self.adjacency[i].append((j, weight, obs_mask))
-                self.adjacency[j].append((i, weight, obs_mask))
-                self.edges.append(
+                adjacency[i].append((j, weight, obs_mask))
+                adjacency[j].append((i, weight, obs_mask))
+                self._edges.append(
                     SubgraphEdge(i=i, j=j, weight=weight, observable_mask=obs_mask)
                 )
-        self.degree: List[int] = [len(adj) for adj in self.adjacency]
+        self._adjacency: Optional[List[List[Tuple[int, float, int]]]] = adjacency
+        self.degree: List[int] = [len(adj) for adj in adjacency]
         self.dependent: List[int] = [
             sum(1 for j, _w, _o in adj if self.degree[j] == 1)
-            for adj in self.adjacency
+            for adj in adjacency
         ]
+        self._degree_arr: Optional[np.ndarray] = None
+        self._dependent_arr: Optional[np.ndarray] = None
+        self._columns: Optional[SubgraphColumns] = None
+        self._init_liveness(len(self._edges))
+
+    @classmethod
+    def from_columnar(
+        cls, graph: DecodingGraph, events: Sequence[int]
+    ) -> "DecodingSubgraph":
+        """Vectorized construction via the graph's columnar edge arrays.
+
+        One membership gather over :meth:`DecodingGraph.edge_arrays`
+        replaces the per-node ``graph.neighbors`` walk; the selection is
+        re-sorted into the walk's edge order, so the resulting subgraph
+        is indistinguishable from ``DecodingSubgraph(graph, events)``.
+        Python-object views (``adjacency``, ``edges``) stay lazy.  This
+        is the constructor the incremental Promatch engine uses -- paid
+        once per syndrome instead of once per round.
+        """
+        nodes = sorted(int(e) for e in events)
+        if len(set(nodes)) != len(nodes):
+            raise ValueError("duplicate detection events")
+        arrays = graph.edge_arrays()
+        local_of = np.full(graph.n_nodes + 1, -1, dtype=np.int64)
+        if nodes:
+            node_arr = np.asarray(nodes, dtype=np.int64)
+            local_of[node_arr] = np.arange(len(nodes), dtype=np.int64)
+        iu = local_of[arrays.u]
+        jv = local_of[arrays.v]  # the virtual boundary is never a member
+        sel = np.nonzero((iu >= 0) & (jv >= 0))[0]
+        return cls._from_selection(graph, nodes, sel, local_of)
+
+    @classmethod
+    def from_edge_selection(
+        cls,
+        graph: DecodingGraph,
+        sorted_events: Sequence[int],
+        selection: np.ndarray,
+    ) -> "DecodingSubgraph":
+        """Construct from a precomputed decoding-graph edge selection.
+
+        ``selection`` holds the ascending decoding-graph edge indices
+        whose *both* endpoints are flipped -- typically one row of a
+        batch-wide membership matrix (the bulk construction path of
+        ``PromatchPredecoder.predecode_uniques``, which computes the
+        member test for every distinct syndrome in one vectorized pass).
+        ``sorted_events`` must be ascending and duplicate-free; both are
+        the caller's responsibility, matching what
+        :func:`~repro.decoders.base.unique_syndromes` emits.
+        """
+        nodes = [int(e) for e in sorted_events]
+        local_of = np.full(graph.n_nodes + 1, -1, dtype=np.int64)
+        if nodes:
+            local_of[np.asarray(nodes, dtype=np.int64)] = np.arange(
+                len(nodes), dtype=np.int64
+            )
+        return cls._from_selection(graph, nodes, selection, local_of)
+
+    @classmethod
+    def _from_selection(
+        cls,
+        graph: DecodingGraph,
+        nodes: List[int],
+        sel: np.ndarray,
+        local_of: np.ndarray,
+    ) -> "DecodingSubgraph":
+        self = cls.__new__(cls)
+        self.graph = graph
+        self.nodes = nodes
+        self._local_index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        arrays = graph.edge_arrays()
+        iu = local_of[arrays.u[sel]]
+        jv = local_of[arrays.v[sel]]
+        li = np.minimum(iu, jv)
+        lj = np.maximum(iu, jv)
+        # The per-node walk emits edges ordered by (smaller local
+        # endpoint, graph edge index); ``sel`` is already ascending in
+        # edge index, so one stable lexsort restores walk order exactly.
+        order = np.lexsort((sel, li))
+        li, lj, sel = li[order], lj[order], sel[order]
+        self._columns = SubgraphColumns(
+            i=li,
+            j=lj,
+            weight=arrays.weight[sel],
+            observable_mask=arrays.observable_mask[sel],
+        )
+        i_list = li.tolist()
+        j_list = lj.tolist()
+        degree = [0] * n
+        for i in i_list:
+            degree[i] += 1
+        for j in j_list:
+            degree[j] += 1
+        dependent = [0] * n
+        for i, j in zip(i_list, j_list):
+            if degree[j] == 1:
+                dependent[i] += 1
+            if degree[i] == 1:
+                dependent[j] += 1
+        self.degree = degree
+        self.dependent = dependent
+        self._degree_arr = None
+        self._dependent_arr = None
+        self._edges = None
+        self._adjacency = None
+        self._init_liveness(len(i_list))
+        # The hot paths consume the plain-Python views every round; the
+        # arrays are already in hand, so cache them eagerly.
+        self._value_lists = (
+            i_list,
+            j_list,
+            self._columns.weight.tolist(),
+            self._columns.observable_mask.tolist(),
+        )
+        return self
+
+    def _init_liveness(self, n_edges: int) -> None:
+        # Everything starts alive; a freshly-built subgraph behaves
+        # exactly as the historic rebuild-per-round structure did.
+        n = len(self.nodes)
+        self._node_alive: List[bool] = [True] * n
+        self._edge_alive_list: List[bool] = [True] * n_edges
+        self._edge_alive_arr: Optional[np.ndarray] = None
+        self._live_edge_cache: Optional[List[int]] = None
+        self._n_live_nodes: int = n
+        self._n_live_edges: int = n_edges
+        self._n_total_edges: int = n_edges
+        self._value_lists: Optional[
+            Tuple[List[int], List[int], List[float], List[int]]
+        ] = None
+        self._incident: Optional[List[List[int]]] = None
 
     # -- views -------------------------------------------------------------------
 
     @property
     def n_nodes(self) -> int:
-        return len(self.nodes)
+        """Number of *live* nodes (the current Hamming weight)."""
+        return self._n_live_nodes
 
     @property
     def n_edges(self) -> int:
-        return len(self.edges)
+        """Number of *live* edges (what one pipeline round scans)."""
+        return self._n_live_edges
+
+    def _materialized_edges(self) -> List[SubgraphEdge]:
+        """All edges (dead included) as Python objects, lazily built."""
+        if self._edges is None:
+            i_list, j_list, w_list, o_list = self.edge_value_lists()
+            self._edges = [
+                SubgraphEdge(i=i, j=j, weight=w, observable_mask=o)
+                for i, j, w, o in zip(i_list, j_list, w_list, o_list)
+            ]
+        return self._edges
+
+    @property
+    def edges(self) -> List[SubgraphEdge]:
+        """The live edges, in construction order."""
+        edges = self._materialized_edges()
+        if self._n_live_edges == self._n_total_edges:
+            return edges
+        alive = self._edge_alive_list
+        return [edge for k, edge in enumerate(edges) if alive[k]]
+
+    @property
+    def adjacency(self) -> List[List[Tuple[int, float, int]]]:
+        """Live adjacency lists ``[(neighbor, weight, obs_mask), ...]``."""
+        if self._adjacency is None:
+            adjacency: List[List[Tuple[int, float, int]]] = [
+                [] for _ in self.nodes
+            ]
+            i_list, j_list, w_list, o_list = self.edge_value_lists()
+            for k in self.live_edge_indices():
+                i, j, w, o = i_list[k], j_list[k], w_list[k], o_list[k]
+                adjacency[i].append((j, w, o))
+                adjacency[j].append((i, w, o))
+            self._adjacency = adjacency
+        return self._adjacency
+
+    @property
+    def edge_alive(self) -> np.ndarray:
+        """Boolean liveness mask over the columnar edge arrays.
+
+        Materialized lazily from the canonical Python liveness list --
+        the small-subgraph fast paths never touch numpy, and the
+        vectorized paths re-materialize only after a removal.
+        """
+        if self._edge_alive_arr is None:
+            self._edge_alive_arr = np.array(self._edge_alive_list, dtype=bool)
+        return self._edge_alive_arr
+
+    def edge_columns(self) -> SubgraphColumns:
+        """Columnar numpy view of the full edge list (cached, lazy)."""
+        if self._columns is None:
+            edges = self._edges
+            n = len(edges)
+            self._columns = SubgraphColumns(
+                i=np.fromiter((e.i for e in edges), dtype=np.int64, count=n),
+                j=np.fromiter((e.j for e in edges), dtype=np.int64, count=n),
+                weight=np.fromiter(
+                    (e.weight for e in edges), dtype=np.float64, count=n
+                ),
+                observable_mask=np.fromiter(
+                    (e.observable_mask for e in edges), dtype=np.int64, count=n
+                ),
+            )
+        return self._columns
+
+    def edge_value_lists(
+        self,
+    ) -> Tuple[List[int], List[int], List[float], List[int]]:
+        """Plain-Python ``(i, j, weight, obs_mask)`` column views (cached).
+
+        The small-subgraph fast paths (candidate scan, isolated pairs,
+        removal) iterate these instead of numpy arrays: on a few dozen
+        edges, interpreter loops beat numpy's per-call overhead.
+        """
+        if self._value_lists is None:
+            if self._edges is not None:
+                edges = self._edges
+                self._value_lists = (
+                    [e.i for e in edges],
+                    [e.j for e in edges],
+                    [e.weight for e in edges],
+                    [e.observable_mask for e in edges],
+                )
+            else:
+                columns = self._columns
+                self._value_lists = (
+                    columns.i.tolist(),
+                    columns.j.tolist(),
+                    columns.weight.tolist(),
+                    columns.observable_mask.tolist(),
+                )
+        return self._value_lists
+
+    def endpoint_lists(self) -> Tuple[List[int], List[int]]:
+        """Cached Python-int views of the columnar endpoints."""
+        i_list, j_list, _w, _o = self.edge_value_lists()
+        return i_list, j_list
+
+    def edge_at(self, index: int) -> SubgraphEdge:
+        """The edge at a columnar index (dead edges included)."""
+        if self._edges is not None:
+            return self._edges[index]
+        i_list, j_list, w_list, o_list = self.edge_value_lists()
+        return SubgraphEdge(
+            i=i_list[index],
+            j=j_list[index],
+            weight=w_list[index],
+            observable_mask=o_list[index],
+        )
+
+    def degree_array(self) -> np.ndarray:
+        """Numpy mirror of ``degree`` (lazy; invalidated by removals)."""
+        if self._degree_arr is None:
+            self._degree_arr = np.fromiter(
+                self.degree, dtype=np.int64, count=len(self.degree)
+            )
+        return self._degree_arr
+
+    def dependent_array(self) -> np.ndarray:
+        """Numpy mirror of ``dependent`` (lazy; invalidated by removals)."""
+        if self._dependent_arr is None:
+            self._dependent_arr = np.fromiter(
+                self.dependent, dtype=np.int64, count=len(self.dependent)
+            )
+        return self._dependent_arr
 
     def node_id(self, local: int) -> int:
         """Global detector id of a local node index."""
         return self.nodes[local]
 
+    def is_alive(self, local: int) -> bool:
+        """Whether a local node index is still in the subgraph."""
+        return self._node_alive[local]
+
+    def live_locals(self) -> List[int]:
+        """Live local node indices, ascending (= ascending global id)."""
+        if self._n_live_nodes == len(self.nodes):
+            return list(range(len(self.nodes)))
+        alive = self._node_alive
+        return [i for i in range(len(self.nodes)) if alive[i]]
+
+    def live_node_ids(self) -> List[int]:
+        """Global detector ids of the live nodes, ascending."""
+        if self._n_live_nodes == len(self.nodes):
+            return list(self.nodes)
+        alive = self._node_alive
+        return [node for i, node in enumerate(self.nodes) if alive[i]]
+
+    def live_edge_indices(self) -> List[int]:
+        """Columnar indices of the live edges, ascending (cached).
+
+        The cache is invalidated by :meth:`remove_nodes`; between
+        removals every per-round consumer (isolated pairs, candidate
+        scan, dependent recompute) shares one materialization.
+        """
+        if self._live_edge_cache is None:
+            if self._n_live_edges == self._n_total_edges:
+                self._live_edge_cache = list(range(self._n_total_edges))
+            else:
+                self._live_edge_cache = [
+                    k
+                    for k, alive in enumerate(self._edge_alive_list)
+                    if alive
+                ]
+        return self._live_edge_cache
+
     def singletons(self) -> List[int]:
-        """Local indices of flipped bits with no flipped neighbor."""
-        return [i for i, deg in enumerate(self.degree) if deg == 0]
+        """Local indices of live flipped bits with no flipped neighbor."""
+        alive = self._node_alive
+        return [
+            i
+            for i, deg in enumerate(self.degree)
+            if deg == 0 and alive[i]
+        ]
 
     def isolated_pairs(self) -> List[SubgraphEdge]:
         """Edges whose endpoints are each other's only flipped neighbor."""
+        if self._edges is not None:
+            return [
+                edge
+                for edge in self.edges
+                if self.degree[edge.i] == 1 and self.degree[edge.j] == 1
+            ]
+        return [self.edge_at(k) for k in self.isolated_pair_indices()]
+
+    def isolated_pair_indices(self) -> List[int]:
+        """Columnar indices of the isolated pairs, in construction order.
+
+        The object-free variant of :meth:`isolated_pairs` for the hot
+        Step-1 path: callers read endpoint/weight/observable values out
+        of :meth:`edge_value_lists` instead of building ``SubgraphEdge``
+        objects per round.
+        """
+        i_list, j_list, _w, _o = self.edge_value_lists()
+        degree = self.degree
         return [
-            edge
-            for edge in self.edges
-            if self.degree[edge.i] == 1 and self.degree[edge.j] == 1
+            k
+            for k in self.live_edge_indices()
+            if degree[i_list[k]] == 1 and degree[j_list[k]] == 1
         ]
 
     # -- Promatch candidate predicates ----------------------------------------------
@@ -109,21 +477,116 @@ class DecodingSubgraph:
             return True
         if not exact:
             return False
+        adjacency = self.adjacency
         removed = {i, j}
-        neighborhood = {k for k, _w, _o in self.adjacency[i]}
-        neighborhood.update(k for k, _w, _o in self.adjacency[j])
+        neighborhood = {k for k, _w, _o in adjacency[i]}
+        neighborhood.update(k for k, _w, _o in adjacency[j])
         for k in neighborhood - removed:
             remaining = sum(
-                1 for m, _w, _o in self.adjacency[k] if m not in removed
+                1 for m, _w, _o in adjacency[k] if m not in removed
             )
             if remaining == 0:
                 return True
         return False
 
+    # -- mutation --------------------------------------------------------------------
+
+    def _incident_lists(self) -> List[List[int]]:
+        """Per-local-node lists of incident edge indices (lazy, cached)."""
+        if self._incident is None:
+            incident: List[List[int]] = [[] for _ in self.nodes]
+            i_list, j_list = self.endpoint_lists()
+            for k, (i, j) in enumerate(zip(i_list, j_list)):
+                incident[i].append(k)
+                incident[j].append(k)
+            self._incident = incident
+        return self._incident
+
+    def remove_nodes(self, matched_locals: Sequence[int]) -> None:
+        """Remove matched nodes in place (the incremental engine's core).
+
+        Kills the nodes and their incident edges, decrements surviving
+        neighbors' ``degree``, applies the exact ``dependent`` deltas
+        (lost removed-neighbor contributions plus degree-1 crossings
+        propagated to remaining live neighbors), and prunes
+        ``adjacency`` only if it was ever materialized -- no
+        decoding-graph rescan, no object rebuild, and local indices
+        stay stable.  Work is proportional to the incident edges of the
+        removed nodes, not to the subgraph.
+        """
+        node_alive = self._node_alive
+        removed = set()
+        for x in matched_locals:
+            x = int(x)
+            if x in removed:
+                raise ValueError("duplicate local indices in removal set")
+            if not node_alive[x]:
+                raise ValueError(f"local node {x} already removed")
+            removed.add(x)
+        if not removed:
+            return
+        incident = self._incident_lists()
+        i_list, j_list = self.endpoint_lists()
+        alive = self._edge_alive_list
+        degree = self.degree
+        dependent = self.dependent
+        adjacency = self._adjacency
+        # Exact incremental dependent maintenance.  Two effects per
+        # killed edge (x survivor, r removed):
+        #   * r leaves x's neighborhood: x loses r's (deg_r == 1)
+        #     contribution -- deg_r still holds its pre-call value here,
+        #     because an edge between a survivor and r is only ever
+        #     killed inside r's own incident walk;
+        #   * x's degree change may cross 1, shifting x's contribution
+        #     to every *remaining* live neighbor -- applied after all
+        #     kills from the recorded pre-call degrees.
+        old_degree: Dict[int, int] = {}
+        for r in removed:
+            node_alive[r] = False
+            for k in incident[r]:
+                if not alive[k]:
+                    continue
+                alive[k] = False
+                self._n_live_edges -= 1
+                i = i_list[k]
+                other = j_list[k] if i == r else i
+                if other in removed:
+                    continue
+                if other not in old_degree:
+                    old_degree[other] = degree[other]
+                degree[other] -= 1
+                if degree[r] == 1:
+                    dependent[other] -= 1
+                if adjacency is not None:
+                    adjacency[other] = [
+                        entry for entry in adjacency[other] if entry[0] != r
+                    ]
+            degree[r] = 0
+            dependent[r] = 0
+            if adjacency is not None:
+                adjacency[r] = []
+        for a, was in old_degree.items():
+            delta = (degree[a] == 1) - (was == 1)
+            if delta:
+                for k in incident[a]:
+                    if not alive[k]:
+                        continue
+                    i = i_list[k]
+                    dependent[j_list[k] if i == a else i] += delta
+        self._n_live_nodes -= len(removed)
+        self._degree_arr = None  # lazy mirrors/caches are now stale
+        self._dependent_arr = None
+        self._edge_alive_arr = None
+        self._live_edge_cache = None
+
     def without_nodes(self, matched_locals: Sequence[int]) -> "DecodingSubgraph":
         """A fresh subgraph with the given local nodes removed."""
         removed = set(matched_locals)
-        remaining = [node for i, node in enumerate(self.nodes) if i not in removed]
+        remaining = [
+            node
+            for i, node in enumerate(self.nodes)
+            if i not in removed and self._node_alive[i]
+        ]
         return DecodingSubgraph(self.graph, remaining)
 
     def __repr__(self) -> str:

@@ -1,0 +1,210 @@
+"""Incremental Promatch engine == rebuild-per-round reference oracle.
+
+PR 5's tentpole contract: ``PromatchPredecoder`` (incremental subgraph,
+vectorized candidate scan, bulk batch construction) must be element-wise
+indistinguishable from ``ReferencePromatchPredecoder`` (the retained
+historic engine) -- pairs, pair observables, weight, cycles, steps_used,
+rounds, remaining, abort flag and collected traces -- across randomized
+syndromes, tight budgets, ablation modes and both batch entry points.
+"""
+
+import sys
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import figure7_graph, figure9_graph, make_graph, make_path_graph  # noqa: E402
+
+import repro.core.steps as steps_module
+from repro.core import PromatchPredecoder, ReferencePromatchPredecoder
+from repro.core.steps import find_edge_candidates, find_edge_candidates_scalar
+from repro.graph.subgraph import DecodingSubgraph
+from repro.sim import DemSampler
+
+
+def synthetic_graphs():
+    return {
+        "figure7": figure7_graph(),
+        "figure9": figure9_graph(),
+        "path12": make_path_graph(12),
+        "braided": make_graph(
+            10,
+            edges=[
+                (0, 1, 1.0), (1, 2, 0.7), (2, 3, 1.3), (3, 4, 0.9),
+                (4, 5, 1.1), (0, 5, 2.0), (1, 6, 0.8), (6, 7, 1.2),
+                (7, 8, 0.6), (8, 9, 1.4), (2, 8, 1.0), (5, 9, 0.5),
+            ],
+            boundary=[(0, 4.0), (3, 3.0), (9, 2.5)],
+        ),
+    }
+
+
+def random_syndrome(rng, n_nodes):
+    k = int(rng.integers(0, n_nodes + 1))
+    return tuple(sorted(map(int, rng.choice(n_nodes, size=k, replace=False))))
+
+
+ENGINE_VARIANTS = [
+    {},
+    {"exact_singleton_check": True},
+    {"enable_singleton_avoidance": False},
+    {"enable_step3": False},
+    {"collect_trace": True},
+]
+
+
+class TestEngineEquality:
+    @pytest.mark.parametrize("graph_name", sorted(synthetic_graphs()))
+    def test_synthetic_graphs_all_variants(self, graph_name):
+        graph = synthetic_graphs()[graph_name]
+        # crc32, not hash(): str hashes are salted per process and
+        # failures must reproduce.
+        rng = np.random.default_rng(zlib.crc32(graph_name.encode()))
+        for _ in range(40):
+            events = random_syndrome(rng, graph.n_nodes)
+            for capability in (0, 1, 4):
+                for budget in (None, 0.5, 3, 10, 40):
+                    for kwargs in ENGINE_VARIANTS:
+                        incremental = PromatchPredecoder(
+                            graph, main_capability=capability, **kwargs
+                        )
+                        reference = ReferencePromatchPredecoder(
+                            graph, main_capability=capability, **kwargs
+                        )
+                        fast = incremental.predecode(events, budget_cycles=budget)
+                        slow = reference.predecode(events, budget_cycles=budget)
+                        assert fast == slow, (
+                            graph_name, events, capability, budget, kwargs
+                        )
+
+    def test_randomized_grid_on_real_stacks(self, d3_stack, d5_stack):
+        """Randomized (distance, p) grid against sampled circuit noise."""
+        for stack, p, seed in (
+            (d3_stack, 6e-3, 11),
+            (d3_stack, 1.2e-2, 12),
+            (d5_stack, 6e-3, 13),
+            (d5_stack, 1e-2, 14),
+        ):
+            _exp, dem, graph = stack
+            batch = DemSampler(dem, p, rng=seed).sample(60)
+            incremental = PromatchPredecoder(graph, main_capability=4)
+            reference = ReferencePromatchPredecoder(graph, main_capability=4)
+            for events in batch.events:
+                assert incremental.predecode(events) == reference.predecode(
+                    events
+                )
+
+    def test_abort_at_deadline_matches(self, d5_stack, d5_syndromes):
+        """Tight budgets force mid-round aborts; rollback must agree."""
+        _exp, _dem, graph = d5_stack
+        incremental = PromatchPredecoder(graph, main_capability=0)
+        reference = ReferencePromatchPredecoder(graph, main_capability=0)
+        aborted = 0
+        for events in d5_syndromes.events[:60]:
+            for budget in (0.5, 2, 7, 15):
+                fast = incremental.predecode(events, budget_cycles=budget)
+                slow = reference.predecode(events, budget_cycles=budget)
+                assert fast == slow
+                aborted += fast.aborted
+        assert aborted > 0, "budgets must actually trigger aborts"
+
+    def test_trace_collection_matches(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        incremental = PromatchPredecoder(
+            graph, main_capability=0, collect_trace=True
+        )
+        reference = ReferencePromatchPredecoder(
+            graph, main_capability=0, collect_trace=True
+        )
+        traced = 0
+        for events in d5_syndromes.events[:40]:
+            fast = incremental.predecode(events)
+            slow = reference.predecode(events)
+            assert fast.trace == slow.trace
+            assert fast == slow
+            traced += len(fast.trace)
+        assert traced > 0
+
+    def test_predecode_batch_bulk_equals_loop_and_reference(
+        self, d5_stack, d5_syndromes
+    ):
+        """The bulk batch core == per-shot loop == reference batch path."""
+        _exp, _dem, graph = d5_stack
+        incremental = PromatchPredecoder(graph, main_capability=4)
+        reference = ReferencePromatchPredecoder(graph, main_capability=4)
+        batch = d5_syndromes.events[:120]
+        fast = incremental.predecode_batch(batch, budget_cycles=60)
+        loop = [
+            incremental.predecode(events, budget_cycles=60) for events in batch
+        ]
+        slow = reference.predecode_batch(batch, budget_cycles=60)
+        assert fast == loop
+        assert fast == slow
+
+
+class TestAblationRelabeling:
+    def test_folded_risky_candidates_report_step_2(self):
+        """Satellite regression: with singleton avoidance disabled, Steps
+        2/4 are collapsed by design, so a risky candidate folded into a
+        safe slot must be *relabeled* -- ``steps_used`` and the round
+        trace may never report a Step-4 engagement in this mode."""
+        graph = make_path_graph(3)  # a bare 3-chain: only risky matches
+        full = PromatchPredecoder(graph, main_capability=1)
+        ablated = PromatchPredecoder(
+            graph,
+            main_capability=1,
+            enable_singleton_avoidance=False,
+            collect_trace=True,
+        )
+        assert full.predecode((0, 1, 2)).steps_used == 4
+        report = ablated.predecode((0, 1, 2))
+        assert report.steps_used == 2
+        assert all(trace.step.startswith("2") for trace in report.trace)
+        # The ablation still commits the same greedy lowest-weight pair.
+        assert report.pairs == full.predecode((0, 1, 2)).pairs
+
+
+class TestCandidateScanEquivalence:
+    def _assert_scans_agree(self, subgraph, exact=False):
+        fast = find_edge_candidates(subgraph, exact_singleton_check=exact)
+        slow = find_edge_candidates_scalar(subgraph, exact_singleton_check=exact)
+        assert fast == slow
+
+    @pytest.mark.parametrize("graph_name", sorted(synthetic_graphs()))
+    @pytest.mark.parametrize("exact", [False, True])
+    def test_small_path_matches_scalar(self, graph_name, exact):
+        graph = synthetic_graphs()[graph_name]
+        rng = np.random.default_rng(5)
+        for _ in range(30):
+            events = random_syndrome(rng, graph.n_nodes)
+            self._assert_scans_agree(DecodingSubgraph(graph, events), exact)
+
+    def test_vectorized_path_matches_scalar(self, monkeypatch):
+        """Force the numpy pass (normally gated on >= VECTOR_MIN_EDGES)."""
+        monkeypatch.setattr(steps_module, "VECTOR_MIN_EDGES", 0)
+        rng = np.random.default_rng(9)
+        for graph in synthetic_graphs().values():
+            for _ in range(20):
+                events = random_syndrome(rng, graph.n_nodes)
+                for exact in (False, True):
+                    self._assert_scans_agree(
+                        DecodingSubgraph(graph, events), exact
+                    )
+
+    def test_large_subgraph_takes_vectorized_path(self):
+        """A >= 64-edge subgraph exercises the numpy pass for real."""
+        graph = make_path_graph(70)
+        subgraph = DecodingSubgraph.from_columnar(graph, list(range(70)))
+        assert subgraph.n_edges >= 64
+        self._assert_scans_agree(subgraph)
+
+    def test_candidates_carry_edge_index_hint(self):
+        graph = figure7_graph()
+        subgraph = DecodingSubgraph.from_columnar(graph, [0, 1, 2, 3])
+        for candidate in find_edge_candidates(subgraph).values():
+            if candidate is not None:
+                edge = subgraph.edge_at(candidate.edge_index)
+                assert {edge.i, edge.j} == {candidate.i, candidate.j}

@@ -1,0 +1,194 @@
+"""Batched predecoded pipelines: ``decode_batch`` == per-shot reference.
+
+PR 5's pipeline contract: ``PredecodedDecoder.decode_uniques`` (predecode
+the distinct syndromes, second-level dedup of the residuals, main decode
+through the decoder's own batch fast path) must be element-wise identical
+to the per-shot ``decode`` loop for every predecoder + main combination
+in the paper's tables, including abort and capability-failure shots, and
+the ``||`` combinator on top.
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_path_graph  # noqa: E402
+
+from repro.core import PromatchPredecoder
+from repro.decoders import (
+    AstreaDecoder,
+    AstreaGDecoder,
+    CliquePredecoder,
+    MWPMDecoder,
+    ParallelDecoder,
+    PredecodedDecoder,
+    SmithPredecoder,
+    UnionFindDecoder,
+)
+from repro.sim import DemSampler
+
+
+PREDECODER_FACTORIES = {
+    "Promatch": PromatchPredecoder,
+    "Smith": SmithPredecoder,
+    "Clique": CliquePredecoder,
+}
+
+
+def _mixed_workload(dem, p, seed, shots=120):
+    """Monte-Carlo shots with repeats so the dedup layers have work."""
+    batch = DemSampler(dem, p, rng=seed).sample(shots)
+    events = list(batch.events)
+    return events + events[: shots // 4]
+
+
+class TestPredecodedBatchGrid:
+    """Randomized (distance, p) grid across the predecoder zoo.
+
+    A reduced Astrea capability (``max_hamming_weight=4``) makes the
+    predecoder engage on ordinary d=3/d=5 syndromes, covering the
+    low-HW bypass, the predecoded path, capability failures of the main
+    decoder, and (with tight budgets) predecoder aborts.
+    """
+
+    @pytest.mark.parametrize("name", sorted(PREDECODER_FACTORIES))
+    def test_batch_equals_per_shot_reference(self, name, d3_stack, d5_stack):
+        factory = PREDECODER_FACTORIES[name]
+        for stack, p, seed in (
+            (d3_stack, 6e-3, 21),
+            (d3_stack, 1.2e-2, 22),
+            (d5_stack, 6e-3, 23),
+        ):
+            _exp, dem, graph = stack
+            pipeline = PredecodedDecoder(
+                graph, factory(graph), AstreaDecoder(graph, max_hamming_weight=4)
+            )
+            workload = _mixed_workload(dem, p, seed)
+            fast = pipeline.decode_batch(workload)
+            reference = pipeline.decode_batch_reference(workload)
+            assert fast == reference
+
+    def test_tight_budget_aborts_match(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        pipeline = PredecodedDecoder(
+            graph,
+            PromatchPredecoder(graph, main_capability=4),
+            AstreaDecoder(graph, max_hamming_weight=4),
+            budget_cycles=12,
+        )
+        workload = list(d5_syndromes.events[:80])
+        fast = pipeline.decode_batch(workload)
+        reference = pipeline.decode_batch_reference(workload)
+        assert fast == reference
+        assert any(not result.success for result in fast), (
+            "budget must actually produce failures for this test to bite"
+        )
+
+    def test_parallel_promatch_ag_batch(self, d3_stack):
+        """The ``Promatch || AG`` configuration over the batched pipeline."""
+        _exp, dem, graph = d3_stack
+        promatch_astrea = PredecodedDecoder(
+            graph,
+            PromatchPredecoder(graph),
+            AstreaDecoder(graph, max_hamming_weight=4),
+        )
+        parallel = ParallelDecoder(
+            graph,
+            promatch_astrea,
+            AstreaGDecoder(graph, prune_probability=1e-10),
+            name="Promatch || AG",
+        )
+        workload = _mixed_workload(dem, 8e-3, 31, shots=100)
+        assert parallel.decode_batch(workload) == (
+            parallel.decode_batch_reference(workload)
+        )
+
+    def test_budget_blind_main_routes_through_decode_batch(self, d3_stack):
+        """A non-real-time main decoder (no ``budget_cycles`` parameter)
+        takes the residual-dedup + ``decode_batch`` route."""
+        _exp, dem, graph = d3_stack
+        for main in (MWPMDecoder(graph), UnionFindDecoder(graph)):
+            pipeline = PredecodedDecoder(
+                graph, PromatchPredecoder(graph, main_capability=4), main
+            )
+            assert not pipeline._main_accepts_budget()
+            workload = _mixed_workload(dem, 8e-3, 41, shots=80)
+            assert pipeline.decode_batch(workload) == (
+                pipeline.decode_batch_reference(workload)
+            )
+
+    def test_budget_aware_main_detected(self, d3_stack):
+        _exp, _dem, graph = d3_stack
+        pipeline = PredecodedDecoder(
+            graph, PromatchPredecoder(graph), AstreaDecoder(graph)
+        )
+        assert pipeline._main_accepts_budget()
+
+
+class TestAstreaBudgetedUniques:
+    def test_jobs_share_matching_across_budgets(self, d3_stack):
+        _exp, dem, graph = d3_stack
+        astrea = AstreaDecoder(graph)
+        batch = DemSampler(dem, 8e-3, rng=51).sample(40)
+        jobs = []
+        for events in batch.events[:20]:
+            for budget in (None, 3.0, 50.0, 240.0):
+                jobs.append((tuple(events), budget))
+        fast = astrea.decode_budgeted_uniques(jobs)
+        reference = [
+            astrea.decode_budgeted(events, budget) for events, budget in jobs
+        ]
+        assert fast == reference
+
+    def test_capability_and_budget_failures_preserved(self):
+        graph = make_path_graph(14)
+        astrea = AstreaDecoder(graph, max_hamming_weight=4)
+        jobs = [
+            (tuple(range(6)), None),      # HW over capability
+            ((0, 1), 0.5),                # budget too small
+            ((0, 1), None),               # plain success
+            ((0, 1), 0.5),                # repeated failure job
+        ]
+        results = astrea.decode_budgeted_uniques(jobs)
+        assert not results[0].success and "exceeds" in results[0].failure_reason
+        assert not results[1].success and "budget" in results[1].failure_reason
+        assert results[2].success
+        assert results[3] == results[1]
+
+
+class TestPredecodeResultSharingGuard:
+    def test_mutating_one_shot_cannot_corrupt_siblings(self, d5_stack):
+        """Satellite regression: ``predecode_batch`` used to fan one
+        ``PredecodeResult`` object out to every shot repeating a
+        syndrome; mutating its ``pairs`` corrupted the siblings."""
+        _exp, _dem, graph = d5_stack
+        events = (10, 11, 30, 31)
+        workload = [events, events, events]
+        for predecoder in (
+            PromatchPredecoder(graph, main_capability=0, collect_trace=True),
+            SmithPredecoder(graph),
+            CliquePredecoder(graph),
+        ):
+            results = predecoder.predecode_batch(workload)
+            assert results[0] == results[1] == results[2]
+            baseline_pairs = list(results[1].pairs)
+            baseline_trace = list(results[1].trace)
+            results[0].pairs.append((999, 998))
+            results[0].pair_observables.append(7)
+            results[0].trace.append("poison")
+            assert results[1].pairs == baseline_pairs == results[2].pairs
+            assert results[1].trace == baseline_trace == results[2].trace
+            assert results[0] is not results[1]
+
+    def test_copies_still_equal_per_shot_loop(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        predecoder = SmithPredecoder(graph)
+        fast = predecoder.predecode_batch(d5_syndromes.events[:50])
+        reference = [
+            predecoder.predecode(events)
+            for events in d5_syndromes.events[:50]
+        ]
+        assert fast == reference

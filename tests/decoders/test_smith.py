@@ -55,3 +55,53 @@ class TestSmith:
         _exp, _dem, graph = d5_stack
         report = SmithPredecoder(graph).predecode(())
         assert report.cycles >= 1
+
+
+class TestSmithAbortAccounting:
+    def test_abort_rolls_back_to_empty_matching(self, d5_stack, d5_syndromes):
+        """Satellite regression: an aborted sweep used to keep its
+        ``pairs``/``pair_observables``/``weight`` while the matched
+        nodes were missing from ``remaining`` -- violating the abort
+        invariant (an aborted round's commits never reach the main
+        decoder).  The rollback must leave an empty matching, the full
+        syndrome in ``remaining``, and the cycles clamped to the
+        budget."""
+        _exp, _dem, graph = d5_stack
+        smith = SmithPredecoder(graph)
+        busy = [e for e in d5_syndromes.events if len(e) >= 6]
+        assert busy
+        aborted = 0
+        for events in busy[:40]:
+            full = smith.predecode(events)
+            if full.cycles <= 1:
+                continue
+            budget = full.cycles - 0.5  # sweep can't fit: must abort
+            report = smith.predecode(events, budget_cycles=budget)
+            aborted += 1
+            assert report.aborted
+            assert report.pairs == []
+            assert report.pair_observables == []
+            assert report.weight == 0.0
+            assert report.remaining == tuple(sorted(events))
+            assert report.cycles == budget
+        assert aborted > 0
+
+    def test_fitting_budget_never_aborts(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        smith = SmithPredecoder(graph)
+        for events in d5_syndromes.events[:40]:
+            full = smith.predecode(events)
+            report = smith.predecode(events, budget_cycles=full.cycles)
+            assert not report.aborted
+            assert report == full
+
+    def test_abort_invariant_pairs_remaining_disjoint(self, d5_stack, d5_syndromes):
+        _exp, _dem, graph = d5_stack
+        smith = SmithPredecoder(graph)
+        for events in d5_syndromes.events[:40]:
+            for budget in (0.5, 1, 3, 10):
+                report = smith.predecode(events, budget_cycles=budget)
+                matched = {u for pair in report.pairs for u in pair}
+                assert not matched & set(report.remaining)
+                if report.aborted:
+                    assert set(report.remaining) == set(events)

@@ -97,3 +97,123 @@ class TestWithoutNodes:
         smaller = sub.without_nodes([0, 1])
         assert smaller.nodes == [2, 3]
         assert smaller.n_edges == 1
+
+
+def _live_state(sub):
+    """Live-projected (degree, dependent) by global id plus live edges."""
+    state = {
+        sub.node_id(i): (sub.degree[i], sub.dependent[i])
+        for i in sub.live_locals()
+    }
+    edges = sorted(
+        (sub.node_id(e.i), sub.node_id(e.j), e.weight, e.observable_mask)
+        for e in sub.edges
+    )
+    return state, edges
+
+
+class TestColumnarConstruction:
+    """`from_columnar` must be indistinguishable from the per-node walk."""
+
+    def test_matches_plain_constructor(self, d3_stack):
+        import numpy as np
+
+        _exp, _dem, graph = d3_stack
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            k = int(rng.integers(0, 12))
+            events = sorted(
+                map(int, rng.choice(graph.n_nodes, size=k, replace=False))
+            )
+            walk = DecodingSubgraph(graph, events)
+            columnar = DecodingSubgraph.from_columnar(graph, events)
+            assert columnar.nodes == walk.nodes
+            assert columnar.degree == walk.degree
+            assert columnar.dependent == walk.dependent
+            assert columnar.edges == walk.edges  # values AND order
+            assert columnar.adjacency == walk.adjacency
+            assert columnar.n_edges == walk.n_edges
+
+    def test_duplicate_events_rejected(self):
+        graph = make_path_graph(4)
+        with pytest.raises(ValueError):
+            DecodingSubgraph.from_columnar(graph, [1, 1])
+
+    def test_empty(self, d3_stack):
+        _exp, _dem, graph = d3_stack
+        sub = DecodingSubgraph.from_columnar(graph, [])
+        assert sub.n_nodes == 0 and sub.n_edges == 0
+        assert sub.singletons() == [] and sub.isolated_pairs() == []
+
+
+class TestIncrementalRemoval:
+    """`remove_nodes` must track the full-rebuild state exactly."""
+
+    def test_matches_rebuild_after_each_removal(self):
+        import numpy as np
+
+        graph = figure9_graph()
+        rng = np.random.default_rng(17)
+        for _ in range(60):
+            k = int(rng.integers(0, graph.n_nodes + 1))
+            events = sorted(
+                map(int, rng.choice(graph.n_nodes, size=k, replace=False))
+            )
+            sub = DecodingSubgraph.from_columnar(graph, events)
+            while sub.n_nodes > 0:
+                live = sub.live_locals()
+                m = int(rng.integers(1, min(4, len(live)) + 1))
+                sub.remove_nodes(
+                    sorted(map(int, rng.choice(live, size=m, replace=False)))
+                )
+                fresh = DecodingSubgraph(graph, sub.live_node_ids())
+                state, edges = _live_state(sub)
+                fresh_state, fresh_edges = _live_state(fresh)
+                assert state == fresh_state
+                assert edges == fresh_edges
+                assert sub.n_nodes == fresh.n_nodes
+                assert sub.n_edges == fresh.n_edges
+                assert sorted(sub.singletons(), key=sub.node_id) == [
+                    sub._local_index[fresh.node_id(s)]
+                    for s in fresh.singletons()
+                ]
+
+    def test_isolated_pair_dies_together(self):
+        graph = make_path_graph(8)
+        sub = DecodingSubgraph.from_columnar(graph, [0, 1, 4, 5])
+        sub.remove_nodes([0, 1])
+        assert sub.n_nodes == 2
+        assert sub.live_node_ids() == [4, 5]
+        assert sub.n_edges == 1
+        assert [(e.i, e.j) for e in sub.isolated_pairs()] == [
+            (sub._local_index[4], sub._local_index[5])
+        ]
+
+    def test_removal_updates_dependent_counts(self):
+        sub = DecodingSubgraph.from_columnar(
+            figure9_graph(), [0, 1, 2, 3, 4, 5]
+        )
+        a = 0
+        assert sub.dependent[a] == 3
+        sub.remove_nodes([4, 5])  # e-f match: a loses nothing dependent
+        assert sub.dependent[a] == 3
+        sub.remove_nodes([1])  # b gone: a has two dependents left
+        assert sub.dependent[a] == 2
+
+    def test_double_removal_rejected(self):
+        graph = make_path_graph(6)
+        sub = DecodingSubgraph.from_columnar(graph, [0, 1, 2])
+        sub.remove_nodes([0])
+        with pytest.raises(ValueError):
+            sub.remove_nodes([0])
+        with pytest.raises(ValueError):
+            sub.remove_nodes([1, 1])
+
+    def test_local_indices_stay_stable(self):
+        graph = make_path_graph(8)
+        sub = DecodingSubgraph.from_columnar(graph, [1, 2, 5, 6])
+        assert sub.node_id(3) == 6
+        sub.remove_nodes([0, 1])
+        assert sub.node_id(3) == 6  # unchanged after removal
+        assert sub.live_locals() == [2, 3]
+        assert sub.live_node_ids() == [5, 6]
