@@ -1,8 +1,15 @@
 """Shared benchmark plumbing: scaling knobs, workbench cache, result files.
 
 Every benchmark regenerates one table or figure of the paper.  Shot
-counts are laptop-scale by default and adjustable through environment
-variables:
+counts are laptop-scale by default and adjustable through the knob
+registry (:mod:`repro.eval.knobs`): every knob has one definition (env
+var, parser, default) and one precedence rule --
+
+    CLI flag  >  environment variable  >  spec value  >  default
+
+-- shared with campaign specs (:mod:`repro.eval.campaign`) and the CLI,
+so ``REPRO_BENCH_*`` env vars keep working exactly as before and now
+also override whatever a campaign spec declares.  The env vars:
 
 * ``REPRO_BENCH_SHOTS_PER_K``  -- syndromes per injected-fault count
   (Eq. (1) workloads; default 250).
@@ -23,6 +30,7 @@ variables:
 * ``REPRO_BENCH_RESUME``       -- ``1`` replays slices already in the
   store and runs only the residual shots (``--resume``); bitwise
   identical to an uninterrupted run.  Default 1 when a store is set.
+  (Campaign-backed drivers always resume -- the store is their cache.)
 * ``REPRO_BENCH_MIN_REL_PRECISION`` -- optional relative-precision
   target (``--min-rel-precision``): shots keep doubling on the widest
   k rows until every decoder's statistical CI width is below
@@ -47,6 +55,13 @@ variables:
   ``REPEATS`` times and the fastest pass is kept, damping scheduler
   noise on loaded machines; CI smoke shrinks the shot count).
 
+Most paper drivers are thin wrappers around a checked-in campaign spec
+under ``benchmarks/campaigns/`` (see docs/campaigns.md): the spec
+declares the step grid, :func:`run_campaign_spec` executes it against
+the shared store and pool, and the driver reshapes the consolidated
+payload into the legacy table layout.  Steps already covered by the
+store are skipped with zero decode work.
+
 When ``REPRO_BENCH_SHARDS > 1`` every driver shares one persistent
 :func:`worker_pool` (a :class:`repro.eval.pool.WorkerPool`), so a bench
 session forks its worker set once instead of once per estimator round.
@@ -60,83 +75,128 @@ sweeps are distinguishable after the fact.
 
 from __future__ import annotations
 
-import json
-import os
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.eval.experiments import Workbench
+from repro.eval.knobs import (
+    CORE_KNOBS,
+    parse_float,
+    parse_int,
+)
 from repro.eval.pool import WorkerPool
-from repro.eval.store import ExperimentStore
+from repro.eval.store import ExperimentStore, atomic_write_json
 from repro.utils.rng import stable_seed
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+CAMPAIGNS_DIR = Path(__file__).resolve().parent / "campaigns"
 
 
-def env_int(name: str, default: int) -> int:
-    return int(os.environ.get(name, default))
+def _parse_grid(text: str) -> Tuple[List[int], List[float]]:
+    distance_part, _, rate_part = text.partition(":")
+    distances = [int(tok) for tok in distance_part.split(",") if tok.strip()]
+    rates = [float(tok) for tok in rate_part.split(",") if tok.strip()]
+    if not distances or not rates:
+        raise ValueError(
+            f"REPRO_BENCH_GRID must look like 'd1,d2:p1,p2', got {text!r}"
+        )
+    return distances, rates
+
+
+#: The bench knob registry: the core workload knobs shared with campaign
+#: specs and the CLI, plus the benchmark-only extras below.
+KNOBS = CORE_KNOBS
+KNOBS.register("afs_distance", "REPRO_BENCH_AFS_DISTANCE", parse_int, 9,
+               "AFS growth-engine bench code distance")
+KNOBS.register("afs_p", "REPRO_BENCH_AFS_P", parse_float, 3e-3,
+               "AFS growth-engine bench physical error rate")
+KNOBS.register("afs_shots", "REPRO_BENCH_AFS_SHOTS", parse_int, 20000,
+               "AFS growth-engine bench shots")
+KNOBS.register("promatch_distance", "REPRO_BENCH_PROMATCH_DISTANCE",
+               parse_int, 9, "Promatch predecode bench code distance")
+KNOBS.register("promatch_p", "REPRO_BENCH_PROMATCH_P", parse_float, 1e-3,
+               "Promatch predecode bench physical error rate")
+KNOBS.register("promatch_shots_per_k", "REPRO_BENCH_PROMATCH_SHOTS_PER_K",
+               parse_int, 20, "Promatch predecode bench shots per k")
+KNOBS.register("promatch_k_max", "REPRO_BENCH_PROMATCH_KMAX", parse_int, 40,
+               "Promatch predecode bench largest fault count")
+KNOBS.register("promatch_repeats", "REPRO_BENCH_PROMATCH_REPEATS",
+               parse_int, 5, "Promatch predecode bench timing repeats")
+KNOBS.register("speedup_distance", "REPRO_BENCH_SPEEDUP_DISTANCE",
+               parse_int, 5, "batch-vs-loop speedup bench code distance")
+KNOBS.register("speedup_shots", "REPRO_BENCH_SPEEDUP_SHOTS", parse_int,
+               20000, "batch-vs-loop speedup bench shots")
+KNOBS.register("grid", "REPRO_BENCH_GRID", _parse_grid, None,
+               "sweep bench operating grid as 'd1,d2:p1,p2'")
 
 
 def shots_per_k() -> int:
-    return env_int("REPRO_BENCH_SHOTS_PER_K", 250)
+    return int(KNOBS.resolve("shots_per_k"))
 
 
 def census_shots() -> int:
-    return env_int("REPRO_BENCH_CENSUS_SHOTS", 150)
+    return int(KNOBS.resolve("census_shots"))
 
 
 def k_max() -> int:
-    return env_int("REPRO_BENCH_KMAX", 16)
+    return int(KNOBS.resolve("k_max"))
 
 
 def headline_distances() -> List[int]:
-    raw = os.environ.get("REPRO_BENCH_DISTANCES", "11,13")
-    return [int(tok) for tok in raw.split(",") if tok.strip()]
+    return [int(d) for d in KNOBS.resolve("distances")]
 
 
 def afs_distance() -> int:
-    return env_int("REPRO_BENCH_AFS_DISTANCE", 9)
+    return int(KNOBS.resolve("afs_distance"))
 
 
 def afs_p() -> float:
-    return float(os.environ.get("REPRO_BENCH_AFS_P", "3e-3"))
+    return float(KNOBS.resolve("afs_p"))
 
 
 def afs_shots() -> int:
-    return env_int("REPRO_BENCH_AFS_SHOTS", 20000)
+    return int(KNOBS.resolve("afs_shots"))
 
 
 def promatch_distance() -> int:
-    return env_int("REPRO_BENCH_PROMATCH_DISTANCE", 9)
+    return int(KNOBS.resolve("promatch_distance"))
 
 
 def promatch_p() -> float:
-    return float(os.environ.get("REPRO_BENCH_PROMATCH_P", "1e-3"))
+    return float(KNOBS.resolve("promatch_p"))
 
 
 def promatch_shots_per_k() -> int:
-    return env_int("REPRO_BENCH_PROMATCH_SHOTS_PER_K", 20)
+    return int(KNOBS.resolve("promatch_shots_per_k"))
 
 
 def promatch_k_max() -> int:
-    return env_int("REPRO_BENCH_PROMATCH_KMAX", 40)
+    return int(KNOBS.resolve("promatch_k_max"))
 
 
 def promatch_repeats() -> int:
-    return max(1, env_int("REPRO_BENCH_PROMATCH_REPEATS", 5))
+    return max(1, int(KNOBS.resolve("promatch_repeats")))
+
+
+def speedup_distance() -> int:
+    return int(KNOBS.resolve("speedup_distance"))
+
+
+def speedup_shots() -> int:
+    return int(KNOBS.resolve("speedup_shots"))
 
 
 def eval_shards() -> int:
-    return max(1, env_int("REPRO_BENCH_SHARDS", 1))
+    return max(1, int(KNOBS.resolve("shards")))
 
 
 def eval_batch_size() -> Optional[int]:
-    value = env_int("REPRO_BENCH_BATCH_SIZE", 0)
-    return value if value > 0 else None
+    return KNOBS.resolve("batch_size")
 
 
 def census_shards() -> int:
-    return max(1, env_int("REPRO_BENCH_CENSUS_SHARDS", eval_shards()))
+    value = KNOBS.resolve("census_shards")
+    return eval_shards() if value is None else max(1, int(value))
 
 
 def grid_from_env() -> Tuple[List[int], List[float]]:
@@ -145,17 +205,10 @@ def grid_from_env() -> Tuple[List[int], List[float]]:
     ``REPRO_BENCH_GRID`` is ``"d1,d2:p1,p2"``; unset falls back to the
     headline distances x the Figures 14/15 error-rate range.
     """
-    raw = os.environ.get("REPRO_BENCH_GRID", "").strip()
-    if not raw:
+    value = KNOBS.resolve("grid")
+    if value is None:
         return headline_distances(), [1e-4, 3e-4, 5e-4]
-    distance_part, _, rate_part = raw.partition(":")
-    distances = [int(tok) for tok in distance_part.split(",") if tok.strip()]
-    rates = [float(tok) for tok in rate_part.split(",") if tok.strip()]
-    if not distances or not rates:
-        raise ValueError(
-            f"REPRO_BENCH_GRID must look like 'd1,d2:p1,p2', got {raw!r}"
-        )
-    return distances, rates
+    return value
 
 
 _WORKER_POOL: Optional[WorkerPool] = None
@@ -179,18 +232,18 @@ def worker_pool() -> Optional[WorkerPool]:
 
 def experiment_store() -> Optional[ExperimentStore]:
     """The shared experiment store, or ``None`` when not configured."""
-    path = os.environ.get("REPRO_BENCH_STORE", "").strip()
+    path = KNOBS.resolve("store")
     return ExperimentStore(path) if path else None
 
 
 def resume_enabled() -> bool:
     """Resume defaults on whenever a store is configured."""
-    return bool(env_int("REPRO_BENCH_RESUME", 1))
+    return bool(KNOBS.resolve("resume"))
 
 
 def min_rel_precision() -> Optional[float]:
-    raw = os.environ.get("REPRO_BENCH_MIN_REL_PRECISION", "").strip()
-    return float(raw) if raw else None
+    value = KNOBS.resolve("min_rel_precision")
+    return None if value is None else float(value)
 
 
 def ler_store_kwargs(bench: Workbench, kind: str = "eq1") -> dict:
@@ -207,6 +260,26 @@ def ler_store_kwargs(bench: Workbench, kind: str = "eq1") -> dict:
         store_key=bench.store_key(kind) if store is not None else None,
         resume=store is not None and resume_enabled(),
         min_rel_precision=min_rel_precision(),
+    )
+
+
+def run_campaign_spec(spec_name: str, progress=None):
+    """Run one checked-in campaign spec against the bench environment.
+
+    Resolves ``benchmarks/campaigns/<spec_name>``, lets the knob
+    registry apply any ``REPRO_BENCH_*`` overrides, and executes it on
+    the bench session's shared store and worker pool.  Steps the store
+    already covers are skipped with zero decode work, so a re-run of an
+    already-computed table is free.
+    """
+    from repro.eval.campaign import load_campaign, run_campaign
+
+    campaign = load_campaign(CAMPAIGNS_DIR / spec_name)
+    return run_campaign(
+        campaign,
+        pool=worker_pool(),
+        workbench_factory=get_workbench,
+        progress=progress,
     )
 
 
@@ -242,15 +315,13 @@ def save_results(name: str, payload: dict) -> Path:
     """Persist a benchmark's numbers for the EXPERIMENTS.md comparison.
 
     The run context (shot knobs, store/resume state) is attached under
-    ``"context"`` unless the payload already carries one.
+    ``"context"`` unless the payload already carries one.  The write is
+    atomic (temp file + rename), so a crashed bench never leaves a
+    truncated artifact behind.
     """
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     payload = dict(payload)
     payload.setdefault("context", run_context())
-    path = RESULTS_DIR / f"{name}.json"
-    with path.open("w") as handle:
-        json.dump(payload, handle, indent=2, default=float)
-    return path
+    return atomic_write_json(RESULTS_DIR / f"{name}.json", payload)
 
 
 def run_once(benchmark, fn):

@@ -7,6 +7,10 @@ Smith || AG, Promatch || AG.  The claims to reproduce:
 * Promatch || AG stays within ~1.1x (d=11) / ~13.9x (d=13) of MWPM,
 * Smith || AG trails Promatch || AG,
 * Astrea-G detaches furthest.
+
+The workload lives in ``campaigns/fig14_15.toml``; this driver runs the
+spec (store-covered steps are skipped with zero decode work) and
+reshapes the consolidated payload into the legacy layout.
 """
 
 from __future__ import annotations
@@ -16,63 +20,47 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
-    eval_batch_size,
-    eval_shards,
-    get_workbench,
-    headline_distances,
-    k_max,
-    ler_store_kwargs,
+    run_campaign_spec,
     run_once,
     save_results,
-    shots_per_k,
-    worker_pool,
 )
 
-from repro.eval.ler import estimate_ler_suite  # noqa: E402
 from repro.eval.reporting import format_scientific, format_table  # noqa: E402
-from repro.utils.rng import stable_seed  # noqa: E402
 
 ERROR_RATES = (1e-4, 2e-4, 3e-4, 4e-4, 5e-4)
-COMPONENTS = ("MWPM", "Promatch+Astrea", "Astrea-G", "Smith+Astrea")
-PARALLEL = {
-    "Promatch || AG": ("Promatch+Astrea", "Astrea-G"),
-    "Smith || AG": ("Smith+Astrea", "Astrea-G"),
-}
+# Components first, then the derived parallel configurations -- the
+# estimator's own assembly order, kept so the artifact bytes match the
+# legacy driver's.
+NAMES = (
+    "MWPM",
+    "Promatch+Astrea",
+    "Astrea-G",
+    "Smith+Astrea",
+    "Promatch || AG",
+    "Smith || AG",
+)
 
 
 def run_sweep() -> dict:
+    result = run_campaign_spec("fig14_15.toml")
     payload = {"error_rates": list(ERROR_RATES), "series": {}}
-    sweep_shots = max(60, shots_per_k() // 2)
-    for distance in headline_distances():
-        per_p = {}
-        for p in ERROR_RATES:
-            bench = get_workbench(distance, p)
-            results = estimate_ler_suite(
-                components={name: bench.decoders[name] for name in COMPONENTS},
-                parallel_specs=PARALLEL,
-                dem=bench.dem,
-                p=p,
-                k_max=k_max(),
-                shots_per_k=sweep_shots,
-                rng=stable_seed("fig14_15", distance, p),
-                shards=eval_shards(),
-                batch_size=eval_batch_size(),
-                pool=worker_pool(),
-                **ler_store_kwargs(bench),
-            )
-            per_p[f"{p:.0e}"] = {name: r.ler for name, r in results.items()}
-        payload["series"][str(distance)] = per_p
+    for outcome in result.outcomes:
+        step = outcome.step
+        decoders = outcome.payload["decoders"]
+        per_p = payload["series"].setdefault(str(step.distance), {})
+        per_p[f"{step.p:.0e}"] = {
+            name: decoders[name]["ler"] for name in NAMES
+        }
     return payload
 
 
 def bench_fig14_15_error_rate_sweep(benchmark):
     payload = run_once(benchmark, run_sweep)
-    names = list(COMPONENTS) + list(PARALLEL)
     for distance, per_p in payload["series"].items():
         rates = list(per_p)
         rows = [
             [name] + [format_scientific(per_p[r][name]) for r in rates]
-            for name in names
+            for name in NAMES
         ]
         print()
         print(

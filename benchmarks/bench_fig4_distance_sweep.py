@@ -8,6 +8,10 @@ AFS (union-find) sits a constant factor above MWPM.
 
 Shape criteria here: per-distance ordering
 MWPM <= Clique+MWPM <= AFS and Astrea-G's widening gap at d >= 11.
+
+The workload lives in ``campaigns/fig4.toml`` (the distance axis is
+pinned there -- it is the figure's subject); this driver runs the spec
+and relabels UnionFind to the paper's "AFS (union-find)" series name.
 """
 
 from __future__ import annotations
@@ -17,64 +21,38 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
-    eval_batch_size,
-    eval_shards,
-    env_int,
-    get_workbench,
-    k_max,
-    ler_store_kwargs,
+    run_campaign_spec,
     run_once,
     save_results,
-    shots_per_k,
-    worker_pool,
 )
 
-from repro.decoders import CliquePredecoder, MWPMDecoder, PredecodedDecoder  # noqa: E402
-from repro.eval.ler import estimate_ler_importance  # noqa: E402
 from repro.eval.reporting import format_scientific, format_table  # noqa: E402
-from repro.utils.rng import stable_seed  # noqa: E402
 
 P = 1e-4
 
+#: Zoo name -> figure series label.
+SERIES = (
+    ("MWPM", "MWPM"),
+    ("Astrea-G", "Astrea-G"),
+    ("Clique+MWPM", "Clique+MWPM"),
+    ("UnionFind", "AFS (union-find)"),
+)
+
 
 def run_fig4() -> dict:
-    distances = [7, 9, 11, 13]
+    result = run_campaign_spec("fig4.toml")
     payload = {"p": P, "series": {}}
-    sweep_shots = max(60, shots_per_k() // 2)
-    for distance in distances:
-        bench = get_workbench(distance, P)
-        decoders = {
-            "MWPM": bench.decoders["MWPM"],
-            "Astrea-G": bench.decoders["Astrea-G"],
-            "Clique+MWPM": PredecodedDecoder(
-                bench.graph,
-                CliquePredecoder(bench.graph),
-                MWPMDecoder(bench.graph),
-                name="Clique+MWPM",
-            ),
-            "AFS (union-find)": bench.decoders["UnionFind"],
-        }
-        results = estimate_ler_importance(
-            decoders,
-            bench.dem,
-            P,
-            k_max=min(k_max(), 2 * distance),
-            shots_per_k=sweep_shots,
-            rng=stable_seed("fig4", distance),
-            shards=eval_shards(),
-            batch_size=eval_batch_size(),
-            pool=worker_pool(),
-            **ler_store_kwargs(bench),
-        )
-        payload["series"][str(distance)] = {
-            name: result.ler for name, result in results.items()
+    for outcome in result.outcomes:
+        decoders = outcome.payload["decoders"]
+        payload["series"][str(outcome.step.distance)] = {
+            label: decoders[name]["ler"] for name, label in SERIES
         }
     return payload
 
 
 def bench_fig4_distance_sweep(benchmark):
     payload = run_once(benchmark, run_fig4)
-    names = ["MWPM", "Astrea-G", "Clique+MWPM", "AFS (union-find)"]
+    names = [label for _name, label in SERIES]
     rows = [
         [name]
         + [

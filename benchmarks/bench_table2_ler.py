@@ -15,6 +15,10 @@ LERs around 1e-13..1e-15 require the paper's millions-of-shots budget;
 at laptop shot counts the per-k failure rates of the exact decoders are
 below the Monte-Carlo floor, so their rows report an *upper bound* (see
 EXPERIMENTS.md).
+
+The workload lives in ``campaigns/table2.toml``; this driver runs the
+spec (store-covered steps are skipped with zero decode work) and
+reshapes the consolidated payload into the legacy table layout.
 """
 
 from __future__ import annotations
@@ -24,29 +28,17 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
-    eval_batch_size,
-    eval_shards,
-    get_workbench,
-    headline_distances,
     k_max,
-    ler_store_kwargs,
+    run_campaign_spec,
     run_once,
     save_results,
     shots_per_k,
-    worker_pool,
 )
 
-from repro.eval.ler import estimate_ler_suite  # noqa: E402
 from repro.eval.reporting import format_table, format_ratio, format_scientific  # noqa: E402
-from repro.utils.rng import stable_seed  # noqa: E402
 
 P = 1e-4
 
-COMPONENTS = ("MWPM", "Promatch+Astrea", "Astrea-G", "Smith+Astrea")
-PARALLEL = {
-    "Promatch || AG": ("Promatch+Astrea", "Astrea-G"),
-    "Smith || AG": ("Smith+Astrea", "Astrea-G"),
-}
 ROW_ORDER = (
     "MWPM",
     "Promatch || AG",
@@ -57,46 +49,15 @@ ROW_ORDER = (
 )
 
 
-def tiered_shots(base: int):
-    """Boost shots where decoder differences are measurable.
-
-    Below k ~ 7, every configuration decodes perfectly (syndromes are
-    sparse and within everyone's capability); the paper's LER gaps open
-    at mid-range fault counts where predecoder mistakes and Astrea-G's
-    budget exhaustion first appear.  Spending 8x the shots there sharpens
-    exactly the rows the table is about.
-    """
-
-    def schedule(k: int) -> int:
-        if 7 <= k <= 13:
-            return 8 * base
-        return base
-
-    return schedule
-
-
 def run_table2() -> dict:
+    result = run_campaign_spec("table2.toml")
     payload = {"p": P, "shots_per_k": shots_per_k(), "k_max": k_max(), "rows": {}}
-    for distance in headline_distances():
-        bench = get_workbench(distance, P)
-        results = estimate_ler_suite(
-            components={name: bench.decoders[name] for name in COMPONENTS},
-            parallel_specs=PARALLEL,
-            dem=bench.dem,
-            p=P,
-            k_max=k_max(),
-            shots_per_k=shots_per_k(),
-            shots_for_k=tiered_shots(shots_per_k()),
-            rng=stable_seed("table2", distance),
-            shards=eval_shards(),
-            batch_size=eval_batch_size(),
-            pool=worker_pool(),
-            **ler_store_kwargs(bench),
-        )
-        payload["rows"][str(distance)] = {
+    for outcome in result.outcomes:
+        decoders = outcome.payload["decoders"]
+        payload["rows"][str(outcome.step.distance)] = {
             name: {
-                "ler": results[name].ler,
-                "ler_high": results[name].ler_high,
+                "ler": decoders[name]["ler"],
+                "ler_high": decoders[name]["ler_high"],
             }
             for name in ROW_ORDER
         }

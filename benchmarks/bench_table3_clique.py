@@ -11,6 +11,9 @@ The qualitative claim reproduced here: Clique+Astrea collapses by many
 orders of magnitude because Clique forwards every non-trivial high-HW
 syndrome unmodified and Astrea refuses HW > 10, while Clique+AG tracks
 Astrea-G exactly.
+
+The workload lives in ``campaigns/table3.toml``; this driver runs the
+spec and reshapes the consolidated payload into the legacy layout.
 """
 
 from __future__ import annotations
@@ -20,46 +23,24 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _common import (  # noqa: E402
-    eval_batch_size,
-    eval_shards,
-    get_workbench,
-    headline_distances,
-    k_max,
-    ler_store_kwargs,
+    run_campaign_spec,
     run_once,
     save_results,
-    shots_per_k,
-    worker_pool,
 )
 
-from repro.eval.ler import estimate_ler_suite  # noqa: E402
 from repro.eval.reporting import format_scientific, format_table  # noqa: E402
-from repro.utils.rng import stable_seed  # noqa: E402
 
 P = 1e-4
-COMPONENTS = ("Clique+Astrea", "Astrea-G")
-PARALLEL = {"Clique || AG": ("Clique+Astrea", "Astrea-G")}
+ROW_ORDER = ("Clique+Astrea", "Astrea-G", "Clique || AG")
 
 
 def run_table3() -> dict:
+    result = run_campaign_spec("table3.toml")
     payload = {"p": P, "rows": {}}
-    for distance in headline_distances():
-        bench = get_workbench(distance, P)
-        results = estimate_ler_suite(
-            components={name: bench.decoders[name] for name in COMPONENTS},
-            parallel_specs=PARALLEL,
-            dem=bench.dem,
-            p=P,
-            k_max=k_max(),
-            shots_per_k=shots_per_k(),
-            rng=stable_seed("table3", distance),
-            shards=eval_shards(),
-            batch_size=eval_batch_size(),
-            pool=worker_pool(),
-            **ler_store_kwargs(bench),
-        )
-        payload["rows"][str(distance)] = {
-            name: result.ler for name, result in results.items()
+    for outcome in result.outcomes:
+        decoders = outcome.payload["decoders"]
+        payload["rows"][str(outcome.step.distance)] = {
+            name: decoders[name]["ler"] for name in ROW_ORDER
         }
     return payload
 

@@ -19,7 +19,7 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from _common import env_int, get_workbench  # noqa: E402
+from _common import get_workbench, speedup_distance, speedup_shots  # noqa: E402
 
 from repro.core import PromatchPredecoder  # noqa: E402
 from repro.decoders import (  # noqa: E402
@@ -104,8 +104,8 @@ def bench_batch_decode_speedup(benchmark):
     regime the batch dedup fast path exists for.  CI smoke runs shrink
     the workload via REPRO_BENCH_SPEEDUP_DISTANCE / _SHOTS.
     """
-    distance = env_int("REPRO_BENCH_SPEEDUP_DISTANCE", 5)
-    shots = env_int("REPRO_BENCH_SPEEDUP_SHOTS", 20000)
+    distance = speedup_distance()
+    shots = speedup_shots()
     bench = get_workbench(distance, 1e-4)
     bench.graph.ensure_distances()
     batch = DemSampler(bench.dem, 1e-4, rng=20240720).sample(shots)

@@ -8,10 +8,15 @@ Subcommands mirror the workflows a downstream user actually wants:
 * ``sweep``     -- a whole (distance, p) grid of LER points as one
   resumable unit: single store, per-point keys, round-robin precision
   refinement, one persistent worker pool, one JSON artifact.
+* ``campaign``  -- run (``campaign run``) or inspect (``campaign
+  status`` / ``campaign explain``) a declarative TOML campaign spec:
+  a DAG of store-backed steps where fully-covered steps are skipped
+  with zero decode work (see docs/campaigns.md).
 * ``latency``   -- the Tables 4/5 latency census.
 * ``steps``     -- the Table 6 step-usage census.
 * ``decode``    -- sample one syndrome and show the full decoding trace.
-* ``store``     -- inspect (``store info``) or garbage-collect
+* ``store``     -- inspect (``store info``, optionally against a
+  campaign spec via ``--campaign``) or garbage-collect
   (``store prune --keep ...``) an experiment-store file.
 
 Examples::
@@ -24,15 +29,23 @@ Examples::
     python -m repro sweep --distances 11,13 --ps 1e-4,3e-4,5e-4 \\
         --shots-per-k 200 --shards 4 --store table.jsonl --resume \\
         --min-rel-precision 0.2 --out table.json
+    python -m repro campaign run benchmarks/campaigns/table2.toml \\
+        --store table2.jsonl --shards 4 --out table2.json
+    python -m repro campaign status benchmarks/campaigns/table2.toml \\
+        --store table2.jsonl           # coverage only; runs nothing
     python -m repro latency --distance 11 --shards 4
     python -m repro decode --distance 11 --p 1e-4
     python -m repro store info sweep.jsonl
+    python -m repro store info table2.jsonl \\
+        --campaign benchmarks/campaigns/table2.toml
     python -m repro store prune sweep.jsonl --keep 0123abcd4567ef89
 
 The ``--store``/``--resume`` pair makes ``ler`` and ``sweep`` runs
 restartable: every completed work slice is appended to the store file,
 and a resumed run replays them and pays only for the residual shots
-(see docs/experiment_store.md).
+(see docs/experiment_store.md).  Campaign runs always resume -- the
+store is their cache -- and flags follow the knob precedence rule
+(CLI flag > env var > spec value > default; see docs/campaigns.md).
 """
 
 from __future__ import annotations
@@ -165,6 +178,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the consolidated JSON artifact here",
     )
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run or inspect a declarative TOML campaign spec "
+             "(a DAG of store-backed steps; the store is the cache)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    def add_campaign_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", metavar="SPEC", help="TOML campaign spec file")
+        p.add_argument(
+            "--store", default=None, metavar="PATH",
+            help="experiment-store file (overrides the spec's store)",
+        )
+        p.add_argument(
+            "--seed", type=int, default=None,
+            help="campaign seed (overrides the spec; steps with a "
+                 "seed_salt are unaffected)",
+        )
+        p.add_argument("--shards", type=int, default=None,
+                       help="worker processes for the estimators")
+        p.add_argument("--census-shards", type=int, default=None,
+                       help="worker processes for the censuses")
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="cap on shots per decode_batch call")
+        p.add_argument("--shots-per-k", type=int, default=None,
+                       help="Eq. (1) base shots per k (steps may pin)")
+        p.add_argument("--census-shots", type=int, default=None,
+                       help="census shots per k (steps may pin)")
+        p.add_argument("--k-max", type=int, default=None,
+                       help="largest injected fault count (steps may pin)")
+        p.add_argument("--distances", default=None, metavar="D1,D2,...",
+                       help="comma-separated distances (steps may pin)")
+        p.add_argument("--min-rel-precision", type=float, default=None,
+                       metavar="R", help="relative-precision target")
+
+    campaign_run = campaign_sub.add_parser(
+        "run",
+        help="execute the campaign, skipping steps the store already "
+             "covers (zero decode work for cached steps)",
+    )
+    add_campaign_common(campaign_run)
+    campaign_run.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the consolidated JSON artifact here (overrides the "
+             "spec's out; byte-identical on a fully-cached re-run)",
+    )
+    campaign_status_p = campaign_sub.add_parser(
+        "status",
+        help="per-step store coverage without executing any decode work",
+    )
+    add_campaign_common(campaign_status_p)
+    campaign_explain = campaign_sub.add_parser(
+        "explain",
+        help="what `campaign run` would do per step (config keys, "
+             "seeds, budgets, cached-vs-run verdicts); runs nothing",
+    )
+    add_campaign_common(campaign_explain)
+
     latency = sub.add_parser("latency", help="Tables 4/5 latency census")
     add_common(latency)
     latency.add_argument("--shots-per-k", type=int, default=100)
@@ -195,6 +266,11 @@ def build_parser() -> argparse.ArgumentParser:
         "info", help="list stored (config, kind) groups with trial counts"
     )
     store_info.add_argument("path", metavar="STORE", help="store file (JSON lines)")
+    store_info.add_argument(
+        "--campaign", default=None, metavar="SPEC",
+        help="report per-step coverage of this TOML campaign spec "
+             "against the store (the executor's own coverage query)",
+    )
     store_prune = store_sub.add_parser(
         "prune",
         help="drop records whose config key is not in --keep "
@@ -220,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "info": _run_info,
         "ler": _run_ler,
         "sweep": _run_sweep,
+        "campaign": _run_campaign,
         "latency": _run_latency,
         "steps": _run_steps,
         "decode": _run_decode,
@@ -356,6 +433,116 @@ def _run_sweep(args) -> None:
         print(f"consolidated artifact written to {path}")
 
 
+def _campaign_cli(args) -> dict:
+    """Map campaign flags onto knob names (``None`` = flag not given)."""
+    distances = None
+    if getattr(args, "distances", None):
+        distances = [
+            int(tok) for tok in args.distances.split(",") if tok.strip()
+        ]
+    return {
+        "store": args.store,
+        "seed": args.seed,
+        "shards": args.shards,
+        "census_shards": args.census_shards,
+        "batch_size": args.batch_size,
+        "shots_per_k": args.shots_per_k,
+        "census_shots": args.census_shots,
+        "k_max": args.k_max,
+        "distances": distances,
+        "min_rel_precision": args.min_rel_precision,
+        "out": getattr(args, "out", None),
+    }
+
+
+def _load_campaign_or_exit(spec: str, cli: dict):
+    import tomllib
+
+    from repro.eval.campaign import load_campaign
+
+    try:
+        return load_campaign(spec, cli=cli)
+    except FileNotFoundError:
+        sys.exit(f"no campaign spec at {spec}")
+    except (ValueError, tomllib.TOMLDecodeError) as error:
+        sys.exit(f"invalid campaign spec {spec}: {error}")
+
+
+def _print_coverage(coverage, title: str) -> None:
+    rows = [
+        [
+            entry.step.step_id,
+            entry.step.kind_key,
+            f"{entry.usable}/{entry.budget}",
+            "cached" if entry.covered else f"run {entry.residual} trials",
+        ]
+        for entry in coverage
+    ]
+    print(format_table(["step", "kind", "trials", "verdict"], rows, title=title))
+    cached = sum(1 for entry in coverage if entry.covered)
+    print(f"{cached}/{len(coverage)} steps fully covered by the store")
+
+
+def _run_campaign(args) -> None:
+    from repro.eval.campaign import campaign_status, run_campaign
+
+    campaign = _load_campaign_or_exit(args.spec, _campaign_cli(args))
+    if args.campaign_command == "run":
+        result = run_campaign(
+            campaign, progress=lambda line: print(f"  [campaign] {line}")
+        )
+        rows = [
+            [
+                outcome.step.step_id,
+                outcome.step.kind_key,
+                f"{outcome.usable}/{outcome.budget}",
+                "cached" if outcome.cached else "ran",
+            ]
+            for outcome in result.outcomes
+        ]
+        print(format_table(
+            ["step", "kind", "trials", "outcome"], rows,
+            title=f"campaign {campaign.name}",
+        ))
+        print(
+            f"executed {len(result.executed)} steps, skipped "
+            f"{len(result.skipped)} cached steps, pool forks "
+            f"{result.pool_forks}"
+        )
+        out = args.out or campaign.out
+        if out:
+            path = result.save(out)
+            print(f"consolidated artifact written to {path}")
+        return
+    coverage = campaign_status(campaign)
+    if args.campaign_command == "status":
+        _print_coverage(
+            coverage,
+            f"campaign {campaign.name} vs store {campaign.store or '(none)'}",
+        )
+        return
+    # explain: the full per-step picture, nothing executed.
+    print(f"campaign {campaign.name} ({len(coverage)} steps)")
+    print(f"  store: {campaign.store or '(none; every step would run)'}")
+    print(f"  shards: {campaign.shards}, census shards: "
+          f"{campaign.census_shards}")
+    for entry in coverage:
+        step = entry.step
+        verdict = (
+            "cached -> skip (zero decode work)" if entry.covered
+            else f"run {entry.residual} residual trials"
+        )
+        print(f"  {step.step_id}: {verdict}")
+        print(f"    kind {step.kind_key}, config {step.config()}, "
+              f"seed {step.seed}")
+        print(f"    budget {entry.budget}, usable in store {entry.usable}")
+        if step.kind != "census":
+            names = ", ".join(step.names)
+            print(f"    configurations: {names}")
+        if step.depends_on:
+            print(f"    depends on: {', '.join(step.depends_on)}")
+
+
 def _run_latency(args) -> None:
     from repro.core import PromatchPredecoder
     from repro.decoders import AstreaDecoder
@@ -431,6 +618,17 @@ def _run_store(args) -> None:
     if not Path(args.path).exists():
         sys.exit(f"no store file at {args.path}")
     store = ExperimentStore(args.path)
+    if args.store_command == "info" and args.campaign:
+        from repro.eval.campaign import campaign_status
+
+        campaign = _load_campaign_or_exit(
+            args.campaign, {"store": args.path}
+        )
+        _print_coverage(
+            campaign_status(campaign, store=store),
+            f"campaign {campaign.name} vs store {args.path}",
+        )
+        return
     if args.store_command == "info":
         rows = [
             [config, kind, str(records), str(trials)]

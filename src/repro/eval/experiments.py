@@ -170,6 +170,12 @@ class Workbench:
             "Clique || AG": ParallelDecoder(
                 graph, clique_astrea, astrea_g, name="Clique || AG"
             ),
+            "Clique+MWPM": PredecodedDecoder(
+                graph,
+                CliquePredecoder(graph),
+                MWPMDecoder(graph),
+                name="Clique+MWPM",
+            ),
             "UnionFind": UnionFindDecoder(graph),
         }
         return zoo

@@ -99,6 +99,17 @@ from repro.sim.sampler import DemSampler, ExactKSampler, SyndromeBatch
 from repro.utils.rng import RngLike, ensure_rng
 
 
+class ResidualWorkNeeded(Exception):
+    """A replay-only evaluation found shots the store does not cover.
+
+    Raised instead of decoding when an estimator runs in replay-only
+    mode (placeholder decoders, no sampling): the campaign layer uses
+    it as the authoritative "is this step fully cached?" signal -- the
+    exact same slice-replay logic that a live run would execute decides,
+    so coverage checks and execution can never disagree.
+    """
+
+
 def decode_batch_chunked(
     decoder: Decoder,
     batch: SyndromeBatch,
@@ -211,6 +222,7 @@ def estimate_ler_direct(
     store_key: Optional[str] = None,
     resume: bool = False,
     pool: Optional[WorkerPool] = None,
+    replay_only: bool = False,
 ) -> Dict[str, DirectMonteCarloResult]:
     """Direct Monte-Carlo LER of several decoders on a shared workload.
 
@@ -247,12 +259,22 @@ def estimate_ler_direct(
             sound, but a fresh run would draw all shots from run 0).
         pool: Optional persistent :class:`WorkerPool`; sharded rounds
             reuse its live workers instead of forking per call.
+        replay_only: Assemble the estimate purely from stored slices;
+            raise :class:`ResidualWorkNeeded` (before touching any
+            decoder or sampler) if residual shots would be required.
+            Decoders may then be placeholders -- only their names are
+            read -- which is how the campaign layer answers "is this
+            step fully cached?" without building the decoder zoo.
 
     Returns:
         Name -> :class:`DirectMonteCarloResult`.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
+    if replay_only and (store is None or not resume):
+        raise ResidualWorkNeeded(
+            "replay-only evaluation requires store=... and resume=True"
+        )
     generator = ensure_rng(rng)
     if shards == 1 and store is None:
         # Historic inline path: the generator feeds the sampler directly.
@@ -304,6 +326,11 @@ def estimate_ler_direct(
             # ambiguous, so the residual run is not persisted.
             tasks.append((residual, derived_seed(seed, runs)))
             pending.append((seed, runs, not overshoot))
+    if tasks and replay_only:
+        raise ResidualWorkNeeded(
+            f"{sum(n for n, _seed in tasks)} residual direct-MC shots "
+            f"not covered by the store (config {store_key})"
+        )
     if tasks:
         if shards == 1 or len(tasks) <= 1:
             outputs = [

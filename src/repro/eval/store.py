@@ -21,6 +21,17 @@ the outcome of one slice run::
     {"config": "<sha256 prefix>", "kind": "eq1", "k": 7, "seed": 123,
      "run": 0, "shots": 1600, "counts": {"MWPM": [0, 1600], ...}}
 
+A second line shape stores whole-step *artifacts* -- the consolidated
+output of work that is not slice-decomposable (the high-HW censuses of
+the campaign layer)::
+
+    {"artifact": {"config": "...", "kind": "census_latency",
+                  "budget": 150, "payload": {...}}}
+
+Artifact lines are wrapped under a single ``"artifact"`` key so older
+readers (which require a top-level ``"config"``) skip them as foreign
+lines; the latest artifact per ``(config, kind)`` wins.
+
 ``config`` is the stable experiment key (:func:`config_key` /
 :func:`dem_config_key`): a hash over everything that determines the
 sampled workload distribution -- code family, distance, rounds, noise
@@ -175,6 +186,85 @@ class SliceRecord:
         return (self.config, self.kind, self.k, self.seed)
 
 
+@dataclass(frozen=True)
+class ArtifactRecord:
+    """One stored whole-step artifact (census results, etc.).
+
+    Unlike a :class:`SliceRecord`, an artifact is not decomposable into
+    resumable sub-runs: it is the complete, canonical output of one
+    step at one ``budget`` (the step's shot knob).  A stored artifact
+    whose budget covers a request satisfies it entirely -- the campaign
+    executor returns ``payload`` verbatim instead of recomputing.
+    """
+
+    config: str
+    kind: str
+    budget: int
+    payload: Mapping
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "artifact": {
+                    "config": self.config,
+                    "kind": self.kind,
+                    "budget": int(self.budget),
+                    "payload": self.payload,
+                }
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, line: str) -> Optional["ArtifactRecord"]:
+        """Parse one artifact line; ``None`` for any other line shape."""
+        try:
+            raw = json.loads(line)["artifact"]
+            return cls(
+                config=str(raw["config"]),
+                kind=str(raw["kind"]),
+                budget=int(raw["budget"]),
+                payload=raw["payload"],
+            )
+        except (ValueError, KeyError, TypeError, IndexError):
+            return None
+
+
+@dataclass(frozen=True)
+class Coverage:
+    """How much of one step's budget the store already holds.
+
+    ``usable`` is the larger of the usable slice trials and any stored
+    artifact's budget; ``covered`` is the campaign cache rule: a step is
+    skipped when the store holds at least its budget.
+    """
+
+    config: str
+    kind: str
+    usable: int
+    budget: int
+
+    @property
+    def covered(self) -> bool:
+        return self.usable >= self.budget
+
+
+def atomic_write_json(path, payload, *, sort_keys: bool = False) -> Path:
+    """Write a JSON artifact via the store's temp-file + rename dance.
+
+    A kill mid-write leaves the previous file (or no file) in place,
+    never a truncated JSON document.  Used by ``SweepResult.save``, the
+    campaign artifact writer, and the benchmark result files.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp_path = path.with_name(path.name + ".tmp")
+    with tmp_path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=sort_keys, default=float)
+    tmp_path.replace(path)
+    return path
+
+
 def derived_seed(seed: int, run: int) -> int:
     """Seed of sub-run ``run`` of a slice whose base seed is ``seed``.
 
@@ -203,6 +293,7 @@ class ExperimentStore:
     def __init__(self, path) -> None:
         self.path = Path(path)
         self._index: Dict[Tuple, Dict[int, SliceRecord]] = {}
+        self._artifacts: Dict[Tuple[str, str], ArtifactRecord] = {}
         self._stat: Optional[Tuple[int, int]] = None
 
     # -- disk I/O ----------------------------------------------------------------
@@ -235,6 +326,7 @@ class ExperimentStore:
         """Re-read the file if it changed since the last load."""
         if not self.path.exists():
             self._index = {}
+            self._artifacts = {}
             self._stat = None
             return
         stat = self.path.stat()
@@ -242,30 +334,55 @@ class ExperimentStore:
         if signature == self._stat:
             return
         index: Dict[Tuple, Dict[int, SliceRecord]] = {}
+        artifacts: Dict[Tuple[str, str], ArtifactRecord] = {}
         with self.path.open("r", encoding="utf-8") as handle:
             for line in handle:
                 record = SliceRecord.from_json(line)
                 if record is not None:
                     index.setdefault(record.slice_id, {})[record.run] = record
+                    continue
+                artifact = ArtifactRecord.from_json(line)
+                if artifact is not None:
+                    # Append order is write order: the latest wins.
+                    artifacts[(artifact.config, artifact.kind)] = artifact
         self._index = index
+        self._artifacts = artifacts
         self._stat = signature
 
-    def append(self, record: SliceRecord) -> None:
-        """Durably append one slice run (atomic single-line write)."""
+    def _append_line(self, data: bytes) -> None:
+        """Locked single-line append, safe after a torn final line.
+
+        A writer killed mid-line leaves a tail with no newline; blindly
+        appending would glue the new record onto that fragment and lose
+        both.  Start a fresh line whenever the file does not end in a
+        newline.
+        """
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        data = (record.to_json() + "\n").encode("utf-8")
         lock = self._acquire_lock()
         try:
-            fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
             try:
+                size = os.fstat(fd).st_size
+                if size > 0 and os.pread(fd, 1, size - 1) != b"\n":
+                    data = b"\n" + data
                 os.write(fd, data)
             finally:
                 os.close(fd)
         finally:
             self._release_lock(lock)
+
+    def append(self, record: SliceRecord) -> None:
+        """Durably append one slice run (atomic single-line write)."""
+        self._append_line((record.to_json() + "\n").encode("utf-8"))
         # Keep the in-memory index coherent without a disk round-trip;
         # the stat marker is dropped so foreign appends are still seen.
         self._index.setdefault(record.slice_id, {})[record.run] = record
+        self._stat = None
+
+    def append_artifact(self, record: ArtifactRecord) -> None:
+        """Durably append one whole-step artifact (latest per key wins)."""
+        self._append_line((record.to_json() + "\n").encode("utf-8"))
+        self._artifacts[(record.config, record.kind)] = record
         self._stat = None
 
     # -- queries -----------------------------------------------------------------
@@ -311,12 +428,23 @@ class ExperimentStore:
             for i in sorted(runs)
         ]
 
+    def artifact(self, config: str, kind: str) -> Optional[ArtifactRecord]:
+        """The latest stored artifact for ``(config, kind)``, if any."""
+        self._refresh()
+        return self._artifacts.get((config, kind))
+
+    def artifacts(self) -> List[ArtifactRecord]:
+        """Every stored artifact (latest per key), sorted by key."""
+        self._refresh()
+        return [self._artifacts[key] for key in sorted(self._artifacts)]
+
     def config_summary(self) -> List[Tuple[str, str, int, int]]:
         """Per ``(config, kind)``: stored record and trial counts.
 
         Sorted rows ``(config, kind, records, trials)`` -- the inventory
         ``python -m repro store info`` prints so an operator can decide
-        which config hashes a :meth:`prune` should keep.
+        which config hashes a :meth:`prune` should keep.  An artifact
+        counts as one record whose trials are its budget.
         """
         self._refresh()
         summary: Dict[Tuple[str, str], List[int]] = {}
@@ -324,6 +452,10 @@ class ExperimentStore:
             entry = summary.setdefault((record.config, record.kind), [0, 0])
             entry[0] += 1
             entry[1] += record.shots
+        for artifact in self.artifacts():
+            entry = summary.setdefault((artifact.config, artifact.kind), [0, 0])
+            entry[0] += 1
+            entry[1] += artifact.budget
         return [
             (config, kind, records, trials)
             for (config, kind), (records, trials) in sorted(summary.items())
@@ -363,6 +495,25 @@ class ExperimentStore:
                 )
         return total
 
+    def coverage(
+        self, config: str, kind: str, names: Sequence[str], budget: int
+    ) -> Coverage:
+        """How much of a ``budget``-trial request the store satisfies.
+
+        The single coverage query behind the campaign layer's cache
+        rule (:mod:`repro.eval.campaign`): ``usable`` is the larger of
+        the resume-visible slice trials (:meth:`usable_trials`) and any
+        stored whole-step artifact's budget, and ``covered`` means the
+        request needs no new decode work.
+        """
+        usable = self.usable_trials(config, kind, names)
+        artifact = self.artifact(config, kind)
+        if artifact is not None:
+            usable = max(usable, artifact.budget)
+        return Coverage(
+            config=config, kind=kind, usable=usable, budget=int(budget)
+        )
+
     # -- maintenance -------------------------------------------------------------
 
     def _rewrite_locked(self, keep) -> Tuple[int, int]:
@@ -374,23 +525,33 @@ class ExperimentStore:
         records appended by concurrent processes are never lost to the
         rename, and the write-temp-then-rename dance means a crash
         mid-rewrite never loses data.  Torn/foreign lines are always
-        dropped.  Returns ``(records_before, records_kept)``.
+        dropped.  Artifacts survive the rewrite (deduplicated to the
+        latest per key) subject to the same keep predicate, which sees
+        either record type and may dispatch on it.  Returns
+        ``(records_before, records_kept)`` counting both types.
         """
         lock = self._acquire_lock()
         try:
             self._stat = None
             self._refresh()
             records = self.records()
+            artifacts = self.artifacts()
             kept = [record for record in records if keep(record)]
+            kept_artifacts = [a for a in artifacts if keep(a)]
             tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
             with tmp_path.open("w", encoding="utf-8") as handle:
                 for record in kept:
                     handle.write(record.to_json() + "\n")
+                for artifact in kept_artifacts:
+                    handle.write(artifact.to_json() + "\n")
             tmp_path.replace(self.path)
             self._stat = None
         finally:
             self._release_lock(lock)
-        return len(records), len(kept)
+        return (
+            len(records) + len(artifacts),
+            len(kept) + len(kept_artifacts),
+        )
 
     def compact(self) -> int:
         """Rewrite the file dropping torn lines and exact duplicates.

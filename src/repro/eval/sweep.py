@@ -37,7 +37,6 @@ counters, so resume equals fresh bitwise even when the cap binds.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
@@ -46,10 +45,11 @@ from repro.eval.ler import (
     DirectMonteCarloResult,
     Eq1Session,
     ImportanceLerResult,
+    ResidualWorkNeeded,
     estimate_ler_direct,
 )
 from repro.eval.pool import WorkerPool
-from repro.eval.store import ExperimentStore
+from repro.eval.store import ExperimentStore, atomic_write_json
 from repro.utils.rng import stable_seed
 
 SWEEP_KINDS = ("eq1", "direct")
@@ -231,12 +231,12 @@ class SweepResult:
         }
 
     def save(self, path) -> Path:
-        """Write the consolidated artifact as JSON; returns the path."""
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with path.open("w", encoding="utf-8") as handle:
-            json.dump(self.to_payload(), handle, indent=2, default=float)
-        return path
+        """Write the consolidated artifact as JSON; returns the path.
+
+        The write goes through the store's temp-file + rename dance, so
+        a kill mid-write can never leave a truncated artifact.
+        """
+        return atomic_write_json(path, self.to_payload())
 
 
 def _default_workbench_factory(distance: int, p: float):
@@ -267,6 +267,190 @@ def _direct_target_met(
         ):
             return False
     return True
+
+
+class Eq1PointRunner:
+    """One Eq. (1) operating point as a drivable step.
+
+    The common step protocol shared by :func:`run_sweep` (which
+    round-robins :meth:`refine_once` across a grid) and the campaign
+    executor (:mod:`repro.eval.campaign`, which drives one point to
+    completion): :meth:`base_round` takes the point to its base budget,
+    :meth:`refine_once` executes at most one refinement round (False =
+    nothing left to do), :meth:`results` assembles the estimates.
+
+    With ``replay_only=True`` the runner never decodes: any plan with
+    residual shots raises
+    :class:`~repro.eval.ler.ResidualWorkNeeded` instead.  ``components``
+    may then be placeholders (only names are read), so "is this point
+    fully cached?" is answered by the *same* store-replay logic a live
+    run executes -- one source of truth for the campaign cache rule.
+    """
+
+    kind = "eq1"
+
+    def __init__(
+        self,
+        *,
+        components: Mapping[str, object],
+        parallel: Mapping[str, Tuple[str, str]],
+        dem,
+        p: float,
+        k_max: int,
+        seed: int,
+        shots_per_k: int,
+        shots_for_k: Optional[Callable[[int], int]] = None,
+        k_min: int = 1,
+        shards: int = 1,
+        batch_size: Optional[int] = None,
+        store: Optional[ExperimentStore] = None,
+        store_key: Optional[str] = None,
+        resume: bool = False,
+        pool: Optional[WorkerPool] = None,
+        replay_only: bool = False,
+    ) -> None:
+        self.replay_only = replay_only
+        self.shots_per_k = shots_per_k
+        self.shots_for_k = shots_for_k
+        self.session = Eq1Session(
+            components=components,
+            parallel_specs=parallel,
+            dem=dem,
+            p=p,
+            k_max=k_max,
+            rng=seed,
+            k_min=k_min,
+            shards=shards,
+            batch_size=batch_size,
+            store=store,
+            store_key=store_key,
+            resume=resume,
+            pool=pool,
+        )
+
+    def base_budget(self) -> int:
+        """Total base trials over the point's contributing k values."""
+        return sum(
+            self.shots_for_k(k) if self.shots_for_k is not None
+            else self.shots_per_k
+            for k in self.session.k_values
+        )
+
+    def base_round(self) -> None:
+        plan = self.session.base_plan(self.shots_per_k, self.shots_for_k)
+        if self.replay_only and any(n > 0 for n in plan.values()):
+            residual = sum(n for n in plan.values() if n > 0)
+            raise ResidualWorkNeeded(
+                f"{residual} residual Eq. (1) shots not covered by the "
+                f"store (config {self.session.store_key})"
+            )
+        self.session.evaluate_round(plan)
+
+    def refine_once(
+        self, min_rel_precision: float, max_refine_rounds: int = 6
+    ) -> bool:
+        plan = self.session.refinement_plan(
+            min_rel_precision, max_refine_rounds
+        )
+        if not plan:
+            return False
+        if self.replay_only:
+            raise ResidualWorkNeeded(
+                "refinement toward the precision target needs shots not "
+                f"covered by the store (config {self.session.store_key})"
+            )
+        self.session.evaluate_round(plan)
+        return True
+
+    def results(self) -> Dict[str, ImportanceLerResult]:
+        return self.session.assemble()
+
+
+class DirectPointRunner:
+    """One direct-MC operating point as a drivable step.
+
+    Same protocol as :class:`Eq1PointRunner`.  Refinement doubles the
+    accumulated trials (never a per-process round counter), capped at
+    ``2 ** max_refine_rounds`` times the base budget, and growth rounds
+    always resume against the store -- they replay the records the base
+    round just wrote.
+    """
+
+    kind = "direct"
+
+    def __init__(
+        self,
+        *,
+        decoders: Mapping[str, object],
+        dem,
+        p: float,
+        shots: int,
+        seed: int,
+        shards: int = 1,
+        batch_size: Optional[int] = None,
+        store: Optional[ExperimentStore] = None,
+        store_key: Optional[str] = None,
+        resume: bool = False,
+        pool: Optional[WorkerPool] = None,
+        replay_only: bool = False,
+    ) -> None:
+        self.decoders = decoders
+        self.dem = dem
+        self.p = p
+        self.shots = shots
+        self.seed = seed
+        self.shards = shards
+        self.batch_size = batch_size
+        self.store = store
+        self.store_key = store_key
+        self.resume = resume
+        self.pool = pool
+        self.replay_only = replay_only
+        self._results: Optional[Dict[str, DirectMonteCarloResult]] = None
+
+    def base_budget(self) -> int:
+        return self.shots
+
+    def _estimate(
+        self, shots: int, resume: bool
+    ) -> Dict[str, DirectMonteCarloResult]:
+        return estimate_ler_direct(
+            self.decoders,
+            self.dem,
+            self.p,
+            shots=shots,
+            rng=self.seed,
+            shards=self.shards,
+            batch_size=self.batch_size,
+            store=self.store,
+            store_key=self.store_key,
+            resume=resume,
+            pool=self.pool,
+            replay_only=self.replay_only,
+        )
+
+    def base_round(self) -> None:
+        self._results = self._estimate(self.shots, resume=self.resume)
+
+    def refine_once(
+        self, min_rel_precision: float, max_refine_rounds: int = 6
+    ) -> bool:
+        assert self._results is not None, "base_round must run first"
+        if _direct_target_met(self._results, min_rel_precision):
+            return False
+        # Next budget doubles the trials accumulated so far (not a
+        # per-process round counter), capped at 2**max_refine_rounds
+        # times the base.
+        current = next(iter(self._results.values())).estimate.trials
+        budget = 2 * max(self.shots, current)
+        if budget > self.shots * 2**max_refine_rounds:
+            return False
+        self._results = self._estimate(budget, resume=self.store is not None)
+        return True
+
+    def results(self) -> Dict[str, DirectMonteCarloResult]:
+        assert self._results is not None, "base_round must run first"
+        return self._results
 
 
 def run_sweep(
@@ -326,7 +510,7 @@ def run_sweep(
     forks_before = pool.forks if pool is not None else 0
     try:
         points: List[SweepPointResult] = []
-        sessions: List[Tuple[SweepPointResult, object]] = []
+        runners: List[Tuple[SweepPointResult, object]] = []
         for distance, p in grid.points():
             bench = factory(distance, p)
             store_key = (
@@ -367,13 +551,14 @@ def run_sweep(
             )
             points.append(entry)
             if grid.kind == "eq1":
-                session = Eq1Session(
+                runner = Eq1PointRunner(
                     components=decoder_map,
-                    parallel_specs=grid.parallel,
+                    parallel=grid.parallel,
                     dem=bench.dem,
                     p=p,
                     k_max=grid.k_max,
-                    rng=point_rng,
+                    seed=point_rng,
+                    shots_per_k=grid.shots_per_k,
                     k_min=grid.k_min,
                     shards=shards,
                     batch_size=batch_size,
@@ -382,16 +567,13 @@ def run_sweep(
                     resume=resume,
                     pool=pool,
                 )
-                session.evaluate_round(session.base_plan(grid.shots_per_k))
-                entry.results = session.assemble()
-                sessions.append((entry, session))
             else:
-                entry.results = estimate_ler_direct(
-                    decoder_map,
-                    bench.dem,
-                    p,
+                runner = DirectPointRunner(
+                    decoders=decoder_map,
+                    dem=bench.dem,
+                    p=p,
                     shots=grid.shots,
-                    rng=point_rng,
+                    seed=point_rng,
                     shards=shards,
                     batch_size=batch_size,
                     store=store,
@@ -399,10 +581,9 @@ def run_sweep(
                     resume=resume,
                     pool=pool,
                 )
-                # Growth rounds replay the records this sweep just
-                # wrote, so they resume against the store regardless of
-                # the caller's resume flag.
-                sessions.append((entry, (decoder_map, bench.dem, grid.shots)))
+            runner.base_round()
+            entry.results = runner.results()
+            runners.append((entry, runner))
             if progress is not None:
                 # usable_trials re-reads the store; only pay for it
                 # when someone is listening.
@@ -425,45 +606,12 @@ def run_sweep(
             # capped budgets.
             while True:
                 any_work = False
-                for entry, state in sessions:
-                    if grid.kind == "eq1":
-                        plan = state.refinement_plan(
-                            min_rel_precision, max_refine_rounds
-                        )
-                        if not plan:
-                            continue
-                        state.evaluate_round(plan)
-                        entry.results = state.assemble()
-                    else:
-                        if _direct_target_met(
-                            entry.results, min_rel_precision
-                        ):
-                            continue
-                        decoder_map, dem, base_shots = state
-                        # Next budget doubles the trials accumulated so
-                        # far (not a per-process round counter), capped
-                        # at 2**max_refine_rounds times the base.
-                        current = next(
-                            iter(entry.results.values())
-                        ).estimate.trials
-                        budget = 2 * max(base_shots, current)
-                        if budget > base_shots * 2**max_refine_rounds:
-                            continue
-                        entry.results = estimate_ler_direct(
-                            decoder_map,
-                            dem,
-                            entry.p,
-                            shots=budget,
-                            rng=_point_seed(
-                                seed, entry.distance, entry.p, grid.kind
-                            ),
-                            shards=shards,
-                            batch_size=batch_size,
-                            store=store,
-                            store_key=entry.store_key,
-                            resume=store is not None,
-                            pool=pool,
-                        )
+                for entry, runner in runners:
+                    if not runner.refine_once(
+                        min_rel_precision, max_refine_rounds
+                    ):
+                        continue
+                    entry.results = runner.results()
                     entry.refine_rounds += 1
                     any_work = True
                     note(

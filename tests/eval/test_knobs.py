@@ -1,0 +1,111 @@
+"""Tests for the scaling-knob registry (repro.eval.knobs).
+
+The registry carries one precedence rule -- CLI flag > env var > spec
+value > default -- shared by benchmarks, campaign specs, and the CLI.
+"""
+
+import pytest
+
+from repro.eval.knobs import (
+    CORE_KNOBS,
+    MISSING,
+    Knob,
+    KnobRegistry,
+    parse_bool,
+    parse_float_list,
+    parse_int_list,
+    parse_positive_int_or_none,
+    parse_str,
+)
+
+
+class TestParsers:
+    def test_int_list(self):
+        assert parse_int_list("3, 5,7") == [3, 5, 7]
+        assert parse_int_list("") == []
+
+    def test_float_list(self):
+        assert parse_float_list("1e-4,2e-4") == [1e-4, 2e-4]
+
+    def test_bool_is_numeric_flag(self):
+        assert parse_bool("1") is True
+        assert parse_bool("0") is False
+
+    def test_positive_int_or_none(self):
+        assert parse_positive_int_or_none("8") == 8
+        assert parse_positive_int_or_none("0") is None
+        assert parse_positive_int_or_none("-3") is None
+
+    def test_str_strips(self):
+        assert parse_str("  store.jsonl ") == "store.jsonl"
+
+
+class TestKnob:
+    def test_from_env_missing_and_empty(self):
+        knob = Knob("x", "REPRO_TEST_X", int, 7)
+        assert knob.from_env({}) is MISSING
+        assert knob.from_env({"REPRO_TEST_X": ""}) is MISSING
+        assert knob.from_env({"REPRO_TEST_X": "  "}) is MISSING
+        assert knob.from_env({"REPRO_TEST_X": "11"}) == 11
+
+
+class TestRegistry:
+    def _registry(self):
+        return KnobRegistry([Knob("shots", "REPRO_TEST_SHOTS", int, 100)])
+
+    def test_precedence_default(self):
+        assert self._registry().resolve("shots", environ={}) == 100
+
+    def test_precedence_spec_beats_default(self):
+        assert self._registry().resolve("shots", spec=250, environ={}) == 250
+
+    def test_precedence_env_beats_spec(self):
+        env = {"REPRO_TEST_SHOTS": "500"}
+        assert self._registry().resolve("shots", spec=250, environ=env) == 500
+
+    def test_precedence_cli_beats_env(self):
+        env = {"REPRO_TEST_SHOTS": "500"}
+        assert (
+            self._registry().resolve("shots", cli=900, spec=250, environ=env)
+            == 900
+        )
+
+    def test_spec_none_falls_through(self):
+        assert self._registry().resolve("shots", spec=None, environ={}) == 100
+
+    def test_unknown_knob(self):
+        with pytest.raises(KeyError, match="unknown knob"):
+            self._registry().resolve("nope")
+
+    def test_reregister_identical_is_noop(self):
+        registry = self._registry()
+        registry.register("shots", "REPRO_TEST_SHOTS", int, 100)
+        assert registry.resolve("shots", environ={}) == 100
+
+    def test_reregister_conflicting_definition_raises(self):
+        registry = self._registry()
+        with pytest.raises(ValueError, match="different definition"):
+            registry.register("shots", "REPRO_TEST_OTHER", int, 100)
+
+    def test_default_accessor(self):
+        assert self._registry().default("shots") == 100
+
+
+class TestCoreKnobs:
+    """The shared knob set keeps its historic env-var contract."""
+
+    def test_legacy_env_names(self):
+        expected = {
+            "shots_per_k": "REPRO_BENCH_SHOTS_PER_K",
+            "census_shots": "REPRO_BENCH_CENSUS_SHOTS",
+            "k_max": "REPRO_BENCH_KMAX",
+            "distances": "REPRO_BENCH_DISTANCES",
+            "shards": "REPRO_BENCH_SHARDS",
+            "store": "REPRO_BENCH_STORE",
+        }
+        for name, env in expected.items():
+            assert CORE_KNOBS.get(name).env == env
+
+    def test_distances_parse(self):
+        env = {"REPRO_BENCH_DISTANCES": "7,9,11"}
+        assert CORE_KNOBS.resolve("distances", environ=env) == [7, 9, 11]

@@ -490,3 +490,112 @@ class TestMinRelPrecision:
                 rng=1,
                 min_rel_precision=0.0,
             )
+
+
+class TestArtifacts:
+    """Whole-step artifacts: the census half of the campaign cache."""
+
+    def _artifact(self, budget=100, config="cfg", kind="census_latency",
+                  payload=None):
+        from repro.eval.store import ArtifactRecord
+
+        return ArtifactRecord(
+            config=config,
+            kind=kind,
+            budget=budget,
+            payload=payload if payload is not None else {"value": 1.5},
+        )
+
+    def test_append_and_read_back(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store.jsonl")
+        store.append_artifact(self._artifact())
+        fresh = ExperimentStore(tmp_path / "store.jsonl")
+        artifact = fresh.artifact("cfg", "census_latency")
+        assert artifact is not None
+        assert artifact.budget == 100
+        assert artifact.payload == {"value": 1.5}
+        assert fresh.artifact("cfg", "census_steps") is None
+
+    def test_latest_per_key_wins(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store.jsonl")
+        store.append_artifact(self._artifact(budget=100))
+        store.append_artifact(self._artifact(budget=250, payload={"v": 2}))
+        fresh = ExperimentStore(tmp_path / "store.jsonl")
+        assert fresh.artifact("cfg", "census_latency").budget == 250
+        assert len(fresh.artifacts()) == 1
+
+    def test_artifacts_do_not_pollute_slice_queries(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store.jsonl")
+        store.append(_record(shots=40))
+        store.append_artifact(self._artifact(kind="eq1"))
+        fresh = ExperimentStore(tmp_path / "store.jsonl")
+        assert len(fresh.records()) == 1
+        assert fresh.usable_trials("cfg", "eq1", ["MWPM"]) == 40
+
+    def test_coverage_takes_the_larger_of_slices_and_artifact(self, tmp_path):
+        store = ExperimentStore(tmp_path / "store.jsonl")
+        store.append(_record(shots=40))
+        coverage = store.coverage("cfg", "eq1", ["MWPM"], budget=100)
+        assert coverage.usable == 40 and not coverage.covered
+        store.append_artifact(self._artifact(budget=120, kind="eq1"))
+        coverage = store.coverage("cfg", "eq1", ["MWPM"], budget=100)
+        assert coverage.usable == 120 and coverage.covered
+
+    def test_compact_preserves_artifacts(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ExperimentStore(path)
+        store.append(_record())
+        store.append_artifact(self._artifact(budget=100))
+        store.append_artifact(self._artifact(budget=300))
+        with path.open("a") as handle:
+            handle.write("garbage\n")
+        assert ExperimentStore(path).compact() == 2  # slice + latest artifact
+        fresh = ExperimentStore(path)
+        assert fresh.artifact("cfg", "census_latency").budget == 300
+        assert len(fresh.records()) == 1
+
+    def test_prune_drops_stale_artifacts(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ExperimentStore(path)
+        store.append_artifact(self._artifact(config="live"))
+        store.append_artifact(self._artifact(config="stale"))
+        assert ExperimentStore(path).prune(["live"]) == 1
+        fresh = ExperimentStore(path)
+        assert fresh.artifact("live", "census_latency") is not None
+        assert fresh.artifact("stale", "census_latency") is None
+
+    def test_torn_artifact_line_skipped(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ExperimentStore(path)
+        store.append_artifact(self._artifact())
+        with path.open("a") as handle:
+            handle.write('{"artifact": {"config": "cfg", "kind": "cen')
+        fresh = ExperimentStore(path)
+        assert fresh.artifact("cfg", "census_latency").budget == 100
+
+
+class TestAtomicWriteJson:
+    def test_writes_via_rename_and_leaves_no_temp(self, tmp_path):
+        from repro.eval.store import atomic_write_json
+
+        target = tmp_path / "out" / "artifact.json"
+        written = atomic_write_json(target, {"b": 2, "a": 1}, sort_keys=True)
+        assert written == target
+        assert target.read_text().startswith('{\n  "a": 1')
+        leftovers = [p for p in target.parent.iterdir() if p != target]
+        assert leftovers == []
+
+
+class TestAppendAfterTornTail:
+    def test_append_starts_a_fresh_line_after_torn_tail(self, tmp_path):
+        """A record appended after a kill-torn line must survive."""
+        path = tmp_path / "store.jsonl"
+        store = ExperimentStore(path)
+        store.append(_record(k=1))
+        with path.open("a") as handle:
+            handle.write('{"slice": {"config": "torn')  # no newline
+        fresh = ExperimentStore(path)
+        fresh.append(_record(k=2))
+        reread = ExperimentStore(path)
+        assert len(reread.records()) == 2
+        assert reread.usable_trials("cfg", "eq1", ["MWPM"]) == 20

@@ -190,3 +190,73 @@ class TestStoreCommand:
         with pytest.raises(SystemExit, match="typo0123"):
             main(["store", "prune", str(path), "--keep", "live,typo0123"])
         assert path.read_text() == before
+
+
+class TestCampaignCommand:
+    """``python -m repro campaign run/status/explain`` + store info."""
+
+    def _write_spec(self, tmp_path):
+        spec = tmp_path / "tiny.toml"
+        spec.write_text(
+            "[campaign]\n"
+            'name = "tiny"\n'
+            f'store = "{tmp_path / "store.jsonl"}"\n'
+            "\n"
+            "[[steps]]\n"
+            'name = "mc"\n'
+            'kind = "direct"\n'
+            "distances = [3]\n"
+            "error_rates = [5e-3]\n"
+            'decoders = ["MWPM"]\n'
+            "shots = 200\n"
+        )
+        return spec
+
+    def test_parser_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "run", "spec.toml", "--shots-per-k", "40",
+             "--distances", "3,5", "--out", "o.json"]
+        )
+        assert args.campaign_command == "run"
+        assert args.shots_per_k == 40
+        assert args.out == "o.json"
+
+    def test_missing_spec_exits(self, tmp_path):
+        with pytest.raises(SystemExit, match="no campaign spec"):
+            main(["campaign", "status", str(tmp_path / "ghost.toml")])
+
+    def test_invalid_spec_exits(self, tmp_path):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('[campaign]\nname = "x"\n')  # no steps
+        with pytest.raises(SystemExit, match="invalid campaign spec"):
+            main(["campaign", "explain", str(bad)])
+
+    def test_run_then_cached_rerun(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        out = tmp_path / "tiny.json"
+
+        assert main(["campaign", "explain", str(spec)]) == 0
+        assert "residual trials" in capsys.readouterr().out
+
+        assert main(["campaign", "run", str(spec), "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "executed 1 steps, skipped 0 cached steps" in text
+        first = out.read_bytes()
+
+        assert main(["campaign", "status", str(spec)]) == 0
+        assert "1/1 steps fully covered" in capsys.readouterr().out
+
+        assert main(["campaign", "run", str(spec), "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "executed 0 steps, skipped 1 cached steps" in text
+        assert "pool forks 0" in text
+        assert out.read_bytes() == first
+
+    def test_store_info_campaign_coverage(self, capsys, tmp_path):
+        spec = self._write_spec(tmp_path)
+        store = tmp_path / "store.jsonl"
+        assert main(["campaign", "run", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["store", "info", str(store), "--campaign", str(spec)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 steps fully covered" in out
