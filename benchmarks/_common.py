@@ -46,6 +46,15 @@ also override whatever a campaign spec declares.  The env vars:
   growth-engine bench (defaults 9 / 3e-3 / 20000: the regime where
   syndromes stop repeating and dedup stops paying; CI smoke shrinks
   the shot count).
+* ``REPRO_BENCH_SERVE_DISTANCE`` / ``REPRO_BENCH_SERVE_P`` /
+  ``REPRO_BENCH_SERVE_REQUESTS`` / ``REPRO_BENCH_SERVE_WINDOW_MS`` /
+  ``REPRO_BENCH_SERVE_MAX_BATCH`` / ``REPRO_BENCH_SERVE_CLIENTS`` /
+  ``REPRO_BENCH_SERVE_DECODERS`` / ``REPRO_BENCH_SERVE_SPEEDUP_FLOOR``
+  -- workload of the decoding-service bench (defaults 9 / 3e-3 / 4000
+  / 1.0 / 256 / 4 / "Promatch+Astrea,UnionFind" / 2.0: replicated
+  clients streaming one heavy d=9 shard, the cross-client coalescing
+  regime; CI smoke shrinks the scale and drops the speedup floor,
+  which only means anything at full scale).
 * ``REPRO_BENCH_PROMATCH_DISTANCE`` / ``REPRO_BENCH_PROMATCH_P`` /
   ``REPRO_BENCH_PROMATCH_SHOTS_PER_K`` / ``REPRO_BENCH_PROMATCH_KMAX``
   / ``REPRO_BENCH_PROMATCH_REPEATS`` -- workload of the Promatch
@@ -126,6 +135,25 @@ KNOBS.register("speedup_distance", "REPRO_BENCH_SPEEDUP_DISTANCE",
                parse_int, 5, "batch-vs-loop speedup bench code distance")
 KNOBS.register("speedup_shots", "REPRO_BENCH_SPEEDUP_SHOTS", parse_int,
                20000, "batch-vs-loop speedup bench shots")
+KNOBS.register("serve_distance", "REPRO_BENCH_SERVE_DISTANCE", parse_int, 9,
+               "serving bench code distance")
+KNOBS.register("serve_p", "REPRO_BENCH_SERVE_P", parse_float, 3e-3,
+               "serving bench physical error rate")
+KNOBS.register("serve_requests", "REPRO_BENCH_SERVE_REQUESTS", parse_int,
+               4000, "serving bench total requests")
+KNOBS.register("serve_window_ms", "REPRO_BENCH_SERVE_WINDOW_MS", parse_float,
+               1.0, "serving bench micro-batching window (ms)")
+KNOBS.register("serve_max_batch", "REPRO_BENCH_SERVE_MAX_BATCH", parse_int,
+               256, "serving bench early-flush batch size")
+KNOBS.register("serve_clients", "REPRO_BENCH_SERVE_CLIENTS", parse_int, 4,
+               "serving bench replicated clients per shard")
+KNOBS.register("serve_decoders", "REPRO_BENCH_SERVE_DECODERS", str,
+               "Promatch+Astrea,UnionFind",
+               "serving bench decoder zoo (comma-separated)")
+KNOBS.register("serve_speedup_floor", "REPRO_BENCH_SERVE_SPEEDUP_FLOOR",
+               parse_float, 2.0,
+               "minimum micro-batch/per-request throughput ratio the "
+               "bench asserts (CI smoke sets 0 at toy scale)")
 KNOBS.register("grid", "REPRO_BENCH_GRID", _parse_grid, None,
                "sweep bench operating grid as 'd1,d2:p1,p2'")
 
@@ -184,6 +212,39 @@ def speedup_distance() -> int:
 
 def speedup_shots() -> int:
     return int(KNOBS.resolve("speedup_shots"))
+
+
+def serve_distance() -> int:
+    return int(KNOBS.resolve("serve_distance"))
+
+
+def serve_p() -> float:
+    return float(KNOBS.resolve("serve_p"))
+
+
+def serve_requests() -> int:
+    return int(KNOBS.resolve("serve_requests"))
+
+
+def serve_window_ms() -> float:
+    return float(KNOBS.resolve("serve_window_ms"))
+
+
+def serve_max_batch() -> int:
+    return int(KNOBS.resolve("serve_max_batch"))
+
+
+def serve_clients() -> int:
+    return int(KNOBS.resolve("serve_clients"))
+
+
+def serve_decoders() -> List[str]:
+    value = KNOBS.resolve("serve_decoders")
+    return [n.strip() for n in value.split(",") if n.strip()]
+
+
+def serve_speedup_floor() -> float:
+    return float(KNOBS.resolve("serve_speedup_floor"))
 
 
 def eval_shards() -> int:

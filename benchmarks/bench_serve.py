@@ -1,0 +1,254 @@
+"""Decoding-service benchmark: micro-batching vs per-request decode.
+
+The workload is replicated-shard replay: ``serve_clients()`` clients
+each stream the *same* fixed-seed d=9 shard of distinct sampled
+syndromes through the service (the way sweep shards consume a stored
+batch), per decoder config.  That is the cross-client coalescing regime
+the micro-batching window exists for — at any instant the in-flight
+requests of different clients overlap heavily, so one coalesced
+``decode_batch`` call serves each distinct syndrome once for ~clients
+submissions of it.
+
+Two ways to serve it:
+
+* **per-request** -- every request decoded individually (one ``decode``
+  call per arrival), the way a naive service would;
+* **micro-batch** -- the real :class:`~repro.serve.server.DecodeService`
+  front end coalescing across clients inside the batching window.
+
+Results must be element-wise identical; the bench additionally replays a
+forced-fault schedule on the virtual clock to confirm failure isolation,
+and asserts the micro-batching throughput beats per-request by
+``serve_speedup_floor()`` (2x by default; CI smoke drops the floor since
+at toy scale the asyncio overhead, not decoding, dominates).
+
+The artifact lands in ``benchmarks/results/serve_microbatch.json`` with
+sustained throughput and p50/p95/p99 tail latency for both modes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _common import (  # noqa: E402
+    get_workbench,
+    run_once,
+    save_results,
+    serve_clients,
+    serve_decoders,
+    serve_distance,
+    serve_max_batch,
+    serve_p,
+    serve_requests,
+    serve_speedup_floor,
+    serve_window_ms,
+)
+
+from repro.serve import (  # noqa: E402
+    DecodeService,
+    DecoderPool,
+    FaultyDecoder,
+    InjectedFault,
+    VirtualClock,
+    poisson_arrivals,
+    run_traffic,
+    shard_replay_arrivals,
+)
+
+SEED = 20240803
+
+
+def _quantiles_ms(samples) -> dict:
+    if not len(samples):
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    p50, p95, p99 = np.percentile(np.asarray(samples, dtype=float), [50, 95, 99])
+    return {
+        "p50_ms": float(p50) * 1e3,
+        "p95_ms": float(p95) * 1e3,
+        "p99_ms": float(p99) * 1e3,
+    }
+
+
+def _schedule(bench, names):
+    """The fixed-seed replicated-shard schedule shared by both modes."""
+    clients = serve_clients()
+    keys = {name: bench.store_key(f"serve:{name}") for name in names}
+    shard_len = max(1, serve_requests() // (clients * len(names)))
+    batch = bench.sample(4 * shard_len)
+    shard, seen = [], set()
+    for events in batch.events:
+        syndrome = tuple(int(e) for e in events)
+        if syndrome not in seen:
+            seen.add(syndrome)
+            shard.append(syndrome)
+        if len(shard) == shard_len:
+            break
+    arrivals = shard_replay_arrivals(
+        {keys[name]: shard for name in names},
+        clients=clients,
+        rate_hz=None,  # saturation: offered load exceeds capacity
+        rng=SEED,
+    )
+    return keys, arrivals
+
+
+def _per_request(decoders_by_key, arrivals):
+    """The naive service: one decode call per arrival, no coalescing."""
+    latencies = []
+    results = []
+    start = time.perf_counter()
+    for arrival in arrivals:
+        t0 = time.perf_counter()
+        results.append(decoders_by_key[arrival.config].decode(arrival.events))
+        latencies.append(time.perf_counter() - t0)
+    seconds = time.perf_counter() - start
+    return results, seconds, latencies
+
+
+def _micro_batch(pool, arrivals):
+    """The real service front end on the event-loop clock."""
+
+    async def main():
+        service = DecodeService(
+            pool,
+            window=serve_window_ms() / 1e3,
+            max_batch=serve_max_batch(),
+            max_pending=max(4096, len(arrivals)),
+        )
+        start = time.perf_counter()
+        outcomes = await run_traffic(service, arrivals)
+        seconds = time.perf_counter() - start
+        latencies = [
+            latency
+            for account in service.accounts.values()
+            for latency in account.latencies
+        ]
+        batches = service.batches_flushed
+        await service.close()
+        return outcomes, seconds, latencies, batches
+
+    return asyncio.run(main())
+
+
+def _check_fault_isolation(bench, names) -> bool:
+    """Forced-fault replay on the virtual clock: only poisoned requests fail."""
+    batch = bench.sample(256)
+    syndromes = [tuple(int(e) for e in ev) for ev in batch.events]
+    poisoned = next((ev for ev in syndromes if ev), None)
+    if poisoned is None:
+        return False
+
+    async def main():
+        pool = DecoderPool()
+        key = "faulted"
+        pool.register(
+            key, FaultyDecoder(bench.decoders[names[0]], fail_on=[poisoned]),
+            warm=False,
+        )
+        arrivals = poisson_arrivals(
+            {key: syndromes}, requests=200, clients=serve_clients(), rng=SEED
+        )
+        service = DecodeService(pool, clock=VirtualClock(), window=1e-3)
+        outcomes = await run_traffic(service, arrivals)
+        await service.close()
+        poisoned_fail = all(
+            isinstance(o.error, InjectedFault)
+            for o in outcomes if o.arrival.events == poisoned
+        )
+        healthy_ok = all(
+            o.ok for o in outcomes if o.arrival.events != poisoned
+        )
+        return poisoned_fail and healthy_ok
+
+    return bool(asyncio.run(main()))
+
+
+def bench_serve_microbatch(benchmark):
+    """Sustained service throughput: coalescing vs per-request decode."""
+    distance, p = serve_distance(), serve_p()
+    bench = get_workbench(distance, p)
+    bench.graph.ensure_distances()
+    names = serve_decoders()
+    unknown = [n for n in names if n not in bench.decoders]
+    assert not unknown, f"unknown serve decoders: {unknown}"
+    keys, arrivals = _schedule(bench, names)
+    decoders_by_key = {keys[name]: bench.decoders[name] for name in names}
+
+    pool = DecoderPool()
+    for name in names:
+        pool.register(keys[name], bench.decoders[name])  # warm
+
+    # Warm the per-request path's lazy state identically before timing.
+    for decoder in decoders_by_key.values():
+        decoder.decode_batch([()])
+
+    loop_results, loop_s, loop_latencies = _per_request(
+        decoders_by_key, arrivals
+    )
+    outcomes, serve_s, serve_latencies, batches = run_once(
+        benchmark, lambda: _micro_batch(pool, arrivals)
+    )
+
+    assert all(o.ok for o in outcomes)
+    stream_equals_batch = all(
+        o.result == expected for o, expected in zip(outcomes, loop_results)
+    )
+    assert stream_equals_batch, "streamed results diverged from per-request"
+    fault_isolation = _check_fault_isolation(bench, names)
+    assert fault_isolation, "fault isolation failed under forced faults"
+
+    requests = len(arrivals)
+    speedup = loop_s / serve_s
+    per_request = {
+        "seconds": loop_s,
+        "shots_per_s": requests / loop_s,
+        **_quantiles_ms(loop_latencies),
+    }
+    microbatch = {
+        "seconds": serve_s,
+        "shots_per_s": requests / serve_s,
+        "batches_flushed": batches,
+        **_quantiles_ms(serve_latencies),
+    }
+
+    print()
+    print(f"decode service, d={distance}, p={p:g}, {requests} requests "
+          f"({serve_clients()} clients x shared shard), "
+          f"{len(names)} configs ({', '.join(names)}), "
+          f"window {serve_window_ms()} ms, max batch {serve_max_batch()}:")
+    for label, stats in (("per-request", per_request),
+                         ("micro-batch", microbatch)):
+        print(f"  {label:12s} {stats['shots_per_s']:10.0f} req/s   "
+              f"p50 {stats['p50_ms']:7.3f} ms   "
+              f"p95 {stats['p95_ms']:7.3f} ms   "
+              f"p99 {stats['p99_ms']:7.3f} ms")
+    print(f"  speedup {speedup:5.1f}x   stream == batch: "
+          f"{'OK' if stream_equals_batch else 'FAILED'}   "
+          f"fault isolation: {'OK' if fault_isolation else 'FAILED'}")
+
+    floor = serve_speedup_floor()
+    assert speedup >= floor, (
+        f"micro-batching speedup {speedup:.2f}x below the {floor}x floor"
+    )
+
+    benchmark.extra_info["speedup"] = speedup
+    save_results("serve_microbatch", {
+        "distance": distance,
+        "p": p,
+        "requests": requests,
+        "window_ms": serve_window_ms(),
+        "max_batch": serve_max_batch(),
+        "clients": serve_clients(),
+        "configs": {name: keys[name] for name in names},
+        "per_request": per_request,
+        "microbatch": microbatch,
+        "speedup": speedup,
+        "stream_equals_batch": stream_equals_batch,
+        "fault_isolation": fault_isolation,
+    })

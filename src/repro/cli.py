@@ -15,6 +15,10 @@ Subcommands mirror the workflows a downstream user actually wants:
 * ``latency``   -- the Tables 4/5 latency census.
 * ``steps``     -- the Table 6 step-usage census.
 * ``decode``    -- sample one syndrome and show the full decoding trace.
+* ``serve``     -- run the streaming decode service over TCP (``serve
+  run``) or replay deterministic synthetic traffic against it (``serve
+  load``), with stream==batch and fault-isolation self-checks (see
+  docs/serving.md).
 * ``store``     -- inspect (``store info``, optionally against a
   campaign spec via ``--campaign``) or garbage-collect
   (``store prune --keep ...``) an experiment-store file.
@@ -35,6 +39,9 @@ Examples::
         --store table2.jsonl           # coverage only; runs nothing
     python -m repro latency --distance 11 --shards 4
     python -m repro decode --distance 11 --p 1e-4
+    python -m repro serve run --distance 5 --p 1e-3 --port 8791
+    python -m repro serve load --distance 5 --p 1e-3 --requests 400 \\
+        --check-batch --inject-fault    # deterministic, zero real sleeps
     python -m repro store info sweep.jsonl
     python -m repro store info table2.jsonl \\
         --campaign benchmarks/campaigns/table2.toml
@@ -257,6 +264,80 @@ def build_parser() -> argparse.ArgumentParser:
     decode = sub.add_parser("decode", help="trace one high-HW syndrome")
     add_common(decode)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the streaming decode service, or replay synthetic "
+             "traffic against it (see docs/serving.md)",
+    )
+    serve_sub = serve.add_subparsers(dest="serve_command", required=True)
+
+    def add_serve_common(p: argparse.ArgumentParser) -> None:
+        add_common(p)
+        p.add_argument(
+            "--decoders", default="Astrea-G,UnionFind",
+            help="comma-separated decoder names from the zoo to warm",
+        )
+        p.add_argument(
+            "--window-ms", type=float, default=1.0,
+            help="micro-batching window in milliseconds",
+        )
+        p.add_argument(
+            "--max-batch", type=int, default=256,
+            help="flush a window early once this many requests coalesce",
+        )
+        p.add_argument(
+            "--max-pending", type=int, default=4096,
+            help="per-config queue bound; excess submissions fail fast "
+                 "with a typed backpressure error",
+        )
+
+    serve_run = serve_sub.add_parser(
+        "run", help="serve the warmed decoder zoo over TCP (JSON lines)"
+    )
+    add_serve_common(serve_run)
+    serve_run.add_argument("--host", default="127.0.0.1")
+    serve_run.add_argument(
+        "--port", type=int, default=8791, help="TCP port (0 = ephemeral)"
+    )
+
+    serve_load = serve_sub.add_parser(
+        "load",
+        help="replay synthetic Poisson traffic: in-process on a virtual "
+             "clock (deterministic, zero real sleeps), or against a "
+             "--connect'ed server",
+    )
+    add_serve_common(serve_load)
+    serve_load.add_argument(
+        "--requests", type=int, default=200, help="total submissions"
+    )
+    serve_load.add_argument(
+        "--clients", type=int, default=4, help="distinct client identities"
+    )
+    serve_load.add_argument(
+        "--rate-hz", type=float, default=None,
+        help="aggregate Poisson arrival rate (default: saturation, all "
+             "requests at t=0)",
+    )
+    serve_load.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request timeout in seconds on the service clock",
+    )
+    serve_load.add_argument(
+        "--inject-fault", action="store_true",
+        help="poison one syndrome of the first decoder and assert the "
+             "service isolates the failure (in-process mode only)",
+    )
+    serve_load.add_argument(
+        "--check-batch", action="store_true",
+        help="assert every streamed result equals the offline "
+             "decode_batch result for the same syndromes",
+    )
+    serve_load.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="replay against a running `serve run` instance instead of "
+             "an in-process service",
+    )
+
     store = sub.add_parser(
         "store",
         help="inspect and garbage-collect an experiment store file",
@@ -300,6 +381,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "latency": _run_latency,
         "steps": _run_steps,
         "decode": _run_decode,
+        "serve": _run_serve,
         "store": _run_store,
     }[args.command]
     handler(args)
@@ -608,6 +690,256 @@ def _run_decode(args) -> None:
     verdict = "ok" if main_result.success else "FAILED"
     print(f"  Astrea: {verdict}, total "
           f"{cycles_to_ns(report.cycles + (main_result.cycles or 0)):.0f} ns")
+
+
+def _serve_names(args, bench) -> List[str]:
+    names = [n.strip() for n in args.decoders.split(",") if n.strip()]
+    unknown = [n for n in names if n not in bench.decoders]
+    if unknown:
+        sys.exit(f"unknown decoders: {unknown}; available: {list(bench.decoders)}")
+    return names
+
+
+def _run_serve(args) -> None:
+    if args.serve_command == "run":
+        _serve_run(args)
+    else:
+        _serve_load(args)
+
+
+def _serve_run(args) -> None:
+    import asyncio
+
+    from repro.serve import DecoderPool, DecodeService
+    from repro.serve.transport import start_server
+
+    bench = _build(args)
+    names = _serve_names(args, bench)
+    pool = DecoderPool()
+    keys = pool.warm_workbench(bench, names=names)
+
+    async def main() -> None:
+        service = DecodeService(
+            pool,
+            window=args.window_ms / 1e3,
+            max_batch=args.max_batch,
+            max_pending=args.max_pending,
+        )
+        server = await start_server(service, host=args.host, port=args.port)
+        port = server.sockets[0].getsockname()[1]
+        print(f"serving d={bench.distance} p={bench.p} on "
+              f"{args.host}:{port} (window {args.window_ms} ms, "
+              f"max batch {args.max_batch})")
+        for name, key in keys.items():
+            print(f"  {key}  {name}")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down")
+
+
+def _serve_load(args) -> None:
+    import asyncio
+
+    from repro.serve import (
+        DecoderPool,
+        DecodeService,
+        FaultyDecoder,
+        InjectedFault,
+        VirtualClock,
+        poisson_arrivals,
+        run_traffic,
+    )
+
+    bench = _build(args)
+    names = _serve_names(args, bench)
+    batch = bench.sample(max(args.requests, 64))
+    syndromes = [tuple(int(e) for e in ev) for ev in batch.events]
+
+    poisoned = None
+    if args.inject_fault:
+        if args.connect:
+            sys.exit("--inject-fault requires the in-process service "
+                     "(faults cannot be injected into a remote server)")
+        poisoned = next((ev for ev in syndromes if ev), None)
+        if poisoned is None:
+            sys.exit("no non-empty syndrome sampled to poison; raise --p")
+
+    keys = {name: bench.store_key(f"serve:{name}") for name in names}
+    workloads = {keys[name]: syndromes for name in names}
+    arrivals = poisson_arrivals(
+        workloads,
+        requests=args.requests,
+        clients=args.clients,
+        rate_hz=args.rate_hz,
+        rng=args.seed,
+    )
+    if poisoned is not None:
+        # Guarantee the poisoned syndrome is actually offered: rewrite a
+        # handful of the first decoder's arrivals to hit it (the random
+        # draw may otherwise miss a specific (config, syndrome) pair).
+        from dataclasses import replace as _replace
+
+        hits = max(1, args.requests // 20)
+        for i, arrival in enumerate(arrivals):
+            if hits == 0:
+                break
+            if arrival.config == keys[names[0]]:
+                arrivals[i] = _replace(arrival, events=poisoned)
+                hits -= 1
+
+    if args.connect:
+        outcomes, quantiles, accounts = _serve_load_remote(args, arrivals)
+    else:
+        pool = DecoderPool()
+        for name in names:
+            decoder = bench.decoders[name]
+            if poisoned is not None and name == names[0]:
+                decoder = FaultyDecoder(decoder, fail_on=[poisoned])
+            pool.register(keys[name], decoder, meta={"decoder": name})
+
+        async def main():
+            clock = VirtualClock()
+            service = DecodeService(
+                pool,
+                clock=clock,
+                window=args.window_ms / 1e3,
+                max_batch=args.max_batch,
+                max_pending=args.max_pending,
+            )
+            outcomes = await run_traffic(service, arrivals, timeout=args.timeout)
+            quantiles = service.latency_quantiles()
+            accounts = service.accounts
+            summary = (service.batches_flushed, service.shots_decoded)
+            await service.close()
+            return outcomes, quantiles, accounts, summary
+
+        outcomes, quantiles, accounts, (batches, shots) = asyncio.run(main())
+        print(f"flushed {batches} micro-batches covering {shots} requests "
+              f"({shots / batches if batches else 0:.1f} per flush)")
+
+    ok = [o for o in outcomes if o.ok]
+    failed = [o for o in outcomes if not o.ok]
+    print(f"traffic: {len(ok)}/{len(outcomes)} ok, {len(failed)} failed")
+    print(f"latency quantiles (s): p50 {quantiles['p50']:.2e} "
+          f"p95 {quantiles['p95']:.2e} p99 {quantiles['p99']:.2e}")
+    for client in sorted(accounts):
+        ledger = accounts[client].ledger
+        print(f"  {client}: {ledger.requests} requests, "
+              f"{ledger.cycles:.0f} cycles ({ledger.total_ns:.0f} ns), "
+              f"miss fraction {ledger.miss_fraction:.3f}")
+
+    exit_code = 0
+    if args.check_batch:
+        exit_code |= _serve_check_batch(bench, keys, outcomes, poisoned)
+    if poisoned is not None:
+        exit_code |= _serve_check_isolation(
+            keys[names[0]], outcomes, poisoned, InjectedFault
+        )
+    if exit_code:
+        sys.exit(exit_code)
+
+
+def _serve_load_remote(args, arrivals):
+    """Replay a schedule against a running server over TCP."""
+    import asyncio
+
+    from repro.serve.transport import ServeClient
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        sys.exit(f"--connect expects HOST:PORT, got {args.connect!r}")
+
+    from repro.serve.traffic import TrafficOutcome
+
+    async def main():
+        client = await ServeClient.connect(host, int(port))
+        try:
+            tasks = [
+                asyncio.ensure_future(
+                    client.decode(
+                        a.config, a.events, client=a.client,
+                        timeout=args.timeout,
+                    )
+                )
+                for a in arrivals
+            ]
+            await asyncio.gather(*tasks, return_exceptions=True)
+            outcomes = []
+            for arrival, task in zip(arrivals, tasks):
+                error = task.exception()
+                if error is None:
+                    outcomes.append(
+                        TrafficOutcome(arrival=arrival, result=task.result())
+                    )
+                else:
+                    outcomes.append(TrafficOutcome(arrival=arrival, error=error))
+            return outcomes
+        finally:
+            await client.aclose()
+
+    outcomes = asyncio.run(main())
+    return outcomes, {"p50": 0.0, "p95": 0.0, "p99": 0.0}, {}
+
+
+def _serve_check_batch(bench, keys, outcomes, poisoned) -> int:
+    """Assert streamed results equal the offline batch results."""
+    names_by_key = {key: name for name, key in keys.items()}
+    mismatches = 0
+    for key, name in names_by_key.items():
+        decoder = bench.decoders[name]
+        group = [
+            o for o in outcomes
+            if o.arrival.config == key and o.arrival.events != poisoned
+        ]
+        streamed = [o for o in group if o.ok]
+        if len(streamed) != len(group):
+            mismatches += len(group) - len(streamed)
+            print(f"  {name}: {len(group) - len(streamed)} healthy "
+                  "requests failed")
+        if not streamed:
+            continue
+        offline = decoder.decode_batch([o.arrival.events for o in streamed])
+        for outcome, expected in zip(streamed, offline):
+            got = outcome.result
+            agree = (
+                got.success == expected.success
+                and got.observable_mask == expected.observable_mask
+                and got.weight == expected.weight
+            )
+            if not agree:
+                mismatches += 1
+    if mismatches:
+        print(f"stream == batch: FAILED ({mismatches} mismatches)")
+        return 1
+    print("stream == batch: OK")
+    return 0
+
+
+def _serve_check_isolation(key, outcomes, poisoned, fault_type) -> int:
+    """Assert only poisoned requests failed, and all of them did."""
+    hit = [
+        o for o in outcomes
+        if o.arrival.config == key and o.arrival.events == poisoned
+    ]
+    collateral = [
+        o for o in outcomes
+        if not o.ok and not (
+            o.arrival.config == key and o.arrival.events == poisoned
+        )
+    ]
+    wrong = [o for o in hit if o.ok or not isinstance(o.error, fault_type)]
+    if collateral or wrong:
+        print(f"fault isolation: FAILED ({len(collateral)} collateral "
+              f"failures, {len(wrong)} poisoned requests not failed "
+              "with the injected fault)")
+        return 1
+    print(f"fault isolation: OK ({len(hit)} poisoned requests failed, "
+          "zero collateral)")
+    return 0
 
 
 def _run_store(args) -> None:

@@ -220,6 +220,18 @@ class Decoder(abc.ABC):
     def decode(self, events: Sequence[int]) -> DecodeResult:
         """Decode one syndrome given as sorted detection-event ids."""
 
+    def warmup(self) -> None:
+        """Force lazy construction before serving traffic.
+
+        The decoders build LUTs, columnar graph arrays, and all-pairs
+        distances on first use; a serving front end calls this hook at
+        registration so no client request pays that cost.  The default
+        decodes the empty syndrome through the batch path, which touches
+        the lazy state of every decoder in the zoo; a subclass with
+        warm-path state the empty syndrome misses overrides this.
+        """
+        self.decode_batch([()])
+
     def decode_batch(self, batch_events) -> List[DecodeResult]:
         """Decode many syndromes; results align element-wise with input.
 

@@ -22,6 +22,8 @@ predecoding rounds"; Step 3 rounds instead charge
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.matching.exact import involution_count
 
 #: Decoder clock frequency (paper Table 7: the pipeline closes at 250 MHz).
@@ -75,3 +77,61 @@ def astrea_cycles(hamming_weight: int) -> int:
 def astrea_fits_budget(hamming_weight: int, remaining_cycles: float) -> bool:
     """Can Astrea finish a syndrome of this HW within the remaining budget?"""
     return astrea_cycles(hamming_weight) <= remaining_cycles
+
+
+@dataclass
+class RequestLedger:
+    """Per-client cycle accounting against the real-time budget.
+
+    The serving layer charges every completed decode here.  A successful
+    decode contributes its reported pipeline cycles and counts a deadline
+    miss iff it exceeded the budget; a *failed* decode is pinned at the
+    full budget (matching the latency census, which charges an abort the
+    whole 240 cycles it burned before giving up) and always counts as a
+    miss.
+
+    Attributes:
+        budget_cycles: Per-request deadline in cycles (default: the
+            paper's 960 ns predecode+decode allowance).
+        requests: Completed (successful or failed) decode requests.
+        cycles: Total pipeline cycles charged.
+        deadline_misses: Requests that blew the budget (or failed).
+    """
+
+    budget_cycles: float = BUDGET_CYCLES
+    requests: int = 0
+    cycles: float = 0.0
+    deadline_misses: int = 0
+
+    def charge(self, cycles: float = None, success: bool = True) -> None:
+        """Record one completed request.
+
+        ``cycles=None`` (a non-real-time decoder that reports no latency)
+        charges nothing on success; failures are always pinned at the
+        full budget.
+        """
+        self.requests += 1
+        if not success:
+            pinned = self.budget_cycles
+            if cycles is not None:
+                pinned = max(float(cycles), pinned)
+            self.cycles += pinned
+            self.deadline_misses += 1
+            return
+        if cycles is not None:
+            self.cycles += float(cycles)
+            if cycles > self.budget_cycles:
+                self.deadline_misses += 1
+
+    @property
+    def total_ns(self) -> float:
+        """Total charged pipeline time in nanoseconds."""
+        return cycles_to_ns(self.cycles)
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.cycles / self.requests if self.requests else 0.0
+
+    @property
+    def miss_fraction(self) -> float:
+        return self.deadline_misses / self.requests if self.requests else 0.0

@@ -1,0 +1,74 @@
+"""Decoding-as-a-service: the async streaming front end over the batch cores.
+
+The batch engines all consume one offline shots×detectors matrix; this
+package turns them into a long-lived service for syndromes that *arrive*:
+
+* :mod:`~repro.serve.pool` — :class:`DecoderPool`, warm per-config decoder
+  instances (graph arrays, LUTs, subgraph engines pre-built once) keyed by
+  ``Workbench.store_key``-style config hashes.
+* :mod:`~repro.serve.server` — :class:`DecodeService`, the asyncio front
+  end: per-client submissions are coalesced across clients inside a
+  micro-batching window into a single ``decode_batch`` call (cross-client
+  dedup is exactly the existing batch fast path), with bounded-queue
+  backpressure and per-client cycle/latency accounting.
+* :mod:`~repro.serve.clock` — the injectable clock: :class:`SystemClock`
+  for production, :class:`VirtualClock` for deterministic tests with zero
+  real sleeps.
+* :mod:`~repro.serve.faults` — the fault-injection substrate:
+  :class:`FaultyDecoder` (raises on chosen syndromes) and
+  :class:`FlakyTransport` (injected submission failures + retry helper).
+* :mod:`~repro.serve.traffic` — the synthetic traffic generator (Poisson
+  arrivals over a config zoo) and the replay driver.
+* :mod:`~repro.serve.transport` — a thin TCP JSON-lines front end and
+  client for ``python -m repro serve run``.
+
+See docs/serving.md for the architecture and contracts.
+"""
+
+from repro.serve.clock import SystemClock, VirtualClock
+from repro.serve.errors import (
+    BackpressureError,
+    RequestTimeoutError,
+    ServeError,
+    ServiceClosedError,
+    TransportError,
+    UnknownConfigError,
+)
+from repro.serve.faults import (
+    FaultyDecoder,
+    FlakyTransport,
+    InjectedFault,
+    submit_with_retry,
+)
+from repro.serve.pool import DecoderPool
+from repro.serve.server import ClientAccount, DecodeService
+from repro.serve.traffic import (
+    Arrival,
+    TrafficOutcome,
+    poisson_arrivals,
+    run_traffic,
+    shard_replay_arrivals,
+)
+
+__all__ = [
+    "Arrival",
+    "BackpressureError",
+    "ClientAccount",
+    "DecodeService",
+    "DecoderPool",
+    "FaultyDecoder",
+    "FlakyTransport",
+    "InjectedFault",
+    "RequestTimeoutError",
+    "ServeError",
+    "ServiceClosedError",
+    "SystemClock",
+    "TrafficOutcome",
+    "TransportError",
+    "UnknownConfigError",
+    "VirtualClock",
+    "poisson_arrivals",
+    "run_traffic",
+    "shard_replay_arrivals",
+    "submit_with_retry",
+]

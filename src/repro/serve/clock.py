@@ -1,0 +1,101 @@
+"""Injectable clocks: real event-loop time or a deterministic virtual clock.
+
+Everything time-dependent in the service — the micro-batching window,
+per-request timeouts, retry backoff, traffic arrival schedules — goes
+through a clock object with two operations, ``now()`` and ``sleep()``:
+
+* :class:`SystemClock` delegates to the running asyncio event loop
+  (production and wall-clock benchmarks);
+* :class:`VirtualClock` is a manually-advanced simulated clock: sleepers
+  are resolved in deadline order by :meth:`VirtualClock.advance`, and the
+  loop is drained between resolutions so dependent tasks (window flushes,
+  waiting submitters) run to their next await point deterministically.
+
+The virtual clock is the test substrate the whole suite shares: timeout,
+retry, cancellation, and overload paths are all exercised without a
+single real ``time.sleep`` (enforced by ``tests/test_suite_hygiene.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import List, Tuple
+
+
+class SystemClock:
+    """The running event loop's monotonic clock (production default)."""
+
+    def now(self) -> float:
+        """Seconds on the event loop's monotonic clock."""
+        return asyncio.get_running_loop().time()
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend the caller for ``delay`` real seconds."""
+        await asyncio.sleep(max(0.0, delay))
+
+
+class VirtualClock:
+    """A simulated clock advanced explicitly by the test driver.
+
+    ``sleep`` registers the caller in a deadline-ordered heap and suspends
+    it on a future; :meth:`advance` moves simulated time forward, resolving
+    every sleeper whose deadline is reached *in order* and yielding to the
+    event loop between resolutions so woken tasks progress before later
+    sleepers fire.  No wall-clock time passes.
+    """
+
+    #: Event-loop yields after each resolved sleeper: enough for a woken
+    #: task to run a flush, set response futures, and wake the submitters
+    #: awaiting them (each hop is one yield; chains in this codebase are
+    #: far shorter than this bound).
+    DRAIN_YIELDS = 25
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._sleepers: List[Tuple[float, int, asyncio.Future]] = []
+        self._sequence = itertools.count()
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    async def sleep(self, delay: float) -> None:
+        """Suspend until the clock is advanced past ``now() + delay``."""
+        loop = asyncio.get_running_loop()
+        waiter = loop.create_future()
+        deadline = self._now + max(0.0, delay)
+        heapq.heappush(self._sleepers, (deadline, next(self._sequence), waiter))
+        await waiter
+
+    async def advance(self, delta: float = 0.0) -> None:
+        """Move simulated time forward by ``delta`` seconds.
+
+        Sleepers are resolved strictly in deadline order (ties in
+        registration order); after each resolution — and once more at the
+        end — the event loop is drained so everything runnable at that
+        instant executes before time moves on.  Sleepers whose future was
+        cancelled (e.g. a cancelled window timer) are discarded silently.
+        """
+        if delta < 0:
+            raise ValueError("cannot advance a clock backwards")
+        target = self._now + delta
+        await self._drain()
+        while self._sleepers and self._sleepers[0][0] <= target:
+            deadline, _seq, waiter = heapq.heappop(self._sleepers)
+            self._now = max(self._now, deadline)
+            if not waiter.done():
+                waiter.set_result(None)
+            await self._drain()
+        self._now = target
+        await self._drain()
+
+    @property
+    def pending_sleepers(self) -> int:
+        """How many live sleepers are waiting on a future advance."""
+        return sum(1 for _d, _s, waiter in self._sleepers if not waiter.done())
+
+    async def _drain(self) -> None:
+        for _ in range(self.DRAIN_YIELDS):
+            await asyncio.sleep(0)

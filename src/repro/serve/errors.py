@@ -1,0 +1,61 @@
+"""Typed errors of the decode service.
+
+Every failure mode a client can hit has its own exception type, so
+callers (and the TCP transport, which maps types onto wire ``kind``
+tags) can react without parsing message strings.  In particular the
+backpressure contract is *fail fast with a type*: a full queue raises
+:class:`BackpressureError` immediately rather than blocking the
+submitter (see docs/serving.md).
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for every service-layer failure."""
+
+    #: Stable wire tag used by the TCP transport (subclasses override).
+    kind = "serve-error"
+
+
+class UnknownConfigError(ServeError):
+    """The submission named a config key the decoder pool does not hold."""
+
+    kind = "unknown-config"
+
+
+class BackpressureError(ServeError):
+    """The per-config coalescing queue is full; the request was rejected.
+
+    Raised *immediately* at submission time — overload must surface as a
+    typed error the client can back off on, never as an unbounded hang.
+    """
+
+    kind = "backpressure"
+
+    def __init__(self, config: str, pending: int, limit: int) -> None:
+        super().__init__(
+            f"config {config}: {pending} requests already pending "
+            f"(limit {limit}); retry after the window flushes"
+        )
+        self.config = config
+        self.pending = pending
+        self.limit = limit
+
+
+class RequestTimeoutError(ServeError):
+    """The per-request deadline elapsed before the batch completed."""
+
+    kind = "timeout"
+
+
+class ServiceClosedError(ServeError):
+    """The service is shut down and accepts no further submissions."""
+
+    kind = "closed"
+
+
+class TransportError(ServeError):
+    """A (possibly injected) transport failure between client and service."""
+
+    kind = "transport"

@@ -1,0 +1,128 @@
+"""Fault-injection substrate: poisoned decoders and flaky transports.
+
+The service's failure-isolation, retry, and overload paths need to be
+testable without real bugs or real networks.  Two wrappers provide that:
+
+* :class:`FaultyDecoder` — delegates to a real decoder but raises
+  :class:`InjectedFault` for chosen syndromes (and/or the first N decode
+  calls).  Because the default batch path decodes every distinct
+  syndrome through ``decode``, a poisoned syndrome fails the *coalesced*
+  ``decode_batch`` call — exactly the scenario the service's per-request
+  isolation fallback exists for.
+* :class:`FlakyTransport` — wraps a service's ``submit`` and fails the
+  first N submissions with :class:`~repro.serve.errors.TransportError`;
+  :func:`submit_with_retry` is the clock-driven retry helper clients
+  use, with backoff sleeps on the injected clock (zero real sleeps under
+  a :class:`~repro.serve.clock.VirtualClock`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from repro.decoders.base import DecodeResult, Decoder
+from repro.serve.errors import TransportError
+
+
+class InjectedFault(RuntimeError):
+    """The error a :class:`FaultyDecoder` raises for poisoned syndromes."""
+
+
+class FaultyDecoder(Decoder):
+    """A decoder wrapper that raises for configured syndromes.
+
+    Args:
+        inner: The real decoder every healthy syndrome is delegated to.
+        fail_on: Syndromes (event tuples) that raise :class:`InjectedFault`.
+        fail_first: Additionally fail the first N ``decode`` calls
+            outright (models a cold/broken instance; the counter spans
+            batch and per-shot paths since both funnel through
+            ``decode``).
+    """
+
+    def __init__(
+        self,
+        inner: Decoder,
+        fail_on: Iterable[Tuple[int, ...]] = (),
+        fail_first: int = 0,
+    ) -> None:
+        super().__init__(inner.graph)
+        self.inner = inner
+        self.fail_on = {tuple(int(e) for e in events) for events in fail_on}
+        self.fail_first = fail_first
+        self.calls = 0
+        self.name = f"faulty({inner.name})"
+
+    @property
+    def deterministic(self) -> bool:  # type: ignore[override]
+        return self.inner.deterministic
+
+    def decode(self, events: Sequence[int]) -> DecodeResult:
+        self.calls += 1
+        events = tuple(int(e) for e in events)
+        if self.calls <= self.fail_first:
+            raise InjectedFault(
+                f"{self.name}: injected failure on call {self.calls} "
+                f"(first {self.fail_first} calls poisoned)"
+            )
+        if events in self.fail_on:
+            raise InjectedFault(f"{self.name}: injected failure on {events}")
+        return self.inner.decode(events)
+
+
+class FlakyTransport:
+    """A submit wrapper that injects transport failures.
+
+    ``fail_first`` submissions raise
+    :class:`~repro.serve.errors.TransportError` before reaching the
+    service; later ones pass through.  ``attempts`` counts every
+    submission seen (successful or injected), so tests can assert the
+    retry loop's behavior exactly.
+    """
+
+    def __init__(self, service, fail_first: int = 0) -> None:
+        self.service = service
+        self.fail_first = fail_first
+        self.attempts = 0
+
+    async def submit(self, config: str, events, **kwargs) -> DecodeResult:
+        self.attempts += 1
+        if self.attempts <= self.fail_first:
+            raise TransportError(
+                f"injected transport failure on attempt {self.attempts}"
+            )
+        return await self.service.submit(config, events, **kwargs)
+
+
+async def submit_with_retry(
+    transport,
+    config: str,
+    events,
+    retries: int = 2,
+    backoff: float = 0.0,
+    clock=None,
+    **kwargs,
+) -> DecodeResult:
+    """Submit through a (possibly flaky) transport with bounded retries.
+
+    Retries only :class:`~repro.serve.errors.TransportError` — decode
+    faults, backpressure, and timeouts are *not* transient transport
+    conditions and propagate immediately.  Between attempts the caller
+    sleeps ``backoff`` seconds on ``clock`` (required when ``backoff``
+    is positive), so retry pacing is deterministic under a virtual
+    clock.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    if backoff > 0 and clock is None:
+        raise ValueError("backoff requires a clock to sleep on")
+    last_error: Optional[TransportError] = None
+    for attempt in range(retries + 1):
+        try:
+            return await transport.submit(config, events, **kwargs)
+        except TransportError as error:
+            last_error = error
+            if attempt < retries and backoff > 0:
+                await clock.sleep(backoff)
+    assert last_error is not None
+    raise last_error

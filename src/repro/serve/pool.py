@@ -1,0 +1,130 @@
+"""Warm per-config decoder instances for the decode service.
+
+Building a decoder is expensive relative to serving one syndrome: LUTs,
+columnar graph arrays, all-pairs distances and subgraph engines are all
+constructed lazily on first decode.  :class:`DecoderPool` front-loads
+that cost: each (operating point, decoder) configuration is built once,
+warmed through :meth:`repro.decoders.base.Decoder.warmup` (the service
+entry hook), and then served to every request under a stable config key.
+
+Keys for workbench-backed configs are exactly
+``Workbench.store_key(f"serve:{name}")`` — the same stable hash the
+experiment store uses — so a client, a campaign spec, and a server built
+from the same (code, distance, rounds, noise, p, decoder) description
+agree on the key without talking to each other.  Ad-hoc decoders (tests,
+fault-injection wrappers) register under explicit keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.decoders.base import Decoder
+from repro.serve.errors import UnknownConfigError
+
+
+class DecoderPool:
+    """A registry of warm, ready-to-serve decoder instances."""
+
+    def __init__(self) -> None:
+        self._decoders: Dict[str, Decoder] = {}
+        self._meta: Dict[str, dict] = {}
+
+    def register(
+        self,
+        key: str,
+        decoder: Decoder,
+        meta: Optional[dict] = None,
+        warm: bool = True,
+    ) -> str:
+        """Add one decoder under an explicit config key.
+
+        ``warm=True`` (default) runs the decoder's warmup hook so the
+        first client request never pays for lazy construction.  A key
+        collision raises — silently replacing a live config would hand
+        in-flight submissions of one decoder to another.
+        """
+        if key in self._decoders:
+            raise ValueError(f"config key {key!r} already registered")
+        if warm:
+            decoder.warmup()
+        self._decoders[key] = decoder
+        self._meta[key] = dict(meta or {})
+        return key
+
+    def warm_workbench(
+        self, workbench, names: Optional[Iterable[str]] = None
+    ) -> Dict[str, str]:
+        """Register (and warm) zoo decoders of a built workbench.
+
+        Returns ``{decoder name: config key}`` with keys derived from the
+        workbench's full configuration hash.  ``names`` defaults to every
+        decoder in the zoo.
+        """
+        selected = list(names) if names is not None else list(workbench.decoders)
+        unknown = [n for n in selected if n not in workbench.decoders]
+        if unknown:
+            raise ValueError(
+                f"unknown decoders {unknown}; available: "
+                f"{list(workbench.decoders)}"
+            )
+        keys: Dict[str, str] = {}
+        for name in selected:
+            key = workbench.store_key(f"serve:{name}")
+            self.register(
+                key,
+                workbench.decoders[name],
+                meta={
+                    "decoder": name,
+                    "distance": workbench.distance,
+                    "p": workbench.p,
+                    "rounds": workbench.rounds,
+                },
+            )
+            keys[name] = key
+        return keys
+
+    def warm(
+        self,
+        distance: int,
+        p: float,
+        names: Optional[Iterable[str]] = None,
+        workbench_factory=None,
+    ) -> Dict[str, str]:
+        """Build the full stack for one operating point and warm its zoo.
+
+        ``workbench_factory(distance, p)`` overrides the default
+        :meth:`repro.eval.experiments.Workbench.build` (benchmarks pass
+        their process-wide workbench cache).
+        """
+        if workbench_factory is None:
+            from repro.eval.experiments import Workbench
+
+            workbench = Workbench.build(distance=distance, p=p)
+        else:
+            workbench = workbench_factory(distance, p)
+        return self.warm_workbench(workbench, names=names)
+
+    def get(self, key: str) -> Decoder:
+        """The warm decoder serving ``key`` (typed error when absent)."""
+        decoder = self._decoders.get(key)
+        if decoder is None:
+            raise UnknownConfigError(
+                f"no decoder registered for config {key!r}; "
+                f"known configs: {sorted(self._decoders)}"
+            )
+        return decoder
+
+    def describe(self, key: str) -> dict:
+        """Registration metadata of one config (empty for ad-hoc entries)."""
+        self.get(key)
+        return dict(self._meta[key])
+
+    def keys(self) -> List[str]:
+        return sorted(self._decoders)
+
+    def __len__(self) -> int:
+        return len(self._decoders)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._decoders

@@ -1,0 +1,355 @@
+"""The asyncio decode service: micro-batching, backpressure, accounting.
+
+:class:`DecodeService` is the streaming front end over the repo's batch
+decode cores.  Clients ``await service.submit(config, events)``; the
+service coalesces every request for one config that arrives inside a
+*micro-batching window* into a single ``decode_batch`` call, so identical
+syndromes from different clients are decoded once (cross-client dedup is
+exactly the existing batch fast path) and vectorized ``decode_uniques``
+engines see one wide batch instead of many singletons.
+
+Window semantics
+----------------
+The window opens when the first request of a batch is admitted and the
+batch flushes when the *earlier* of two triggers fires:
+
+* the window deadline (``window`` seconds after the first admission) —
+  so a trickle load is served within one window even if nothing else
+  arrives;
+* the batch reaching ``max_batch`` requests — so a flood flushes
+  immediately instead of buffering a window's worth of backlog.
+
+Backpressure
+------------
+At most ``max_pending`` requests per config may be queued awaiting
+coalescing; an excess submission fails *immediately* with the typed
+:class:`~repro.serve.errors.BackpressureError` — overload never turns
+into an unbounded hang.
+
+Failure isolation
+-----------------
+A decoder exception during the coalesced ``decode_batch`` call must not
+fail unrelated requests, so the flush falls back to decoding each
+request individually and only the requests whose syndrome actually
+raises receive the exception.  A request whose submitter was cancelled
+(or timed out) mid-window is dropped from the batch without poisoning
+its siblings.
+
+Accounting
+----------
+Per client, the service keeps a
+:class:`~repro.hardware.latency.RequestLedger` (pipeline cycles against
+the paper's 240-cycle real-time budget, deadline misses) plus observed
+queueing latencies on the injected clock — the basis of the p50/p95/p99
+numbers the traffic benchmark reports.
+
+All decode work runs inline on the event loop: the cores are synchronous
+numpy and the service's unit of concurrency is the batch, not the shot.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.decoders.base import DecodeResult
+from repro.hardware.latency import BUDGET_CYCLES, RequestLedger
+from repro.serve.clock import SystemClock
+from repro.serve.errors import (
+    BackpressureError,
+    RequestTimeoutError,
+    ServiceClosedError,
+)
+from repro.serve.pool import DecoderPool
+
+
+@dataclass
+class ClientAccount:
+    """Everything the service tracks about one client."""
+
+    ledger: RequestLedger
+    latencies: List[float] = field(default_factory=list)
+    rejected: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+    faults: int = 0
+
+    @property
+    def completed(self) -> int:
+        return self.ledger.requests
+
+
+class _Request:
+    __slots__ = ("events", "future", "client", "submitted_at")
+
+    def __init__(
+        self,
+        events: Tuple[int, ...],
+        future: asyncio.Future,
+        client: str,
+        submitted_at: float,
+    ) -> None:
+        self.events = events
+        self.future = future
+        self.client = client
+        self.submitted_at = submitted_at
+
+
+class _Lane:
+    """Per-config coalescing state: the open batch and its window timer."""
+
+    __slots__ = ("key", "decoder", "pending", "timer")
+
+    def __init__(self, key: str, decoder) -> None:
+        self.key = key
+        self.decoder = decoder
+        self.pending: List[_Request] = []
+        self.timer: Optional[asyncio.Task] = None
+
+
+class DecodeService:
+    """Micro-batching decode front end over a :class:`DecoderPool`."""
+
+    def __init__(
+        self,
+        pool: DecoderPool,
+        clock=None,
+        window: float = 1e-3,
+        max_batch: int = 256,
+        max_pending: int = 4096,
+        budget_cycles: float = BUDGET_CYCLES,
+    ) -> None:
+        if window < 0:
+            raise ValueError("window must be >= 0")
+        if max_batch < 1 or max_pending < 1:
+            raise ValueError("max_batch and max_pending must be >= 1")
+        self.pool = pool
+        self.clock = clock or SystemClock()
+        self.window = window
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.budget_cycles = budget_cycles
+        self._lanes: Dict[str, _Lane] = {}
+        self._accounts: Dict[str, ClientAccount] = {}
+        self._closed = False
+        self._batches_flushed = 0
+        self._shots_decoded = 0
+
+    # -- submission --------------------------------------------------------------------
+
+    async def submit(
+        self,
+        config: str,
+        events: Sequence[int],
+        client: str = "client",
+        timeout: Optional[float] = None,
+    ) -> DecodeResult:
+        """Decode one syndrome; resolves when its micro-batch completes.
+
+        Raises :class:`BackpressureError` when the config's queue is
+        full, :class:`RequestTimeoutError` when ``timeout`` (seconds on
+        the service clock) elapses first, the decoder's own exception
+        when fault injection (or a real bug) poisons this syndrome, and
+        :class:`ServiceClosedError` after :meth:`close`.
+        """
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        lane = self._lane(config)
+        account = self.account(client)
+        if len(lane.pending) >= self.max_pending:
+            account.rejected += 1
+            raise BackpressureError(config, len(lane.pending), self.max_pending)
+        request = _Request(
+            events=tuple(int(e) for e in events),
+            future=asyncio.get_running_loop().create_future(),
+            client=client,
+            submitted_at=self.clock.now(),
+        )
+        lane.pending.append(request)
+        if len(lane.pending) >= self.max_batch:
+            self._flush(lane)
+        elif lane.timer is None:
+            lane.timer = asyncio.ensure_future(self._window_timer(lane))
+        try:
+            if timeout is None:
+                return await request.future
+            return await self._await_with_timeout(request, account, timeout)
+        except asyncio.CancelledError:
+            # The submitter was cancelled: its response future is cancelled
+            # with it, and the flush skips done futures — the rest of the
+            # coalesced batch is unaffected.
+            account.cancelled += 1
+            raise
+
+    async def _await_with_timeout(
+        self, request: _Request, account: ClientAccount, timeout: float
+    ) -> DecodeResult:
+        """Race the response future against a clock-driven deadline."""
+        sleeper = asyncio.ensure_future(self.clock.sleep(timeout))
+        try:
+            await asyncio.wait(
+                {request.future, sleeper},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+        except asyncio.CancelledError:
+            sleeper.cancel()
+            raise
+        if request.future.done() and not request.future.cancelled():
+            sleeper.cancel()
+            return request.future.result()
+        request.future.cancel()
+        account.timeouts += 1
+        raise RequestTimeoutError(
+            f"request for config {request.events!r} timed out after "
+            f"{timeout} s (window {self.window} s)"
+        )
+
+    # -- coalescing --------------------------------------------------------------------
+
+    def _lane(self, config: str) -> _Lane:
+        lane = self._lanes.get(config)
+        if lane is None:
+            # Resolves through the pool first: an unknown config raises
+            # the typed error before any lane state is created.
+            lane = _Lane(config, self.pool.get(config))
+            self._lanes[config] = lane
+        return lane
+
+    async def _window_timer(self, lane: _Lane) -> None:
+        try:
+            await self.clock.sleep(self.window)
+        except asyncio.CancelledError:
+            return
+        self._flush(lane, from_timer=True)
+
+    def _flush(self, lane: _Lane, from_timer: bool = False) -> None:
+        """Decode the lane's open batch and resolve its response futures."""
+        if lane.timer is not None:
+            if not from_timer:
+                lane.timer.cancel()
+            lane.timer = None
+        # Cancelled/timed-out submitters leave done futures behind; drop
+        # them here so an abandoned request cannot poison the batch.
+        batch = [r for r in lane.pending if not r.future.done()]
+        lane.pending.clear()
+        if not batch:
+            return
+        self._batches_flushed += 1
+        self._shots_decoded += len(batch)
+        try:
+            results = lane.decoder.decode_batch([r.events for r in batch])
+        except Exception:
+            # The coalesced call is poisoned — isolate: decode each
+            # request on its own so only the syndromes that actually
+            # raise fail, and every other client completes normally.
+            for request in batch:
+                if request.future.done():
+                    continue
+                try:
+                    result = lane.decoder.decode(request.events)
+                except Exception as error:  # noqa: BLE001 — forwarded per request
+                    self._fail(request, error)
+                else:
+                    self._complete(request, result)
+            return
+        for request, result in zip(batch, results):
+            if not request.future.done():
+                self._complete(request, result)
+
+    def _complete(self, request: _Request, result: DecodeResult) -> None:
+        account = self.account(request.client)
+        account.ledger.charge(result.cycles, success=result.success)
+        account.latencies.append(self.clock.now() - request.submitted_at)
+        request.future.set_result(result)
+
+    def _fail(self, request: _Request, error: Exception) -> None:
+        account = self.account(request.client)
+        account.faults += 1
+        account.latencies.append(self.clock.now() - request.submitted_at)
+        request.future.set_exception(error)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def account(self, client: str) -> ClientAccount:
+        """The (auto-created) accounting record of one client."""
+        account = self._accounts.get(client)
+        if account is None:
+            account = ClientAccount(
+                ledger=RequestLedger(budget_cycles=self.budget_cycles)
+            )
+            self._accounts[client] = account
+        return account
+
+    @property
+    def accounts(self) -> Dict[str, ClientAccount]:
+        return dict(self._accounts)
+
+    @property
+    def batches_flushed(self) -> int:
+        return self._batches_flushed
+
+    @property
+    def shots_decoded(self) -> int:
+        return self._shots_decoded
+
+    def pending(self, config: str) -> int:
+        """Live (not yet flushed, not abandoned) requests for one config."""
+        lane = self._lanes.get(config)
+        if lane is None:
+            return 0
+        return sum(1 for r in lane.pending if not r.future.done())
+
+    def latency_quantiles(
+        self, client: Optional[str] = None
+    ) -> Dict[str, float]:
+        """p50/p95/p99 of observed queueing latencies (seconds).
+
+        Over one client's requests, or all clients when ``client`` is
+        ``None``.  Empty accounts report zeros.
+        """
+        import numpy as np
+
+        if client is None:
+            samples = [
+                latency
+                for account in self._accounts.values()
+                for latency in account.latencies
+            ]
+        else:
+            samples = list(self.account(client).latencies)
+        if not samples:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        data = np.asarray(samples, dtype=np.float64)
+        p50, p95, p99 = np.percentile(data, [50, 95, 99])
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the service.
+
+        ``drain=True`` flushes every open batch first (pending requests
+        complete normally); ``drain=False`` fails them with
+        :class:`ServiceClosedError`.  Idempotent; submissions after close
+        raise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for lane in self._lanes.values():
+            if lane.timer is not None:
+                lane.timer.cancel()
+                lane.timer = None
+            if drain:
+                self._flush(lane)
+            else:
+                abandoned = [r for r in lane.pending if not r.future.done()]
+                lane.pending.clear()
+                for request in abandoned:
+                    self._fail(
+                        request,
+                        ServiceClosedError("service closed before decode"),
+                    )
+        # Let cancelled timers and resolved futures settle.
+        await asyncio.sleep(0)

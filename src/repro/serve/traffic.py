@@ -1,0 +1,218 @@
+"""Synthetic traffic: Poisson arrivals over a config zoo, plus the replay driver.
+
+:func:`poisson_arrivals` turns per-config syndrome workloads into a
+deterministic arrival schedule — exponential interarrival times at a
+requested rate (or back-to-back when ``rate_hz`` is ``None``), clients
+and configs drawn from a seeded generator.  :func:`run_traffic` replays
+a schedule against a :class:`~repro.serve.server.DecodeService` on
+either clock: under a :class:`~repro.serve.clock.SystemClock` the driver
+really waits between arrivals; under a
+:class:`~repro.serve.clock.VirtualClock` the replay pumps the clock
+itself, so an entire load test runs deterministically with zero real
+sleeps.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.clock import VirtualClock
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled client submission."""
+
+    at: float
+    client: str
+    config: str
+    events: Tuple[int, ...]
+
+
+@dataclass
+class TrafficOutcome:
+    """What one replayed arrival produced: a result or an error."""
+
+    arrival: Arrival
+    result: Optional[object] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def poisson_arrivals(
+    workloads: Dict[str, Sequence[Tuple[int, ...]]],
+    requests: int,
+    clients: int = 4,
+    rate_hz: Optional[float] = None,
+    rng: RngLike = None,
+) -> List[Arrival]:
+    """A deterministic Poisson arrival schedule over a config zoo.
+
+    Args:
+        workloads: Per config key, the syndromes traffic draws from
+            (every entry must be non-empty).
+        requests: Total submissions to schedule.
+        clients: Distinct client identities (``client-0`` ...).
+        rate_hz: Aggregate offered load; interarrival gaps are
+            exponential with mean ``1/rate_hz``.  ``None`` schedules all
+            requests at t=0 (back-to-back saturation load).
+        rng: Seed or generator; the schedule is a pure function of it.
+    """
+    if requests < 0:
+        raise ValueError("requests must be >= 0")
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if rate_hz is not None and rate_hz <= 0:
+        raise ValueError("rate_hz must be positive (or None for saturation)")
+    if not workloads:
+        raise ValueError("workloads must name at least one config")
+    empty = [key for key, pool in workloads.items() if not len(pool)]
+    if empty:
+        raise ValueError(f"empty workloads for configs: {empty}")
+    rng = ensure_rng(rng)
+    keys = sorted(workloads)
+    arrivals: List[Arrival] = []
+    now = 0.0
+    for _ in range(requests):
+        if rate_hz is not None:
+            now += float(rng.exponential(1.0 / rate_hz))
+        config = keys[int(rng.integers(len(keys)))]
+        pool = workloads[config]
+        events = tuple(int(e) for e in pool[int(rng.integers(len(pool)))])
+        client = f"client-{int(rng.integers(clients))}"
+        arrivals.append(Arrival(at=now, client=client, config=config, events=events))
+    return arrivals
+
+
+def shard_replay_arrivals(
+    shards: Dict[str, Sequence[Tuple[int, ...]]],
+    clients: int = 4,
+    rate_hz: Optional[float] = None,
+    rng: RngLike = None,
+) -> List[Arrival]:
+    """Every client replays the same per-config shard, in stream order.
+
+    Models replicated-shard replay — N workers each streaming one stored
+    workload through the service, the way sweep shards consume a sampled
+    batch: at each stream position every (config, client) pair submits
+    that position's syndrome, so concurrently in-flight requests overlap
+    heavily across clients.  This is the cross-client coalescing regime
+    the micro-batching window exists for (a flush sees each distinct
+    syndrome once for ~``clients`` submissions of it).
+
+    Args:
+        shards: Per config key, the syndrome stream every client replays
+            (streams may differ in length; exhausted ones drop out).
+        clients: Replicated clients (``client-0`` ...).
+        rate_hz: Aggregate offered load, exponential gaps between
+            consecutive submissions; ``None`` offers everything at t=0.
+        rng: Seed or generator for the arrival gaps.
+    """
+    if clients < 1:
+        raise ValueError("clients must be >= 1")
+    if rate_hz is not None and rate_hz <= 0:
+        raise ValueError("rate_hz must be positive (or None for saturation)")
+    if not shards:
+        raise ValueError("shards must name at least one config")
+    rng = ensure_rng(rng)
+    keys = sorted(shards)
+    arrivals: List[Arrival] = []
+    now = 0.0
+    for position in range(max(len(shards[key]) for key in keys)):
+        for config in keys:
+            stream = shards[config]
+            if position >= len(stream):
+                continue
+            events = tuple(int(e) for e in stream[position])
+            for client in range(clients):
+                if rate_hz is not None:
+                    now += float(rng.exponential(1.0 / rate_hz))
+                arrivals.append(
+                    Arrival(
+                        at=now,
+                        client=f"client-{client}",
+                        config=config,
+                        events=events,
+                    )
+                )
+    return arrivals
+
+
+async def run_traffic(
+    service,
+    arrivals: Sequence[Arrival],
+    clock=None,
+    timeout: Optional[float] = None,
+    max_pump_steps: int = 100_000,
+) -> List[TrafficOutcome]:
+    """Replay an arrival schedule against a service; collect every outcome.
+
+    Outcomes keep schedule order.  Errors (backpressure, timeouts,
+    injected faults) are captured per arrival, never raised — load tests
+    inspect them.  ``clock`` defaults to the service's clock; when it is
+    a :class:`VirtualClock` the replay advances it in window-sized steps
+    until every submission resolves (``max_pump_steps`` bounds a stuck
+    replay, turning a deadlock into a visible failure).
+    """
+    clock = clock or service.clock
+    ordered = sorted(arrivals, key=lambda a: a.at)
+    tasks: List[asyncio.Task] = []
+
+    async def driver() -> None:
+        for arrival in ordered:
+            gap = arrival.at - clock.now()
+            if gap > 0:
+                await clock.sleep(gap)
+            tasks.append(
+                asyncio.ensure_future(
+                    service.submit(
+                        arrival.config,
+                        arrival.events,
+                        client=arrival.client,
+                        timeout=timeout,
+                    )
+                )
+            )
+
+    driver_task = asyncio.ensure_future(driver())
+    if isinstance(clock, VirtualClock):
+        step = max(service.window, 1e-6)
+        for _ in range(max_pump_steps):
+            if driver_task.done() and all(t.done() for t in tasks):
+                break
+            await clock.advance(step)
+        else:
+            driver_task.cancel()
+            for task in tasks:
+                task.cancel()
+            raise RuntimeError(
+                f"traffic replay did not quiesce within {max_pump_steps} "
+                "clock steps (deadlocked window or lost wakeup?)"
+            )
+        # Surface a driver bug (e.g. a submit raising synchronously in a
+        # way the task list missed) instead of swallowing it.
+        driver_task.result()
+    else:
+        await driver_task
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+    outcomes: List[TrafficOutcome] = []
+    for arrival, task in zip(ordered, tasks):
+        if task.cancelled():
+            outcomes.append(
+                TrafficOutcome(arrival=arrival, error=asyncio.CancelledError())
+            )
+            continue
+        error = task.exception()
+        if error is None:
+            outcomes.append(TrafficOutcome(arrival=arrival, result=task.result()))
+        else:
+            outcomes.append(TrafficOutcome(arrival=arrival, error=error))
+    return outcomes

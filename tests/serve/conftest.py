@@ -1,0 +1,63 @@
+"""Serving-test fixtures: cheap instrumented decoders on synthetic graphs.
+
+The service's coalescing/backpressure/fault logic is decoder-agnostic, so
+most tests run against :class:`CountingDecoder` — a trivially correct
+decoder that records exactly how it was driven (decode calls, batch
+calls, syndromes seen) — instead of a real zoo stack.  Stream/batch
+equivalence against the real zoo lives in ``test_stream_equivalence``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_path_graph  # noqa: E402
+
+from repro.decoders.base import DecodeResult, Decoder  # noqa: E402
+
+
+class CountingDecoder(Decoder):
+    """A correct-by-construction decoder that records its call pattern.
+
+    ``decode`` is a pure function of the event tuple (mask = parity of
+    the event count, cycles = HW + 1), so the batch fast path's dedup and
+    fan-out apply, and tests can assert exact call counts: one
+    ``decode_batch`` per flush, one ``decode`` per *distinct* syndrome.
+    """
+
+    name = "counting"
+
+    def __init__(self, graph) -> None:
+        super().__init__(graph)
+        self.decode_calls = 0
+        self.batch_calls = 0
+        self.seen = []
+
+    def decode(self, events) -> DecodeResult:
+        self.decode_calls += 1
+        events = tuple(int(e) for e in events)
+        self.seen.append(events)
+        return DecodeResult(
+            success=True,
+            observable_mask=len(events) & 1,
+            weight=float(len(events)),
+            cycles=float(len(events) + 1),
+        )
+
+    def decode_batch(self, batch_events):
+        self.batch_calls += 1
+        return super().decode_batch(batch_events)
+
+
+@pytest.fixture
+def counting_decoder():
+    return CountingDecoder(make_path_graph(6))
+
+
+@pytest.fixture
+def make_counting_decoder():
+    return lambda: CountingDecoder(make_path_graph(6))

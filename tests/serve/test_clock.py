@@ -1,0 +1,158 @@
+"""VirtualClock: deterministic time for async tests, zero real sleeps.
+
+The serving tests (and any future async tests) drive all timing through
+this clock; these tests pin its contract: sleeps resolve strictly in
+deadline order, ``advance`` wakes everything due and nothing else, and
+cancelled sleepers are skipped silently.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import SystemClock, VirtualClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_time_starts_at_zero_and_advances_exactly():
+    async def main():
+        clock = VirtualClock()
+        assert clock.now() == 0.0
+        await clock.advance(1.5)
+        assert clock.now() == 1.5
+        await clock.advance(0.25)
+        assert clock.now() == 1.75
+
+    run(main())
+
+
+def test_sleep_resolves_only_when_deadline_reached():
+    async def main():
+        clock = VirtualClock()
+        sleeper = asyncio.ensure_future(clock.sleep(1.0))
+        await clock.advance(0.5)
+        assert not sleeper.done()
+        await clock.advance(0.499)
+        assert not sleeper.done()
+        await clock.advance(0.001)
+        assert sleeper.done()
+
+    run(main())
+
+
+def test_sleepers_wake_in_deadline_order():
+    async def main():
+        clock = VirtualClock()
+        order = []
+
+        async def napper(tag, delay):
+            await clock.sleep(delay)
+            order.append(tag)
+
+        tasks = [
+            asyncio.ensure_future(napper("c", 3.0)),
+            asyncio.ensure_future(napper("a", 1.0)),
+            asyncio.ensure_future(napper("b", 2.0)),
+        ]
+        await clock.advance(5.0)
+        await asyncio.gather(*tasks)
+        assert order == ["a", "b", "c"]
+
+    run(main())
+
+
+def test_chained_sleeps_within_one_advance():
+    # A sleeper that immediately sleeps again must be woken by the same
+    # advance() call when both deadlines fall inside the step.
+    async def main():
+        clock = VirtualClock()
+        marks = []
+
+        async def chained():
+            await clock.sleep(1.0)
+            marks.append(clock.now())
+            await clock.sleep(1.0)
+            marks.append(clock.now())
+
+        task = asyncio.ensure_future(chained())
+        await clock.advance(2.0)
+        await task
+        assert marks == [1.0, 2.0]
+
+    run(main())
+
+
+def test_cancelled_sleeper_is_skipped():
+    async def main():
+        clock = VirtualClock()
+        doomed = asyncio.ensure_future(clock.sleep(1.0))
+        survivor = asyncio.ensure_future(clock.sleep(2.0))
+        await clock.advance(0.0)
+        doomed.cancel()
+        await clock.advance(5.0)
+        assert doomed.cancelled()
+        await survivor  # resolves despite the cancelled earlier sleeper
+        assert clock.pending_sleepers == 0
+
+    run(main())
+
+
+def test_zero_delay_sleep_resolves_on_zero_advance():
+    async def main():
+        clock = VirtualClock()
+        sleeper = asyncio.ensure_future(clock.sleep(0.0))
+        await clock.advance(0.0)
+        assert sleeper.done()
+        assert clock.now() == 0.0
+
+    run(main())
+
+
+def test_negative_sleep_clamps_to_immediate():
+    # Matches asyncio.sleep semantics: a negative delay means "now".
+    async def main():
+        clock = VirtualClock()
+        sleeper = asyncio.ensure_future(clock.sleep(-1.0))
+        await clock.advance(0.0)
+        assert sleeper.done()
+        assert clock.now() == 0.0
+
+    run(main())
+
+
+def test_advance_backwards_rejected():
+    async def main():
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            await clock.advance(-1.0)
+
+    run(main())
+
+
+def test_pending_sleepers_counts_live_waiters():
+    async def main():
+        clock = VirtualClock()
+        tasks = [asyncio.ensure_future(clock.sleep(d)) for d in (1.0, 2.0)]
+        await clock.advance(0.0)
+        assert clock.pending_sleepers == 2
+        await clock.advance(1.0)
+        assert clock.pending_sleepers == 1
+        await clock.advance(1.0)
+        assert clock.pending_sleepers == 0
+        await asyncio.gather(*tasks)
+
+    run(main())
+
+
+def test_system_clock_shape():
+    # The production clock satisfies the same interface; no timing
+    # assertions (that would reintroduce wall-clock flakiness).
+    async def main():
+        clock = SystemClock()
+        assert isinstance(clock.now(), float)
+        await clock.sleep(0)
+
+    run(main())

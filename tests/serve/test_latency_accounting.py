@@ -1,0 +1,171 @@
+"""Per-client accounting: the ledger agrees with hardware/latency.py.
+
+Two layers: :class:`RequestLedger` unit semantics (charging, deadline
+misses, unit conversion), and the service-level guarantee that what a
+client is charged equals exactly what the cycle model says its syndromes
+cost — verified against a real real-time decoder (Astrea), whose
+reported cycles are ``astrea_cycles(HW)`` by construction.
+"""
+
+import asyncio
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+from helpers import make_path_graph  # noqa: E402
+
+from repro.decoders import AstreaDecoder
+from repro.hardware.latency import (
+    BUDGET_CYCLES,
+    CYCLE_NS,
+    RequestLedger,
+    astrea_cycles,
+    cycles_to_ns,
+)
+from repro.serve import DecodeService, DecoderPool, VirtualClock
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRequestLedger:
+    def test_defaults_to_paper_budget(self):
+        ledger = RequestLedger()
+        assert ledger.budget_cycles == BUDGET_CYCLES == 240
+
+    def test_successful_charges_accumulate(self):
+        ledger = RequestLedger()
+        ledger.charge(100.0)
+        ledger.charge(40.0)
+        assert ledger.requests == 2
+        assert ledger.cycles == 140.0
+        assert ledger.deadline_misses == 0
+        assert ledger.mean_cycles == 70.0
+        assert ledger.miss_fraction == 0.0
+
+    def test_success_over_budget_counts_a_miss(self):
+        ledger = RequestLedger(budget_cycles=10)
+        ledger.charge(11.0)
+        assert ledger.deadline_misses == 1
+        assert ledger.cycles == 11.0
+
+    def test_failure_pinned_at_full_budget(self):
+        # An abort burned the whole budget before giving up — mirror the
+        # latency census and charge it all, always counting a miss.
+        ledger = RequestLedger(budget_cycles=240)
+        ledger.charge(57.0, success=False)
+        assert ledger.cycles == 240.0
+        assert ledger.deadline_misses == 1
+        ledger.charge(300.0, success=False)  # blew past the budget
+        assert ledger.cycles == 540.0
+        assert ledger.deadline_misses == 2
+
+    def test_non_realtime_decoder_charges_nothing_on_success(self):
+        ledger = RequestLedger()
+        ledger.charge(None)
+        assert ledger.requests == 1
+        assert ledger.cycles == 0.0
+        assert ledger.deadline_misses == 0
+
+    def test_total_ns_uses_the_250mhz_clock(self):
+        ledger = RequestLedger()
+        ledger.charge(240.0)
+        assert ledger.total_ns == cycles_to_ns(240) == 240 * CYCLE_NS == 960.0
+
+    def test_empty_ledger_ratios_are_zero(self):
+        ledger = RequestLedger()
+        assert ledger.mean_cycles == 0.0
+        assert ledger.miss_fraction == 0.0
+
+
+def test_service_charges_match_astrea_cycle_model():
+    # Submit syndromes of known Hamming weight through the service; each
+    # client's ledger must equal the sum of astrea_cycles(HW) over its
+    # own syndromes — the service introduces no accounting drift.
+    async def main():
+        graph = make_path_graph(8)
+        pool = DecoderPool()
+        pool.register("cfg", AstreaDecoder(graph))
+        clock = VirtualClock()
+        service = DecodeService(pool, clock=clock, window=1e-3)
+        jobs = {
+            "alice": [(0, 1), (2, 3, 4, 5), ()],
+            "bob": [(1, 2), (0, 1, 2, 3)],
+        }
+        tasks = {
+            who: [
+                asyncio.ensure_future(service.submit("cfg", ev, client=who))
+                for ev in events
+            ]
+            for who, events in jobs.items()
+        }
+        await clock.advance(1e-3)
+        for who in jobs:
+            await asyncio.gather(*tasks[who])
+        for who, events in jobs.items():
+            expected = sum(astrea_cycles(len(ev)) for ev in events)
+            ledger = service.account(who).ledger
+            assert ledger.requests == len(events)
+            assert ledger.cycles == expected
+            assert ledger.total_ns == cycles_to_ns(expected)
+            assert ledger.deadline_misses == 0
+        await service.close()
+
+    run(main())
+
+
+def test_queueing_latency_is_exact_on_the_virtual_clock(counting_decoder):
+    # A trickle request admitted at t=0 flushes at t=window: its
+    # observed queueing latency is exactly the window, and the
+    # quantiles collapse onto it.
+    async def main():
+        pool = DecoderPool()
+        pool.register("cfg", counting_decoder, warm=False)
+        clock = VirtualClock()
+        service = DecodeService(pool, clock=clock, window=2e-3)
+        task = asyncio.ensure_future(service.submit("cfg", (1,), client="a"))
+        await clock.advance(2e-3)
+        await task
+        (latency,) = service.account("a").latencies
+        assert latency == pytest.approx(2e-3)
+        quantiles = service.latency_quantiles("a")
+        assert quantiles == {
+            "p50": pytest.approx(2e-3),
+            "p95": pytest.approx(2e-3),
+            "p99": pytest.approx(2e-3),
+        }
+        await service.close()
+
+    run(main())
+
+
+def test_max_batch_flush_has_zero_queueing_latency(counting_decoder):
+    async def main():
+        pool = DecoderPool()
+        pool.register("cfg", counting_decoder, warm=False)
+        clock = VirtualClock()
+        service = DecodeService(pool, clock=clock, window=1.0, max_batch=2)
+        t1 = asyncio.ensure_future(service.submit("cfg", (1,), client="a"))
+        t2 = asyncio.ensure_future(service.submit("cfg", (2,), client="a"))
+        await clock.advance(0.0)
+        await asyncio.gather(t1, t2)
+        assert service.account("a").latencies == [0.0, 0.0]
+        await service.close()
+
+    run(main())
+
+
+def test_empty_quantiles_are_zero(counting_decoder):
+    async def main():
+        pool = DecoderPool()
+        pool.register("cfg", counting_decoder, warm=False)
+        service = DecodeService(pool, clock=VirtualClock())
+        assert service.latency_quantiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+        await service.close()
+
+    run(main())

@@ -1,0 +1,81 @@
+"""DecoderPool: warm registration, stable config keys, typed lookups."""
+
+import pytest
+
+from repro.serve import DecoderPool, UnknownConfigError
+
+
+def test_register_and_get(counting_decoder):
+    pool = DecoderPool()
+    key = pool.register("cfg-a", counting_decoder, meta={"decoder": "counting"})
+    assert key == "cfg-a"
+    assert pool.get("cfg-a") is counting_decoder
+    assert pool.describe("cfg-a") == {"decoder": "counting"}
+    assert "cfg-a" in pool
+    assert len(pool) == 1
+    assert pool.keys() == ["cfg-a"]
+
+
+def test_register_warms_the_decoder(counting_decoder):
+    # Registration pre-pays lazy construction: the warmup hook decodes
+    # the empty syndrome through the batch path before any client.
+    pool = DecoderPool()
+    pool.register("cfg-a", counting_decoder)
+    assert counting_decoder.batch_calls == 1
+    assert counting_decoder.seen == [()]
+
+
+def test_register_warm_false_skips_warmup(counting_decoder):
+    pool = DecoderPool()
+    pool.register("cfg-a", counting_decoder, warm=False)
+    assert counting_decoder.batch_calls == 0
+
+
+def test_key_collision_raises(counting_decoder, make_counting_decoder):
+    pool = DecoderPool()
+    pool.register("cfg-a", counting_decoder)
+    with pytest.raises(ValueError, match="already registered"):
+        pool.register("cfg-a", make_counting_decoder())
+
+
+def test_unknown_config_is_typed(counting_decoder):
+    pool = DecoderPool()
+    pool.register("cfg-a", counting_decoder)
+    with pytest.raises(UnknownConfigError) as excinfo:
+        pool.get("cfg-b")
+    assert excinfo.value.kind == "unknown-config"
+    assert "cfg-a" in str(excinfo.value)  # the known keys are listed
+
+
+class _FakeWorkbench:
+    """The slice of the Workbench surface warm_workbench touches."""
+
+    distance = 3
+    p = 1e-3
+    rounds = 3
+
+    def __init__(self, decoders) -> None:
+        self.decoders = decoders
+
+    def store_key(self, kind: str) -> str:
+        return f"key:{kind}"
+
+
+def test_warm_workbench_derives_store_keys(make_counting_decoder):
+    bench = _FakeWorkbench(
+        {"A": make_counting_decoder(), "B": make_counting_decoder()}
+    )
+    pool = DecoderPool()
+    keys = pool.warm_workbench(bench)
+    assert keys == {"A": "key:serve:A", "B": "key:serve:B"}
+    assert pool.describe(keys["A"]) == {
+        "decoder": "A", "distance": 3, "p": 1e-3, "rounds": 3,
+    }
+    # Every registered decoder came out warm.
+    assert all(d.batch_calls == 1 for d in bench.decoders.values())
+
+
+def test_warm_workbench_rejects_unknown_names(make_counting_decoder):
+    bench = _FakeWorkbench({"A": make_counting_decoder()})
+    with pytest.raises(ValueError, match="unknown decoders"):
+        DecoderPool().warm_workbench(bench, names=["A", "nope"])

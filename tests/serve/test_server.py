@@ -1,0 +1,294 @@
+"""DecodeService behavior: windows, coalescing, backpressure, faults.
+
+Everything runs on a :class:`VirtualClock` — no real time passes, every
+flush and timeout is driven explicitly, and the tests are exact (no
+"slow machine" tolerances).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    BackpressureError,
+    DecodeService,
+    DecoderPool,
+    FaultyDecoder,
+    FlakyTransport,
+    InjectedFault,
+    RequestTimeoutError,
+    ServiceClosedError,
+    TransportError,
+    UnknownConfigError,
+    VirtualClock,
+    submit_with_retry,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_service(decoder, key="cfg", **kwargs):
+    pool = DecoderPool()
+    pool.register(key, decoder, warm=False)
+    clock = VirtualClock()
+    kwargs.setdefault("window", 1e-3)
+    return DecodeService(pool, clock=clock, **kwargs), clock
+
+
+def test_trickle_flushes_on_window_deadline(counting_decoder):
+    # One lonely request must be served one window after admission, not
+    # wait for company.
+    async def main():
+        service, clock = make_service(counting_decoder)
+        task = asyncio.ensure_future(service.submit("cfg", (1, 2)))
+        await clock.advance(0.0)
+        assert not task.done()
+        await clock.advance(0.5e-3)
+        assert not task.done()  # mid-window: still coalescing
+        await clock.advance(0.5e-3)
+        result = await task
+        assert result.success and result.weight == 2.0
+        assert service.batches_flushed == 1
+        await service.close()
+
+    run(main())
+
+
+def test_max_batch_flushes_early(counting_decoder):
+    # A flood hits max_batch before the window deadline and flushes
+    # immediately: no simulated time passes at all.
+    async def main():
+        service, clock = make_service(counting_decoder, max_batch=4)
+        tasks = [
+            asyncio.ensure_future(service.submit("cfg", (i,)))
+            for i in range(4)
+        ]
+        await clock.advance(0.0)
+        results = await asyncio.gather(*tasks)
+        assert all(r.success for r in results)
+        assert clock.now() == 0.0
+        assert service.batches_flushed == 1
+        await service.close()
+
+    run(main())
+
+
+def test_cross_client_coalescing_dedups(counting_decoder):
+    # Three clients, six requests, two distinct syndromes inside one
+    # window -> one decode_batch call, one decode per *distinct*
+    # syndrome, and identical-syndrome clients share the result.
+    async def main():
+        service, clock = make_service(counting_decoder)
+        counting_decoder.batch_calls = 0  # ignore any warm state
+        submissions = [
+            ("alice", (1, 2)), ("bob", (3,)), ("carol", (1, 2)),
+            ("alice", (3,)), ("bob", (1, 2)), ("carol", (3,)),
+        ]
+        tasks = [
+            asyncio.ensure_future(service.submit("cfg", ev, client=who))
+            for who, ev in submissions
+        ]
+        await clock.advance(1e-3)
+        results = await asyncio.gather(*tasks)
+        assert counting_decoder.batch_calls == 1
+        assert counting_decoder.decode_calls == 2  # dedup across clients
+        assert results[0] == results[2] == results[4]
+        assert results[1] == results[3] == results[5]
+        assert service.shots_decoded == 6
+        for who in ("alice", "bob", "carol"):
+            assert service.account(who).completed == 2
+        await service.close()
+
+    run(main())
+
+
+def test_independent_configs_flush_independently(make_counting_decoder):
+    async def main():
+        a, b = make_counting_decoder(), make_counting_decoder()
+        pool = DecoderPool()
+        pool.register("cfg-a", a, warm=False)
+        pool.register("cfg-b", b, warm=False)
+        clock = VirtualClock()
+        service = DecodeService(pool, clock=clock, window=1e-3, max_batch=2)
+        t1 = asyncio.ensure_future(service.submit("cfg-a", (1,)))
+        t2 = asyncio.ensure_future(service.submit("cfg-a", (2,)))
+        t3 = asyncio.ensure_future(service.submit("cfg-b", (3,)))
+        await clock.advance(0.0)
+        # cfg-a hit max_batch and flushed; cfg-b still waits its window.
+        assert t1.done() and t2.done() and not t3.done()
+        await clock.advance(1e-3)
+        await asyncio.gather(t1, t2, t3)
+        assert a.batch_calls == 1 and b.batch_calls == 1
+        await service.close()
+
+    run(main())
+
+
+def test_backpressure_is_typed_and_immediate(counting_decoder):
+    async def main():
+        service, clock = make_service(
+            counting_decoder, max_pending=2, max_batch=100
+        )
+        t1 = asyncio.ensure_future(service.submit("cfg", (1,), client="a"))
+        t2 = asyncio.ensure_future(service.submit("cfg", (2,), client="a"))
+        await clock.advance(0.0)
+        with pytest.raises(BackpressureError) as excinfo:
+            await service.submit("cfg", (3,), client="b")
+        assert excinfo.value.kind == "backpressure"
+        assert service.account("b").rejected == 1
+        # The queued requests are unharmed and flush normally.
+        await clock.advance(1e-3)
+        results = await asyncio.gather(t1, t2)
+        assert all(r.success for r in results)
+        await service.close()
+
+    run(main())
+
+
+def test_unknown_config_rejected_before_queueing(counting_decoder):
+    async def main():
+        service, _clock = make_service(counting_decoder)
+        with pytest.raises(UnknownConfigError):
+            await service.submit("nope", (1,))
+        await service.close()
+
+    run(main())
+
+
+def test_fault_isolation_only_poisoned_requests_fail(counting_decoder):
+    # A poisoned syndrome makes the coalesced decode_batch raise; the
+    # service falls back to per-request decode so siblings complete.
+    async def main():
+        faulty = FaultyDecoder(counting_decoder, fail_on=[(6, 6, 6)])
+        service, clock = make_service(faulty)
+        good1 = asyncio.ensure_future(service.submit("cfg", (1,), client="a"))
+        bad = asyncio.ensure_future(service.submit("cfg", (6, 6, 6), client="b"))
+        good2 = asyncio.ensure_future(service.submit("cfg", (2,), client="c"))
+        await clock.advance(1e-3)
+        assert (await good1).success
+        assert (await good2).success
+        with pytest.raises(InjectedFault):
+            await bad
+        assert service.account("b").faults == 1
+        assert service.account("a").faults == 0
+        assert service.account("a").completed == 1
+        await service.close()
+
+    run(main())
+
+
+def test_cancellation_does_not_poison_the_batch(counting_decoder):
+    async def main():
+        service, clock = make_service(counting_decoder)
+        keeper = asyncio.ensure_future(service.submit("cfg", (1,), client="a"))
+        doomed = asyncio.ensure_future(service.submit("cfg", (2,), client="b"))
+        await clock.advance(0.0)
+        doomed.cancel()
+        await clock.advance(1e-3)
+        assert (await keeper).success
+        assert doomed.cancelled()
+        # The cancelled request was dropped before decode: only the
+        # surviving syndrome was decoded.
+        assert (2,) not in counting_decoder.seen
+        assert service.account("b").cancelled == 1
+        assert service.account("b").completed == 0
+        await service.close()
+
+    run(main())
+
+
+def test_timeout_is_typed_and_scoped_to_one_request(counting_decoder):
+    async def main():
+        # Window far longer than the request's own deadline.
+        service, clock = make_service(counting_decoder, window=1.0)
+        patient = asyncio.ensure_future(service.submit("cfg", (1,), client="a"))
+        hasty = asyncio.ensure_future(
+            service.submit("cfg", (2,), client="b", timeout=0.1)
+        )
+        await clock.advance(0.5)
+        with pytest.raises(RequestTimeoutError):
+            await hasty
+        assert service.account("b").timeouts == 1
+        await clock.advance(0.5)
+        assert (await patient).success
+        assert (2,) not in counting_decoder.seen  # abandoned before decode
+        await service.close()
+
+    run(main())
+
+
+def test_close_drain_completes_pending(counting_decoder):
+    async def main():
+        service, clock = make_service(counting_decoder, window=1.0)
+        task = asyncio.ensure_future(service.submit("cfg", (1, 2)))
+        await clock.advance(0.0)
+        await service.close(drain=True)
+        assert (await task).success
+        with pytest.raises(ServiceClosedError):
+            await service.submit("cfg", (3,))
+
+    run(main())
+
+
+def test_close_without_drain_fails_pending(counting_decoder):
+    async def main():
+        service, clock = make_service(counting_decoder, window=1.0)
+        task = asyncio.ensure_future(service.submit("cfg", (1, 2)))
+        await clock.advance(0.0)
+        await service.close(drain=False)
+        with pytest.raises(ServiceClosedError):
+            await task
+        assert counting_decoder.decode_calls == 0
+
+    run(main())
+
+
+def test_flaky_transport_retry_with_virtual_backoff(counting_decoder):
+    # Two injected transport failures, then success; backoff sleeps run
+    # on the virtual clock (the retry loop never blocks real time).
+    async def main():
+        service, clock = make_service(counting_decoder)
+        flaky = FlakyTransport(service, fail_first=2)
+        task = asyncio.ensure_future(
+            submit_with_retry(
+                flaky, "cfg", (1, 2), retries=3, backoff=0.01, clock=clock
+            )
+        )
+        await clock.advance(0.02)  # burn through both backoff sleeps
+        await clock.advance(1e-3)  # the successful attempt's window
+        result = await task
+        assert result.success
+        assert flaky.attempts == 3
+
+    run(main())
+
+
+def test_flaky_transport_exhausted_retries_raise(counting_decoder):
+    async def main():
+        service, _clock = make_service(counting_decoder)
+        flaky = FlakyTransport(service, fail_first=5)
+        with pytest.raises(TransportError):
+            await submit_with_retry(flaky, "cfg", (1,), retries=2)
+        assert flaky.attempts == 3  # 1 + 2 retries, then give up
+
+    run(main())
+
+
+def test_retry_does_not_mask_decode_faults(counting_decoder):
+    # Only transport errors are transient; an injected decode fault must
+    # propagate on the first attempt, not be retried.
+    async def main():
+        faulty = FaultyDecoder(counting_decoder, fail_on=[(9,)])
+        service, clock = make_service(faulty)
+        flaky = FlakyTransport(service, fail_first=0)
+        task = asyncio.ensure_future(
+            submit_with_retry(flaky, "cfg", (9,), retries=5)
+        )
+        await clock.advance(1e-3)
+        with pytest.raises(InjectedFault):
+            await task
+        assert flaky.attempts == 1
+
+    run(main())

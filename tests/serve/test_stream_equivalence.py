@@ -1,0 +1,213 @@
+"""Property test: streamed results == offline decode_batch, always.
+
+The serving layer's correctness contract is that micro-batching is pure
+plumbing — whatever grouping the window/flood/fault machinery lands on,
+every client receives exactly the result the offline ``decode_batch``
+would have produced for its syndrome.  This is fuzzed over randomized
+interleavings of clients, configs, arrival schedules, and window sizes,
+across the real decoder zoo (including a ``PredecodedDecoder``
+pipeline), and it must survive fault injection and mid-window client
+cancellations on the healthy requests.
+
+Everything runs on the virtual clock; DecodeResult is a dataclass, so
+``==`` compares every field (mask, weight, cycles, matching).
+"""
+
+import asyncio
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import Workbench
+from repro.serve import (
+    DecodeService,
+    DecoderPool,
+    FaultyDecoder,
+    InjectedFault,
+    VirtualClock,
+    poisson_arrivals,
+    run_traffic,
+)
+
+#: Zoo members exercised: an exact baseline, a real-time search decoder,
+#: the paper's predecoder+Astrea pipeline (PredecodedDecoder), and the
+#: vectorized union-find engine.
+ZOO_NAMES = ["MWPM", "Astrea-G", "Promatch+Astrea", "UnionFind"]
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return Workbench.build(distance=3, p=3e-3, rng=17)
+
+
+@pytest.fixture(scope="module")
+def workload(bench):
+    batch = bench.sample(300)
+    return [tuple(int(e) for e in ev) for ev in batch.events]
+
+
+def grouped_offline(bench, keys, outcomes):
+    """Offline decode_batch results per config, in arrival order."""
+    names_by_key = {key: name for name, key in keys.items()}
+    expected = {}
+    for key, name in names_by_key.items():
+        group = [o for o in outcomes if o.arrival.config == key]
+        results = bench.decoders[name].decode_batch(
+            [o.arrival.events for o in group]
+        )
+        expected.update(dict(zip((id(o) for o in group), results)))
+    return expected
+
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_streamed_results_identical_to_offline_batch(bench, workload, seed):
+    # Randomized interleaving: the schedule, window, and batch cap all
+    # derive from the seed, so each case lands on different coalescing
+    # boundaries — the results must never depend on them.
+    async def main():
+        rng = np.random.default_rng(seed)
+        names = list(ZOO_NAMES)
+        pool = DecoderPool()
+        keys = {}
+        for name in names:
+            key = bench.store_key(f"serve:{name}")
+            keys[name] = pool.register(key, bench.decoders[name], warm=False)
+        arrivals = poisson_arrivals(
+            {keys[n]: workload for n in names},
+            requests=120,
+            clients=int(rng.integers(2, 6)),
+            rate_hz=float(rng.uniform(5e2, 5e4)),
+            rng=rng,
+        )
+        service = DecodeService(
+            pool,
+            clock=VirtualClock(),
+            window=float(rng.uniform(1e-4, 5e-3)),
+            max_batch=int(rng.integers(4, 64)),
+        )
+        outcomes = await run_traffic(service, arrivals)
+        assert all(o.ok for o in outcomes)
+        expected = grouped_offline(bench, keys, outcomes)
+        for outcome in outcomes:
+            assert outcome.result == expected[id(outcome)]
+        assert service.shots_decoded == len(arrivals)
+        await service.close()
+
+    asyncio.run(main())
+
+
+def test_equivalence_survives_faults_and_cancellations(bench, workload):
+    # Poison one syndrome of the pipeline decoder and cancel a handful
+    # of submissions mid-window: the poisoned requests fail with the
+    # injected fault, the cancelled ones report cancellation, and every
+    # *other* request still equals its offline result exactly.
+    async def main():
+        names = list(ZOO_NAMES)
+        poisoned = next(ev for ev in workload if len(ev) >= 2)
+        pool = DecoderPool()
+        keys = {}
+        for name in names:
+            decoder = bench.decoders[name]
+            if name == "Promatch+Astrea":
+                decoder = FaultyDecoder(decoder, fail_on=[poisoned])
+            key = bench.store_key(f"serve:{name}")
+            keys[name] = pool.register(key, decoder, warm=False)
+        arrivals = poisson_arrivals(
+            {keys[n]: workload for n in names},
+            requests=150,
+            clients=4,
+            rate_hz=2e4,
+            rng=5,
+        )
+        # Force poisoned arrivals into the pipeline lane so the fault
+        # path actually fires.
+        pipeline_key = keys["Promatch+Astrea"]
+        forced = 0
+        for i, arrival in enumerate(arrivals):
+            if forced < 5 and arrival.config == pipeline_key:
+                arrivals[i] = replace(arrival, events=poisoned)
+                forced += 1
+        assert forced == 5
+
+        clock = VirtualClock()
+        service = DecodeService(pool, clock=clock, window=1e-3, max_batch=32)
+
+        to_cancel = {10, 40, 90}
+
+        async def cancelling_driver():
+            tasks = []
+            for i, arrival in enumerate(arrivals):
+                gap = arrival.at - clock.now()
+                if gap > 0:
+                    await clock.sleep(gap)
+                task = asyncio.ensure_future(
+                    service.submit(
+                        arrival.config, arrival.events, client=arrival.client
+                    )
+                )
+                tasks.append(task)
+                if i in to_cancel:
+                    task.cancel()
+            return tasks
+
+        driver = asyncio.ensure_future(cancelling_driver())
+        for _ in range(10_000):
+            if driver.done() and all(t.done() for t in driver.result()):
+                break
+            await clock.advance(1e-3)
+        tasks = driver.result()
+        assert all(t.done() for t in tasks)
+
+        healthy_by_key = {key: [] for key in keys.values()}
+        for i, (arrival, task) in enumerate(zip(arrivals, tasks)):
+            if i in to_cancel:
+                assert task.cancelled()
+                continue
+            if arrival.config == pipeline_key and arrival.events == poisoned:
+                assert isinstance(task.exception(), InjectedFault)
+                continue
+            assert task.exception() is None
+            healthy_by_key[arrival.config].append((arrival, task))
+
+        names_by_key = {key: name for name, key in keys.items()}
+        checked = 0
+        for key, group in healthy_by_key.items():
+            if not group:
+                continue
+            offline = bench.decoders[names_by_key[key]].decode_batch(
+                [arrival.events for arrival, _task in group]
+            )
+            for (_arrival, task), expected in zip(group, offline):
+                assert task.result() == expected
+                checked += 1
+        assert checked == len(arrivals) - len(to_cancel) - forced
+        await service.close()
+
+    asyncio.run(main())
+
+
+def test_natural_poison_occurrences_also_fail(bench, workload):
+    # A syndrome equal to the poisoned one is poisoned no matter which
+    # client sent it or how it was batched: failure is a property of the
+    # (config, syndrome) pair, not of the request object.
+    async def main():
+        poisoned = next(ev for ev in workload if ev)
+        decoder = FaultyDecoder(bench.decoders["UnionFind"], fail_on=[poisoned])
+        pool = DecoderPool()
+        pool.register("cfg", decoder, warm=False)
+        clock = VirtualClock()
+        service = DecodeService(pool, clock=clock, window=1e-3)
+        first = asyncio.ensure_future(
+            service.submit("cfg", poisoned, client="a")
+        )
+        second = asyncio.ensure_future(
+            service.submit("cfg", poisoned, client="b")
+        )
+        await clock.advance(1e-3)
+        for task in (first, second):
+            with pytest.raises(InjectedFault):
+                await task
+        await service.close()
+
+    asyncio.run(main())

@@ -1,0 +1,120 @@
+"""Unit tests for the synthetic traffic generators.
+
+Both generators must be pure functions of their seed — the load bench
+and the CI smoke job rely on replaying byte-identical schedules.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+
+from repro.serve import poisson_arrivals, shard_replay_arrivals  # noqa: E402
+
+WORKLOADS = {"cfg-a": [(1, 2), (3,)], "cfg-b": [(), (4, 5), (6,)]}
+
+
+class TestPoissonArrivals:
+    def test_deterministic_given_seed(self):
+        a = poisson_arrivals(WORKLOADS, requests=50, rate_hz=1e3, rng=7)
+        b = poisson_arrivals(WORKLOADS, requests=50, rate_hz=1e3, rng=7)
+        assert a == b
+
+    def test_seed_changes_schedule(self):
+        a = poisson_arrivals(WORKLOADS, requests=50, rate_hz=1e3, rng=7)
+        b = poisson_arrivals(WORKLOADS, requests=50, rate_hz=1e3, rng=8)
+        assert a != b
+
+    def test_saturation_schedules_everything_at_t0(self):
+        arrivals = poisson_arrivals(WORKLOADS, requests=20, rng=0)
+        assert all(a.at == 0.0 for a in arrivals)
+
+    def test_rated_arrivals_are_monotone(self):
+        arrivals = poisson_arrivals(WORKLOADS, requests=40, rate_hz=1e4, rng=3)
+        times = [a.at for a in arrivals]
+        assert times == sorted(times)
+        assert times[-1] > 0.0
+
+    def test_draws_only_from_named_workloads(self):
+        arrivals = poisson_arrivals(WORKLOADS, requests=100, clients=3, rng=5)
+        assert {a.config for a in arrivals} <= set(WORKLOADS)
+        for a in arrivals:
+            assert a.events in [tuple(e) for e in WORKLOADS[a.config]]
+        assert {a.client for a in arrivals} <= {f"client-{i}" for i in range(3)}
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(requests=-1), "requests"),
+            (dict(requests=1, clients=0), "clients"),
+            (dict(requests=1, rate_hz=0.0), "rate_hz"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            poisson_arrivals(WORKLOADS, **kwargs)
+
+    def test_rejects_empty_config_pool(self):
+        with pytest.raises(ValueError, match="empty workloads"):
+            poisson_arrivals({"cfg": []}, requests=1)
+
+    def test_rejects_no_configs(self):
+        with pytest.raises(ValueError, match="at least one config"):
+            poisson_arrivals({}, requests=1)
+
+
+class TestShardReplayArrivals:
+    def test_every_client_replays_every_position(self):
+        shards = {"cfg-a": [(1,), (2,), (3,)], "cfg-b": [(4,), (5,)]}
+        arrivals = shard_replay_arrivals(shards, clients=3, rng=0)
+        assert len(arrivals) == 3 * (3 + 2)
+        for config, stream in shards.items():
+            for events in stream:
+                submitters = {
+                    a.client
+                    for a in arrivals
+                    if a.config == config and a.events == events
+                }
+                assert submitters == {f"client-{i}" for i in range(3)}
+
+    def test_position_major_interleave(self):
+        shards = {"cfg-a": [(1,), (2,)], "cfg-b": [(3,), (4,)]}
+        arrivals = shard_replay_arrivals(shards, clients=2, rng=0)
+        # All submissions of position 0 (both configs, both clients)
+        # precede every submission of position 1.
+        events_order = [a.events for a in arrivals]
+        assert events_order == [
+            (1,), (1,), (3,), (3,), (2,), (2,), (4,), (4,)
+        ]
+
+    def test_deterministic_given_seed(self):
+        shards = {"cfg": [(1,), (2,)]}
+        a = shard_replay_arrivals(shards, clients=2, rate_hz=1e3, rng=11)
+        b = shard_replay_arrivals(shards, clients=2, rate_hz=1e3, rng=11)
+        assert a == b
+
+    def test_saturation_schedules_everything_at_t0(self):
+        arrivals = shard_replay_arrivals({"cfg": [(1,), ()]}, clients=2, rng=0)
+        assert all(a.at == 0.0 for a in arrivals)
+
+    def test_uneven_streams_drop_out(self):
+        shards = {"long": [(1,), (2,), (3,)], "short": [(9,)]}
+        arrivals = shard_replay_arrivals(shards, clients=1, rng=0)
+        assert [a.config for a in arrivals] == ["long", "short", "long", "long"]
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(clients=0), "clients"),
+            (dict(rate_hz=-1.0), "rate_hz"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            shard_replay_arrivals({"cfg": [(1,)]}, **kwargs)
+
+    def test_rejects_no_configs(self):
+        with pytest.raises(ValueError, match="at least one config"):
+            shard_replay_arrivals({})

@@ -1,0 +1,60 @@
+"""Suite hygiene: no wall-clock timing in tests, no sleeps in the library.
+
+The serving layer introduced a shared virtual clock
+(:class:`repro.serve.clock.VirtualClock`) precisely so time-dependent
+behavior — windows, timeouts, retries, arrival schedules — can be tested
+deterministically.  These checks keep the suite that way: a test that
+calls real sleep/clock functions is timing-dependent and flaky by
+construction, and library code that sleeps blocks the serving event
+loop.  (Benchmarks measure real elapsed time on purpose and are exempt.)
+"""
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: Wall-clock call sites banned from tests.  Assembled so this file's
+#: own source does not trip the scan.
+_TIME = "time"
+BANNED_IN_TESTS = [
+    re.compile(rf"\b{_TIME}\.{name}\s*\(")
+    for name in ("sleep", "monotonic", "perf_counter", "process_" + _TIME)
+] + [re.compile(rf"\b{_TIME}\.{_TIME}\s*\(")]
+
+#: Blocking sleeps banned from the library (they would stall the asyncio
+#: event loop the decode service runs on).
+BANNED_IN_SRC = [re.compile(rf"\b{_TIME}\.sleep\s*\(")]
+
+SELF = Path(__file__).resolve()
+
+
+def _scan(root: Path, patterns) -> list:
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        if path.resolve() == SELF:
+            continue
+        text = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for pattern in patterns:
+                if pattern.search(line):
+                    offenders.append(f"{path.relative_to(REPO)}:{lineno}: "
+                                     f"{line.strip()}")
+    return offenders
+
+
+def test_tests_never_touch_the_wall_clock():
+    offenders = _scan(REPO / "tests", BANNED_IN_TESTS)
+    assert not offenders, (
+        "tests must drive time through repro.serve.clock.VirtualClock "
+        "(deterministic, zero real sleeps), not the wall clock:\n"
+        + "\n".join(offenders)
+    )
+
+
+def test_library_never_blocks_on_sleep():
+    offenders = _scan(REPO / "src", BANNED_IN_SRC)
+    assert not offenders, (
+        "library code must not block the event loop; await an injected "
+        "clock's sleep instead:\n" + "\n".join(offenders)
+    )
