@@ -22,6 +22,12 @@ Subcommands mirror the workflows a downstream user actually wants:
 * ``store``     -- inspect (``store info``, optionally against a
   campaign spec via ``--campaign``) or garbage-collect
   (``store prune --keep ...``) an experiment-store file.
+* ``lint``      -- run the repro-lint invariant checker
+  (``tools/reprolint``): AST-based checks that the reproducibility
+  contracts hold -- no wall-clock outside the injected clock, seeded
+  RNG everywhere, knobs through the registry, locked store appends, a
+  non-blocking serve loop, Reference* oracles for every vectorized
+  engine (see docs/linting.md).
 
 Examples::
 
@@ -59,6 +65,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.eval.reporting import format_scientific, format_table
@@ -368,10 +375,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="report how many records would be dropped without rewriting",
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro-lint invariant checker (tools/reprolint): "
+             "clock/RNG/knob/lock/async/oracle discipline, AST-based "
+             "(see docs/linting.md)",
+    )
+    lint.add_argument(
+        "lint_args", nargs=argparse.REMAINDER, metavar="...",
+        help="arguments forwarded verbatim to `python -m tools.reprolint` "
+             "(e.g. --format json, --select RPL001, --list-rules)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Forwarded verbatim: argparse's REMAINDER refuses leading
+        # flags (`repro lint --list-rules`), so the lint subcommand
+        # bypasses the parser entirely.
+        _forward_lint(argv[1:])
     args = build_parser().parse_args(argv)
     handler = {
         "info": _run_info,
@@ -383,9 +408,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         "decode": _run_decode,
         "serve": _run_serve,
         "store": _run_store,
+        "lint": _run_lint,
     }[args.command]
     handler(args)
     return 0
+
+
+def _run_lint(args) -> None:
+    _forward_lint(list(args.lint_args))
+
+
+def _forward_lint(lint_args: List[str]) -> None:
+    """Forward to the in-repo linter (it lives beside src/, not inside).
+
+    The linter checks the *source tree*, so it is only reachable from a
+    checkout; an installed-package invocation gets a clear error rather
+    than a scan of nothing.  Always exits with the linter's status.
+    """
+    repo_root = Path(__file__).resolve().parents[2]
+    if not (repo_root / "tools" / "reprolint").is_dir():
+        sys.exit(
+            "repro lint requires a repo checkout (tools/reprolint not "
+            f"found under {repo_root})"
+        )
+    if str(repo_root) not in sys.path:
+        sys.path.insert(0, str(repo_root))
+    from tools.reprolint.__main__ import main as lint_main
+
+    sys.exit(lint_main(lint_args))
 
 
 def _build(args):

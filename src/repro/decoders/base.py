@@ -290,7 +290,7 @@ class Decoder(abc.ABC):
                 parameters = inspect.signature(self.decode).parameters
                 cached = "budget_cycles" in parameters or any(
                     p.kind is inspect.Parameter.VAR_KEYWORD
-                    for p in parameters.values()
+                    for p in parameters.values()  # reprolint: disable=RPL003 -- any() over a signature is order-independent
                 )
             except (TypeError, ValueError):
                 cached = True

@@ -172,7 +172,7 @@ class UnionFindDecoder(Decoder):
         fully_grown: Set[int] = set()
         stages = 0
         while stages < self._max_stages:
-            odd_nodes = [n for n in in_cluster if forest.is_odd(n)]
+            odd_nodes = [n for n in in_cluster if forest.is_odd(n)]  # reprolint: disable=RPL003 -- feeds a count accumulator committed via sorted(border)
             if not odd_nodes:
                 break
             stages += 1
@@ -292,7 +292,7 @@ class UnionFindDecoder(Decoder):
                     clusters[shot].add(v)
                     forests[shot].union(u, v)
                     merged_rows.add(row)
-                for row in merged_rows:
+                for row in merged_rows:  # reprolint: disable=RPL003 -- rows are independent; each only rewrites its own odd-mask
                     shot = int(active[row])
                     row_mask = odd[shot]
                     row_mask[:] = False
@@ -401,7 +401,8 @@ class ReferenceUnionFindDecoder(UnionFindDecoder):
         stages = 0
         while stages < self._max_stages:
             odd_roots = {
-                forest.find(n) for n in in_cluster if forest.is_odd(n)
+                forest.find(n) for n in in_cluster  # reprolint: disable=RPL003 -- builds a membership-only set
+                if forest.is_odd(n)
             }
             if not odd_roots:
                 break

@@ -3,14 +3,15 @@
 Detector-error-model extraction is the one genuinely expensive step
 (~20 s at d = 13) and is independent of the physical error rate, so DEMs
 are pickled per (code family, distance, rounds, noise-model shape,
-basis).  Set ``REPRO_CACHE_DIR`` to relocate the cache, or
+basis).  Both cache tunables are registered knobs
+(:data:`repro.eval.knobs.CORE_KNOBS`), resolved through the standard
+precedence rule: set ``REPRO_CACHE_DIR`` to relocate the cache, or
 ``REPRO_NO_CACHE=1`` to disable it (tests covering the builder itself do
 this).
 """
 
 from __future__ import annotations
 
-import os
 import pickle
 from pathlib import Path
 from typing import Optional
@@ -18,15 +19,16 @@ from typing import Optional
 from repro.circuits.memory import MemoryExperiment, build_memory_circuit
 from repro.codes.base import StabilizerCode
 from repro.dem.model import DetectorErrorModel
+from repro.eval.knobs import CORE_KNOBS
 from repro.noise.model import NoiseModel
 from repro.sim.dem_builder import build_detector_error_model
 
 
 def cache_directory() -> Optional[Path]:
     """Resolve the cache directory (None when caching is disabled)."""
-    if os.environ.get("REPRO_NO_CACHE"):
+    if CORE_KNOBS.resolve("no_cache"):
         return None
-    configured = os.environ.get("REPRO_CACHE_DIR")
+    configured = CORE_KNOBS.resolve("cache_dir")
     if configured:
         return Path(configured)
     return Path(__file__).resolve().parents[3] / ".repro_cache"

@@ -59,6 +59,16 @@ def parse_positive_int_or_none(text: str) -> Optional[int]:
     return value if value > 0 else None
 
 
+def parse_flag(text: str) -> bool:
+    """Lenient on/off switch (the historic ``REPRO_NO_CACHE=1`` idiom).
+
+    Any non-empty value counts as on except the usual spellings of off
+    (``0``/``false``/``no``/``off``, any case), so ``REPRO_NO_CACHE=1``
+    and ``REPRO_NO_CACHE=true`` both disable the cache.
+    """
+    return text.strip().lower() not in ("0", "false", "no", "off")
+
+
 @dataclass(frozen=True)
 class Knob:
     """One tunable: its env var, parser, default, and doc line."""
@@ -198,6 +208,14 @@ CORE_KNOBS = KnobRegistry(
             "min_rel_precision", "REPRO_BENCH_MIN_REL_PRECISION",
             parse_float, None,
             "optional relative-precision target for Eq. (1) refinement",
+        ),
+        Knob(
+            "no_cache", "REPRO_NO_CACHE", parse_flag, False,
+            "disable the DEM disk cache (tests covering the builder do this)",
+        ),
+        Knob(
+            "cache_dir", "REPRO_CACHE_DIR", parse_str, None,
+            "relocate the DEM disk cache (unset = .repro_cache in the repo)",
         ),
     ]
 )

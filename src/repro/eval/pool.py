@@ -157,7 +157,10 @@ class WorkerPool:
             return
         try:
             blob = pickle.dumps(shared)
-        except Exception:
+        except (KeyboardInterrupt, SystemExit):
+            # Interrupts are never a pickling failure to fall back from.
+            raise
+        except Exception:  # reprolint: broad-except -- any pickling error means "use fork inheritance", not "crash the sweep"
             # Fork inheritance is the only channel for non-picklable
             # payloads: recycle the pool (one fork per payload change,
             # still far cheaper than one per map call).

@@ -481,7 +481,7 @@ class DecodingSubgraph:
         removed = {i, j}
         neighborhood = {k for k, _w, _o in adjacency[i]}
         neighborhood.update(k for k, _w, _o in adjacency[j])
-        for k in neighborhood - removed:
+        for k in neighborhood - removed:  # reprolint: disable=RPL003 -- existence check only (any neighbor fully stranded?)
             remaining = sum(
                 1 for m, _w, _o in adjacency[k] if m not in removed
             )
@@ -541,7 +541,7 @@ class DecodingSubgraph:
         #     to every *remaining* live neighbor -- applied after all
         #     kills from the recorded pre-call degrees.
         old_degree: Dict[int, int] = {}
-        for r in removed:
+        for r in removed:  # reprolint: disable=RPL003 -- delta maintenance is order-independent (pre-call degrees recorded at first touch)
             node_alive[r] = False
             for k in incident[r]:
                 if not alive[k]:

@@ -239,7 +239,11 @@ class DecodeService:
         self._shots_decoded += len(batch)
         try:
             results = lane.decoder.decode_batch([r.events for r in batch])
-        except Exception:
+        except (asyncio.CancelledError, KeyboardInterrupt):
+            # Control-flow exceptions must propagate: a cancelled flush
+            # or an interrupt is never a decoder fault to isolate.
+            raise
+        except Exception:  # reprolint: broad-except -- per-request retry isolates the poisoned syndromes
             # The coalesced call is poisoned — isolate: decode each
             # request on its own so only the syndromes that actually
             # raise fail, and every other client completes normally.
@@ -248,7 +252,9 @@ class DecodeService:
                     continue
                 try:
                     result = lane.decoder.decode(request.events)
-                except Exception as error:  # noqa: BLE001 — forwarded per request
+                except (asyncio.CancelledError, KeyboardInterrupt):
+                    raise
+                except Exception as error:  # reprolint: broad-except -- forwarded to the one failing request (noqa: BLE001)
                     self._fail(request, error)
                 else:
                     self._complete(request, result)

@@ -25,7 +25,9 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
         A numpy random generator.
     """
     if rng is None:
-        return np.random.default_rng()
+        # The one sanctioned OS-entropy source: callers asking for None
+        # explicitly opt out of reproducibility (interactive use only).
+        return np.random.default_rng()  # reprolint: disable=RPL002 -- explicit None means fresh entropy by contract
     if isinstance(rng, np.random.Generator):
         return rng
     if isinstance(rng, (int, np.integer)):

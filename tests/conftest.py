@@ -6,8 +6,17 @@ graph) are built once; the on-disk DEM cache makes repeat runs cheap.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+# The repo root is importable so tests can reach the in-repo tooling
+# (tools.reprolint for the lint suite and the hygiene checks).
+_REPO_ROOT = str(Path(__file__).resolve().parents[1])
+if _REPO_ROOT not in sys.path:
+    sys.path.insert(0, _REPO_ROOT)
 
 from repro.codes import RotatedSurfaceCode
 from repro.circuits import build_memory_circuit

@@ -1,0 +1,35 @@
+"""Shared helpers for the repro-lint tests: scratch trees on disk.
+
+Fixture snippets live as *string literals* written into ``tmp_path``
+trees, never as checked-in ``.py`` files — a checked-in bad fixture
+would (correctly) trip the real full-tree lint run.  The AST engine
+does not look inside string literals, so these snippets are invisible
+to the suite-wide scan of this very file.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture()
+def lint_tree(tmp_path):
+    """Materialize ``{relpath: source}`` under tmp_path and lint it."""
+    from tools.reprolint.engine import run_lint
+
+    def _lint(files, rules=None, paths=("src", "tests"), select=None):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_lint(tmp_path, paths=list(paths), rules=rules, select=select)
+
+    _lint.root = tmp_path
+    return _lint
+
+
+def codes(result) -> list:
+    return [f.code for f in result.findings]

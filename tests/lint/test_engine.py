@@ -1,0 +1,169 @@
+"""Engine semantics: suppression comments, selection, and baselines."""
+
+from __future__ import annotations
+
+import json
+
+from tests.lint.conftest import codes
+from tools.reprolint import baselines
+from tools.reprolint.engine import parse_suppressions, run_lint
+from tools.reprolint.rules import StoreLockRule, WallClockRule
+
+
+class TestSuppressions:
+    def test_inline_disable_silences_one_line(self, lint_tree):
+        src = (
+            "import time\n"
+            "time.sleep(1)  # reprolint: disable=RPL001 -- measured on purpose\n"
+            "time.sleep(2)\n"
+        )
+        result = lint_tree({"src/repro/x.py": src}, rules=[WallClockRule])
+        assert codes(result) == ["RPL001"]
+        assert result.findings[0].line == 3
+        assert result.suppressed == 1
+
+    def test_disable_is_code_specific(self, lint_tree):
+        src = "import time\ntime.sleep(1)  # reprolint: disable=RPL005\n"
+        result = lint_tree({"src/repro/x.py": src}, rules=[WallClockRule])
+        assert codes(result) == ["RPL001"]
+        assert result.suppressed == 0
+
+    def test_disable_accepts_comma_separated_codes(self, lint_tree):
+        src = (
+            "import time\n"
+            "import fcntl  # reprolint: disable=RPL001, RPL005\n"
+            "time.sleep(1)  # reprolint: disable=RPL001,RPL005\n"
+        )
+        result = lint_tree(
+            {"src/repro/x.py": src}, rules=[WallClockRule, StoreLockRule]
+        )
+        assert codes(result) == []
+        assert result.suppressed == 2
+
+    def test_parse_suppressions_ignores_strings(self):
+        source = 's = "# reprolint: disable=RPL001"\n'
+        assert parse_suppressions(source) == {}
+
+    def test_parse_suppressions_maps_line_to_codes(self):
+        source = "x = 1  # reprolint: disable=RPL003 -- reason\n"
+        assert parse_suppressions(source) == {1: {"RPL003"}}
+
+
+class TestSelection:
+    SRC = {"src/repro/x.py": "import time\nimport fcntl\ntime.sleep(1)\n"}
+
+    def test_select_limits_to_named_codes(self, lint_tree):
+        result = lint_tree(dict(self.SRC), select=["RPL005"])
+        assert codes(result) == ["RPL005"]
+
+    def test_ignore_drops_named_codes(self, lint_tree):
+        from tools.reprolint.engine import run_lint
+
+        lint_tree(dict(self.SRC), rules=[WallClockRule])  # materialize tree
+        result = run_lint(lint_tree.root, ignore=["RPL001"])
+        assert "RPL001" not in codes(result)
+        assert "RPL005" in codes(result)
+
+
+class TestBaselines:
+    def _findings(self, lint_tree):
+        src = {"src/repro/x.py": "import time\ntime.sleep(1)\ntime.sleep(2)\n"}
+        return lint_tree(src, rules=[WallClockRule])
+
+    def test_roundtrip_write_load_split(self, lint_tree, tmp_path):
+        result = self._findings(lint_tree)
+        assert len(result.findings) == 2
+        path = tmp_path / "baseline.json"
+        baselines.write(path, lint_tree.root, result.findings)
+
+        loaded = baselines.load(path)
+        fresh, baselined, stale = baselines.split(
+            lint_tree.root, result.findings, loaded
+        )
+        assert fresh == []
+        assert baselined == 2
+        assert stale == []
+
+    def test_new_finding_is_fresh_not_baselined(self, lint_tree, tmp_path):
+        result = self._findings(lint_tree)
+        path = tmp_path / "baseline.json"
+        # Baseline only the first finding.
+        baselines.write(path, lint_tree.root, result.findings[:1])
+
+        fresh, baselined, stale = baselines.split(
+            lint_tree.root, result.findings, baselines.load(path)
+        )
+        assert [f.line for f in fresh] == [3]
+        assert baselined == 1
+        assert stale == []
+
+    def test_fixed_finding_reports_stale_entry(self, lint_tree, tmp_path):
+        result = self._findings(lint_tree)
+        path = tmp_path / "baseline.json"
+        baselines.write(path, lint_tree.root, result.findings)
+
+        # The second sleep gets fixed: its entry should surface as stale.
+        fresh, baselined, stale = baselines.split(
+            lint_tree.root, result.findings[:1], baselines.load(path)
+        )
+        assert fresh == []
+        assert baselined == 1
+        assert len(stale) == 1
+
+    def test_fingerprint_survives_line_drift(self, lint_tree, tmp_path):
+        result = self._findings(lint_tree)
+        path = tmp_path / "baseline.json"
+        baselines.write(path, lint_tree.root, result.findings)
+
+        # Prepend lines: same offending text, different line numbers.
+        target = lint_tree.root / "src/repro/x.py"
+        target.write_text(
+            '"""doc"""\nimport time\ntime.sleep(1)\ntime.sleep(2)\n',
+            encoding="utf-8",
+        )
+        drifted = run_lint(lint_tree.root, rules=[WallClockRule])
+        assert [f.line for f in drifted.findings] == [3, 4]
+
+        fresh, baselined, stale = baselines.split(
+            lint_tree.root, drifted.findings, baselines.load(path)
+        )
+        assert fresh == []
+        assert baselined == 2
+        assert stale == []
+
+    def test_changed_line_invalidates_fingerprint(self, lint_tree, tmp_path):
+        result = self._findings(lint_tree)
+        path = tmp_path / "baseline.json"
+        baselines.write(path, lint_tree.root, result.findings)
+
+        target = lint_tree.root / "src/repro/x.py"
+        target.write_text(
+            "import time\ntime.sleep(99)\ntime.sleep(2)\n", encoding="utf-8"
+        )
+        changed = run_lint(lint_tree.root, rules=[WallClockRule])
+        fresh, baselined, stale = baselines.split(
+            lint_tree.root, changed.findings, baselines.load(path)
+        )
+        # The edited line is a fresh finding; its old entry is stale.
+        assert [f.line for f in fresh] == [2]
+        assert baselined == 1
+        assert len(stale) == 1
+
+    def test_baseline_file_is_versioned_json(self, lint_tree, tmp_path):
+        result = self._findings(lint_tree)
+        path = tmp_path / "baseline.json"
+        baselines.write(path, lint_tree.root, result.findings)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert len(payload["entries"]) == 2
+        for entry in payload["entries"]:
+            assert set(entry) >= {"fingerprint", "code", "path", "line"}
+
+
+class TestParseErrors:
+    def test_syntax_error_is_reported_not_raised(self, lint_tree):
+        result = lint_tree({"src/repro/x.py": "def broken(:\n"})
+        assert result.findings == []
+        assert len(result.parse_errors) == 1
+        assert result.parse_errors[0].code == "RPL000"
+        assert not result.clean

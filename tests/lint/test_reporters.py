@@ -1,0 +1,175 @@
+"""Reporter output contracts and CLI exit codes (in-process `main`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tools.reprolint.__main__ import main
+from tools.reprolint.engine import run_lint
+from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.rules import WallClockRule
+
+DIRTY = {"src/repro/x.py": "import time\ntime.sleep(1)\n"}
+CLEAN = {"src/repro/x.py": "x = 1\n"}
+
+
+def _materialize(root, files):
+    import textwrap
+
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+class TestJsonSchema:
+    def test_schema_v1_keys_and_finding_shape(self, lint_tree):
+        result = lint_tree(dict(DIRTY), rules=[WallClockRule])
+        payload = json.loads(render_json(result, baselined=0, stale=[]))
+        assert payload["version"] == 1
+        assert payload["tool"] == "reprolint"
+        assert set(payload) >= {
+            "version",
+            "tool",
+            "status",
+            "files_scanned",
+            "suppressed",
+            "baselined",
+            "stale_baseline",
+            "counts",
+            "findings",
+            "parse_errors",
+        }
+        assert payload["status"] == "findings"
+        assert payload["counts"] == {"RPL001": 1}
+        (finding,) = payload["findings"]
+        assert set(finding) == {"code", "path", "line", "col", "message"}
+        assert finding["code"] == "RPL001"
+        assert finding["path"] == "src/repro/x.py"
+
+    def test_clean_status(self, lint_tree):
+        result = lint_tree(dict(CLEAN), rules=[WallClockRule])
+        payload = json.loads(render_json(result, baselined=0, stale=[]))
+        assert payload["status"] == "clean"
+        assert payload["findings"] == []
+        assert payload["counts"] == {}
+
+
+class TestTextReport:
+    def test_summary_line_and_rendered_finding(self, lint_tree):
+        result = lint_tree(dict(DIRTY), rules=[WallClockRule])
+        text = render_text(result, baselined=0, stale=[])
+        assert "src/repro/x.py:2:" in text
+        assert "RPL001" in text
+        assert "1 finding" in text
+
+    def test_stale_baseline_warning(self, lint_tree):
+        result = lint_tree(dict(CLEAN), rules=[WallClockRule])
+        text = render_text(result, baselined=0, stale=["deadbeefdeadbeef"])
+        assert "stale" in text.lower()
+
+
+class TestCliExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        _materialize(tmp_path, CLEAN)
+        rc = main(["--root", str(tmp_path), "--no-baseline"])
+        assert rc == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        _materialize(tmp_path, DIRTY)
+        rc = main(["--root", str(tmp_path), "--no-baseline"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "RPL001" in out
+
+    def test_json_format_findings(self, tmp_path, capsys):
+        _materialize(tmp_path, DIRTY)
+        rc = main(["--root", str(tmp_path), "--no-baseline", "--format", "json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["status"] == "findings"
+        assert payload["counts"] == {"RPL001": 1}
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys):
+        _materialize(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        assert rc == 0
+        assert baseline.exists()
+        capsys.readouterr()
+
+        rc = main(["--root", str(tmp_path), "--baseline", str(baseline)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_stale_baseline_fails_run(self, tmp_path, capsys):
+        _materialize(tmp_path, DIRTY)
+        baseline = tmp_path / "baseline.json"
+        rc = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+        # Fix the violation: the baseline entry goes stale, and the run
+        # fails until the baseline is rewritten (it must only shrink).
+        _materialize(tmp_path, CLEAN)
+        rc = main(["--root", str(tmp_path), "--baseline", str(baseline)])
+        assert rc == 1
+        assert "stale" in capsys.readouterr().out.lower()
+
+    def test_select_flag(self, tmp_path, capsys):
+        _materialize(
+            tmp_path,
+            {"src/repro/x.py": "import time\nimport fcntl\ntime.sleep(1)\n"},
+        )
+        rc = main(
+            [
+                "--root",
+                str(tmp_path),
+                "--no-baseline",
+                "--select",
+                "RPL005",
+                "--format",
+                "json",
+            ]
+        )
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["counts"]) == {"RPL005"}
+
+    def test_unknown_code_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--root", str(tmp_path), "--select", "NOPE99"])
+        assert exc.value.code == 2
+
+    def test_list_rules(self, capsys):
+        rc = main(["--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("RPL001", "RPL008"):
+            assert code in out
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        _materialize(tmp_path, {"src/repro/x.py": "def broken(:\n"})
+        rc = main(["--root", str(tmp_path), "--no-baseline"])
+        assert rc == 1
+        assert "RPL000" in capsys.readouterr().out

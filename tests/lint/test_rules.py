@@ -1,0 +1,478 @@
+"""Per-rule fixtures: one good and one bad snippet for every RPL code.
+
+Each rule's *bad* fixture must produce exactly the expected code and
+its *good* twin must stay silent — the catalog in docs/linting.md is
+only trustworthy if both directions are pinned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.conftest import codes
+from tools.reprolint.rules import (
+    ALL_RULES,
+    AsyncBlockingRule,
+    BroadExceptRule,
+    KnobDisciplineRule,
+    OracleContractRule,
+    SetIterationRule,
+    StoreLockRule,
+    UnseededRandomnessRule,
+    WallClockRule,
+)
+
+
+class TestWallClock:
+    def test_bad_sleep_in_src(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": "import time\ntime.sleep(1)\n"},
+            rules=[WallClockRule],
+        )
+        assert codes(result) == ["RPL001"]
+
+    def test_bad_perf_counter_in_tests(self, lint_tree):
+        result = lint_tree(
+            {
+                "tests/test_x.py": (
+                    "from time import perf_counter\nstart = perf_counter()\n"
+                )
+            },
+            rules=[WallClockRule],
+        )
+        assert codes(result) == ["RPL001"]
+
+    def test_bad_datetime_now(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/x.py": (
+                    "from datetime import datetime\nstamp = datetime.now()\n"
+                )
+            },
+            rules=[WallClockRule],
+        )
+        assert codes(result) == ["RPL001"]
+
+    def test_good_clock_module_exempt(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/serve/clock.py": "import time\ntime.monotonic()\n"},
+            rules=[WallClockRule],
+        )
+        assert codes(result) == []
+
+    def test_good_mention_in_string_not_flagged(self, lint_tree):
+        # The regex scanner this engine superseded would flag this line.
+        result = lint_tree(
+            {"src/repro/x.py": 'BANNED = "time.sleep(1)"\n'},
+            rules=[WallClockRule],
+        )
+        assert codes(result) == []
+
+    def test_good_local_variable_named_time(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": "time = object()\ntime.sleep = print\n"},
+            rules=[WallClockRule],
+        )
+        assert codes(result) == []
+
+
+class TestUnseededRandomness:
+    def test_bad_stdlib_random(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": "import random\nv = random.randint(0, 7)\n"},
+            rules=[UnseededRandomnessRule],
+        )
+        assert codes(result) == ["RPL002"]
+
+    def test_bad_legacy_numpy_api(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": "import numpy as np\nv = np.random.rand(3)\n"},
+            rules=[UnseededRandomnessRule],
+        )
+        assert codes(result) == ["RPL002"]
+
+    def test_bad_seedless_default_rng(self, lint_tree):
+        bad = "from numpy.random import default_rng\nr = default_rng()\n"
+        result = lint_tree(
+            {"src/repro/x.py": bad}, rules=[UnseededRandomnessRule]
+        )
+        assert codes(result) == ["RPL002"]
+
+    def test_bad_explicit_none_seed(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/x.py": (
+                    "import numpy as np\nr = np.random.default_rng(None)\n"
+                )
+            },
+            rules=[UnseededRandomnessRule],
+        )
+        assert codes(result) == ["RPL002"]
+
+    def test_good_seeded_default_rng(self, lint_tree):
+        good = (
+            "import numpy as np\n"
+            "r1 = np.random.default_rng(2024)\n"
+            "r2 = np.random.default_rng(seed=7)\n"
+            "gen = np.random.Generator(np.random.PCG64(3))\n"
+        )
+        result = lint_tree(
+            {"src/repro/x.py": good}, rules=[UnseededRandomnessRule]
+        )
+        assert codes(result) == []
+
+    def test_good_generator_method_untouched(self, lint_tree):
+        # rng.random() is a *Generator method*, not the global module.
+        result = lint_tree(
+            {"src/repro/x.py": "def f(rng):\n    return rng.random()\n"},
+            rules=[UnseededRandomnessRule],
+        )
+        assert codes(result) == []
+
+
+class TestSetIteration:
+    def test_bad_set_variable_iteration(self, lint_tree):
+        bad = (
+            "def walk(events):\n"
+            "    seen = set(events)\n"
+            "    return [e for e in seen]\n"
+        )
+        result = lint_tree(
+            {"src/repro/decoders/x.py": bad}, rules=[SetIterationRule]
+        )
+        assert codes(result) == ["RPL003"]
+
+    def test_bad_set_difference_iteration(self, lint_tree):
+        bad = (
+            "def walk(a):\n"
+            "    removed = {1, 2}\n"
+            "    for k in a - removed:\n"
+            "        print(k)\n"
+        )
+        result = lint_tree(
+            {"src/repro/graph/x.py": bad}, rules=[SetIterationRule]
+        )
+        assert codes(result) == ["RPL003"]
+
+    def test_bad_unsorted_dict_values(self, lint_tree):
+        bad = "def walk(d):\n    return [v for v in d.values()]\n"
+        result = lint_tree(
+            {"src/repro/core/x.py": bad}, rules=[SetIterationRule]
+        )
+        assert codes(result) == ["RPL003"]
+
+    def test_good_sorted_iteration(self, lint_tree):
+        good = (
+            "def walk(events, d):\n"
+            "    seen = set(events)\n"
+            "    a = [e for e in sorted(seen)]\n"
+            "    b = [k for k in sorted(d.keys())]\n"
+            "    return a, b\n"
+        )
+        result = lint_tree(
+            {"src/repro/decoders/x.py": good}, rules=[SetIterationRule]
+        )
+        assert codes(result) == []
+
+    def test_good_membership_only(self, lint_tree):
+        good = (
+            "def walk(events, items):\n"
+            "    seen = set(events)\n"
+            "    return [i for i in items if i in seen]\n"
+        )
+        result = lint_tree(
+            {"src/repro/decoders/x.py": good}, rules=[SetIterationRule]
+        )
+        assert codes(result) == []
+
+    def test_good_outside_hot_paths(self, lint_tree):
+        # The rule is scoped to decoders/graph/core: aggregation modules
+        # (eval, serve) may iterate sets freely.
+        bad_elsewhere = "def f(x):\n    return [e for e in set(x)]\n"
+        result = lint_tree(
+            {"src/repro/eval/x.py": bad_elsewhere}, rules=[SetIterationRule]
+        )
+        assert codes(result) == []
+
+
+class TestKnobDiscipline:
+    def test_bad_environ_get(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": "import os\nv = os.environ.get('X')\n"},
+            rules=[KnobDisciplineRule],
+        )
+        assert codes(result) == ["RPL004"]
+
+    def test_bad_getenv_and_member_import(self, lint_tree):
+        bad = (
+            "import os\n"
+            "from os import environ\n"
+            "a = os.getenv('X')\n"
+            "b = environ['Y']\n"
+        )
+        result = lint_tree(
+            {"src/repro/x.py": bad}, rules=[KnobDisciplineRule]
+        )
+        assert codes(result) == ["RPL004", "RPL004"]
+
+    def test_good_knobs_module_exempt(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/eval/knobs.py": (
+                    "import os\nv = os.environ.get('X')\n"
+                )
+            },
+            rules=[KnobDisciplineRule],
+        )
+        assert codes(result) == []
+
+
+class TestStoreLock:
+    def test_bad_fcntl_import(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": "import fcntl\n"}, rules=[StoreLockRule]
+        )
+        assert codes(result) == ["RPL005"]
+
+    def test_bad_append_open(self, lint_tree):
+        bad = (
+            "def log(path, line):\n"
+            "    with open(path, 'a') as handle:\n"
+            "        handle.write(line)\n"
+        )
+        result = lint_tree({"src/repro/x.py": bad}, rules=[StoreLockRule])
+        assert codes(result) == ["RPL005"]
+
+    def test_bad_os_open_append(self, lint_tree):
+        bad = (
+            "import os\n"
+            "def log(path):\n"
+            "    return os.open(path, os.O_WRONLY | os.O_APPEND)\n"
+        )
+        result = lint_tree({"src/repro/x.py": bad}, rules=[StoreLockRule])
+        assert codes(result) == ["RPL005"]
+
+    def test_good_store_module_exempt(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/eval/store.py": "import fcntl\n"},
+            rules=[StoreLockRule],
+        )
+        assert codes(result) == []
+
+    def test_good_read_modes(self, lint_tree):
+        good = (
+            "from pathlib import Path\n"
+            "def load(path):\n"
+            "    with open(path, 'rb') as handle:\n"
+            "        data = handle.read()\n"
+            "    with Path(path).open('w') as handle:\n"
+            "        handle.write('x')\n"
+            "    return data\n"
+        )
+        result = lint_tree({"src/repro/x.py": good}, rules=[StoreLockRule])
+        assert codes(result) == []
+
+
+class TestAsyncBlocking:
+    def test_bad_sleep_in_async(self, lint_tree):
+        bad = (
+            "import time\n"
+            "async def pump():\n"
+            "    time.sleep(0.1)\n"
+        )
+        result = lint_tree(
+            {"src/repro/serve/x.py": bad}, rules=[AsyncBlockingRule]
+        )
+        assert codes(result) == ["RPL006"]
+
+    def test_bad_sync_io_and_subprocess(self, lint_tree):
+        bad = (
+            "import subprocess\n"
+            "async def pump(path):\n"
+            "    data = open(path).read()\n"
+            "    subprocess.run(['ls'])\n"
+            "    return path.read_text(), data\n"
+        )
+        result = lint_tree(
+            {"src/repro/serve/x.py": bad}, rules=[AsyncBlockingRule]
+        )
+        assert codes(result) == ["RPL006", "RPL006", "RPL006"]
+
+    def test_good_sync_function_untouched(self, lint_tree):
+        good = "import time\ndef pump():\n    time.sleep(0.1)\n"
+        result = lint_tree(
+            {"src/repro/serve/x.py": good}, rules=[AsyncBlockingRule]
+        )
+        assert codes(result) == []
+
+    def test_good_nested_sync_helper_skipped(self, lint_tree):
+        # A nested sync def may be shipped to an executor; it is not
+        # lexically on the event loop.
+        good = (
+            "async def pump(loop, path):\n"
+            "    def blocking_read():\n"
+            "        return open(path).read()\n"
+            "    return await loop.run_in_executor(None, blocking_read)\n"
+        )
+        result = lint_tree(
+            {"src/repro/serve/x.py": good}, rules=[AsyncBlockingRule]
+        )
+        assert codes(result) == []
+
+    def test_bad_nested_async_counted_once(self, lint_tree):
+        bad = (
+            "import time\n"
+            "async def outer():\n"
+            "    async def inner():\n"
+            "        time.sleep(1)\n"
+            "    await inner()\n"
+        )
+        result = lint_tree(
+            {"src/repro/serve/x.py": bad}, rules=[AsyncBlockingRule]
+        )
+        assert codes(result) == ["RPL006"]
+
+
+ENGINE_WITH_HOOK = """
+class FancyDecoder:
+    def decode_uniques(self, uniques):
+        return list(uniques)
+"""
+
+REFERENCE_SUBCLASS = """
+from repro.x import FancyDecoder
+
+class ReferenceFancyDecoder(FancyDecoder):
+    def decode_uniques(self, uniques):
+        return [self.decode(e) for e in uniques]
+"""
+
+
+class TestOracleContract:
+    def test_bad_engine_without_oracle_or_test(self, lint_tree):
+        result = lint_tree(
+            {"src/repro/x.py": ENGINE_WITH_HOOK}, rules=[OracleContractRule]
+        )
+        assert codes(result) == ["RPL007"]
+
+    def test_bad_oracle_exists_but_no_equivalence_test(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/x.py": ENGINE_WITH_HOOK,
+                "src/repro/ref.py": REFERENCE_SUBCLASS,
+                "tests/test_x.py": "from repro.x import FancyDecoder\n",
+            },
+            rules=[OracleContractRule],
+        )
+        assert codes(result) == ["RPL007"]
+        assert "ReferenceFancyDecoder" in result.findings[0].message
+
+    def test_good_oracle_plus_equivalence_test(self, lint_tree):
+        test = (
+            "from repro.x import FancyDecoder\n"
+            "from repro.ref import ReferenceFancyDecoder\n"
+            "def test_equivalence():\n"
+            "    assert FancyDecoder and ReferenceFancyDecoder\n"
+        )
+        result = lint_tree(
+            {
+                "src/repro/x.py": ENGINE_WITH_HOOK,
+                "src/repro/ref.py": REFERENCE_SUBCLASS,
+                "tests/test_x.py": test,
+            },
+            rules=[OracleContractRule],
+        )
+        assert codes(result) == []
+
+    def test_good_reference_fallback_loop_test(self, lint_tree):
+        test = (
+            "from repro.x import FancyDecoder\n"
+            "def test_batch_equals_loop(decoder, batch):\n"
+            "    assert decoder.decode_batch(batch) == "
+            "decoder.decode_batch_reference(batch)\n"
+        )
+        result = lint_tree(
+            {
+                "src/repro/x.py": ENGINE_WITH_HOOK,
+                "tests/test_x.py": test,
+            },
+            rules=[OracleContractRule],
+        )
+        assert codes(result) == []
+
+    def test_good_reference_class_itself_exempt(self, lint_tree):
+        result = lint_tree(
+            {
+                "src/repro/ref.py": (
+                    "class ReferenceLoneDecoder:\n"
+                    "    def decode_uniques(self, uniques):\n"
+                    "        return list(uniques)\n"
+                )
+            },
+            rules=[OracleContractRule],
+        )
+        assert codes(result) == []
+
+
+class TestBroadExcept:
+    def test_bad_silent_broad_catch(self, lint_tree):
+        bad = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        result = lint_tree({"src/repro/x.py": bad}, rules=[BroadExceptRule])
+        assert codes(result) == ["RPL008"]
+
+    def test_bad_bare_except(self, lint_tree):
+        bad = "def f():\n    try:\n        work()\n    except:\n        pass\n"
+        result = lint_tree({"src/repro/x.py": bad}, rules=[BroadExceptRule])
+        assert codes(result) == ["RPL008"]
+
+    def test_good_annotated_catch(self, lint_tree):
+        good = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:  # reprolint: broad-except -- fault isolation\n"
+            "        fallback()\n"
+        )
+        result = lint_tree({"src/repro/x.py": good}, rules=[BroadExceptRule])
+        assert codes(result) == []
+
+    def test_good_pure_reraise(self, lint_tree):
+        good = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except Exception:\n"
+            "        raise\n"
+        )
+        result = lint_tree({"src/repro/x.py": good}, rules=[BroadExceptRule])
+        assert codes(result) == []
+
+    def test_good_narrow_catch(self, lint_tree):
+        good = (
+            "def f():\n"
+            "    try:\n"
+            "        work()\n"
+            "    except (ValueError, KeyError):\n"
+            "        return None\n"
+        )
+        result = lint_tree({"src/repro/x.py": good}, rules=[BroadExceptRule])
+        assert codes(result) == []
+
+
+def test_every_rule_has_a_stable_code_and_metadata():
+    seen = set()
+    for rule in ALL_RULES:
+        assert rule.code.startswith("RPL") and len(rule.code) == 6
+        assert rule.code not in seen, f"duplicate code {rule.code}"
+        seen.add(rule.code)
+        assert rule.name and rule.summary and rule.scope
+
+
+def test_at_least_seven_active_rules():
+    assert len(ALL_RULES) >= 7

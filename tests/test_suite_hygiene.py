@@ -1,4 +1,4 @@
-"""Suite hygiene: no wall-clock timing in tests, no sleeps in the library.
+"""Suite hygiene: no wall-clock timing in tests, no blocking in the library.
 
 The serving layer introduced a shared virtual clock
 (:class:`repro.serve.clock.VirtualClock`) precisely so time-dependent
@@ -7,54 +7,56 @@ deterministically.  These checks keep the suite that way: a test that
 calls real sleep/clock functions is timing-dependent and flaky by
 construction, and library code that sleeps blocks the serving event
 loop.  (Benchmarks measure real elapsed time on purpose and are exempt.)
+
+Since PR 8 the checks run on the repro-lint engine
+(``tools/reprolint``) rather than a private regex scan, so this file and
+``python -m tools.reprolint`` share one source of truth for the
+clock/sleep bans: rule RPL001 (wall-clock discipline) and rule RPL006
+(no blocking calls on the serve event loop).  Being AST-based, the scan
+also stopped flagging mentions of banned names inside strings and
+docstrings — only real call sites count.
 """
 
-import re
+import sys
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parents[1]
+if str(REPO) not in sys.path:  # standalone safety; conftest also adds it
+    sys.path.insert(0, str(REPO))
 
-#: Wall-clock call sites banned from tests.  Assembled so this file's
-#: own source does not trip the scan.
-_TIME = "time"
-BANNED_IN_TESTS = [
-    re.compile(rf"\b{_TIME}\.{name}\s*\(")
-    for name in ("sleep", "monotonic", "perf_counter", "process_" + _TIME)
-] + [re.compile(rf"\b{_TIME}\.{_TIME}\s*\(")]
-
-#: Blocking sleeps banned from the library (they would stall the asyncio
-#: event loop the decode service runs on).
-BANNED_IN_SRC = [re.compile(rf"\b{_TIME}\.sleep\s*\(")]
-
-SELF = Path(__file__).resolve()
+from tools.reprolint.engine import run_lint
+from tools.reprolint.rules import AsyncBlockingRule, WallClockRule
 
 
-def _scan(root: Path, patterns) -> list:
-    offenders = []
-    for path in sorted(root.rglob("*.py")):
-        if path.resolve() == SELF:
-            continue
-        text = path.read_text(encoding="utf-8")
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            for pattern in patterns:
-                if pattern.search(line):
-                    offenders.append(f"{path.relative_to(REPO)}:{lineno}: "
-                                     f"{line.strip()}")
-    return offenders
+def _render(findings) -> str:
+    return "\n".join(f.render() for f in findings)
 
 
 def test_tests_never_touch_the_wall_clock():
-    offenders = _scan(REPO / "tests", BANNED_IN_TESTS)
-    assert not offenders, (
+    result = run_lint(REPO, paths=["tests"], rules=[WallClockRule])
+    assert not result.parse_errors, _render(result.parse_errors)
+    assert not result.findings, (
         "tests must drive time through repro.serve.clock.VirtualClock "
         "(deterministic, zero real sleeps), not the wall clock:\n"
-        + "\n".join(offenders)
+        + _render(result.findings)
     )
 
 
-def test_library_never_blocks_on_sleep():
-    offenders = _scan(REPO / "src", BANNED_IN_SRC)
-    assert not offenders, (
-        "library code must not block the event loop; await an injected "
-        "clock's sleep instead:\n" + "\n".join(offenders)
+def test_library_never_touches_the_wall_clock():
+    result = run_lint(REPO, paths=["src"], rules=[WallClockRule])
+    assert not result.parse_errors, _render(result.parse_errors)
+    assert not result.findings, (
+        "library code must route time through the injected clock "
+        "(repro.serve.clock); wall-clock calls break deterministic "
+        "replay:\n" + _render(result.findings)
+    )
+
+
+def test_library_never_blocks_the_event_loop():
+    result = run_lint(REPO, paths=["src"], rules=[AsyncBlockingRule])
+    assert not result.parse_errors, _render(result.parse_errors)
+    assert not result.findings, (
+        "async bodies must not block the serve event loop; await the "
+        "injected clock's sleep / asyncio APIs instead:\n"
+        + _render(result.findings)
     )

@@ -1,0 +1,1 @@
+"""Repo tooling: link checker, repro-lint invariant checker."""

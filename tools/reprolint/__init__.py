@@ -1,0 +1,25 @@
+"""repro-lint: AST-based invariant checks for the reproduction's contracts.
+
+The repo's reproducibility guarantees -- seeded RNG everywhere, no
+wall-clock outside the injected clock, knob access only through the
+``KnobRegistry``, fcntl-locked store appends, a non-blocking serve event
+loop, every vectorized engine shadowed by a ``Reference*`` oracle -- are
+conventions a reviewer can miss.  This package machine-checks them:
+
+* :mod:`tools.reprolint.engine` -- file model, suppression comments,
+  rule running;
+* :mod:`tools.reprolint.rules` -- the rule registry (stable ``RPLxxx``
+  codes);
+* :mod:`tools.reprolint.baselines` -- grandfathered-finding baseline
+  (content-fingerprinted, line-number independent);
+* :mod:`tools.reprolint.reporters` -- text and JSON output;
+* ``python -m tools.reprolint`` (see :mod:`tools.reprolint.__main__`) --
+  the CLI, also reachable as ``python -m repro lint``.
+
+See ``docs/linting.md`` for the rule catalog and workflow.
+"""
+
+from tools.reprolint.engine import Finding, LintResult, run_lint  # noqa: F401
+from tools.reprolint.rules import ALL_RULES, rules_by_code  # noqa: F401
+
+__version__ = "1.0"

@@ -1,0 +1,146 @@
+"""CLI: ``python -m tools.reprolint`` (also ``python -m repro lint``).
+
+Exit status: 0 when the tree is clean (every finding suppressed or
+baselined), 1 when non-baselined findings (or parse errors, or stale
+baseline entries) remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+# Allow direct execution from anywhere inside the repo.
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT) not in sys.path:  # pragma: no cover - import plumbing
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from tools.reprolint import baselines
+from tools.reprolint.engine import DEFAULT_PATHS, LintResult, run_lint
+from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.rules import ALL_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for the reproduction's "
+            "determinism, clock, knob, lock, async, and oracle contracts "
+            "(see docs/linting.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root for relative paths and rule scopes (default: "
+        "the repo containing this tool)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings (default: "
+        "tools/reprolint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        print(f"{len(ALL_RULES)} rules registered")
+        return 0
+
+    known = {rule.code for rule in ALL_RULES}
+    for flag in ("select", "ignore"):
+        unknown = set(_codes(getattr(args, flag)) or ()) - known
+        if unknown:
+            parser.error(
+                f"--{flag}: unknown rule code(s) {', '.join(sorted(unknown))} "
+                f"(see --list-rules)"
+            )
+
+    root = Path(args.root).resolve() if args.root else _REPO_ROOT
+    paths = args.paths or list(DEFAULT_PATHS)
+    try:
+        result = run_lint(
+            root,
+            paths=paths,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+        )
+    except FileNotFoundError as error:  # pragma: no cover - defensive
+        print(f"reprolint: {error}", file=sys.stderr)
+        return 2
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else baselines.DEFAULT_BASELINE
+    )
+    if args.write_baseline:
+        baselines.write(baseline_path, root, result.findings)
+        print(
+            f"reprolint: wrote {len(result.findings)} baseline entr"
+            f"{'ies' if len(result.findings) != 1 else 'y'} to {baseline_path}"
+        )
+        return 0
+
+    baselined = 0
+    stale: List[str] = []
+    if not args.no_baseline:
+        baseline = baselines.load(baseline_path)
+        if baseline:
+            fresh, baselined, stale = baselines.split(
+                root, result.findings, baseline
+            )
+            result = LintResult(
+                findings=fresh,
+                parse_errors=result.parse_errors,
+                suppressed=result.suppressed,
+                files_scanned=result.files_scanned,
+            )
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result, baselined=baselined, stale=stale))
+    return 0 if result.clean and not stale else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Grandfathered-finding baseline: content fingerprints, not line numbers.
+
+A baseline entry pins one *existing* finding so the linter can gate on
+new findings while old ones are burned down.  Entries are fingerprinted
+by ``(code, path, stripped source line text, occurrence index)`` --
+stable under unrelated edits that shift line numbers, invalidated the
+moment the offending line itself changes (which is exactly when the
+finding should be re-justified or fixed).
+
+The checked-in file is ``tools/reprolint/baseline.json``.  CI asserts it
+only ever shrinks (``check_baseline_shrink.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from tools.reprolint.engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _line_text(root: Path, finding: Finding, cache: Dict[str, List[str]]) -> str:
+    lines = cache.get(finding.path)
+    if lines is None:
+        try:
+            lines = (root / finding.path).read_text(encoding="utf-8").splitlines()
+        except OSError:
+            lines = []
+        cache[finding.path] = lines
+    if 1 <= finding.line <= len(lines):
+        return lines[finding.line - 1].strip()
+    return ""
+
+
+def fingerprints(root: Path, findings: Sequence[Finding]) -> List[str]:
+    """One stable fingerprint per finding (order matches input).
+
+    Findings sharing (code, path, line text) are disambiguated by their
+    occurrence index in path order, so two identical offending lines in
+    one file get distinct prints.
+    """
+    cache: Dict[str, List[str]] = {}
+    seen: Dict[Tuple[str, str, str], int] = {}
+    prints: List[str] = []
+    for finding in sorted(findings, key=Finding.sort_key):
+        text = _line_text(root, finding, cache)
+        key = (finding.code, finding.path, text)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        digest = hashlib.sha1(
+            f"{finding.code}|{finding.path}|{text}|{index}".encode("utf-8")
+        ).hexdigest()[:16]
+        prints.append(digest)
+    by_finding = dict(zip(sorted(findings, key=Finding.sort_key), prints))
+    return [by_finding[f] for f in findings]
+
+
+def load(path: Optional[Path] = None) -> Dict[str, dict]:
+    """fingerprint -> entry dict; empty when the file is absent."""
+    path = Path(path) if path is not None else DEFAULT_BASELINE
+    if not path.exists():
+        return {}
+    data = json.loads(path.read_text(encoding="utf-8"))
+    return {entry["fingerprint"]: entry for entry in data.get("entries", [])}
+
+
+def write(path: Path, root: Path, findings: Sequence[Finding]) -> None:
+    """Write every finding as a grandfathered entry (sorted, stable)."""
+    ordered = sorted(findings, key=Finding.sort_key)
+    prints = fingerprints(root, ordered)
+    entries = [
+        {
+            "fingerprint": fp,
+            "code": f.code,
+            "path": f.path,
+            "line": f.line,  # informational; the fingerprint is line-free
+            "message": f.message,
+        }
+        for f, fp in zip(ordered, prints)
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+
+
+def split(
+    root: Path, findings: Sequence[Finding], baseline: Dict[str, dict]
+) -> Tuple[List[Finding], int, List[str]]:
+    """(new findings, baselined count, stale fingerprints).
+
+    A stale fingerprint is a baseline entry no current finding matches:
+    the violation was fixed (or its line edited), so the entry should be
+    deleted -- CI's only-shrinks check makes that a one-way door.
+    """
+    prints = fingerprints(root, findings)
+    fresh: List[Finding] = []
+    matched: set = set()
+    for finding, fp in zip(findings, prints):
+        if fp in baseline:
+            matched.add(fp)
+        else:
+            fresh.append(finding)
+    stale = sorted(set(baseline) - matched)
+    return fresh, len(matched), stale

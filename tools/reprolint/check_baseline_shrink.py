@@ -1,0 +1,100 @@
+"""CI guard: the reprolint baseline may only ever shrink.
+
+Compares the working-tree ``tools/reprolint/baseline.json`` against the
+copy at a base git ref (default ``origin/main``) and fails if any *new*
+fingerprint appeared.  Removing entries (paying down grandfathered
+debt) is always fine; adding entries means a fresh violation was
+baselined instead of fixed, which defeats the gate.
+
+Usage::
+
+    python tools/reprolint/check_baseline_shrink.py [--base-ref REF]
+
+Exits 0 when the baseline is a subset of the base ref's (or when the
+base ref / its baseline does not exist — first landing, shallow clone),
+1 when new fingerprints appeared, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+BASELINE_REL = "tools/reprolint/baseline.json"
+
+
+def _entries(payload: dict) -> dict:
+    return {e["fingerprint"]: e for e in payload.get("entries", [])}
+
+
+def load_current() -> dict:
+    path = REPO_ROOT / BASELINE_REL
+    if not path.exists():
+        return {}
+    return _entries(json.loads(path.read_text(encoding="utf-8")))
+
+
+def load_at_ref(ref: str) -> dict | None:
+    """Baseline entries at ``ref``, or None when unavailable."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{BASELINE_REL}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    try:
+        return _entries(json.loads(proc.stdout))
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return None
+
+
+def main(argv: list | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--base-ref",
+        default="origin/main",
+        help="git ref to compare against (default: origin/main)",
+    )
+    args = parser.parse_args(argv)
+
+    current = load_current()
+    base = load_at_ref(args.base_ref)
+    if base is None:
+        print(
+            f"baseline-shrink: no baseline at {args.base_ref} "
+            "(first landing or unavailable ref); skipping"
+        )
+        return 0
+
+    grown = set(current) - set(base)
+    if grown:
+        print(
+            f"baseline-shrink: {len(grown)} new baseline entr"
+            f"{'ies' if len(grown) != 1 else 'y'} vs {args.base_ref} — "
+            "the baseline may only shrink; fix or suppress the new "
+            "finding instead:"
+        )
+        for fp in sorted(grown):
+            entry = current[fp]
+            print(
+                f"  {entry.get('code', '?')} {entry.get('path', '?')}:"
+                f"{entry.get('line', '?')} ({fp})"
+            )
+        return 1
+
+    shrunk = len(base) - len(current)
+    print(
+        f"baseline-shrink: OK ({len(current)} entries, "
+        f"{shrunk} paid down vs {args.base_ref})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

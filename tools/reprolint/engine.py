@@ -1,0 +1,224 @@
+"""repro-lint engine: file model, suppression comments, rule running.
+
+The engine is deliberately small and stdlib-only: it parses every
+Python file under the scanned roots once with :mod:`ast`, hands each
+parse to the per-file rules, then hands the whole project to the
+cross-file rules, and finally filters the findings through per-line
+suppression comments.  Baseline filtering (grandfathered findings) is
+layered on top by :mod:`tools.reprolint.baselines` and the CLI.
+
+Suppression syntax
+------------------
+A finding is silenced by a comment *on its own line*::
+
+    for row in merged_rows:  # reprolint: disable=RPL003 -- aggregation-only
+
+Multiple codes separate with commas (``disable=RPL001,RPL003``).  The
+free-text reason after the codes is not parsed but is strongly
+encouraged -- a suppression without a why is just a hidden bug.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Roots scanned when the CLI is given no paths.  Benchmarks measure
+#: real elapsed time on purpose and examples are narrative, so neither
+#: is linted by default.
+DEFAULT_PATHS: Tuple[str, ...] = ("src", "tests")
+
+#: Engine-level code for files that fail to parse (not suppressible).
+PARSE_ERROR_CODE = "RPL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable=([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """One parsed source file plus its suppression map."""
+
+    def __init__(self, root: Path, path: Path) -> None:
+        self.root = root
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.tree = ast.parse(self.source, filename=str(path))
+        self.lines = self.source.splitlines()
+        self.suppressions = parse_suppressions(self.source)
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(
+        self, code: str, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            code=code,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+@dataclass
+class Project:
+    """Every parsed file of one lint run, for cross-file rules."""
+
+    root: Path
+    files: List[FileContext] = field(default_factory=list)
+
+    def by_prefix(self, *prefixes: str) -> List[FileContext]:
+        return [
+            ctx
+            for ctx in self.files
+            if any(ctx.rel.startswith(p) for p in prefixes)
+        ]
+
+
+@dataclass
+class LintResult:
+    """Outcome of one run: surviving findings plus bookkeeping."""
+
+    findings: List[Finding]
+    parse_errors: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> codes disabled on that line.
+
+    Comments are found with :mod:`tokenize` so string literals that
+    merely *mention* the marker (fixtures, docs) never register.
+    """
+    disabled: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {c.strip() for c in match.group(1).split(",")}
+            disabled.setdefault(token.start[0], set()).update(codes)
+    except tokenize.TokenizeError:  # pragma: no cover - parse failed anyway
+        pass
+    return disabled
+
+
+def iter_python_files(root: Path, paths: Sequence[str]) -> List[Path]:
+    """Every ``*.py`` under ``root``-relative ``paths``, sorted."""
+    found: List[Path] = []
+    for entry in paths:
+        target = (root / entry) if not Path(entry).is_absolute() else Path(entry)
+        if target.is_file() and target.suffix == ".py":
+            found.append(target)
+            continue
+        if not target.is_dir():
+            continue
+        for path in target.rglob("*.py"):
+            parts = path.relative_to(root).parts
+            if any(p.startswith(".") or p == "__pycache__" for p in parts):
+                continue
+            found.append(path)
+    return sorted(set(found))
+
+
+def run_lint(
+    root,
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence] = None,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Lint ``paths`` under ``root`` with the given rule classes.
+
+    ``rules`` is a sequence of rule *classes* (fresh instances are made
+    per run -- cross-file rules keep state); default: the full registry.
+    ``select``/``ignore`` filter rules by code.  Suppression comments
+    are applied here; baseline filtering is the caller's layer.
+    """
+    from tools.reprolint.rules import ALL_RULES
+
+    root = Path(root).resolve()
+    rule_classes = list(rules) if rules is not None else list(ALL_RULES)
+    if select:
+        wanted = set(select)
+        rule_classes = [r for r in rule_classes if r.code in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rule_classes = [r for r in rule_classes if r.code not in unwanted]
+    instances = [cls() for cls in rule_classes]
+
+    project = Project(root=root)
+    parse_errors: List[Finding] = []
+    for path in iter_python_files(root, paths or DEFAULT_PATHS):
+        try:
+            project.files.append(FileContext(root, path))
+        except (SyntaxError, ValueError) as error:
+            parse_errors.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    path=path.relative_to(root).as_posix(),
+                    line=getattr(error, "lineno", 1) or 1,
+                    col=0,
+                    message=f"file does not parse: {error.msg if isinstance(error, SyntaxError) else error}",
+                )
+            )
+
+    raw: List[Finding] = []
+    for ctx in project.files:
+        for rule in instances:
+            if rule.applies_to(ctx.rel):
+                raw.extend(rule.check_file(ctx))
+    for rule in instances:
+        raw.extend(rule.finalize(project))
+
+    suppressions = {ctx.rel: ctx.suppressions for ctx in project.files}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        disabled = suppressions.get(finding.path, {}).get(finding.line, ())
+        if finding.code in disabled:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=kept,
+        parse_errors=parse_errors,
+        suppressed=suppressed,
+        files_scanned=len(project.files),
+    )

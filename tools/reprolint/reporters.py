@@ -1,0 +1,78 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON schema (version 1) is a stable contract for CI and the test
+suite::
+
+    {
+      "version": 1,
+      "tool": "reprolint",
+      "status": "clean" | "findings",
+      "files_scanned": <int>,
+      "suppressed": <int>,
+      "baselined": <int>,
+      "stale_baseline": [<fingerprint>, ...],
+      "counts": {"RPL001": <int>, ...},
+      "findings": [
+        {"code", "path", "line", "col", "message"}, ...
+      ],
+      "parse_errors": [same shape as findings]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from tools.reprolint.engine import Finding, LintResult
+
+
+def render_text(
+    result: LintResult, baselined: int = 0, stale: Sequence[str] = ()
+) -> str:
+    lines: List[str] = []
+    for finding in result.parse_errors + result.findings:
+        lines.append(finding.render())
+    total = len(result.findings) + len(result.parse_errors)
+    summary = (
+        f"reprolint: {total} finding{'s' if total != 1 else ''} "
+        f"({result.files_scanned} files, {result.suppressed} suppressed, "
+        f"{baselined} baselined)"
+    )
+    lines.append(summary)
+    if stale:
+        lines.append(
+            f"reprolint: {len(stale)} stale baseline entr"
+            f"{'ies' if len(stale) != 1 else 'y'} -- the violations are "
+            "gone; shrink tools/reprolint/baseline.json"
+        )
+    return "\n".join(lines)
+
+
+def _finding_dict(finding: Finding) -> Dict:
+    return {
+        "code": finding.code,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+    }
+
+
+def render_json(
+    result: LintResult, baselined: int = 0, stale: Sequence[str] = ()
+) -> str:
+    payload = {
+        "version": 1,
+        "tool": "reprolint",
+        "status": "clean" if result.clean else "findings",
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": baselined,
+        "stale_baseline": list(stale),
+        "counts": dict(Counter(f.code for f in result.findings)),
+        "findings": [_finding_dict(f) for f in result.findings],
+        "parse_errors": [_finding_dict(f) for f in result.parse_errors],
+    }
+    return json.dumps(payload, indent=2)

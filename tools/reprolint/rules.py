@@ -1,0 +1,721 @@
+"""The repro-lint rule registry: stable ``RPLxxx`` codes, one invariant each.
+
+Every rule protects a reproducibility contract the repo's tests rely on
+(see ``docs/linting.md`` for the catalog with rationale).  Rules are
+stateless per run except the cross-file oracle-contract rule, which
+collects during :meth:`Rule.check_file` and reports in
+:meth:`Rule.finalize`.
+
+All checks are AST-based: a string literal or docstring that merely
+mentions ``time.sleep`` never trips a rule (the advantage over the
+regex scan this framework supersedes).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.engine import FileContext, Finding, Project
+
+# -- shared AST helpers -------------------------------------------------------
+
+
+class ImportMap:
+    """Resolve names in one module back to the modules they came from.
+
+    ``import numpy as np`` makes ``np`` an alias for ``numpy``;
+    ``from time import sleep as zz`` makes ``zz`` an alias for
+    ``time.sleep``.  :meth:`resolve` turns an expression like
+    ``np.random.rand`` into the dotted name ``numpy.random.rand`` --
+    and leaves names it cannot trace to an import unresolved, so a
+    local variable that happens to be called ``random`` never
+    false-positives.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: Dict[str, str] = {}
+        self.members: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self.modules[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    self.members[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted module path of an expression, or None if untraceable."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        base = node.id
+        if base in self.members:
+            root = self.members[base]
+        elif base in self.modules:
+            root = self.modules[base]
+        else:
+            return None
+        return ".".join([root] + list(reversed(parts)))
+
+
+def call_name(node: ast.Call, imports: ImportMap) -> Optional[str]:
+    """The dotted import-resolved name a call targets, if traceable."""
+    return imports.resolve(node.func)
+
+
+def _iteration_sites(tree: ast.AST) -> List[Tuple[ast.AST, ast.expr]]:
+    """Every ``for``-loop / comprehension iterable in the tree."""
+    sites: List[Tuple[ast.AST, ast.expr]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            sites.append((node, node.iter))
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                sites.append((node, generator.iter))
+    return sites
+
+
+# -- rule base ----------------------------------------------------------------
+
+
+class Rule:
+    """One invariant check.  Subclasses set the metadata and override
+    :meth:`check_file` (per-file) and/or :meth:`finalize` (cross-file)."""
+
+    code: str = "RPL999"
+    name: str = "unnamed"
+    summary: str = ""
+    #: Path prefixes (repo-relative, posix) this rule scans.
+    scope: Tuple[str, ...] = ("src/",)
+    #: Exact repo-relative paths exempt from the rule (the sanctioned
+    #: home of whatever the rule bans elsewhere).
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, rel: str) -> bool:
+        return any(rel.startswith(p) for p in self.scope) and rel not in self.exempt
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        return []
+
+    def finalize(self, project: Project) -> List[Finding]:
+        return []
+
+
+# -- RPL001: wall-clock discipline --------------------------------------------
+
+
+class WallClockRule(Rule):
+    code = "RPL001"
+    name = "wall-clock"
+    summary = (
+        "no wall-clock/sleep calls outside serve/clock.py; tests drive "
+        "time through VirtualClock"
+    )
+    scope = ("src/", "tests/")
+    exempt = ("src/repro/serve/clock.py",)
+
+    BANNED = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "time.sleep",
+            "time.localtime",
+            "time.gmtime",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_name(node, imports)
+            if target in self.BANNED:
+                where = (
+                    "tests must advance a VirtualClock"
+                    if ctx.rel.startswith("tests/")
+                    else "library time flows through the injected clock "
+                    "(repro.serve.clock)"
+                )
+                findings.append(
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"wall-clock call {target}(); {where}",
+                    )
+                )
+        return findings
+
+
+# -- RPL002: seeded randomness ------------------------------------------------
+
+
+class UnseededRandomnessRule(Rule):
+    code = "RPL002"
+    name = "unseeded-randomness"
+    summary = (
+        "no random-module calls, legacy np.random API, or seedless "
+        "default_rng() in the library"
+    )
+    scope = ("src/",)
+
+    #: numpy.random attributes that are types/infrastructure, not the
+    #: stateful legacy sampling API.
+    NUMPY_OK = frozenset(
+        {"Generator", "BitGenerator", "SeedSequence", "PCG64", "Philox", "MT19937", "SFC64"}
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = call_name(node, imports)
+            if target is None:
+                continue
+            if target.startswith("random."):
+                findings.append(
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"{target}() uses the global stdlib RNG; take an "
+                        "explicit seed/Generator via repro.utils.rng.ensure_rng",
+                    )
+                )
+            elif target == "numpy.random.default_rng":
+                if self._unseeded(node):
+                    findings.append(
+                        ctx.finding(
+                            self.code,
+                            node,
+                            "default_rng() without a seed draws OS entropy; "
+                            "results become unreproducible",
+                        )
+                    )
+            elif target.startswith("numpy.random."):
+                leaf = target.rsplit(".", 1)[1]
+                if leaf not in self.NUMPY_OK:
+                    findings.append(
+                        ctx.finding(
+                            self.code,
+                            node,
+                            f"legacy numpy.random.{leaf}() uses hidden global "
+                            "state; use a seeded Generator",
+                        )
+                    )
+        return findings
+
+    @staticmethod
+    def _unseeded(node: ast.Call) -> bool:
+        seeds = list(node.args) + [
+            kw.value for kw in node.keywords if kw.arg in (None, "seed")
+        ]
+        if not seeds:
+            return True
+        first = seeds[0]
+        return isinstance(first, ast.Constant) and first.value is None
+
+
+# -- RPL003: deterministic iteration in hot paths -----------------------------
+
+
+class SetIterationRule(Rule):
+    code = "RPL003"
+    name = "set-iteration"
+    summary = (
+        "no iteration over sets or unsorted dict keys()/values() in the "
+        "decoder/graph/core hot paths"
+    )
+    scope = ("src/repro/decoders/", "src/repro/graph/", "src/repro/core/")
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        findings = []
+        for scope_node in self._scopes(ctx.tree):
+            set_names = self._set_names(scope_node)
+            for holder, iterable in _iteration_sites(scope_node):
+                if self._in_nested_scope(scope_node, holder):
+                    continue
+                if self._is_set_expr(iterable, set_names):
+                    findings.append(
+                        ctx.finding(
+                            self.code,
+                            iterable,
+                            "iterating a set: hash order is not a "
+                            "reproducibility contract (the PR 4 bug class); "
+                            "sort first, or mark the aggregation-only site "
+                            "with '# reprolint: disable=RPL003 -- why'",
+                        )
+                    )
+                elif self._is_unsorted_dict_view(iterable):
+                    findings.append(
+                        ctx.finding(
+                            self.code,
+                            iterable,
+                            "iterating dict .keys()/.values() unsorted in a "
+                            "hot path; wrap in sorted() or mark the "
+                            "order-independent site with "
+                            "'# reprolint: disable=RPL003 -- why'",
+                        )
+                    )
+        return findings
+
+    # Scope handling: each function (and the module body) tracks its own
+    # set-typed names; nested function bodies are scanned as their own
+    # scopes, not their parent's.
+
+    @staticmethod
+    def _scopes(tree: ast.AST) -> List[ast.AST]:
+        return [tree] + [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+
+    @staticmethod
+    def _in_nested_scope(scope_node: ast.AST, holder: ast.AST) -> bool:
+        for node in ast.walk(scope_node):
+            if node is scope_node:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if any(inner is holder for inner in ast.walk(node)):
+                    return True
+        return False
+
+    def _set_names(self, scope_node: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(scope_node):
+            if isinstance(node, ast.Assign) and self._is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif (
+                isinstance(node, ast.AnnAssign)
+                and node.value is not None
+                and isinstance(node.target, ast.Name)
+                and self._is_set_expr(node.value, names)
+            ):
+                names.add(node.target.id)
+        return names
+
+    def _is_set_expr(self, node: ast.expr, set_names: Set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self._is_set_expr(node.func.value, set_names)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+        ):
+            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
+                node.right, set_names
+            )
+        return False
+
+    @staticmethod
+    def _is_unsorted_dict_view(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("keys", "values")
+            and not node.args
+            and not node.keywords
+        )
+
+
+# -- RPL004: knob discipline --------------------------------------------------
+
+
+class KnobDisciplineRule(Rule):
+    code = "RPL004"
+    name = "knob-discipline"
+    summary = (
+        "os.environ/os.getenv confined to eval/knobs.py -- every tunable "
+        "goes through the KnobRegistry precedence rule"
+    )
+    scope = ("src/",)
+    exempt = ("src/repro/eval/knobs.py",)
+
+    BANNED = frozenset({"os.environ", "os.getenv", "os.putenv", "os.unsetenv"})
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                target = imports.resolve(node)
+                if target in self.BANNED:
+                    findings.append(
+                        ctx.finding(
+                            self.code,
+                            node,
+                            f"direct {target} access; register the tunable "
+                            "in repro.eval.knobs.CORE_KNOBS and resolve it "
+                            "through the registry (CLI > env > spec > default)",
+                        )
+                    )
+        return findings
+
+
+# -- RPL005: store lock discipline --------------------------------------------
+
+
+class StoreLockRule(Rule):
+    code = "RPL005"
+    name = "store-lock"
+    summary = (
+        "fcntl locking and append-mode writes confined to eval/store.py's "
+        "locked helpers (multi-writer race detector)"
+    )
+    scope = ("src/",)
+    exempt = ("src/repro/eval/store.py",)
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "fcntl" or alias.name.startswith("fcntl."):
+                        findings.append(
+                            ctx.finding(
+                                self.code,
+                                node,
+                                "fcntl outside the store: file locking "
+                                "belongs to ExperimentStore's helpers",
+                            )
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "fcntl":
+                    findings.append(
+                        ctx.finding(
+                            self.code,
+                            node,
+                            "fcntl outside the store: file locking belongs "
+                            "to ExperimentStore's helpers",
+                        )
+                    )
+            elif isinstance(node, ast.Call):
+                findings.extend(self._check_open(ctx, node, imports))
+        return findings
+
+    def _check_open(
+        self, ctx: FileContext, node: ast.Call, imports: ImportMap
+    ) -> List[Finding]:
+        target = call_name(node, imports)
+        is_builtin_open = isinstance(node.func, ast.Name) and node.func.id == "open"
+        is_method_open = (
+            isinstance(node.func, ast.Attribute) and node.func.attr == "open"
+        )
+        if is_builtin_open or target == "io.open" or is_method_open:
+            mode = self._mode_argument(node, second=is_builtin_open or target == "io.open")
+            if mode is not None and "a" in mode:
+                return [
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"append-mode open ({mode!r}) outside the store: "
+                        "concurrent writers need the fcntl-locked "
+                        "ExperimentStore append path",
+                    )
+                ]
+        if target == "os.open":
+            for arg in ast.walk(node):
+                if isinstance(arg, ast.Attribute) and arg.attr == "O_APPEND":
+                    return [
+                        ctx.finding(
+                            self.code,
+                            node,
+                            "os.open(..., O_APPEND) outside the store: "
+                            "concurrent appends need the locked store path",
+                        )
+                    ]
+        return []
+
+    @staticmethod
+    def _mode_argument(node: ast.Call, second: bool) -> Optional[str]:
+        position = 1 if second else 0
+        if len(node.args) > position:
+            candidate = node.args[position]
+            if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+                return candidate.value
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                return kw.value.value
+        return None
+
+
+# -- RPL006: non-blocking event loop ------------------------------------------
+
+
+class AsyncBlockingRule(Rule):
+    code = "RPL006"
+    name = "async-blocking"
+    summary = (
+        "no blocking calls (sleep, sync file I/O, subprocess, sync "
+        "sockets) inside async def bodies"
+    )
+    scope = ("src/",)
+
+    BANNED_EXACT = frozenset(
+        {
+            "time.sleep",
+            "os.system",
+            "os.popen",
+            "os.wait",
+            "socket.socket",
+            "socket.create_connection",
+        }
+    )
+    BANNED_PREFIX = ("subprocess.", "urllib.request.", "requests.", "os.spawn")
+    BLOCKING_METHODS = frozenset(
+        {"read_text", "write_text", "read_bytes", "write_bytes"}
+    )
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        imports = ImportMap(ctx.tree)
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for call in self._async_body_calls(node):
+                    message = self._blocking_reason(call, imports)
+                    if message:
+                        findings.append(
+                            ctx.finding(
+                                self.code,
+                                call,
+                                f"{message} inside 'async def {node.name}' "
+                                "blocks the serve event loop; use the "
+                                "injected clock / asyncio APIs or hand off "
+                                "to an executor",
+                            )
+                        )
+        return findings
+
+    @staticmethod
+    def _async_body_calls(func: ast.AsyncFunctionDef) -> List[ast.Call]:
+        """Calls lexically in this async body only: nested defs are
+        skipped -- sync helpers may run in an executor, and nested async
+        defs are visited as their own functions by the outer walk."""
+        calls: List[ast.Call] = []
+
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(child, ast.Call):
+                    calls.append(child)
+                visit(child)
+
+        visit(func)
+        return calls
+
+    def _blocking_reason(
+        self, call: ast.Call, imports: ImportMap
+    ) -> Optional[str]:
+        target = call_name(call, imports)
+        if target in self.BANNED_EXACT:
+            return f"blocking call {target}()"
+        if target and target.startswith(self.BANNED_PREFIX):
+            return f"blocking call {target}()"
+        if isinstance(call.func, ast.Name) and call.func.id == "open":
+            return "sync file open()"
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in self.BLOCKING_METHODS
+        ):
+            return f"sync file .{call.func.attr}()"
+        return None
+
+
+# -- RPL007: Reference* oracle contract ---------------------------------------
+
+
+class OracleContractRule(Rule):
+    code = "RPL007"
+    name = "oracle-contract"
+    summary = (
+        "every class overriding decode_uniques/predecode_uniques needs a "
+        "Reference* oracle (or the retained per-shot reference loop) and "
+        "an equivalence test referencing both"
+    )
+    scope = ("src/",)
+    #: The abstract interfaces *declare* the hooks; they are the
+    #: contract, not an engine.
+    DECLARING_FILE = "src/repro/decoders/base.py"
+    HOOKS = frozenset({"decode_uniques", "predecode_uniques"})
+    FALLBACK_ORACLE = "decode_batch_reference"
+
+    def finalize(self, project: Project) -> List[Finding]:
+        engines: List[Tuple[str, FileContext, ast.ClassDef]] = []
+        oracles: Dict[str, str] = {}  # engine class name -> Reference class
+        for ctx in project.by_prefix("src/"):
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases = [b.id for b in node.bases if isinstance(b, ast.Name)] + [
+                    b.attr for b in node.bases if isinstance(b, ast.Attribute)
+                ]
+                if node.name.startswith("Reference"):
+                    for base in bases:
+                        oracles[base] = node.name
+                    continue
+                methods = {
+                    stmt.name
+                    for stmt in node.body
+                    if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+                if methods & self.HOOKS and ctx.rel != self.DECLARING_FILE:
+                    engines.append((node.name, ctx, node))
+
+        test_files = project.by_prefix("tests/")
+        findings: List[Finding] = []
+        for name, ctx, node in engines:
+            oracle = oracles.get(name)
+            required = oracle if oracle is not None else self.FALLBACK_ORACLE
+            if oracle is None and not self._mentioned_together(
+                test_files, name, required
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"{name} overrides a vectorized *_uniques hook but "
+                        "has no Reference* oracle subclass and no test "
+                        f"checking it against {self.FALLBACK_ORACLE}(); add "
+                        "the oracle or an equivalence test",
+                    )
+                )
+            elif oracle is not None and not self._mentioned_together(
+                test_files, name, oracle
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.code,
+                        node,
+                        f"{name} has oracle {oracle} but no test file "
+                        "references both; add an equivalence test asserting "
+                        "element-wise identity",
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _mentioned_together(
+        test_files: Sequence[FileContext], first: str, second: str
+    ) -> bool:
+        first_re = re.compile(rf"\b{re.escape(first)}\b")
+        second_re = re.compile(rf"\b{re.escape(second)}\b")
+        return any(
+            first_re.search(ctx.source) and second_re.search(ctx.source)
+            for ctx in test_files
+        )
+
+
+# -- RPL008: exception hygiene ------------------------------------------------
+
+
+class BroadExceptRule(Rule):
+    code = "RPL008"
+    name = "broad-except"
+    summary = (
+        "broad except handlers must re-raise or carry an explicit "
+        "'# reprolint: broad-except -- why' annotation"
+    )
+    scope = ("src/",)
+
+    BROAD = frozenset({"Exception", "BaseException"})
+    ANNOTATION_RE = re.compile(r"reprolint:\s*broad-except|noqa:?\s*[\w,\s]*BLE001")
+
+    def check_file(self, ctx: FileContext) -> List[Finding]:
+        findings = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node.type):
+                continue
+            if self._reraises(node):
+                continue
+            if self.ANNOTATION_RE.search(ctx.line_text(node.lineno)):
+                continue
+            label = "bare except:" if node.type is None else "broad except"
+            findings.append(
+                ctx.finding(
+                    self.code,
+                    node,
+                    f"{label} swallows everything silently; re-raise "
+                    "CancelledError/KeyboardInterrupt explicitly and mark "
+                    "the intentional catch with "
+                    "'# reprolint: broad-except -- why'",
+                )
+            )
+        return findings
+
+    def _is_broad(self, type_node: Optional[ast.expr]) -> bool:
+        if type_node is None:
+            return True
+        if isinstance(type_node, ast.Name):
+            return type_node.id in self.BROAD
+        if isinstance(type_node, ast.Tuple):
+            return any(self._is_broad(el) for el in type_node.elts)
+        return False
+
+    @staticmethod
+    def _reraises(handler: ast.ExceptHandler) -> bool:
+        return (
+            len(handler.body) >= 1
+            and isinstance(handler.body[0], ast.Raise)
+            and handler.body[0].exc is None
+        )
+
+
+# -- registry -----------------------------------------------------------------
+
+ALL_RULES: Tuple[type, ...] = (
+    WallClockRule,
+    UnseededRandomnessRule,
+    SetIterationRule,
+    KnobDisciplineRule,
+    StoreLockRule,
+    AsyncBlockingRule,
+    OracleContractRule,
+    BroadExceptRule,
+)
+
+
+def rules_by_code() -> Dict[str, type]:
+    return {rule.code: rule for rule in ALL_RULES}
