@@ -27,7 +27,11 @@ Subcommands mirror the workflows a downstream user actually wants:
   contracts hold -- no wall-clock outside the injected clock, seeded
   RNG everywhere, knobs through the registry, locked store appends, a
   non-blocking serve loop, Reference* oracles for every vectorized
-  engine (see docs/linting.md).
+  engine (see docs/linting.md).  ``lint --deep`` adds the
+  interprocedural flow rules -- call-graph effect summaries gating
+  transitive async-blocking, hot-path purity, lock reachability, and
+  worker-boundary hygiene, each finding carrying a witness call chain
+  (see docs/static_analysis.md).
 
 Examples::
 

@@ -31,5 +31,27 @@ def lint_tree(tmp_path):
     return _lint
 
 
+@pytest.fixture()
+def flow_tree(tmp_path):
+    """Materialize ``{relpath: source}`` and run the deep analysis.
+
+    The facts cache is off by default so fixture trees never touch a
+    real cache directory; pass ``cache_dir`` to exercise it.
+    """
+    from tools.reproflow.analysis import run_flow
+
+    def _flow(files, select=None, use_cache=False, cache_dir=None):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_flow(
+            tmp_path, select=select, use_cache=use_cache, cache_dir=cache_dir
+        )
+
+    _flow.root = tmp_path
+    return _flow
+
+
 def codes(result) -> list:
     return [f.code for f in result.findings]

@@ -1,0 +1,268 @@
+"""Call-graph construction edge cases.
+
+The linker's resolution paths each get a dedicated fixture: aliased
+module imports, from-import aliases, re-exported names (``__init__``
+chains), ``self`` dispatch through subclass overrides, decorated
+functions, nested-def lexical scoping, and recursion (the fixed point
+terminates and witness chains stay finite).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tools.reproflow.effects import witness_chain
+
+
+def _qual(graph, suffix):
+    matches = [q for q in graph.functions if q.endswith(suffix)]
+    assert len(matches) == 1, (suffix, matches)
+    return matches[0]
+
+
+def _callees(graph, qualname):
+    return {callee for callee, _line, _note in graph.edges.get(qualname, ())}
+
+
+TIMING = """
+    import time
+
+
+    def stamp():
+        return time.time()
+    """
+
+
+def test_aliased_module_import(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/util/timing.py": TIMING,
+            "src/repro/app.py": """
+                import repro.util.timing as t
+
+
+                def run():
+                    return t.stamp()
+                """,
+        }
+    )
+    graph = result.graph
+    run = _qual(graph, "app.run")
+    assert _callees(graph, run) == {"repro.util.timing.stamp"}
+    assert "reads_clock" in result.summaries[run]
+
+
+def test_from_import_alias(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/util/timing.py": TIMING,
+            "src/repro/app.py": """
+                from repro.util.timing import stamp as now
+
+
+                def run():
+                    return now()
+                """,
+        }
+    )
+    run = _qual(result.graph, "app.run")
+    assert _callees(result.graph, run) == {"repro.util.timing.stamp"}
+
+
+def test_reexported_name_resolves_through_init(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/util/timing.py": TIMING,
+            "src/repro/util/__init__.py": """
+                from repro.util.timing import stamp
+                """,
+            "src/repro/app.py": """
+                from repro.util import stamp
+
+
+                def run():
+                    return stamp()
+                """,
+        }
+    )
+    run = _qual(result.graph, "app.run")
+    assert _callees(result.graph, run) == {"repro.util.timing.stamp"}
+    assert "reads_clock" in result.summaries[run]
+
+
+def test_self_dispatch_reaches_subclass_overrides(flow_tree):
+    """The AstreaDecoder.decode_budgeted_uniques shape: a base-class
+    driver calling ``self.kernel`` must reach every override, so a
+    subclass effect surfaces in the base driver's summary."""
+    result = flow_tree(
+        {
+            "src/repro/decoders/zoo.py": """
+                import os
+
+
+                class Base:
+                    def decode_budgeted_uniques(self, uniques, budget):
+                        return self.kernel(uniques)
+
+                    def kernel(self, uniques):
+                        return uniques
+
+
+                class Tuned(Base):
+                    def kernel(self, uniques):
+                        return [os.getenv("X")] * len(uniques)
+
+
+                class Deep(Tuned):
+                    pass
+                """
+        }
+    )
+    graph = result.graph
+    driver = _qual(graph, "Base.decode_budgeted_uniques")
+    assert _callees(graph, driver) == {
+        "repro.decoders.zoo.Base.kernel",
+        "repro.decoders.zoo.Tuned.kernel",
+    }
+    assert "reads_env" in result.summaries[driver]
+    # The chain names the override hop explicitly.
+    hops, _ = witness_chain(graph, result.summaries, driver, "reads_env")
+    assert [h.function.rsplit(".", 1)[1] for h in hops] == [
+        "decode_budgeted_uniques",
+        "kernel",
+    ]
+
+
+def test_decorated_function_still_resolves(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/app.py": """
+                import functools
+                import time
+
+
+                def logged(fn):
+                    @functools.wraps(fn)
+                    def wrapper(*args, **kwargs):
+                        return fn(*args, **kwargs)
+
+                    return wrapper
+
+
+                @logged
+                def slow():
+                    time.sleep(1)
+
+
+                def caller():
+                    return slow()
+                """
+        }
+    )
+    graph = result.graph
+    caller = _qual(graph, "app.caller")
+    assert _callees(graph, caller) == {"repro.app.slow"}
+    assert "blocks" in result.summaries[caller]
+
+
+def test_nested_def_called_by_name_propagates(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/app.py": """
+                import time
+
+
+                def outer():
+                    def helper():
+                        time.sleep(1)
+
+                    helper()
+                """
+        }
+    )
+    graph = result.graph
+    outer = _qual(graph, "app.outer")
+    assert _callees(graph, outer) == {"repro.app.outer.helper"}
+    assert "blocks" in result.summaries[outer]
+
+
+def test_recursion_terminates_with_finite_chain(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/app.py": """
+                import time
+
+
+                def ping(n):
+                    if n:
+                        return pong(n - 1)
+                    return 0
+
+
+                def pong(n):
+                    time.sleep(0)
+                    return ping(n)
+                """
+        }
+    )
+    graph, summaries = result.graph, result.summaries
+    ping = _qual(graph, "app.ping")
+    pong = _qual(graph, "app.pong")
+    assert "blocks" in summaries[ping] and "blocks" in summaries[pong]
+    for start in (ping, pong):
+        hops, quals = witness_chain(graph, summaries, start, "blocks")
+        assert len(hops) <= 3  # finite despite the cycle
+        assert len(quals) == len(set(quals))  # no repeated node
+        assert hops[-1].note == "calls time.sleep()"
+
+
+def test_self_recursive_function_terminates(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/app.py": """
+                def loop(n):
+                    if n:
+                        return loop(n - 1)
+                    return 0
+                """
+        }
+    )
+    loop = _qual(result.graph, "app.loop")
+    assert result.summaries[loop] == {}
+
+
+def test_constructor_edge_from_instantiation(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/app.py": """
+                import os
+
+
+                class Config:
+                    def __init__(self):
+                        self.level = os.getenv("LEVEL")
+
+
+                def build():
+                    return Config()
+                """
+        }
+    )
+    build = _qual(result.graph, "app.build")
+    assert _callees(result.graph, build) == {"repro.app.Config.__init__"}
+    assert "reads_env" in result.summaries[build]
+
+
+def test_untyped_attribute_call_is_not_an_edge(flow_tree):
+    """Calls on untyped values resolve to nothing -- the documented
+    under-approximation (docs/static_analysis.md)."""
+    result = flow_tree(
+        {
+            "src/repro/app.py": """
+                def drive(lane):
+                    return lane.decoder.decode_batch([])
+                """
+        }
+    )
+    drive = _qual(result.graph, "app.drive")
+    assert _callees(result.graph, drive) == set()

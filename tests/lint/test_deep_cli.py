@@ -1,0 +1,216 @@
+"""The --deep CLI contract: merged findings, chains in reports, the
+facts cache, the shared baseline, and the standalone reproflow CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.__main__ import main as lint_main
+from tools.reproflow.__main__ import main as flow_main
+from tools.reproflow.analysis import run_flow
+
+REPO = Path(__file__).resolve().parents[2]
+
+DEEP_DIRTY = {
+    "src/repro/serve/pump.py": """
+        import time
+
+
+        def _drain():
+            time.sleep(0.1)
+
+
+        async def pump():
+            _drain()
+        """
+}
+
+
+def _materialize(root, files):
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def test_real_tree_is_deep_clean(capsys):
+    rc = lint_main(
+        ["--root", str(REPO), "--deep", "--no-cache", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0, payload["findings"]
+    assert payload["findings"] == []
+    assert payload["deep"]["functions"] > 300
+    assert payload["deep"]["edges"] > 300
+
+
+def test_deep_seeded_violation_trips_and_serializes_chain(tmp_path, capsys):
+    _materialize(tmp_path, DEEP_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--deep",
+            "--no-cache", "--format", "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    # The helper's sleep also trips per-file RPL001: both families merge.
+    assert payload["counts"] == {"RPL001": 1, "RPL101": 1}
+    (finding,) = [f for f in payload["findings"] if f["code"] == "RPL101"]
+    assert set(finding) == {"code", "path", "line", "col", "message", "chain"}
+    assert [hop["function"].rsplit(".", 1)[1] for hop in finding["chain"]] == [
+        "pump",
+        "_drain",
+    ]
+    assert finding["chain"][-1]["note"] == "calls time.sleep()"
+
+
+def test_per_file_findings_keep_exact_key_set_under_deep(tmp_path, capsys):
+    """Schema v1 stays intact: a chainless (per-file) finding gains no
+    keys even when --deep is on."""
+    _materialize(
+        tmp_path, {"src/repro/x.py": "import time\ntime.sleep(1)\n"}
+    )
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--deep",
+            "--no-cache", "--format", "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    (finding,) = payload["findings"]
+    assert set(finding) == {"code", "path", "line", "col", "message"}
+
+
+def test_explain_path_prints_hops(tmp_path, capsys):
+    _materialize(tmp_path, DEEP_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--deep",
+            "--no-cache", "--explain-path",
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "-> " in out and "calls time.sleep()" in out
+
+
+def test_deep_findings_share_the_baseline(tmp_path, capsys):
+    _materialize(tmp_path, DEEP_DIRTY)
+    baseline = tmp_path / "baseline.json"
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--deep", "--no-cache",
+            "--baseline", str(baseline), "--write-baseline",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--deep", "--no-cache",
+            "--baseline", str(baseline),
+        ]
+    )
+    assert rc == 0
+    # RPL001 (per-file) + RPL101 (flow) both grandfathered together.
+    assert "2 baselined" in capsys.readouterr().out
+
+
+def test_deep_select_accepts_flow_codes(tmp_path, capsys):
+    _materialize(tmp_path, DEEP_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--deep",
+            "--no-cache", "--select", "RPL101", "--format", "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert set(payload["counts"]) == {"RPL101"}
+    # Without --deep the same code is a usage error.
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["--root", str(tmp_path), "--select", "RPL101"])
+    assert exc.value.code == 2
+
+
+class TestFactsCache:
+    def test_second_run_hits(self, tmp_path):
+        _materialize(tmp_path, DEEP_DIRTY)
+        cache_dir = tmp_path / "cache"
+        first = run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert first.cache_hits == 0 and first.cache_misses == 1
+        second = run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert second.cache_hits == 1 and second.cache_misses == 0
+        assert [f.code for f in second.findings] == ["RPL101"]
+
+    def test_edited_file_misses_only_itself(self, tmp_path):
+        _materialize(tmp_path, DEEP_DIRTY)
+        _materialize(
+            tmp_path, {"src/repro/other.py": "def quiet():\n    return 1\n"}
+        )
+        cache_dir = tmp_path / "cache"
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        (tmp_path / "src/repro/other.py").write_text(
+            "def quiet():\n    return 2\n", encoding="utf-8"
+        )
+        rerun = run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert rerun.cache_hits == 1 and rerun.cache_misses == 1
+
+    def test_version_bump_invalidates(self, tmp_path, monkeypatch):
+        _materialize(tmp_path, DEEP_DIRTY)
+        cache_dir = tmp_path / "cache"
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        monkeypatch.setattr("tools.reproflow.cache.ANALYSIS_VERSION", 999)
+        rerun = run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 1
+
+
+class TestStandaloneCli:
+    def test_list_rules(self, capsys):
+        rc = flow_main(["--list-rules"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for code in ("RPL101", "RPL102", "RPL103", "RPL104"):
+            assert code in out
+
+    def test_findings_exit_one_with_chain(self, tmp_path, capsys):
+        _materialize(tmp_path, DEEP_DIRTY)
+        rc = flow_main(
+            [
+                "--root", str(tmp_path), "--no-baseline", "--no-cache",
+                "--format", "json",
+            ]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == 1
+        assert payload["counts"] == {"RPL101": 1}
+        assert payload["findings"][0]["chain"]
+        assert payload["deep"]["functions"] == 2
+
+    def test_summary_mode(self, tmp_path, capsys):
+        _materialize(tmp_path, DEEP_DIRTY)
+        rc = flow_main(
+            ["--root", str(tmp_path), "--no-cache", "--summary", "pump"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "pump" in out and "blocks" in out
+        assert "calls time.sleep()" in out
+
+    def test_summary_unknown_function_is_usage_error(self, tmp_path, capsys):
+        _materialize(tmp_path, DEEP_DIRTY)
+        rc = flow_main(
+            ["--root", str(tmp_path), "--no-cache", "--summary", "nope"]
+        )
+        assert rc == 2
+
+    def test_unknown_code_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            flow_main(["--root", str(tmp_path), "--select", "RPL001"])
+        assert exc.value.code == 2

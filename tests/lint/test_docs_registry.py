@@ -1,0 +1,48 @@
+"""docs/linting.md's rule catalog must match the registries exactly.
+
+New rules cannot ship undocumented, and the doc cannot advertise codes
+that no longer exist: the catalog tables (``| RPLxxx | name | ... |``
+rows) are parsed and compared -- codes *and* names -- against
+``reprolint.ALL_RULES`` + ``reproflow.ALL_FLOW_RULES``.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from tools.reproflow.rules import ALL_FLOW_RULES
+from tools.reprolint.rules import ALL_RULES
+
+REPO = Path(__file__).resolve().parents[2]
+_ROW = re.compile(r"^\|\s*(RPL\d{3})\s*\|\s*([\w-]+)\s*\|", re.MULTILINE)
+
+
+def _documented() -> dict:
+    doc = (REPO / "docs" / "linting.md").read_text(encoding="utf-8")
+    return {code: name for code, name in _ROW.findall(doc)}
+
+
+def test_catalog_codes_match_registries_exactly():
+    documented = set(_documented())
+    registered = {rule.code for rule in ALL_RULES} | {
+        rule.code for rule in ALL_FLOW_RULES
+    }
+    missing = registered - documented
+    stale = documented - registered
+    assert not missing, f"registered but undocumented: {sorted(missing)}"
+    assert not stale, f"documented but unregistered: {sorted(stale)}"
+
+
+def test_catalog_names_match_rule_names():
+    documented = _documented()
+    for rule in list(ALL_RULES) + list(ALL_FLOW_RULES):
+        assert documented.get(rule.code) == rule.name, (
+            f"{rule.code}: doc says {documented.get(rule.code)!r}, "
+            f"registry says {rule.name!r}"
+        )
+
+
+def test_every_code_has_a_nonempty_summary():
+    for rule in list(ALL_RULES) + list(ALL_FLOW_RULES):
+        assert rule.summary, rule.code

@@ -1,0 +1,406 @@
+"""Per-rule fixture tests for the RPL1xx flow rules.
+
+Each fixture is a scratch tree seeded with one cross-file violation
+that no per-file rule can see -- the effect and the entry point live in
+different functions (often different files).  The headline regression
+(an acceptance criterion): a ``time.sleep`` hoisted out of an ``async
+def`` into a sync helper is invisible to RPL006 but caught by RPL101,
+with a witness chain naming every hop.
+"""
+
+from __future__ import annotations
+
+from tests.lint.conftest import codes
+
+# -- RPL101: transitive async blocking ---------------------------------
+
+
+#: The RPL006 gap in one file: the async body contains no blocking
+#: call, only a call to a sync helper that sleeps.
+HOISTED_SLEEP = {
+    "src/repro/serve/pump.py": """
+        import time
+
+
+        def _drain():
+            time.sleep(0.1)
+
+
+        async def pump():
+            _drain()
+        """
+}
+
+
+def test_rpl101_catches_helper_hoisted_sleep(flow_tree):
+    result = flow_tree(HOISTED_SLEEP, select=["RPL101"])
+    assert codes(result) == ["RPL101"]
+    finding = result.findings[0]
+    assert finding.path == "src/repro/serve/pump.py"
+    assert "pump" in finding.message and "time.sleep" in finding.message
+
+
+def test_rpl006_misses_the_same_tree(lint_tree):
+    """The regression fixture of the RPL006 fold: same tree, per-file
+    rule only -- nothing fires, because the sleep is not lexically
+    inside the async body."""
+    result = lint_tree(HOISTED_SLEEP, select=["RPL006"])
+    assert codes(result) == []
+
+
+def test_rpl101_chain_crosses_files(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/serve/helpers.py": """
+                import time
+
+
+                def slow_io(path):
+                    time.sleep(1)
+                """,
+            "src/repro/serve/loop.py": """
+                from repro.serve.helpers import slow_io
+
+
+                def _relay(path):
+                    return slow_io(path)
+
+
+                async def handle(path):
+                    _relay(path)
+                """,
+        },
+        select=["RPL101"],
+    )
+    assert codes(result) == ["RPL101"]
+    chain = result.findings[0].chain
+    assert chain is not None
+    assert [hop.function.rsplit(".", 1)[1] for hop in chain] == [
+        "handle",
+        "_relay",
+        "slow_io",
+    ]
+    assert chain[-1].note == "calls time.sleep()"
+    assert chain[-1].path == "src/repro/serve/helpers.py"
+
+
+def test_rpl101_executor_handoff_is_not_an_edge(flow_tree):
+    """Passing a helper *as a value* to run_in_executor is the
+    sanctioned pattern: no by-name call, no edge, no finding."""
+    result = flow_tree(
+        {
+            "src/repro/serve/exec.py": """
+                import asyncio
+                import time
+
+
+                async def pump(loop):
+                    def helper():
+                        time.sleep(1)
+
+                    await loop.run_in_executor(None, helper)
+                """
+        },
+        select=["RPL101"],
+    )
+    assert codes(result) == []
+
+
+def test_rpl101_reports_innermost_async_only(flow_tree):
+    """A chain through another async def is skipped: the inner
+    coroutine gets the finding, closer to the offending call."""
+    result = flow_tree(
+        {
+            "src/repro/serve/nested.py": """
+                import time
+
+
+                def _drain():
+                    time.sleep(1)
+
+
+                async def inner():
+                    _drain()
+
+
+                async def outer():
+                    await inner()
+                """
+        },
+        select=["RPL101"],
+    )
+    assert codes(result) == ["RPL101"]
+    assert "inner" in result.findings[0].message
+
+
+def test_rpl101_direct_block_left_to_rpl006(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/serve/direct.py": """
+                import time
+
+
+                async def pump():
+                    time.sleep(1)
+                """
+        },
+        select=["RPL101"],
+    )
+    assert codes(result) == []
+
+
+def test_rpl101_outside_serve_not_flagged(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/eval/batch.py": """
+                import time
+
+
+                def _drain():
+                    time.sleep(0.1)
+
+
+                async def pump():
+                    _drain()
+                """
+        },
+        select=["RPL101"],
+    )
+    assert codes(result) == []
+
+
+# -- RPL102: hot-path purity -------------------------------------------
+
+
+def test_rpl102_env_read_reachable_from_decode_uniques(flow_tree):
+    """Acceptance criterion: a decode_uniques override that reads
+    os.environ through a helper is flagged with the full chain."""
+    result = flow_tree(
+        {
+            "src/repro/decoders/tuned.py": """
+                import os
+
+
+                def _tuning_knob():
+                    return os.environ.get("REPRO_TUNE", "0")
+
+
+                class TunedDecoder:
+                    def decode_uniques(self, uniques):
+                        level = _tuning_knob()
+                        return [(u, level) for u in uniques]
+                """
+        },
+        select=["RPL102"],
+    )
+    assert codes(result) == ["RPL102"]
+    finding = result.findings[0]
+    assert "reads_env" in finding.message
+    assert finding.chain[-1].note == "reads os.environ"
+    assert [h.function.rsplit(".", 1)[1] for h in finding.chain] == [
+        "decode_uniques",
+        "_tuning_knob",
+    ]
+
+
+def test_rpl102_clock_read_via_base_class_dispatch(flow_tree):
+    """decode_batch on the base class reaches the subclass override
+    through self-dispatch over-approximation."""
+    result = flow_tree(
+        {
+            "src/repro/decoders/zoo.py": """
+                import time
+
+
+                class Decoder:
+                    def decode_batch(self, batch):
+                        return self.decode_uniques(batch)
+
+                    def decode_uniques(self, uniques):
+                        raise NotImplementedError
+
+
+                class TimedDecoder(Decoder):
+                    def decode_uniques(self, uniques):
+                        start = time.perf_counter()
+                        return [(u, start) for u in uniques]
+                """
+        },
+        select=["RPL102"],
+    )
+    found = {(f.path, "reads_clock" in f.message) for f in result.findings}
+    assert codes(result) == ["RPL102", "RPL102"]  # base hook + override
+    assert found == {("src/repro/decoders/zoo.py", True)}
+
+
+def test_rpl102_pure_decoder_is_clean(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/decoders/pure.py": """
+                class PureDecoder:
+                    def decode_uniques(self, uniques):
+                        return sorted(uniques)
+                """
+        },
+        select=["RPL102"],
+    )
+    assert codes(result) == []
+
+
+# -- RPL103: store-lock reachability -----------------------------------
+
+
+def test_rpl103_unguarded_append_write(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/eval/rogue.py": """
+                def scribble(path, row):
+                    with open(path, "a") as handle:
+                        handle.write(row)
+                """
+        },
+        select=["RPL103"],
+    )
+    assert codes(result) == ["RPL103"]
+    assert "append-write" in result.findings[0].message
+
+
+def test_rpl103_lock_in_subtree_is_clean(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/eval/locked.py": """
+                import fcntl
+
+
+                def _lock(handle):
+                    fcntl.flock(handle, fcntl.LOCK_EX)
+
+
+                def append(path, row):
+                    with open(path, "a") as handle:
+                        _lock(handle)
+                        handle.write(row)
+                """
+        },
+        select=["RPL103"],
+    )
+    assert codes(result) == []
+
+
+# -- RPL104: worker-boundary hygiene -----------------------------------
+
+
+def test_rpl104_payload_mutating_global(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/eval/jobs.py": """
+                _LAST = None
+
+
+                def _leaky_worker(shared, task):
+                    global _LAST
+                    _LAST = task
+                    return task
+
+
+                def run(pool, shared, tasks):
+                    return pool.map(shared, _leaky_worker, tasks)
+                """
+        },
+        select=["RPL104"],
+    )
+    assert codes(result) == ["RPL104"]
+    finding = result.findings[0]
+    assert "_leaky_worker" in finding.message
+    assert finding.chain[-1].note == "assigns global _LAST"
+
+
+def test_rpl104_run_sharded_payload(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/eval/shards.py": """
+                _STATE = {}
+
+
+                def _stash(value):
+                    global _STATE
+                    _STATE = value
+
+
+                def _shard_worker(shared, task):
+                    _stash(task)
+                    return task
+
+
+                def run_sharded(shared, worker, tasks):
+                    return [worker(shared, t) for t in tasks]
+
+
+                def launch(shared, tasks):
+                    return run_sharded(shared, _shard_worker, tasks)
+                """
+        },
+        select=["RPL104"],
+    )
+    assert codes(result) == ["RPL104"]
+
+
+def test_rpl104_clean_worker_not_flagged(flow_tree):
+    result = flow_tree(
+        {
+            "src/repro/eval/okjobs.py": """
+                def _pure_worker(shared, task):
+                    return task * 2
+
+
+                def run(pool, shared, tasks):
+                    return pool.map(shared, _pure_worker, tasks)
+                """
+        },
+        select=["RPL104"],
+    )
+    assert codes(result) == []
+
+
+# -- shared plumbing ---------------------------------------------------
+
+
+def test_flow_findings_respect_suppressions(flow_tree):
+    files = {
+        "src/repro/serve/pump.py": """
+            import time
+
+
+            def _drain():
+                time.sleep(0.1)
+
+
+            async def pump():  # reprolint: disable=RPL101 -- fixture
+                _drain()
+            """
+    }
+    result = flow_tree(files, select=["RPL101"])
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+def test_every_flow_finding_carries_a_chain(flow_tree):
+    trees = dict(HOISTED_SLEEP)
+    trees["src/repro/decoders/tuned.py"] = """
+        import os
+
+
+        def _knob():
+            return os.environ.get("X")
+
+
+        class D:
+            def decode_uniques(self, uniques):
+                _knob()
+                return uniques
+        """
+    result = flow_tree(trees)
+    assert len(result.findings) >= 2
+    for finding in result.findings:
+        assert finding.chain, finding
+        assert all(hop.path and hop.line for hop in finding.chain)

@@ -1,0 +1,66 @@
+"""Checked-in benchmark artifacts stay real.
+
+``.gitignore`` hides ``benchmarks/results/*`` and re-includes the
+artifacts that ship with the repo via ``!`` negations.  PR 4's
+``afs_unionfind_batch.json`` was cited in CHANGES.md but silently
+missing because its negation was never added -- gitignore swallowed it.
+These tests pin the contract: every negated artifact exists, parses,
+and is actually produced by a ``save_results`` call in a
+``benchmarks/*.py`` driver; and the artifacts the changelog cites are
+among the negations.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+_NEGATION = re.compile(r"^!benchmarks/results/([\w.-]+\.json)$")
+
+#: Artifacts cited as checked-in by CHANGES.md / ROADMAP.md.
+CITED = {
+    "promatch_predecode_batch.json",
+    "serve_microbatch.json",
+    "afs_unionfind_batch.json",
+}
+
+
+def negated_artifacts() -> list:
+    names = []
+    for line in (REPO / ".gitignore").read_text(encoding="utf-8").splitlines():
+        match = _NEGATION.match(line.strip())
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def test_cited_artifacts_have_negations():
+    assert CITED <= set(negated_artifacts())
+
+
+@pytest.mark.parametrize("name", negated_artifacts())
+def test_negated_artifact_exists_and_parses(name):
+    path = REPO / "benchmarks" / "results" / name
+    assert path.exists(), (
+        f"{name} is re-included by .gitignore but missing from "
+        "benchmarks/results/ -- regenerate it with its driver"
+    )
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    assert isinstance(payload, dict) and payload
+
+
+@pytest.mark.parametrize("name", negated_artifacts())
+def test_negated_artifact_has_a_producing_driver(name):
+    stem = name[: -len(".json")]
+    drivers = "\n".join(
+        path.read_text(encoding="utf-8")
+        for path in sorted(REPO.glob("benchmarks/*.py"))
+    )
+    assert (
+        f'save_results("{stem}"' in drivers
+        or f"save_results('{stem}'" in drivers
+    ), f"no benchmarks/*.py driver calls save_results({stem!r})"

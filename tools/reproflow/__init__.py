@@ -1,0 +1,31 @@
+"""repro-flow: interprocedural effect analysis over the call graph.
+
+Where :mod:`tools.reprolint` checks one function at a time, repro-flow
+builds a project-wide symbol table and call graph, infers a per-function
+**effect summary** (does this function block? read the clock? draw
+unseeded randomness? append to the store? ...), propagates the
+summaries to a fixed point over the call graph, and then checks
+cross-file reachability rules (RPL101-RPL104) that per-file AST rules
+cannot see: a ``time.sleep`` is a violation not because of where it is
+written but because of *what can reach it*.
+
+Layers (see docs/static_analysis.md):
+
+    extract.py   per-file facts: functions, classes, calls, direct
+                 effects -- JSON-safe and content-hash cacheable
+    graph.py     symbol table + call graph linking (imports,
+                 re-exports, self/cls dispatch, subclass overrides)
+    effects.py   the effect lattice and fixed-point propagation,
+                 with provenance for witness call chains
+    cache.py     content-hash-keyed facts cache for incremental runs
+    rules.py     the RPL1xx flow rules
+    analysis.py  orchestration (run_flow)
+    __main__.py  ``python -m tools.reproflow`` (also reachable as
+                 ``python -m repro lint --deep``)
+
+Everything is stdlib-only, like reprolint.
+"""
+
+#: Bump when extraction schema or effect semantics change: stale cache
+#: entries are invalidated by version, not just content hash.
+ANALYSIS_VERSION = 1

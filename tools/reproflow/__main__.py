@@ -1,0 +1,193 @@
+"""CLI: ``python -m tools.reproflow`` -- the deep pass, standalone.
+
+Same exit-code contract as reprolint: 0 clean, 1 findings (or stale
+baseline entries), 2 usage errors.  ``python -m tools.reprolint
+--deep`` (and thus ``python -m repro lint --deep``) runs the same
+analysis merged with the per-file rules under one baseline; this
+standalone entry point adds the debugging modes: ``--summary FUNC``
+dumps a function's inferred effects with provenance, ``--explain-path``
+prints every finding's witness call chain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+# Allow direct execution from anywhere inside the repo.
+_REPO_ROOT = Path(__file__).resolve().parents[2]
+if str(_REPO_ROOT) not in sys.path:  # pragma: no cover - import plumbing
+    sys.path.insert(0, str(_REPO_ROOT))
+
+from tools.reprolint import baselines
+from tools.reprolint.engine import LintResult
+from tools.reprolint.reporters import render_json, render_text
+from tools.reproflow.analysis import FlowResult, find_functions, run_flow
+from tools.reproflow.effects import EFFECTS, format_chain, witness_chain
+from tools.reproflow.rules import ALL_FLOW_RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reproflow",
+        description=(
+            "interprocedural effect analysis over the call graph: "
+            "transitive async-blocking, hot-path purity, store-lock and "
+            "worker-boundary reachability gates (see "
+            "docs/static_analysis.md)"
+        ),
+    )
+    parser.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="repo root (default: the repo containing this tool); the "
+        "analysis always covers the whole src/ tree under it",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="CODES",
+        help="comma-separated flow rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="CODES",
+        help="comma-separated flow rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list registered flow rules and exit",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the content-hash facts cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="facts cache directory (default: <root>/.reproflow_cache)",
+    )
+    parser.add_argument(
+        "--summary", default=None, metavar="FUNC",
+        help="print the inferred effect summary of FUNC (qualname, "
+        "dotted suffix, or bare name) and exit",
+    )
+    parser.add_argument(
+        "--explain-path", action="store_true",
+        help="print each finding's witness call chain (text format)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="baseline file of grandfathered findings (default: "
+        "tools/reprolint/baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    return parser
+
+
+def _codes(raw: Optional[str]) -> Optional[List[str]]:
+    if raw is None:
+        return None
+    return [c.strip() for c in raw.split(",") if c.strip()]
+
+
+def _print_summaries(result: FlowResult, needle: str) -> int:
+    matches = find_functions(result, needle)
+    if not matches:
+        print(f"reproflow: no function matches {needle!r}", file=sys.stderr)
+        return 2
+    for qualname in matches:
+        node = result.graph.functions[qualname]
+        kind = "async def" if node.is_async else "def"
+        print(f"{qualname}  ({kind}, {node.path}:{node.line})")
+        summary = result.summaries.get(qualname, {})
+        if not summary:
+            print("    no effects")
+            continue
+        for effect in EFFECTS:
+            if effect not in summary:
+                continue
+            hops, _ = witness_chain(
+                result.graph, result.summaries, qualname, effect
+            )
+            print(f"    {effect:<22}{format_chain(hops)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_FLOW_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.summary}")
+        print(f"{len(ALL_FLOW_RULES)} flow rules registered")
+        return 0
+
+    known = {rule.code for rule in ALL_FLOW_RULES}
+    for flag in ("select", "ignore"):
+        unknown = set(_codes(getattr(args, flag)) or ()) - known
+        if unknown:
+            parser.error(
+                f"--{flag}: unknown flow rule code(s) "
+                f"{', '.join(sorted(unknown))} (see --list-rules)"
+            )
+
+    root = Path(args.root).resolve() if args.root else _REPO_ROOT
+    result = run_flow(
+        root,
+        select=_codes(args.select),
+        ignore=_codes(args.ignore),
+        use_cache=not args.no_cache,
+        cache_dir=Path(args.cache_dir) if args.cache_dir else None,
+    )
+
+    if args.summary:
+        return _print_summaries(result, args.summary)
+
+    baseline_path = (
+        Path(args.baseline) if args.baseline else baselines.DEFAULT_BASELINE
+    )
+    findings = result.findings
+    baselined = 0
+    stale: List[str] = []
+    if not args.no_baseline:
+        baseline = baselines.load(baseline_path)
+        if baseline:
+            # Deep findings share reprolint's baseline; entries for the
+            # per-file rules simply never match a flow finding, so they
+            # are not reported stale from here.
+            findings, baselined, stale_entries = baselines.split(
+                root, findings, baseline
+            )
+            del stale_entries
+
+    lint_view = LintResult(
+        findings=findings,
+        parse_errors=result.parse_errors,
+        suppressed=result.suppressed,
+        files_scanned=result.files_scanned,
+    )
+    if args.format == "json":
+        print(
+            render_json(
+                lint_view, baselined=baselined, stale=stale,
+                extra=result.stats(),
+            )
+        )
+    else:
+        print(
+            render_text(
+                lint_view, baselined=baselined, stale=stale,
+                extra=result.stats(), show_chains=args.explain_path,
+            )
+        )
+    return 0 if lint_view.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+"""Orchestration: parse -> facts (cached) -> graph -> fixed point -> rules.
+
+:func:`run_flow` is the single entry point used by both CLIs
+(``python -m tools.reproflow`` and ``python -m tools.reprolint --deep``).
+It always analyzes the whole ``src/`` tree -- reachability is a
+whole-program property, so there is no per-path mode -- and reuses the
+reprolint engine's project loader, suppression filter, and
+:class:`~tools.reprolint.engine.Finding` type so deep findings ride the
+existing reporter/baseline/exit-code contract unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from tools.reprolint.engine import (
+    Finding,
+    apply_suppressions,
+    load_project,
+)
+from tools.reproflow.cache import CACHE_DIR_NAME, FactsCache, source_digest
+from tools.reproflow.effects import Summaries, propagate
+from tools.reproflow.extract import extract_module_facts
+from tools.reproflow.graph import CallGraph, build_graph
+from tools.reproflow.rules import ALL_FLOW_RULES
+
+#: Reachability is whole-program: the deep pass always scans src/.
+FLOW_PATHS: Sequence[str] = ("src",)
+
+
+@dataclass
+class FlowResult:
+    """Outcome of one deep run: findings plus the analysis artifacts."""
+
+    findings: List[Finding]
+    parse_errors: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    graph: Optional[CallGraph] = None
+    summaries: Optional[Summaries] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def stats(self) -> Dict[str, int]:
+        """The additive ``"deep"`` section of the JSON payload."""
+        edges = sum(len(v) for v in self.graph.edges.values()) if self.graph else 0
+        return {
+            "functions": len(self.graph.functions) if self.graph else 0,
+            "edges": edges,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+def run_flow(
+    root,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+    paths: Optional[Sequence[str]] = None,
+) -> FlowResult:
+    """Run the interprocedural analysis over ``src/`` under ``root``."""
+    root = Path(root).resolve()
+    project, parse_errors = load_project(root, paths or FLOW_PATHS)
+
+    cache = (
+        FactsCache(cache_dir or (root / CACHE_DIR_NAME)) if use_cache else None
+    )
+    all_facts = []
+    for ctx in project.files:
+        digest = source_digest(ctx.source)
+        facts = cache.get(ctx.rel, digest) if cache is not None else None
+        if facts is None:
+            facts = extract_module_facts(ctx.rel, ctx.tree)
+            if cache is not None:
+                cache.put(ctx.rel, digest, facts)
+        all_facts.append(facts)
+    if cache is not None:
+        cache.save()
+
+    graph = build_graph(all_facts)
+    summaries = propagate(graph)
+
+    rule_classes = list(ALL_FLOW_RULES)
+    if select:
+        wanted = set(select)
+        rule_classes = [r for r in rule_classes if r.code in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rule_classes = [r for r in rule_classes if r.code not in unwanted]
+
+    raw: List[Finding] = []
+    for cls in rule_classes:
+        raw.extend(cls().check(graph, summaries))
+    # Distinct roots can independently derive the same (code, path,
+    # line) finding; chains are excluded from equality, so dedup here.
+    raw = list(dict.fromkeys(raw))
+    kept, suppressed = apply_suppressions(project, raw)
+
+    return FlowResult(
+        findings=kept,
+        parse_errors=parse_errors,
+        suppressed=suppressed,
+        files_scanned=len(project.files),
+        graph=graph,
+        summaries=summaries,
+        cache_hits=cache.hits if cache is not None else 0,
+        cache_misses=cache.misses if cache is not None else 0,
+    )
+
+
+def find_functions(result: FlowResult, needle: str) -> List[str]:
+    """Qualnames matching ``needle`` (exact, suffix, or bare name)."""
+    if result.graph is None:
+        return []
+    matches = []
+    for qualname, node in sorted(result.graph.functions.items()):
+        if (
+            qualname == needle
+            or qualname.endswith(f".{needle}")
+            or node.name == needle
+        ):
+            matches.append(qualname)
+    return matches

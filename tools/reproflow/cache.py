@@ -1,0 +1,73 @@
+"""Content-hash-keyed facts cache for incremental deep runs.
+
+The expensive per-file step -- AST fact extraction -- is pure in the
+file's source text, so its output is cached under
+``<root>/.reproflow_cache/facts.json`` keyed by ``sha256(source)`` and
+:data:`tools.reproflow.ANALYSIS_VERSION`.  Cross-file linking and
+fixed-point propagation are always recomputed (they are cheap and
+depend on the whole file set).  CI runs the deep pass twice and asserts
+``cache_hits > 0`` on the second run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from tools.reproflow import ANALYSIS_VERSION
+
+CACHE_DIR_NAME = ".reproflow_cache"
+
+
+def source_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FactsCache:
+    """One JSON index mapping rel path -> (digest, version, facts)."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "facts.json"
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._data: Dict[str, Dict[str, Any]] = {}
+        try:
+            loaded = json.loads(self.path.read_text(encoding="utf-8"))
+            if isinstance(loaded, dict):
+                self._data = loaded
+        except (OSError, ValueError):
+            self._data = {}
+
+    def get(self, rel: str, digest: str) -> Optional[Dict[str, Any]]:
+        entry = self._data.get(rel)
+        if (
+            entry is not None
+            and entry.get("digest") == digest
+            and entry.get("version") == ANALYSIS_VERSION
+        ):
+            self.hits += 1
+            return entry["facts"]
+        self.misses += 1
+        return None
+
+    def put(self, rel: str, digest: str, facts: Dict[str, Any]) -> None:
+        self._data[rel] = {
+            "digest": digest,
+            "version": ANALYSIS_VERSION,
+            "facts": facts,
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self._data), encoding="utf-8")
+        os.replace(tmp, self.path)
+        self._dirty = False

@@ -1,0 +1,120 @@
+"""Effect lattice, fixed-point propagation, and witness chains.
+
+A summary maps each function to the set of effects it can reach, and
+each effect to its **provenance**:
+
+    ("direct", line, detail)   the effect happens in this body
+    ("call", callee, line)     acquired from ``callee`` at a call site
+
+Propagation is a standard worklist least-fixed-point over the reversed
+call graph: when a function's summary grows, its callers are re-queued.
+Provenance is written exactly once, when an effect first enters a
+summary -- at that moment the callee already carried the effect, so
+following provenance hops strictly rewinds acquisition order and the
+resulting witness chain is acyclic *by construction* (recursion cannot
+loop a chain, it just converges the fixed point).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Tuple
+
+from tools.reprolint.engine import ChainHop
+from tools.reproflow.graph import CallGraph
+
+#: The full effect vocabulary, in display order.
+EFFECTS: Tuple[str, ...] = (
+    "blocks",
+    "sleeps",
+    "reads_clock",
+    "reads_env",
+    "unseeded_rng",
+    "unordered_iteration",
+    "takes_store_lock",
+    "store_write",
+    "mutates_module_state",
+)
+
+#: qualname -> {effect: provenance}.
+Summaries = Dict[str, Dict[str, Tuple]]
+
+
+def propagate(graph: CallGraph) -> Summaries:
+    """Least fixed point of effect summaries over the call graph."""
+    summaries: Summaries = {q: {} for q in graph.functions}
+    worklist: deque = deque()
+    for qualname, effects in graph.direct_effects.items():
+        if qualname not in summaries:
+            continue
+        for effect, (line, detail) in effects.items():
+            summaries[qualname][effect] = ("direct", line, detail)
+        worklist.append(qualname)
+
+    while worklist:
+        callee = worklist.popleft()
+        for caller, line in graph.callers.get(callee, ()):
+            if caller not in summaries:
+                continue
+            grown = False
+            for effect in summaries[callee]:
+                if effect not in summaries[caller]:
+                    summaries[caller][effect] = ("call", callee, line)
+                    grown = True
+            if grown:
+                worklist.append(caller)
+    return summaries
+
+
+def short_name(qualname: str) -> str:
+    """Last two dotted components: ``pool.run_sharded``, ``C.method``."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+def witness_chain(
+    graph: CallGraph, summaries: Summaries, qualname: str, effect: str
+) -> Tuple[List[ChainHop], List[str]]:
+    """The provenance chain of ``effect`` starting at ``qualname``.
+
+    Returns ``(hops, qualnames)`` where the final hop carries the
+    direct-effect detail and every earlier hop names the call it took.
+    """
+    hops: List[ChainHop] = []
+    quals: List[str] = []
+    current = qualname
+    while True:
+        provenance = summaries[current].get(effect)
+        node = graph.functions[current]
+        quals.append(current)
+        if provenance is None:  # pragma: no cover - defensive
+            break
+        if provenance[0] == "direct":
+            hops.append(
+                ChainHop(
+                    function=current,
+                    path=node.path,
+                    line=provenance[1],
+                    note=provenance[2],
+                )
+            )
+            break
+        _, callee, line = provenance
+        hops.append(
+            ChainHop(
+                function=current,
+                path=node.path,
+                line=line,
+                note=f"calls {short_name(callee)}",
+            )
+        )
+        current = callee
+    return hops, quals
+
+
+def format_chain(hops: List[ChainHop]) -> str:
+    """Terse one-line chain: ``f -> g -> h: h calls time.sleep()``."""
+    if not hops:
+        return ""
+    names = " -> ".join(short_name(h.function) for h in hops)
+    return f"{names}: {hops[-1].note}"

@@ -1,0 +1,412 @@
+"""Per-file fact extraction: the cacheable half of repro-flow.
+
+One call to :func:`extract_module_facts` turns a parsed module into a
+JSON-safe dict of *local* facts -- every function and class defined in
+the file, each function's direct effects, and each call site classified
+just far enough (``name`` / ``self`` / ``dotted`` / ``attr``) for the
+cross-file linker in :mod:`tools.reproflow.graph` to resolve later.
+Nothing here looks outside the file, which is what makes the output
+safe to key by content hash (:mod:`tools.reproflow.cache`).
+
+Effect vocabulary (the lattice is just "set of effect names"):
+
+    blocks                any RPL006-blocking call (sleep, sync file
+                          I/O, subprocess, sync sockets)
+    sleeps                time.sleep specifically (subset of blocks)
+    reads_clock           wall-clock reads (time.time, monotonic, ...)
+    reads_env             os.environ / os.getenv access
+    unseeded_rng          stdlib random.*, legacy numpy.random.*, or
+                          seedless default_rng()
+    unordered_iteration   iterating a set or unsorted dict view
+    takes_store_lock      fcntl.* call (the store's flock discipline)
+    store_write           append-mode open / os.open(O_APPEND)
+    mutates_module_state  assignment to a ``global`` name or a module
+                          attribute
+
+The banned-name sets are imported from the reprolint rules so the two
+tools can never drift on what counts as, say, a clock read.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Tuple
+
+from tools.reprolint.rules import (
+    AsyncBlockingRule,
+    ImportMap,
+    KnobDisciplineRule,
+    SetIterationRule,
+    UnseededRandomnessRule,
+    WallClockRule,
+    _iteration_sites,
+)
+
+#: Clock *reads* -- RPL001's banned set minus the sleep (which is a
+#: block, not a read).
+CLOCK_READS = frozenset(WallClockRule.BANNED - {"time.sleep"})
+ENV_ACCESS = KnobDisciplineRule.BANNED
+SLEEP_CALLS = frozenset({"time.sleep"})
+
+#: Worker-payload call shapes (RPL104): ``run_sharded(shared, fn, ...)``
+#: and ``pool.map(shared, fn, tasks)`` pass ``fn`` into child processes.
+PAYLOAD_BY_NAME = {"run_sharded": 1}
+PAYLOAD_METHOD = ("map", 3, 1)  # (attr, exact positional argc, payload index)
+
+
+def module_name(rel: str) -> str:
+    """Dotted module path of a repo-relative file (``src/`` stripped)."""
+    parts = rel.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    elif parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def _attribute_parts(node: ast.expr) -> Optional[List[str]]:
+    """``a.b.c`` -> ``["a", "b", "c"]``; None if the base is not a Name."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _own_body_nodes(func: ast.AST) -> List[ast.AST]:
+    """Every AST node of a def's body, *excluding* nested defs/classes.
+
+    Nested functions are separate call-graph nodes: their effects reach
+    the parent only if the parent actually calls them by name, so an
+    executor handoff (``run_in_executor(None, helper)``) never leaks
+    the helper's blocking effect into the async caller.
+    """
+    nodes: List[ast.AST] = []
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            nodes.append(child)
+            visit(child)
+
+    for stmt in func.body:
+        nodes.append(stmt)
+        visit(stmt)
+    return nodes
+
+
+class _Extractor:
+    def __init__(self, rel: str, tree: ast.AST) -> None:
+        self.rel = rel
+        self.module = module_name(rel)
+        self.imports = ImportMap(tree)
+        self.functions: List[Dict[str, Any]] = []
+        self.classes: List[Dict[str, Any]] = []
+        self._set_rule = SetIterationRule()
+
+    def run(self, tree: ast.AST) -> Dict[str, Any]:
+        self._visit_block(tree, prefix=self.module, cls=None, parent=None)
+        return {
+            "path": self.rel,
+            "module": self.module,
+            "imports": {
+                "modules": dict(self.imports.modules),
+                "members": dict(self.imports.members),
+            },
+            "functions": self.functions,
+            "classes": self.classes,
+        }
+
+    # -- structure walk ------------------------------------------------
+
+    def _visit_block(
+        self,
+        node: ast.AST,
+        prefix: str,
+        cls: Optional[str],
+        parent: Optional[str],
+    ) -> None:
+        """Find defs/classes in a statement block (through if/try/with)."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(child, prefix, cls, parent)
+            elif isinstance(child, ast.ClassDef):
+                self._class(child, prefix)
+            elif not isinstance(child, ast.expr):
+                self._visit_block(child, prefix, cls, parent)
+
+    def _class(self, node: ast.ClassDef, prefix: str) -> None:
+        qualname = f"{prefix}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            resolved = self.imports.resolve(base)
+            if resolved is None:
+                parts = _attribute_parts(base)
+                resolved = ".".join(parts) if parts else None
+            if resolved is not None:
+                bases.append(resolved)
+        methods: Dict[str, str] = {}
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods[stmt.name] = f"{qualname}.{stmt.name}"
+                self._function(stmt, qualname, cls=qualname, parent=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt, qualname)
+        self.classes.append(
+            {
+                "qualname": qualname,
+                "name": node.name,
+                "line": node.lineno,
+                "bases": bases,
+                "methods": methods,
+            }
+        )
+
+    def _function(
+        self,
+        node: ast.AST,
+        prefix: str,
+        cls: Optional[str],
+        parent: Optional[str],
+    ) -> None:
+        qualname = f"{prefix}.{node.name}"
+        body = _own_body_nodes(node)
+        effects = self._direct_effects(node, body)
+        calls, payloads = self._calls(body)
+        self.functions.append(
+            {
+                "qualname": qualname,
+                "name": node.name,
+                "line": node.lineno,
+                "is_async": isinstance(node, ast.AsyncFunctionDef),
+                "cls": cls,
+                "parent": parent,
+                "effects": effects,
+                "calls": calls,
+                "payloads": payloads,
+            }
+        )
+        # Nested defs keep the enclosing method's class binding: their
+        # ``self.m()`` calls still dispatch on the enclosing class.
+        self._visit_nested(node, qualname, cls)
+
+    def _visit_nested(
+        self, func: ast.AST, qualname: str, cls: Optional[str]
+    ) -> None:
+        def visit(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._function(child, qualname, cls, parent=qualname)
+                elif isinstance(child, ast.ClassDef):
+                    self._class(child, qualname)
+                else:
+                    visit(child)
+
+        for stmt in func.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._function(stmt, qualname, cls, parent=qualname)
+            elif isinstance(stmt, ast.ClassDef):
+                self._class(stmt, qualname)
+            else:
+                visit(stmt)
+
+    # -- direct effects ------------------------------------------------
+
+    def _direct_effects(
+        self, func: ast.AST, body: List[ast.AST]
+    ) -> Dict[str, List[Any]]:
+        effects: Dict[str, List[Any]] = {}
+
+        def add(effect: str, node: ast.AST, detail: str) -> None:
+            if effect not in effects:
+                effects[effect] = [getattr(node, "lineno", 1), detail]
+
+        global_names: set = set()
+        for node in body:
+            if isinstance(node, ast.Global):
+                global_names.update(node.names)
+
+        for node in body:
+            if isinstance(node, ast.Call):
+                self._call_effects(node, add)
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                target = self.imports.resolve(node)
+                if target in ENV_ACCESS:
+                    add("reads_env", node, f"reads {target}")
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id in global_names:
+                        add(
+                            "mutates_module_state",
+                            node,
+                            f"assigns global {target.id}",
+                        )
+                    elif isinstance(target, ast.Attribute):
+                        dotted = self.imports.resolve(target)
+                        if dotted is not None:
+                            add(
+                                "mutates_module_state",
+                                node,
+                                f"assigns module attribute {dotted}",
+                            )
+
+        set_names = self._set_rule._set_names(func)
+        for holder, iterable in _iteration_sites(func):
+            if self._set_rule._in_nested_scope(func, holder):
+                continue
+            if self._set_rule._is_set_expr(iterable, set_names):
+                add("unordered_iteration", iterable, "iterates a set")
+            elif self._set_rule._is_unsorted_dict_view(iterable):
+                add(
+                    "unordered_iteration",
+                    iterable,
+                    "iterates an unsorted dict view",
+                )
+        return effects
+
+    def _call_effects(self, call: ast.Call, add) -> None:
+        dotted = self.imports.resolve(call.func)
+        if dotted is not None:
+            if dotted in SLEEP_CALLS:
+                add("sleeps", call, f"calls {dotted}()")
+                add("blocks", call, f"calls {dotted}()")
+            elif dotted in CLOCK_READS:
+                add("reads_clock", call, f"calls {dotted}()")
+            if dotted in AsyncBlockingRule.BANNED_EXACT or dotted.startswith(
+                AsyncBlockingRule.BANNED_PREFIX
+            ):
+                add("blocks", call, f"calls {dotted}()")
+            if dotted.startswith("random."):
+                add("unseeded_rng", call, f"calls {dotted}() (global stdlib RNG)")
+            elif dotted == "numpy.random.default_rng":
+                if UnseededRandomnessRule._unseeded(call):
+                    add("unseeded_rng", call, "calls default_rng() without a seed")
+            elif dotted.startswith("numpy.random."):
+                leaf = dotted.rsplit(".", 1)[1]
+                if leaf not in UnseededRandomnessRule.NUMPY_OK:
+                    add(
+                        "unseeded_rng",
+                        call,
+                        f"calls legacy {dotted}() (hidden global state)",
+                    )
+            if dotted.startswith("fcntl."):
+                add("takes_store_lock", call, f"calls {dotted}()")
+            if dotted == "os.open":
+                for arg in ast.walk(call):
+                    if isinstance(arg, ast.Attribute) and arg.attr == "O_APPEND":
+                        add("store_write", call, "os.open(..., O_APPEND)")
+                        break
+        is_builtin_open = (
+            isinstance(call.func, ast.Name) and call.func.id == "open"
+        )
+        is_method_open = (
+            isinstance(call.func, ast.Attribute) and call.func.attr == "open"
+        )
+        if is_builtin_open or dotted == "io.open" or is_method_open:
+            mode = self._mode_argument(call, second=is_builtin_open or dotted == "io.open")
+            if mode is not None and "a" in mode:
+                add("store_write", call, f"append-mode open ({mode!r})")
+        if is_builtin_open:
+            add("blocks", call, "sync file open()")
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in AsyncBlockingRule.BLOCKING_METHODS
+        ):
+            add("blocks", call, f"sync file .{call.func.attr}()")
+
+    @staticmethod
+    def _mode_argument(node: ast.Call, second: bool) -> Optional[str]:
+        position = 1 if second else 0
+        if len(node.args) > position:
+            candidate = node.args[position]
+            if isinstance(candidate, ast.Constant) and isinstance(
+                candidate.value, str
+            ):
+                return candidate.value
+        for kw in node.keywords:
+            if (
+                kw.arg == "mode"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                return kw.value.value
+        return None
+
+    # -- call sites ----------------------------------------------------
+
+    def _calls(
+        self, body: List[ast.AST]
+    ) -> Tuple[List[Dict[str, Any]], List[Dict[str, Any]]]:
+        calls: List[Dict[str, Any]] = []
+        payloads: List[Dict[str, Any]] = []
+        for node in body:
+            if not isinstance(node, ast.Call):
+                continue
+            record = self._classify_call(node)
+            if record is not None:
+                calls.append(record)
+            payload = self._classify_payload(node)
+            if payload is not None:
+                payloads.append(payload)
+        return calls, payloads
+
+    def _classify_call(self, call: ast.Call) -> Optional[Dict[str, Any]]:
+        line = call.lineno
+        dotted = self.imports.resolve(call.func)
+        if dotted is not None:
+            return {"kind": "dotted", "dotted": dotted, "line": line}
+        func = call.func
+        if isinstance(func, ast.Name):
+            return {"kind": "name", "name": func.id, "line": line}
+        if isinstance(func, ast.Attribute):
+            parts = _attribute_parts(func)
+            if parts is None:
+                return None
+            if parts[0] in ("self", "cls") and len(parts) == 2:
+                return {"kind": "self", "attr": parts[1], "line": line}
+            return {"kind": "attr", "parts": parts, "line": line}
+        return None
+
+    def _classify_payload(self, call: ast.Call) -> Optional[Dict[str, Any]]:
+        func = call.func
+        name = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        index = None
+        via = None
+        if name in PAYLOAD_BY_NAME and len(call.args) > PAYLOAD_BY_NAME[name]:
+            index, via = PAYLOAD_BY_NAME[name], name
+        elif (
+            isinstance(func, ast.Attribute)
+            and name == PAYLOAD_METHOD[0]
+            and len(call.args) == PAYLOAD_METHOD[1]
+        ):
+            index, via = PAYLOAD_METHOD[2], f".{name}"
+        if index is None:
+            return None
+        target = call.args[index]
+        if isinstance(target, ast.Name):
+            return {"kind": "name", "name": target.id, "line": call.lineno, "via": via}
+        dotted = self.imports.resolve(target)
+        if dotted is not None:
+            return {"kind": "dotted", "dotted": dotted, "line": call.lineno, "via": via}
+        return None
+
+
+def extract_module_facts(rel: str, tree: ast.AST) -> Dict[str, Any]:
+    """All local facts of one parsed module, as a JSON-safe dict."""
+    return _Extractor(rel, tree).run(tree)

@@ -1,0 +1,328 @@
+"""Symbol table + call graph linking: the cross-file half of repro-flow.
+
+:func:`build_graph` consumes the per-file fact dicts from
+:mod:`tools.reproflow.extract` and resolves every recorded call site to
+the project functions it can reach:
+
+* **dotted** calls (``store.append_line(...)``) resolve through the
+  import maps, following re-export chains (``from repro.decoders import
+  Decoder`` -> ``repro.decoders.base.Decoder``) with a cycle guard;
+* **name** calls resolve lexically: nested defs of the caller, then the
+  enclosing-def chain, then module-level functions, then imported
+  members; resolving to a class adds an edge to its ``__init__``;
+* **self/cls** calls dispatch through the MRO of the caller's class
+  *and*, as a deliberate over-approximation, every transitive subclass
+  override -- ``Decoder.decode_batch`` calling ``self.decode_uniques``
+  reaches every decoder in the zoo, which is exactly what a
+  reachability gate wants;
+* **attr** calls (``Foo.bar(...)`` on a locally defined class) resolve
+  the base name in module scope.
+
+Calls on untyped values (``lane.decoder.decode_batch(...)``) resolve to
+nothing; repro-flow is deliberately alias-free and under-approximates
+there (documented in docs/static_analysis.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class FunctionNode:
+    qualname: str
+    name: str
+    path: str
+    line: int
+    is_async: bool
+    module: str
+    cls: Optional[str]  # owning class qualname, or None
+    parent: Optional[str]  # enclosing function qualname, or None
+
+
+@dataclass
+class ClassNode:
+    qualname: str
+    name: str
+    path: str
+    line: int
+    module: str
+    bases: List[str]  # raw dotted strings from extraction
+    methods: Dict[str, str]  # method name -> function qualname
+    resolved_bases: List[str] = field(default_factory=list)
+
+
+#: One call edge: (callee qualname, call-site line, note for chains).
+Edge = Tuple[str, int, str]
+
+
+@dataclass
+class CallGraph:
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ClassNode] = field(default_factory=dict)
+    edges: Dict[str, List[Edge]] = field(default_factory=dict)
+    callers: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    #: Direct effects: qualname -> {effect: (line, detail)}.
+    direct_effects: Dict[str, Dict[str, Tuple[int, str]]] = field(
+        default_factory=dict
+    )
+    #: Worker payloads: (caller, payload fn qualname, line, via).
+    payloads: List[Tuple[str, str, int, str]] = field(default_factory=list)
+    #: Direct subclass map: class qualname -> set of direct subclasses.
+    subclasses: Dict[str, Set[str]] = field(default_factory=dict)
+
+    def add_edge(self, caller: str, callee: str, line: int, note: str) -> None:
+        self.edges.setdefault(caller, []).append((callee, line, note))
+        self.callers.setdefault(callee, []).append((caller, line))
+
+    def mro(self, class_qualname: str) -> List[str]:
+        """DFS linearization of a class and its resolved bases."""
+        order: List[str] = []
+        seen: Set[str] = set()
+
+        def walk(cq: str) -> None:
+            if cq in seen or cq not in self.classes:
+                return
+            seen.add(cq)
+            order.append(cq)
+            for base in self.classes[cq].resolved_bases:
+                walk(base)
+
+        walk(class_qualname)
+        return order
+
+    def lookup_method(self, class_qualname: str, name: str) -> Optional[str]:
+        for cq in self.mro(class_qualname):
+            method = self.classes[cq].methods.get(name)
+            if method is not None:
+                return method
+        return None
+
+    def transitive_subclasses(self, class_qualname: str) -> List[str]:
+        found: List[str] = []
+        seen: Set[str] = {class_qualname}
+        queue = sorted(self.subclasses.get(class_qualname, ()))
+        while queue:
+            sub = queue.pop(0)
+            if sub in seen:
+                continue
+            seen.add(sub)
+            found.append(sub)
+            queue.extend(sorted(self.subclasses.get(sub, ())))
+        return found
+
+    def override_methods(self, class_qualname: str, name: str) -> List[str]:
+        """Every subclass's own definition of ``name`` (dynamic dispatch)."""
+        found: List[str] = []
+        for sub in self.transitive_subclasses(class_qualname):
+            method = self.classes[sub].methods.get(name)
+            if method is not None:
+                found.append(method)
+        return found
+
+
+class _Linker:
+    def __init__(self, all_facts: Sequence[Dict[str, Any]]) -> None:
+        self.graph = CallGraph()
+        self.modules: Set[str] = set()
+        self.members: Dict[str, Dict[str, str]] = {}
+        self._resolving: Set[str] = set()
+        self._facts = list(all_facts)
+
+    def run(self) -> CallGraph:
+        for facts in self._facts:
+            self._register(facts)
+        self._resolve_bases()
+        for facts in self._facts:
+            self._link(facts)
+        return self.graph
+
+    # -- registration --------------------------------------------------
+
+    def _register(self, facts: Dict[str, Any]) -> None:
+        module, path = facts["module"], facts["path"]
+        self.modules.add(module)
+        self.members[module] = dict(facts["imports"]["members"])
+        for fn in facts["functions"]:
+            self.graph.functions[fn["qualname"]] = FunctionNode(
+                qualname=fn["qualname"],
+                name=fn["name"],
+                path=path,
+                line=fn["line"],
+                is_async=fn["is_async"],
+                module=module,
+                cls=fn["cls"],
+                parent=fn["parent"],
+            )
+            if fn["effects"]:
+                self.graph.direct_effects[fn["qualname"]] = {
+                    effect: (line, detail)
+                    for effect, (line, detail) in fn["effects"].items()
+                }
+        for cls in facts["classes"]:
+            self.graph.classes[cls["qualname"]] = ClassNode(
+                qualname=cls["qualname"],
+                name=cls["name"],
+                path=path,
+                line=cls["line"],
+                module=module,
+                bases=list(cls["bases"]),
+                methods=dict(cls["methods"]),
+            )
+
+    def _resolve_bases(self) -> None:
+        for node in self.graph.classes.values():
+            for raw in node.bases:
+                resolved = self._resolve_class_name(node.module, raw)
+                if resolved is not None:
+                    node.resolved_bases.append(resolved)
+        for node in self.graph.classes.values():
+            for base in node.resolved_bases:
+                self.graph.subclasses.setdefault(base, set()).add(node.qualname)
+
+    def _resolve_class_name(self, module: str, raw: str) -> Optional[str]:
+        resolved = self.resolve_symbol(raw)
+        if resolved is not None and resolved[0] == "class":
+            return resolved[1]
+        if "." not in raw:
+            local = self.resolve_symbol(f"{module}.{raw}")
+            if local is not None and local[0] == "class":
+                return local[1]
+        return None
+
+    # -- symbol resolution ---------------------------------------------
+
+    def resolve_symbol(self, dotted: str) -> Optional[Tuple[str, str]]:
+        """Resolve a dotted name to ``("func"|"class", qualname)``.
+
+        Follows re-export chains through module import maps and method
+        access through class qualnames; a cycle guard stops pathological
+        mutually-re-exporting modules.
+        """
+        if dotted in self._resolving:
+            return None
+        if dotted in self.graph.functions:
+            return ("func", dotted)
+        if dotted in self.graph.classes:
+            return ("class", dotted)
+        prefix, _, leaf = dotted.rpartition(".")
+        if not prefix:
+            return None
+        self._resolving.add(dotted)
+        try:
+            if prefix in self.modules:
+                target = self.members.get(prefix, {}).get(leaf)
+                if target is not None:
+                    return self.resolve_symbol(target)
+                return None
+            base = self.resolve_symbol(prefix)
+            if base is not None and base[0] == "class":
+                method = self.graph.lookup_method(base[1], leaf)
+                if method is not None:
+                    return ("func", method)
+            return None
+        finally:
+            self._resolving.discard(dotted)
+
+    def _resolve_in_scope(
+        self, caller: FunctionNode, name: str
+    ) -> Optional[Tuple[str, str]]:
+        """Lexical resolution of a bare-name call inside ``caller``."""
+        scope: Optional[str] = caller.qualname
+        while scope is not None:
+            nested = f"{scope}.{name}"
+            if nested in self.graph.functions:
+                return ("func", nested)
+            scope = self.graph.functions[scope].parent if scope in self.graph.functions else None
+        module_level = f"{caller.module}.{name}"
+        resolved = self.resolve_symbol(module_level)
+        if resolved is not None:
+            return resolved
+        imported = self.members.get(caller.module, {}).get(name)
+        if imported is not None:
+            return self.resolve_symbol(imported)
+        return None
+
+    # -- edge linking --------------------------------------------------
+
+    def _link(self, facts: Dict[str, Any]) -> None:
+        for fn in facts["functions"]:
+            caller = self.graph.functions[fn["qualname"]]
+            for call in fn["calls"]:
+                self._link_call(caller, call)
+            for payload in fn["payloads"]:
+                self._link_payload(caller, payload)
+
+    def _edge_to(
+        self,
+        caller: FunctionNode,
+        resolved: Tuple[str, str],
+        line: int,
+        note: str,
+    ) -> None:
+        kind, qualname = resolved
+        if kind == "func":
+            self.graph.add_edge(caller.qualname, qualname, line, note)
+        else:  # instantiation reaches the constructor
+            init = self.graph.lookup_method(qualname, "__init__")
+            if init is not None:
+                self.graph.add_edge(
+                    caller.qualname, init, line, f"{note} (constructor)"
+                )
+
+    def _link_call(self, caller: FunctionNode, call: Dict[str, Any]) -> None:
+        line = call["line"]
+        if call["kind"] == "dotted":
+            resolved = self.resolve_symbol(call["dotted"])
+            if resolved is not None:
+                self._edge_to(caller, resolved, line, "")
+        elif call["kind"] == "name":
+            resolved = self._resolve_in_scope(caller, call["name"])
+            if resolved is not None:
+                self._edge_to(caller, resolved, line, "")
+        elif call["kind"] == "self":
+            self._link_self(caller, call["attr"], line)
+        elif call["kind"] == "attr":
+            self._link_attr(caller, call["parts"], line)
+
+    def _link_self(self, caller: FunctionNode, attr: str, line: int) -> None:
+        if caller.cls is None:
+            return
+        primary = self.graph.lookup_method(caller.cls, attr)
+        if primary is not None:
+            self.graph.add_edge(caller.qualname, primary, line, "self dispatch")
+        for override in self.graph.override_methods(caller.cls, attr):
+            if override != primary:
+                owner = override.rsplit(".", 2)[-2]
+                self.graph.add_edge(
+                    caller.qualname, override, line, f"via {owner} override"
+                )
+
+    def _link_attr(
+        self, caller: FunctionNode, parts: List[str], line: int
+    ) -> None:
+        if len(parts) != 2:
+            return
+        resolved = self._resolve_in_scope(caller, parts[0])
+        if resolved is not None and resolved[0] == "class":
+            method = self.graph.lookup_method(resolved[1], parts[1])
+            if method is not None:
+                self.graph.add_edge(caller.qualname, method, line, "")
+
+    def _link_payload(
+        self, caller: FunctionNode, payload: Dict[str, Any]
+    ) -> None:
+        if payload["kind"] == "name":
+            resolved = self._resolve_in_scope(caller, payload["name"])
+        else:
+            resolved = self.resolve_symbol(payload["dotted"])
+        if resolved is not None and resolved[0] == "func":
+            self.graph.payloads.append(
+                (caller.qualname, resolved[1], payload["line"], payload["via"])
+            )
+
+
+def build_graph(all_facts: Sequence[Dict[str, Any]]) -> CallGraph:
+    """Link per-file facts into the project call graph."""
+    return _Linker(all_facts).run()

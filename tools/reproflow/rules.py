@@ -1,0 +1,227 @@
+"""The repro-flow rule registry: cross-file ``RPL1xx`` reachability gates.
+
+Flow rules consume the linked call graph plus the fixed-point effect
+summaries and report findings whose locations are *definitions or call
+sites* -- the place a maintainer can act -- while the attached witness
+chain (``Finding.chain``) proves how the offending effect is reached.
+Per-line suppressions and the shrink-only baseline apply exactly as for
+the per-file RPL0xx rules.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from tools.reprolint.engine import Finding
+from tools.reproflow.effects import (
+    Summaries,
+    format_chain,
+    short_name,
+    witness_chain,
+)
+from tools.reproflow.graph import CallGraph
+
+
+class FlowRule:
+    """One cross-file reachability invariant."""
+
+    code: str = "RPL199"
+    name: str = "unnamed"
+    summary: str = ""
+
+    def check(self, graph: CallGraph, summaries: Summaries) -> List[Finding]:
+        raise NotImplementedError
+
+
+class TransitiveAsyncBlockingRule(FlowRule):
+    """RPL006 sees a blocking call lexically inside an ``async def``;
+    this rule sees one reachable through any chain of *sync* helpers.
+    A chain that passes through another ``async def`` is skipped -- that
+    coroutine gets its own finding, closer to the offending call."""
+
+    code = "RPL101"
+    name = "transitive-async-blocking"
+    summary = (
+        "no blocking effect reachable through sync helpers from an "
+        "async def in serve/ (interprocedural RPL006)"
+    )
+    SCOPE = "src/repro/serve/"
+
+    def check(self, graph: CallGraph, summaries: Summaries) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            if not node.is_async or not node.path.startswith(self.SCOPE):
+                continue
+            provenance = summaries[qualname].get("blocks")
+            if provenance is None or provenance[0] == "direct":
+                continue  # the direct case is RPL006's (per-file) job
+            hops, quals = witness_chain(graph, summaries, qualname, "blocks")
+            if any(graph.functions[q].is_async for q in quals[1:]):
+                continue
+            findings.append(
+                Finding(
+                    code=self.code,
+                    path=node.path,
+                    line=node.line,
+                    col=0,
+                    message=(
+                        f"'async def {node.name}' transitively blocks the "
+                        f"event loop: {format_chain(hops)}; hand the sync "
+                        "work to an executor or use the injected clock"
+                    ),
+                    chain=tuple(hops),
+                )
+            )
+        return findings
+
+
+class HotPathPurityRule(FlowRule):
+    """Nothing reachable from a decode hot hook may read the
+    environment or the clock, touch the store, or draw unseeded
+    randomness -- the bitwise-reproducibility contract, enforced
+    transitively across the whole decoder zoo."""
+
+    code = "RPL102"
+    name = "hot-path-purity"
+    summary = (
+        "nothing reachable from decode_uniques/predecode_uniques/"
+        "decode_batch overrides may carry env/clock/store/unseeded-RNG "
+        "effects"
+    )
+    HOT_HOOKS = frozenset({"decode_uniques", "predecode_uniques", "decode_batch"})
+    BANNED: Tuple[str, ...] = (
+        "reads_env",
+        "reads_clock",
+        "store_write",
+        "takes_store_lock",
+        "unseeded_rng",
+    )
+
+    def check(self, graph: CallGraph, summaries: Summaries) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(graph.functions):
+            node = graph.functions[qualname]
+            if (
+                node.cls is None
+                or node.name not in self.HOT_HOOKS
+                or not node.path.startswith("src/")
+            ):
+                continue
+            for effect in self.BANNED:
+                if effect not in summaries[qualname]:
+                    continue
+                hops, _ = witness_chain(graph, summaries, qualname, effect)
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        path=node.path,
+                        line=node.line,
+                        col=0,
+                        message=(
+                            f"hot path {short_name(qualname)} reaches "
+                            f"{effect}: {format_chain(hops)}; resolve it at "
+                            "construction time, not per decode"
+                        ),
+                        chain=tuple(hops),
+                    )
+                )
+        return findings
+
+
+class StoreLockReachabilityRule(FlowRule):
+    """Every function that append-writes must acquire the store lock
+    itself or via something it calls -- RPL005 polices *where* appends
+    live; this rule proves each writer actually reaches ``fcntl``."""
+
+    code = "RPL103"
+    name = "store-lock-reachability"
+    summary = (
+        "append-writes must reach a lock acquisition (fcntl) in their "
+        "own call subtree -- the store's multi-writer discipline"
+    )
+
+    def check(self, graph: CallGraph, summaries: Summaries) -> List[Finding]:
+        findings: List[Finding] = []
+        for qualname in sorted(graph.direct_effects):
+            if "store_write" not in graph.direct_effects.get(qualname, {}):
+                continue
+            node = graph.functions.get(qualname)
+            if node is None or not node.path.startswith("src/"):
+                continue
+            if "takes_store_lock" in summaries[qualname]:
+                continue
+            line, detail = graph.direct_effects[qualname]["store_write"]
+            hops, _ = witness_chain(graph, summaries, qualname, "store_write")
+            findings.append(
+                Finding(
+                    code=self.code,
+                    path=node.path,
+                    line=node.line,
+                    col=0,
+                    message=(
+                        f"{short_name(qualname)} append-writes "
+                        f"({detail}, line {line}) without acquiring the "
+                        "store lock anywhere in its call subtree; route "
+                        "the write through the locked store helpers"
+                    ),
+                    chain=tuple(hops),
+                )
+            )
+        return findings
+
+
+class WorkerBoundaryRule(FlowRule):
+    """A function shipped to a :class:`WorkerPool` runs in a forked
+    child: mutating module state there silently diverges from the
+    parent.  Flags payloads whose call subtree assigns globals or
+    module attributes."""
+
+    code = "RPL104"
+    name = "worker-boundary"
+    summary = (
+        "no module-state mutation reachable from WorkerPool task "
+        "payloads (run_sharded / pool.map worker functions)"
+    )
+
+    def check(self, graph: CallGraph, summaries: Summaries) -> List[Finding]:
+        findings: List[Finding] = []
+        for caller, target, line, via in sorted(graph.payloads):
+            if target not in summaries:
+                continue
+            if "mutates_module_state" not in summaries[target]:
+                continue
+            caller_node = graph.functions[caller]
+            if not caller_node.path.startswith("src/"):
+                continue
+            hops, _ = witness_chain(
+                graph, summaries, target, "mutates_module_state"
+            )
+            findings.append(
+                Finding(
+                    code=self.code,
+                    path=caller_node.path,
+                    line=line,
+                    col=0,
+                    message=(
+                        f"worker payload {short_name(target)} (via {via}) "
+                        f"mutates module state: {format_chain(hops)}; "
+                        "pass state through the shared-context argument "
+                        "instead"
+                    ),
+                    chain=tuple(hops),
+                )
+            )
+        return findings
+
+
+ALL_FLOW_RULES: Tuple[type, ...] = (
+    TransitiveAsyncBlockingRule,
+    HotPathPurityRule,
+    StoreLockReachabilityRule,
+    WorkerBoundaryRule,
+)
+
+
+def flow_rules_by_code() -> Dict[str, type]:
+    return {rule.code: rule for rule in ALL_FLOW_RULES}

@@ -70,6 +70,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-rules", action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the interprocedural effect analysis "
+        "(tools.reproflow: RPL101-RPL104 over the whole src/ call "
+        "graph); findings merge under the same baseline and exit code",
+    )
+    parser.add_argument(
+        "--explain-path", action="store_true",
+        help="with --deep: print each finding's witness call chain",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="with --deep: disable the content-hash facts cache",
+    )
     return parser
 
 
@@ -84,12 +98,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
+        from tools.reproflow.rules import ALL_FLOW_RULES
+
         for rule in ALL_RULES:
             print(f"{rule.code}  {rule.name}: {rule.summary}")
-        print(f"{len(ALL_RULES)} rules registered")
+        for rule in ALL_FLOW_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.summary} [--deep]")
+        print(
+            f"{len(ALL_RULES)} rules registered "
+            f"(+{len(ALL_FLOW_RULES)} flow rules with --deep)"
+        )
         return 0
 
     known = {rule.code for rule in ALL_RULES}
+    if args.deep:
+        from tools.reproflow.rules import ALL_FLOW_RULES
+
+        known |= {rule.code for rule in ALL_FLOW_RULES}
     for flag in ("select", "ignore"):
         unknown = set(_codes(getattr(args, flag)) or ()) - known
         if unknown:
@@ -110,6 +135,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     except FileNotFoundError as error:  # pragma: no cover - defensive
         print(f"reprolint: {error}", file=sys.stderr)
         return 2
+
+    deep_stats = None
+    if args.deep:
+        from tools.reproflow.analysis import run_flow
+
+        flow = run_flow(
+            root,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            use_cache=not args.no_cache,
+        )
+        merged = sorted(
+            result.findings + flow.findings, key=lambda f: f.sort_key()
+        )
+        result = LintResult(
+            findings=merged,
+            parse_errors=list(
+                dict.fromkeys(result.parse_errors + flow.parse_errors)
+            ),
+            suppressed=result.suppressed + flow.suppressed,
+            files_scanned=result.files_scanned,
+        )
+        deep_stats = flow.stats()
 
     baseline_path = (
         Path(args.baseline) if args.baseline else baselines.DEFAULT_BASELINE
@@ -137,8 +185,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 files_scanned=result.files_scanned,
             )
 
-    render = render_json if args.format == "json" else render_text
-    print(render(result, baselined=baselined, stale=stale))
+    if args.format == "json":
+        print(
+            render_json(
+                result, baselined=baselined, stale=stale, extra=deep_stats
+            )
+        )
+    else:
+        print(
+            render_text(
+                result, baselined=baselined, stale=stale, extra=deep_stats,
+                show_chains=args.explain_path,
+            )
+        )
     return 0 if result.clean and not stale else 1
 
 

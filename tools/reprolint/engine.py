@@ -42,14 +42,36 @@ _SUPPRESS_RE = re.compile(
 
 
 @dataclass(frozen=True)
+class ChainHop:
+    """One hop of a witness call chain (interprocedural findings).
+
+    ``function`` is the display qualname of the node reached, ``path``
+    and ``line`` locate the call site (or, for the final hop, the
+    effect site) and ``note`` says what the hop contributes ("calls
+    time.sleep", "via decode_batch", ...).
+    """
+
+    function: str
+    path: str
+    line: int
+    note: str = ""
+
+
+@dataclass(frozen=True)
 class Finding:
-    """One rule violation at one source location."""
+    """One rule violation at one source location.
+
+    ``chain`` (cross-file rules only) is the witness call chain that
+    proves reachability; it is display/provenance metadata and takes no
+    part in equality, hashing, or baseline fingerprints.
+    """
 
     code: str
     path: str  # repo-relative, posix separators
     line: int
     col: int
     message: str
+    chain: Optional[Tuple[ChainHop, ...]] = field(default=None, compare=False)
 
     def sort_key(self) -> Tuple[str, int, int, str]:
         return (self.path, self.line, self.col, self.code)
@@ -156,6 +178,55 @@ def iter_python_files(root: Path, paths: Sequence[str]) -> List[Path]:
     return sorted(set(found))
 
 
+def load_project(
+    root, paths: Optional[Sequence[str]] = None
+) -> Tuple[Project, List[Finding]]:
+    """Parse every Python file under ``paths`` into a :class:`Project`.
+
+    Returns the project plus ``RPL000`` parse-error findings for files
+    that fail to parse (they are excluded from the project).  Shared by
+    :func:`run_lint` and the interprocedural analysis in
+    :mod:`tools.reproflow`.
+    """
+    root = Path(root).resolve()
+    project = Project(root=root)
+    parse_errors: List[Finding] = []
+    for path in iter_python_files(root, paths or DEFAULT_PATHS):
+        try:
+            project.files.append(FileContext(root, path))
+        except (SyntaxError, ValueError) as error:
+            parse_errors.append(
+                Finding(
+                    code=PARSE_ERROR_CODE,
+                    path=path.relative_to(root).as_posix(),
+                    line=getattr(error, "lineno", 1) or 1,
+                    col=0,
+                    message=f"file does not parse: {error.msg if isinstance(error, SyntaxError) else error}",
+                )
+            )
+    return project, parse_errors
+
+
+def apply_suppressions(
+    project: Project, findings: Sequence[Finding]
+) -> Tuple[List[Finding], int]:
+    """Filter findings through per-line suppression comments.
+
+    Returns ``(kept findings sorted, suppressed count)``.
+    """
+    suppressions = {ctx.rel: ctx.suppressions for ctx in project.files}
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        disabled = suppressions.get(finding.path, {}).get(finding.line, ())
+        if finding.code in disabled:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept, suppressed
+
+
 def run_lint(
     root,
     paths: Optional[Sequence[str]] = None,
@@ -182,21 +253,7 @@ def run_lint(
         rule_classes = [r for r in rule_classes if r.code not in unwanted]
     instances = [cls() for cls in rule_classes]
 
-    project = Project(root=root)
-    parse_errors: List[Finding] = []
-    for path in iter_python_files(root, paths or DEFAULT_PATHS):
-        try:
-            project.files.append(FileContext(root, path))
-        except (SyntaxError, ValueError) as error:
-            parse_errors.append(
-                Finding(
-                    code=PARSE_ERROR_CODE,
-                    path=path.relative_to(root).as_posix(),
-                    line=getattr(error, "lineno", 1) or 1,
-                    col=0,
-                    message=f"file does not parse: {error.msg if isinstance(error, SyntaxError) else error}",
-                )
-            )
+    project, parse_errors = load_project(root, paths)
 
     raw: List[Finding] = []
     for ctx in project.files:
@@ -206,16 +263,7 @@ def run_lint(
     for rule in instances:
         raw.extend(rule.finalize(project))
 
-    suppressions = {ctx.rel: ctx.suppressions for ctx in project.files}
-    kept: List[Finding] = []
-    suppressed = 0
-    for finding in raw:
-        disabled = suppressions.get(finding.path, {}).get(finding.line, ())
-        if finding.code in disabled:
-            suppressed += 1
-        else:
-            kept.append(finding)
-    kept.sort(key=Finding.sort_key)
+    kept, suppressed = apply_suppressions(project, raw)
     return LintResult(
         findings=kept,
         parse_errors=parse_errors,

@@ -17,23 +17,47 @@ suite::
       ],
       "parse_errors": [same shape as findings]
     }
+
+Interprocedural findings (``python -m tools.reprolint --deep``) add a
+``"chain"`` key per finding -- the witness call chain as a list of
+``{"function", "path", "line", "note"}`` hops -- and the payload grows
+an additive ``"deep"`` section with analysis/cache statistics.  Both
+are strictly additive: chainless findings keep the exact version-1
+key set.
 """
 
 from __future__ import annotations
 
 import json
 from collections import Counter
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from tools.reprolint.engine import Finding, LintResult
 
 
+def render_chain(finding: Finding) -> List[str]:
+    """Indented witness-chain lines for text output (empty if none)."""
+    if not finding.chain:
+        return []
+    lines: List[str] = []
+    for hop in finding.chain:
+        note = f": {hop.note}" if hop.note else ""
+        lines.append(f"    -> {hop.function} ({hop.path}:{hop.line}){note}")
+    return lines
+
+
 def render_text(
-    result: LintResult, baselined: int = 0, stale: Sequence[str] = ()
+    result: LintResult,
+    baselined: int = 0,
+    stale: Sequence[str] = (),
+    extra: Optional[Dict] = None,
+    show_chains: bool = False,
 ) -> str:
     lines: List[str] = []
     for finding in result.parse_errors + result.findings:
         lines.append(finding.render())
+        if show_chains:
+            lines.extend(render_chain(finding))
     total = len(result.findings) + len(result.parse_errors)
     summary = (
         f"reprolint: {total} finding{'s' if total != 1 else ''} "
@@ -41,6 +65,9 @@ def render_text(
         f"{baselined} baselined)"
     )
     lines.append(summary)
+    if extra:
+        stats = ", ".join(f"{key}={value}" for key, value in extra.items())
+        lines.append(f"reprolint deep: {stats}")
     if stale:
         lines.append(
             f"reprolint: {len(stale)} stale baseline entr"
@@ -51,17 +78,31 @@ def render_text(
 
 
 def _finding_dict(finding: Finding) -> Dict:
-    return {
+    payload = {
         "code": finding.code,
         "path": finding.path,
         "line": finding.line,
         "col": finding.col,
         "message": finding.message,
     }
+    if finding.chain:
+        payload["chain"] = [
+            {
+                "function": hop.function,
+                "path": hop.path,
+                "line": hop.line,
+                "note": hop.note,
+            }
+            for hop in finding.chain
+        ]
+    return payload
 
 
 def render_json(
-    result: LintResult, baselined: int = 0, stale: Sequence[str] = ()
+    result: LintResult,
+    baselined: int = 0,
+    stale: Sequence[str] = (),
+    extra: Optional[Dict] = None,
 ) -> str:
     payload = {
         "version": 1,
@@ -75,4 +116,6 @@ def render_json(
         "findings": [_finding_dict(f) for f in result.findings],
         "parse_errors": [_finding_dict(f) for f in result.parse_errors],
     }
+    if extra:
+        payload["deep"] = dict(extra)
     return json.dumps(payload, indent=2)
