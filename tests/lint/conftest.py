@@ -53,5 +53,27 @@ def flow_tree(tmp_path):
     return _flow
 
 
+@pytest.fixture()
+def race_tree(tmp_path):
+    """Materialize ``{relpath: source}`` and run the race analysis.
+
+    Same contract as ``flow_tree``: cache off unless ``cache_dir`` is
+    passed.
+    """
+    from tools.reprorace.analysis import run_race
+
+    def _race(files, select=None, use_cache=False, cache_dir=None):
+        for rel, source in files.items():
+            target = tmp_path / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source), encoding="utf-8")
+        return run_race(
+            tmp_path, select=select, use_cache=use_cache, cache_dir=cache_dir
+        )
+
+    _race.root = tmp_path
+    return _race
+
+
 def codes(result) -> list:
     return [f.code for f in result.findings]

@@ -170,6 +170,40 @@ class TestFactsCache:
         rerun = run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
         assert rerun.cache_hits == 0 and rerun.cache_misses == 1
 
+    def _index(self, cache_dir):
+        return json.loads(
+            (cache_dir / "facts.json").read_text(encoding="utf-8")
+        )
+
+    def test_save_prunes_deleted_files(self, tmp_path):
+        _materialize(tmp_path, DEEP_DIRTY)
+        _materialize(
+            tmp_path, {"src/repro/doomed.py": "def gone():\n    return 1\n"}
+        )
+        cache_dir = tmp_path / "cache"
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert "src/repro/doomed.py" in self._index(cache_dir)
+        (tmp_path / "src/repro/doomed.py").unlink()
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        index = self._index(cache_dir)
+        assert "src/repro/doomed.py" not in index
+        assert "src/repro/serve/pump.py" in index
+
+    def test_save_prunes_superseded_versions(self, tmp_path, monkeypatch):
+        _materialize(tmp_path, DEEP_DIRTY)
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setattr("tools.reproflow.cache.ANALYSIS_VERSION", 1)
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert all(
+            entry["version"] == 1 for entry in self._index(cache_dir).values()
+        )
+        monkeypatch.setattr("tools.reproflow.cache.ANALYSIS_VERSION", 2)
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        # The v1 entry is replaced, not accreted alongside the v2 one.
+        index = self._index(cache_dir)
+        assert list(index) == ["src/repro/serve/pump.py"]
+        assert index["src/repro/serve/pump.py"]["version"] == 2
+
 
 class TestStandaloneCli:
     def test_list_rules(self, capsys):

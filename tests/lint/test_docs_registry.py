@@ -3,7 +3,8 @@
 New rules cannot ship undocumented, and the doc cannot advertise codes
 that no longer exist: the catalog tables (``| RPLxxx | name | ... |``
 rows) are parsed and compared -- codes *and* names -- against
-``reprolint.ALL_RULES`` + ``reproflow.ALL_FLOW_RULES``.
+``reprolint.ALL_RULES`` + ``reproflow.ALL_FLOW_RULES`` +
+``reprorace.ALL_RACE_RULES``.
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ from pathlib import Path
 
 from tools.reproflow.rules import ALL_FLOW_RULES
 from tools.reprolint.rules import ALL_RULES
+from tools.reprorace.rules import ALL_RACE_RULES
 
 REPO = Path(__file__).resolve().parents[2]
 _ROW = re.compile(r"^\|\s*(RPL\d{3})\s*\|\s*([\w-]+)\s*\|", re.MULTILINE)
@@ -25,9 +27,11 @@ def _documented() -> dict:
 
 def test_catalog_codes_match_registries_exactly():
     documented = set(_documented())
-    registered = {rule.code for rule in ALL_RULES} | {
-        rule.code for rule in ALL_FLOW_RULES
-    }
+    registered = (
+        {rule.code for rule in ALL_RULES}
+        | {rule.code for rule in ALL_FLOW_RULES}
+        | {rule.code for rule in ALL_RACE_RULES}
+    )
     missing = registered - documented
     stale = documented - registered
     assert not missing, f"registered but undocumented: {sorted(missing)}"
@@ -36,7 +40,9 @@ def test_catalog_codes_match_registries_exactly():
 
 def test_catalog_names_match_rule_names():
     documented = _documented()
-    for rule in list(ALL_RULES) + list(ALL_FLOW_RULES):
+    for rule in (
+        list(ALL_RULES) + list(ALL_FLOW_RULES) + list(ALL_RACE_RULES)
+    ):
         assert documented.get(rule.code) == rule.name, (
             f"{rule.code}: doc says {documented.get(rule.code)!r}, "
             f"registry says {rule.name!r}"
@@ -44,5 +50,7 @@ def test_catalog_names_match_rule_names():
 
 
 def test_every_code_has_a_nonempty_summary():
-    for rule in list(ALL_RULES) + list(ALL_FLOW_RULES):
+    for rule in (
+        list(ALL_RULES) + list(ALL_FLOW_RULES) + list(ALL_RACE_RULES)
+    ):
         assert rule.summary, rule.code

@@ -1,0 +1,165 @@
+"""The --race CLI contract: merged findings, chains, cold/warm cache
+equality, select validation, and the shared baseline."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from tools.reprolint.__main__ import main as lint_main
+from tools.reprorace.analysis import run_race
+
+REPO = Path(__file__).resolve().parents[2]
+
+RACE_DIRTY = {
+    "src/repro/state.py": """
+        COUNTER = 0
+
+
+        def report():
+            return COUNTER
+
+
+        async def bump():
+            global COUNTER
+            COUNTER = COUNTER + 1
+        """
+}
+
+
+def _materialize(root, files):
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def test_real_tree_is_race_clean(capsys):
+    rc = lint_main(
+        ["--root", str(REPO), "--race", "--no-cache", "--format", "json"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 0, payload["findings"]
+    assert payload["findings"] == []
+    race = payload["race"]
+    assert race["functions"] > 300
+    assert race["async_functions"] > 10  # the serve/ tier
+    assert race["worker_functions"] >= 1  # pool payloads
+    assert race["child_functions"] >= 1  # _init_pool_worker
+
+
+def test_race_seeded_violation_trips_and_serializes_chain(tmp_path, capsys):
+    _materialize(tmp_path, RACE_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--race",
+            "--no-cache", "--format", "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert payload["counts"] == {"RPL201": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"code", "path", "line", "col", "message", "chain"}
+    assert finding["chain"][0]["note"] == "async def bump"
+    assert finding["chain"][-1]["note"] == (
+        "conflicting read from the main context"
+    )
+
+
+def test_race_explain_path_prints_hops(tmp_path, capsys):
+    _materialize(tmp_path, RACE_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--race",
+            "--no-cache", "--explain-path",
+        ]
+    )
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "-> " in out and "async def bump" in out
+
+
+def test_race_findings_share_the_baseline(tmp_path, capsys):
+    _materialize(tmp_path, RACE_DIRTY)
+    baseline = tmp_path / "baseline.json"
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--race", "--no-cache",
+            "--baseline", str(baseline), "--write-baseline",
+        ]
+    )
+    assert rc == 0
+    capsys.readouterr()
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--race", "--no-cache",
+            "--baseline", str(baseline),
+        ]
+    )
+    assert rc == 0
+    assert "1 baselined" in capsys.readouterr().out
+
+
+def test_race_select_accepts_race_codes(tmp_path, capsys):
+    _materialize(tmp_path, RACE_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--race",
+            "--no-cache", "--select", "RPL201", "--format", "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert set(payload["counts"]) == {"RPL201"}
+    # Without --race the same code is a usage error.
+    with pytest.raises(SystemExit) as exc:
+        lint_main(["--root", str(tmp_path), "--select", "RPL201"])
+    assert exc.value.code == 2
+
+
+def test_deep_and_race_sections_coexist(tmp_path, capsys):
+    _materialize(tmp_path, RACE_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--deep", "--race",
+            "--no-cache", "--format", "json",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    assert rc == 1
+    assert "deep" in payload and "race" in payload
+    assert payload["deep"]["functions"] == payload["race"]["functions"]
+
+
+class TestSharedFactsCache:
+    def test_cold_then_warm_same_findings(self, tmp_path):
+        _materialize(tmp_path, RACE_DIRTY)
+        cache_dir = tmp_path / "cache"
+        cold = run_race(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert cold.cache_hits == 0 and cold.cache_misses == 1
+        warm = run_race(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert warm.cache_hits == 1 and warm.cache_misses == 0
+        # Race facts survive the JSON round trip bit-for-bit: same
+        # findings, same chains, same context census.
+        assert [f.render() for f in warm.findings] == [
+            f.render() for f in cold.findings
+        ]
+        assert [f.chain for f in warm.findings] == [
+            f.chain for f in cold.findings
+        ]
+        assert warm.stats()["async_functions"] == cold.stats()["async_functions"]
+
+    def test_deep_warms_the_race_cache(self, tmp_path):
+        # One shared facts cache: a deep run extracts everything the
+        # race pass needs and vice versa.
+        from tools.reproflow.analysis import run_flow
+
+        _materialize(tmp_path, RACE_DIRTY)
+        cache_dir = tmp_path / "cache"
+        run_flow(tmp_path, use_cache=True, cache_dir=cache_dir)
+        warm = run_race(tmp_path, use_cache=True, cache_dir=cache_dir)
+        assert warm.cache_hits == 1 and warm.cache_misses == 0

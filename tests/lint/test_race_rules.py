@@ -1,0 +1,584 @@
+"""Race-tier rules (RPL201-RPL204) on seeded fixture trees.
+
+Each bad fixture trips exactly its own code; the good variants pin the
+semantic boundaries the ISSUE calls out: fork isolation (worker-private
+globals never pair), the asyncio single-loop guard, nested ``with``
+regions, a lock released on one branch path, seeds derived through
+helper functions, and sibling-shard constant collisions.
+"""
+
+from __future__ import annotations
+
+from tests.lint.conftest import codes
+
+# -- RPL201: unguarded shared state ---------------------------------------
+
+ASYNC_VS_MAIN = {
+    "src/app/state.py": """
+    COUNTER = 0
+
+    def report():
+        return COUNTER
+
+    async def bump():
+        global COUNTER
+        COUNTER = COUNTER + 1
+    """,
+}
+
+
+class TestUnguardedSharedState:
+    def test_async_write_vs_main_read_fires(self, race_tree):
+        result = race_tree(ASYNC_VS_MAIN)
+        assert codes(result) == ["RPL201"]
+        (finding,) = result.findings
+        assert finding.line == 9  # the async-side write
+        assert "app.state.COUNTER" in finding.message
+        assert finding.chain is not None and len(finding.chain) >= 2
+        assert finding.chain[0].note.startswith("async def")
+        assert "main" in finding.chain[-1].note
+
+    def test_read_read_pair_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/state.py": """
+                COUNTER = 0
+
+                def report():
+                    return COUNTER
+
+                async def peek():
+                    return COUNTER
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_async_vs_async_single_loop_is_clean(self, race_tree):
+        # Two coroutines interleave only at awaits on one loop: the
+        # implicit event-loop guard silences the pair.
+        result = race_tree(
+            {
+                "src/app/state.py": """
+                COUNTER = 0
+
+                async def bump():
+                    global COUNTER
+                    COUNTER = COUNTER + 1
+
+                async def peek():
+                    return COUNTER
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_fork_isolation_worker_globals_do_not_pair(self, race_tree):
+        # The payload writes a module global *in the forked child*; the
+        # parent's copy is untouched, so the main-side read never races.
+        result = race_tree(
+            {
+                "src/app/pool.py": """
+                _SHARED = None
+
+                def run_sharded(shared, worker, tasks):
+                    return [worker(t) for t in tasks]
+
+                def _worker(task):
+                    global _SHARED
+                    _SHARED = task
+                    return task
+
+                def driver(tasks):
+                    run_sharded(None, _worker, tasks)
+                    return _SHARED
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_common_lock_silences_the_pair(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/state.py": """
+                import threading
+
+                _LOCK = threading.Lock()
+                COUNTER = 0
+
+                def report():
+                    with _LOCK:
+                        return COUNTER
+
+                async def bump():
+                    global COUNTER
+                    with _LOCK:
+                        COUNTER = COUNTER + 1
+                """,
+            },
+            # The blocking with-acquire under async is RPL203's concern;
+            # isolate the pairing semantics here.
+            select=["RPL201"],
+        )
+        assert codes(result) == []
+
+    def test_nested_with_inner_region_ends_outer_persists(self, race_tree):
+        # After the inner ``with`` closes, only the outer lock is held:
+        # a write there still shares the outer lock with the reader,
+        # but a write after the *outer* block closes is unguarded.
+        files = {
+            "src/app/state.py": """
+            import threading
+
+            _OUTER_LOCK = threading.Lock()
+            _INNER_LOCK = threading.Lock()
+            COUNTER = 0
+
+            def writer():
+                global COUNTER
+                with _OUTER_LOCK:
+                    with _INNER_LOCK:
+                        pass
+                    COUNTER = 1
+                COUNTER = 2
+
+            async def reader():
+                with _OUTER_LOCK:
+                    return COUNTER
+            """,
+        }
+        result = race_tree(files, select=["RPL201"])
+        # Only the post-outer write (line 14) pairs lock-free; the
+        # finding sits on the async side but pairs against that write.
+        assert codes(result) == ["RPL201"]
+        (finding,) = result.findings
+        assert "(src/app/state.py:14)" in finding.message
+
+
+# -- RPL202: store writes outside fcntl regions ---------------------------
+
+
+class TestStoreRegion:
+    def test_bare_append_fires(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/store.py": """
+                def save(path, line):
+                    with open(path, "a") as fh:
+                        fh.write(line)
+                """,
+            }
+        )
+        assert codes(result) == ["RPL202"]
+        (finding,) = result.findings
+        assert finding.chain is not None
+        assert "outside any fcntl region" in finding.chain[-1].note
+
+    def test_direct_fcntl_bracketing_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/store.py": """
+                import fcntl
+                import os
+
+                def save(path, line):
+                    fd = os.open(path + ".lock", os.O_CREAT | os.O_WRONLY)
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    try:
+                        with open(path, "a") as fh:
+                            fh.write(line)
+                    finally:
+                        fcntl.flock(fd, fcntl.LOCK_UN)
+                        os.close(fd)
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_acquire_helper_resolves_through_the_graph(self, race_tree):
+        # ``self._acquire_lock()`` is only a guard because the graph
+        # proves the helper really takes fcntl -- the store.py shape.
+        result = race_tree(
+            {
+                "src/app/store.py": """
+                import fcntl
+                import os
+
+                class Store:
+                    def _acquire_lock(self):
+                        fd = os.open("lock", os.O_CREAT | os.O_WRONLY)
+                        fcntl.flock(fd, fcntl.LOCK_EX)
+                        return fd
+
+                    def save(self, path, line):
+                        fd = self._acquire_lock()
+                        try:
+                            with open(path, "a") as fh:
+                                fh.write(line)
+                        finally:
+                            os.close(fd)
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_acquire_named_helper_that_never_locks_guards_nothing(
+        self, race_tree
+    ):
+        result = race_tree(
+            {
+                "src/app/store.py": """
+                class Store:
+                    def _acquire_lock(self):
+                        return object()
+
+                    def save(self, path, line):
+                        fd = self._acquire_lock()
+                        with open(path, "a") as fh:
+                            fh.write(line)
+                """,
+            }
+        )
+        assert codes(result) == ["RPL202"]
+
+    def test_lock_released_on_one_branch_fires(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/store.py": """
+                import fcntl
+                import os
+
+                def save(path, line, early):
+                    fd = os.open(path + ".lock", os.O_CREAT | os.O_WRONLY)
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    if early:
+                        fcntl.flock(fd, fcntl.LOCK_UN)
+                    with open(path, "a") as fh:
+                        fh.write(line)
+                """,
+            }
+        )
+        assert codes(result) == ["RPL202"]
+
+    def test_entry_meet_over_callers(self, race_tree):
+        # The writer holds no lock itself; one caller brackets it, the
+        # other does not -- the meet is empty and the witness chain
+        # walks the unlocked path.
+        files = {
+            "src/app/store.py": """
+            import fcntl
+            import os
+
+            def _write(path, line):
+                with open(path, "a") as fh:
+                    fh.write(line)
+
+            def locked(path, line):
+                fd = os.open(path + ".lock", os.O_CREAT | os.O_WRONLY)
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                _write(path, line)
+                fcntl.flock(fd, fcntl.LOCK_UN)
+
+            def unlocked(path, line):
+                _write(path, line)
+            """,
+        }
+        result = race_tree(files)
+        assert codes(result) == ["RPL202"]
+        (finding,) = result.findings
+        assert any(
+            hop.function.endswith("unlocked") for hop in finding.chain
+        )
+
+    def test_entry_meet_all_callers_locked_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/store.py": """
+                import fcntl
+                import os
+
+                def _write(path, line):
+                    with open(path, "a") as fh:
+                        fh.write(line)
+
+                def locked(path, line):
+                    fd = os.open(path + ".lock", os.O_CREAT | os.O_WRONLY)
+                    fcntl.flock(fd, fcntl.LOCK_EX)
+                    _write(path, line)
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                """,
+            }
+        )
+        assert codes(result) == []
+
+
+# -- RPL203: blocking lock acquisition under async ------------------------
+
+
+class TestAsyncBlockingLock:
+    def test_threading_acquire_reached_from_async_fires(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/srv.py": """
+                import threading
+
+                _LOCK = threading.Lock()
+
+                def grab():
+                    _LOCK.acquire()
+
+                async def handle():
+                    grab()
+                """,
+            },
+            select=["RPL203"],
+        )
+        assert codes(result) == ["RPL203"]
+        (finding,) = result.findings
+        assert finding.line == 7  # the acquire site, not the coroutine
+        chain = finding.chain
+        assert chain[0].note == "async def handle"
+        assert chain[-1].note.startswith("blocking acquire")
+
+    def test_awaited_asyncio_lock_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/srv.py": """
+                import asyncio
+
+                _LOCK = asyncio.Lock()
+
+                async def handle():
+                    await _LOCK.acquire()
+                    _LOCK.release()
+                """,
+            },
+            select=["RPL203"],
+        )
+        assert codes(result) == []
+
+    def test_nonblocking_acquire_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/srv.py": """
+                import threading
+
+                _LOCK = threading.Lock()
+
+                async def handle():
+                    if _LOCK.acquire(blocking=False):
+                        _LOCK.release()
+                """,
+            },
+            select=["RPL203"],
+        )
+        assert codes(result) == []
+
+    def test_same_acquire_outside_async_reach_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/util.py": """
+                import threading
+
+                _LOCK = threading.Lock()
+
+                def grab():
+                    _LOCK.acquire()
+
+                def main_path():
+                    grab()
+                """,
+            },
+            select=["RPL203"],
+        )
+        assert codes(result) == []
+
+
+# -- RPL204: seed provenance ----------------------------------------------
+
+
+class TestSeedProvenance:
+    def test_pid_seed_through_innocuous_helper_fires(self, race_tree):
+        # The helper's *name* says nothing; its return slice reaches
+        # os.getpid(), so the graph refuses the derivation.
+        result = race_tree(
+            {
+                "src/app/rng.py": """
+                import os
+                from numpy.random import default_rng
+
+                def _pid_seed():
+                    return os.getpid()
+
+                def make():
+                    return default_rng(_pid_seed())
+                """,
+            }
+        )
+        assert codes(result) == ["RPL204"]
+
+    def test_seedish_named_helper_returning_entropy_still_fires(
+        self, race_tree
+    ):
+        result = race_tree(
+            {
+                "src/app/rng.py": """
+                import time
+                from numpy.random import default_rng
+
+                def fresh_seed():
+                    return int(time.time())
+
+                def make():
+                    return default_rng(fresh_seed())
+                """,
+            }
+        )
+        assert codes(result) == ["RPL204"]
+
+    def test_seed_derived_through_helper_chain_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/rng.py": """
+                import hashlib
+                from numpy.random import default_rng
+
+                def stable_seed(*parts):
+                    digest = hashlib.sha256(repr(parts).encode()).digest()
+                    return int.from_bytes(digest[:8], "little") & (2**63 - 1)
+
+                def shard_seed(config_seed, shard):
+                    return stable_seed(config_seed, shard)
+
+                def make(config_seed, shard):
+                    return default_rng(shard_seed(config_seed, shard))
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_direct_entropy_fires(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/rng.py": """
+                import time
+                from numpy.random import default_rng
+
+                def make():
+                    return default_rng(int(time.time()))
+                """,
+            }
+        )
+        assert codes(result) == ["RPL204"]
+        (finding,) = result.findings
+        assert "time.time" in finding.message
+
+    def test_param_seed_is_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/rng.py": """
+                from numpy.random import default_rng
+
+                def make(seed):
+                    return default_rng(int(seed))
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_sibling_shard_constant_collision_fires_on_both(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/shards.py": """
+                from numpy.random import default_rng
+
+                def shard_a():
+                    return default_rng(1234)
+
+                def shard_b():
+                    return default_rng(1234)
+                """,
+            }
+        )
+        assert codes(result) == ["RPL204", "RPL204"]
+        for finding in result.findings:
+            assert "collides" in finding.message
+            assert len(finding.chain) == 2
+
+    def test_distinct_constants_are_clean(self, race_tree):
+        result = race_tree(
+            {
+                "src/app/shards.py": """
+                from numpy.random import default_rng
+
+                def shard_a():
+                    return default_rng(1234)
+
+                def shard_b():
+                    return default_rng(5678)
+                """,
+            }
+        )
+        assert codes(result) == []
+
+    def test_seedless_site_is_not_rpl204(self, race_tree):
+        # No seed argument at all is RPL002's (per-file) finding.
+        result = race_tree(
+            {
+                "src/app/rng.py": """
+                from numpy.random import default_rng
+
+                def make():
+                    return default_rng()
+                """,
+            }
+        )
+        assert codes(result) == []
+
+
+# -- cross-cutting: suppressions ride the shared machinery ----------------
+
+
+def test_race_findings_honor_line_suppressions(race_tree):
+    files = dict(ASYNC_VS_MAIN)
+    files["src/app/state.py"] = files["src/app/state.py"].replace(
+        "COUNTER = COUNTER + 1",
+        "COUNTER = COUNTER + 1  # reprolint: disable=RPL201 -- test shim",
+    )
+    result = race_tree(files)
+    assert codes(result) == []
+    assert result.suppressed == 1
+
+
+def test_every_finding_carries_a_chain(race_tree):
+    bad = {
+        "src/app/all.py": """
+        import threading
+        import time
+        from numpy.random import default_rng
+
+        _LOCK = threading.Lock()
+        STATE = 0
+
+        def save(path):
+            with open(path, "a") as fh:
+                fh.write("x")
+
+        def read_state():
+            return STATE
+
+        def make_rng():
+            return default_rng(int(time.time()))
+
+        async def handle():
+            global STATE
+            STATE = 1
+            _LOCK.acquire()
+        """,
+    }
+    result = race_tree(bad)
+    assert sorted(set(codes(result))) == ["RPL201", "RPL202", "RPL203", "RPL204"]
+    for finding in result.findings:
+        assert finding.chain, finding.render()
+        for hop in finding.chain:
+            assert hop.path and hop.line >= 1

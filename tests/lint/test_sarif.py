@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 output: structural validation shared by reprolint,
+reproflow, and reprorace.
+
+CI has no ``jsonschema`` package, so ``_check_sarif`` is a hand-rolled
+structural validator covering the slice of the 2.1.0 schema we emit:
+run/tool/driver/rules descriptors, results with resolvable
+``ruleIndex`` values, 1-based regions, and ``codeFlows`` thread flows
+for chained findings.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+from tools.reprolint.__main__ import main as lint_main
+from tools.reprolint.reporters import SARIF_SCHEMA, SARIF_VERSION
+from tools.reproflow.__main__ import main as flow_main
+
+REPO = Path(__file__).resolve().parents[2]
+
+SARIF_DIRTY = {
+    "src/repro/state.py": """
+        COUNTER = 0
+
+
+        def report():
+            return COUNTER
+
+
+        async def bump():
+            global COUNTER
+            COUNTER = COUNTER + 1
+        """
+}
+
+
+def _materialize(root, files):
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+
+
+def _check_sarif(payload):
+    assert payload["$schema"] == SARIF_SCHEMA
+    assert payload["version"] == SARIF_VERSION == "2.1.0"
+    assert isinstance(payload["runs"], list) and len(payload["runs"]) == 1
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    rules = driver["rules"]
+    assert isinstance(rules, list)
+    for rule in rules:
+        assert set(rule) >= {"id", "name", "shortDescription"}
+        assert rule["shortDescription"]["text"]
+    for result in run["results"]:
+        assert result["level"] == "error"
+        assert result["message"]["text"]
+        # ruleIndex must resolve to the descriptor with the same id.
+        assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+        for location in result["locations"]:
+            physical = location["physicalLocation"]
+            assert physical["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            assert physical["region"]["startLine"] >= 1
+            if "startColumn" in physical["region"]:
+                assert physical["region"]["startColumn"] >= 1
+        for flow in result.get("codeFlows", ()):
+            for thread in flow["threadFlows"]:
+                assert thread["locations"]
+                for entry in thread["locations"]:
+                    loc = entry["location"]["physicalLocation"]
+                    assert loc["region"]["startLine"] >= 1
+                    assert entry["location"]["message"]["text"]
+    return run
+
+
+def test_sarif_clean_tree(capsys):
+    rc = lint_main(["--root", str(REPO), "--format", "sarif"])
+    payload = json.loads(capsys.readouterr().out)
+    run = _check_sarif(payload)
+    assert rc == 0
+    assert run["results"] == []
+    # Base invocation registers exactly the core rule descriptors.
+    assert all(r["id"].startswith("RPL0") for r in run["tool"]["driver"]["rules"])
+    assert run["properties"]["filesScanned"] > 50
+
+
+def test_sarif_race_findings_with_code_flows(tmp_path, capsys):
+    _materialize(tmp_path, SARIF_DIRTY)
+    rc = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline", "--deep", "--race",
+            "--no-cache", "--format", "sarif",
+        ]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    run = _check_sarif(payload)
+    assert rc == 1
+    ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    # All three registries are described when both passes are active.
+    assert {"RPL001", "RPL101", "RPL201", "RPL204"} <= ids
+    (result,) = [r for r in run["results"] if r["ruleId"] == "RPL201"]
+    flow = result["codeFlows"][0]["threadFlows"][0]["locations"]
+    assert flow[0]["location"]["message"]["text"] == "async def bump"
+    assert run["properties"]["race"]["functions"] >= 2
+    assert run["properties"]["deep"]["functions"] >= 2
+
+
+def test_sarif_standalone_reproflow(tmp_path, capsys):
+    _materialize(tmp_path, SARIF_DIRTY)
+    rc = flow_main(
+        ["--root", str(tmp_path), "--no-cache", "--format", "sarif"]
+    )
+    payload = json.loads(capsys.readouterr().out)
+    run = _check_sarif(payload)
+    assert rc == 0
+    assert {r["id"] for r in run["tool"]["driver"]["rules"]} == {
+        "RPL101", "RPL102", "RPL103", "RPL104"
+    }
+    assert run["properties"]["deep"]["functions"] >= 2

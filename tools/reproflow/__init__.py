@@ -28,4 +28,5 @@ Everything is stdlib-only, like reprolint.
 
 #: Bump when extraction schema or effect semantics change: stale cache
 #: entries are invalidated by version, not just content hash.
-ANALYSIS_VERSION = 1
+#: 2: per-function race facts + pool initializers (tools.reprorace).
+ANALYSIS_VERSION = 2

@@ -23,7 +23,7 @@ if str(_REPO_ROOT) not in sys.path:  # pragma: no cover - import plumbing
 
 from tools.reprolint import baselines
 from tools.reprolint.engine import LintResult
-from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.reporters import render_json, render_sarif, render_text
 from tools.reproflow.analysis import FlowResult, find_functions, run_flow
 from tools.reproflow.effects import EFFECTS, format_chain, witness_chain
 from tools.reproflow.rules import ALL_FLOW_RULES
@@ -45,8 +45,9 @@ def build_parser() -> argparse.ArgumentParser:
         "analysis always covers the whole src/ tree under it",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits SARIF 2.1.0 "
+        "for code-scanning upload",
     )
     parser.add_argument(
         "--select", default=None, metavar="CODES",
@@ -172,18 +173,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         suppressed=result.suppressed,
         files_scanned=result.files_scanned,
     )
+    extra = {"deep": result.stats()}
     if args.format == "json":
         print(
             render_json(
-                lint_view, baselined=baselined, stale=stale,
-                extra=result.stats(),
+                lint_view, baselined=baselined, stale=stale, extra=extra
+            )
+        )
+    elif args.format == "sarif":
+        print(
+            render_sarif(
+                lint_view, baselined=baselined, stale=stale, extra=extra,
+                rules=[cls() for cls in ALL_FLOW_RULES],
             )
         )
     else:
         print(
             render_text(
                 lint_view, baselined=baselined, stale=stale,
-                extra=result.stats(), show_chains=args.explain_path,
+                extra=extra, show_chains=args.explain_path,
             )
         )
     return 0 if lint_view.clean else 1

@@ -58,15 +58,18 @@ class FlowResult:
         }
 
 
-def run_flow(
+def gather_facts(
     root,
-    select: Optional[Iterable[str]] = None,
-    ignore: Optional[Iterable[str]] = None,
     use_cache: bool = True,
     cache_dir: Optional[Path] = None,
     paths: Optional[Sequence[str]] = None,
-) -> FlowResult:
-    """Run the interprocedural analysis over ``src/`` under ``root``."""
+):
+    """Parse + extract (cache-backed) the facts both deep passes share.
+
+    Returns ``(project, parse_errors, all_facts, cache_hits,
+    cache_misses)``; used by :func:`run_flow` here and by
+    :func:`tools.reprorace.analysis.run_race`.
+    """
     root = Path(root).resolve()
     project, parse_errors = load_project(root, paths or FLOW_PATHS)
 
@@ -84,6 +87,23 @@ def run_flow(
         all_facts.append(facts)
     if cache is not None:
         cache.save()
+    hits = cache.hits if cache is not None else 0
+    misses = cache.misses if cache is not None else 0
+    return project, parse_errors, all_facts, hits, misses
+
+
+def run_flow(
+    root,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+    paths: Optional[Sequence[str]] = None,
+) -> FlowResult:
+    """Run the interprocedural analysis over ``src/`` under ``root``."""
+    project, parse_errors, all_facts, hits, misses = gather_facts(
+        root, use_cache=use_cache, cache_dir=cache_dir, paths=paths
+    )
 
     graph = build_graph(all_facts)
     summaries = propagate(graph)
@@ -111,8 +131,8 @@ def run_flow(
         files_scanned=len(project.files),
         graph=graph,
         summaries=summaries,
-        cache_hits=cache.hits if cache is not None else 0,
-        cache_misses=cache.misses if cache is not None else 0,
+        cache_hits=hits,
+        cache_misses=misses,
     )
 
 

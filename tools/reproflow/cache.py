@@ -7,6 +7,12 @@ file's source text, so its output is cached under
 fixed-point propagation are always recomputed (they are cheap and
 depend on the whole file set).  CI runs the deep pass twice and asserts
 ``cache_hits > 0`` on the second run.
+
+Hygiene: :meth:`FactsCache.save` prunes entries that this run never
+touched (files deleted or renamed since the entry was written) and
+entries carrying a superseded ``ANALYSIS_VERSION`` -- without it the
+index only ever grows, accreting dead keys across schema bumps and
+refactors.
 """
 
 from __future__ import annotations
@@ -35,6 +41,7 @@ class FactsCache:
         self.hits = 0
         self.misses = 0
         self._dirty = False
+        self._touched: set = set()
         self._data: Dict[str, Dict[str, Any]] = {}
         try:
             loaded = json.loads(self.path.read_text(encoding="utf-8"))
@@ -44,6 +51,7 @@ class FactsCache:
             self._data = {}
 
     def get(self, rel: str, digest: str) -> Optional[Dict[str, Any]]:
+        self._touched.add(rel)
         entry = self._data.get(rel)
         if (
             entry is not None
@@ -56,6 +64,7 @@ class FactsCache:
         return None
 
     def put(self, rel: str, digest: str, facts: Dict[str, Any]) -> None:
+        self._touched.add(rel)
         self._data[rel] = {
             "digest": digest,
             "version": ANALYSIS_VERSION,
@@ -63,7 +72,21 @@ class FactsCache:
         }
         self._dirty = True
 
+    def _prune(self) -> None:
+        """Drop entries for files this run never saw and entries from
+        superseded analysis versions."""
+        stale = [
+            rel
+            for rel, entry in self._data.items()
+            if rel not in self._touched
+            or entry.get("version") != ANALYSIS_VERSION
+        ]
+        for rel in stale:
+            del self._data[rel]
+            self._dirty = True
+
     def save(self) -> None:
+        self._prune()
         if not self._dirty:
             return
         self.directory.mkdir(parents=True, exist_ok=True)

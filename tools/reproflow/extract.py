@@ -41,6 +41,11 @@ from tools.reprolint.rules import (
     WallClockRule,
     _iteration_sites,
 )
+from tools.reprorace.extract import (
+    RaceExtractor,
+    module_class_names,
+    module_state_names,
+)
 
 #: Clock *reads* -- RPL001's banned set minus the sleep (which is a
 #: block, not a read).
@@ -112,6 +117,13 @@ class _Extractor:
         self.functions: List[Dict[str, Any]] = []
         self.classes: List[Dict[str, Any]] = []
         self._set_rule = SetIterationRule()
+        self.state_names = module_state_names(tree)
+        self._race = RaceExtractor(
+            self.imports,
+            self.module,
+            self.state_names,
+            module_class_names(tree),
+        )
 
     def run(self, tree: ast.AST) -> Dict[str, Any]:
         self._visit_block(tree, prefix=self.module, cls=None, parent=None)
@@ -122,6 +134,7 @@ class _Extractor:
                 "modules": dict(self.imports.modules),
                 "members": dict(self.imports.members),
             },
+            "module_state": sorted(self.state_names),
             "functions": self.functions,
             "classes": self.classes,
         }
@@ -182,19 +195,24 @@ class _Extractor:
         body = _own_body_nodes(node)
         effects = self._direct_effects(node, body)
         calls, payloads = self._calls(body)
-        self.functions.append(
-            {
-                "qualname": qualname,
-                "name": node.name,
-                "line": node.lineno,
-                "is_async": isinstance(node, ast.AsyncFunctionDef),
-                "cls": cls,
-                "parent": parent,
-                "effects": effects,
-                "calls": calls,
-                "payloads": payloads,
-            }
-        )
+        record = {
+            "qualname": qualname,
+            "name": node.name,
+            "line": node.lineno,
+            "is_async": isinstance(node, ast.AsyncFunctionDef),
+            "cls": cls,
+            "parent": parent,
+            "effects": effects,
+            "calls": calls,
+            "payloads": payloads,
+        }
+        initializers = self._initializers(body)
+        if initializers:
+            record["initializers"] = initializers
+        race = self._race.function_facts(node)
+        if race:
+            record["race"] = race
+        self.functions.append(record)
         # Nested defs keep the enclosing method's class binding: their
         # ``self.m()`` calls still dispatch on the enclosing class.
         self._visit_nested(node, qualname, cls)
@@ -405,6 +423,42 @@ class _Extractor:
         if dotted is not None:
             return {"kind": "dotted", "dotted": dotted, "line": call.lineno, "via": via}
         return None
+
+    def _initializers(self, body: List[ast.AST]) -> List[Dict[str, Any]]:
+        """``Pool(..., initializer=fn)`` targets: post-fork child entry
+        points.  Kept separate from ``payloads`` -- an initializer is
+        *expected* to mutate child globals (that is its whole job), so
+        RPL104 must not fire on it; it only seeds the ``child`` context
+        in repro-race."""
+        found: List[Dict[str, Any]] = []
+        for node in body:
+            if not isinstance(node, ast.Call):
+                continue
+            for kw in node.keywords:
+                if kw.arg != "initializer":
+                    continue
+                target = kw.value
+                if isinstance(target, ast.Name):
+                    found.append(
+                        {
+                            "kind": "name",
+                            "name": target.id,
+                            "line": node.lineno,
+                            "via": "initializer",
+                        }
+                    )
+                else:
+                    dotted = self.imports.resolve(target)
+                    if dotted is not None:
+                        found.append(
+                            {
+                                "kind": "dotted",
+                                "dotted": dotted,
+                                "line": node.lineno,
+                                "via": "initializer",
+                            }
+                        )
+        return found
 
 
 def extract_module_facts(rel: str, tree: ast.AST) -> Dict[str, Any]:

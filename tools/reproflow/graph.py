@@ -69,6 +69,11 @@ class CallGraph:
     )
     #: Worker payloads: (caller, payload fn qualname, line, via).
     payloads: List[Tuple[str, str, int, str]] = field(default_factory=list)
+    #: Pool initializers: (caller, fn qualname, line, via) -- post-fork
+    #: child entry points (seed the ``child`` context in repro-race).
+    initializers: List[Tuple[str, str, int, str]] = field(default_factory=list)
+    #: Per-function race facts (tools.reprorace.extract), by qualname.
+    race: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     #: Direct subclass map: class qualname -> set of direct subclasses.
     subclasses: Dict[str, Set[str]] = field(default_factory=dict)
 
@@ -160,6 +165,8 @@ class _Linker:
                     effect: (line, detail)
                     for effect, (line, detail) in fn["effects"].items()
                 }
+            if fn.get("race"):
+                self.graph.race[fn["qualname"]] = fn["race"]
         for cls in facts["classes"]:
             self.graph.classes[cls["qualname"]] = ClassNode(
                 qualname=cls["qualname"],
@@ -253,6 +260,8 @@ class _Linker:
                 self._link_call(caller, call)
             for payload in fn["payloads"]:
                 self._link_payload(caller, payload)
+            for init in fn.get("initializers", ()):
+                self._link_initializer(caller, init)
 
     def _edge_to(
         self,
@@ -320,6 +329,18 @@ class _Linker:
         if resolved is not None and resolved[0] == "func":
             self.graph.payloads.append(
                 (caller.qualname, resolved[1], payload["line"], payload["via"])
+            )
+
+    def _link_initializer(
+        self, caller: FunctionNode, init: Dict[str, Any]
+    ) -> None:
+        if init["kind"] == "name":
+            resolved = self._resolve_in_scope(caller, init["name"])
+        else:
+            resolved = self.resolve_symbol(init["dotted"])
+        if resolved is not None and resolved[0] == "func":
+            self.graph.initializers.append(
+                (caller.qualname, resolved[1], init["line"], init["via"])
             )
 
 

@@ -19,7 +19,7 @@ if str(_REPO_ROOT) not in sys.path:  # pragma: no cover - import plumbing
 
 from tools.reprolint import baselines
 from tools.reprolint.engine import DEFAULT_PATHS, LintResult, run_lint
-from tools.reprolint.reporters import render_json, render_text
+from tools.reprolint.reporters import render_json, render_sarif, render_text
 from tools.reprolint.rules import ALL_RULES
 
 
@@ -42,8 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
         "the repo containing this tool)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits SARIF 2.1.0 "
+        "for code-scanning upload",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -77,12 +78,19 @@ def build_parser() -> argparse.ArgumentParser:
         "graph); findings merge under the same baseline and exit code",
     )
     parser.add_argument(
+        "--race", action="store_true",
+        help="also run the concurrency/determinism analysis "
+        "(tools.reprorace: RPL201-RPL204 -- execution contexts, "
+        "locksets, seed provenance); findings merge under the same "
+        "baseline and exit code",
+    )
+    parser.add_argument(
         "--explain-path", action="store_true",
-        help="with --deep: print each finding's witness call chain",
+        help="with --deep/--race: print each finding's witness chain",
     )
     parser.add_argument(
         "--no-cache", action="store_true",
-        help="with --deep: disable the content-hash facts cache",
+        help="with --deep/--race: disable the content-hash facts cache",
     )
     return parser
 
@@ -99,14 +107,18 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.list_rules:
         from tools.reproflow.rules import ALL_FLOW_RULES
+        from tools.reprorace.rules import ALL_RACE_RULES
 
         for rule in ALL_RULES:
             print(f"{rule.code}  {rule.name}: {rule.summary}")
         for rule in ALL_FLOW_RULES:
             print(f"{rule.code}  {rule.name}: {rule.summary} [--deep]")
+        for rule in ALL_RACE_RULES:
+            print(f"{rule.code}  {rule.name}: {rule.summary} [--race]")
         print(
             f"{len(ALL_RULES)} rules registered "
-            f"(+{len(ALL_FLOW_RULES)} flow rules with --deep)"
+            f"(+{len(ALL_FLOW_RULES)} flow rules with --deep, "
+            f"+{len(ALL_RACE_RULES)} race rules with --race)"
         )
         return 0
 
@@ -115,6 +127,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from tools.reproflow.rules import ALL_FLOW_RULES
 
         known |= {rule.code for rule in ALL_FLOW_RULES}
+    if args.race:
+        from tools.reprorace.rules import ALL_RACE_RULES
+
+        known |= {rule.code for rule in ALL_RACE_RULES}
     for flag in ("select", "ignore"):
         unknown = set(_codes(getattr(args, flag)) or ()) - known
         if unknown:
@@ -136,7 +152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"reprolint: {error}", file=sys.stderr)
         return 2
 
-    deep_stats = None
+    sections = {}
     if args.deep:
         from tools.reproflow.analysis import run_flow
 
@@ -157,7 +173,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             suppressed=result.suppressed + flow.suppressed,
             files_scanned=result.files_scanned,
         )
-        deep_stats = flow.stats()
+        sections["deep"] = flow.stats()
+    if args.race:
+        from tools.reprorace.analysis import run_race
+
+        race = run_race(
+            root,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+            use_cache=not args.no_cache,
+        )
+        merged = sorted(
+            result.findings + race.findings, key=lambda f: f.sort_key()
+        )
+        result = LintResult(
+            findings=merged,
+            parse_errors=list(
+                dict.fromkeys(result.parse_errors + race.parse_errors)
+            ),
+            suppressed=result.suppressed + race.suppressed,
+            files_scanned=result.files_scanned,
+        )
+        sections["race"] = race.stats()
 
     baseline_path = (
         Path(args.baseline) if args.baseline else baselines.DEFAULT_BASELINE
@@ -185,16 +222,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 files_scanned=result.files_scanned,
             )
 
+    extra = sections or None
     if args.format == "json":
+        print(render_json(result, baselined=baselined, stale=stale, extra=extra))
+    elif args.format == "sarif":
+        rules = list(ALL_RULES)
+        if args.deep:
+            from tools.reproflow.rules import ALL_FLOW_RULES
+
+            rules.extend(cls() for cls in ALL_FLOW_RULES)
+        if args.race:
+            from tools.reprorace.rules import ALL_RACE_RULES
+
+            rules.extend(cls() for cls in ALL_RACE_RULES)
         print(
-            render_json(
-                result, baselined=baselined, stale=stale, extra=deep_stats
+            render_sarif(
+                result, baselined=baselined, stale=stale, extra=extra,
+                rules=rules,
             )
         )
     else:
         print(
             render_text(
-                result, baselined=baselined, stale=stale, extra=deep_stats,
+                result, baselined=baselined, stale=stale, extra=extra,
                 show_chains=args.explain_path,
             )
         )

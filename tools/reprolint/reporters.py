@@ -18,12 +18,19 @@ suite::
       "parse_errors": [same shape as findings]
     }
 
-Interprocedural findings (``python -m tools.reprolint --deep``) add a
-``"chain"`` key per finding -- the witness call chain as a list of
-``{"function", "path", "line", "note"}`` hops -- and the payload grows
-an additive ``"deep"`` section with analysis/cache statistics.  Both
-are strictly additive: chainless findings keep the exact version-1
-key set.
+Interprocedural findings (``python -m tools.reprolint --deep`` /
+``--race``) add a ``"chain"`` key per finding -- the witness call chain
+as a list of ``{"function", "path", "line", "note"}`` hops -- and the
+payload grows additive top-level stats sections keyed by pass name
+(``"deep"`` for the effect analysis, ``"race"`` for the concurrency
+analysis), passed to the renderers as ``extra={"deep": {...}, ...}``.
+All of it is strictly additive: chainless findings keep the exact
+version-1 key set.
+
+``render_sarif`` emits the same result set as SARIF 2.1.0 (one run,
+one result per finding, witness chains as ``codeFlows``) so GitHub
+code scanning can annotate PRs; it is shared by reprolint, reproflow,
+and reprorace through the same ``--format sarif`` flag.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ from collections import Counter
 from typing import Dict, List, Optional, Sequence
 
 from tools.reprolint.engine import Finding, LintResult
+
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+SARIF_VERSION = "2.1.0"
 
 
 def render_chain(finding: Finding) -> List[str]:
@@ -65,9 +75,9 @@ def render_text(
         f"{baselined} baselined)"
     )
     lines.append(summary)
-    if extra:
-        stats = ", ".join(f"{key}={value}" for key, value in extra.items())
-        lines.append(f"reprolint deep: {stats}")
+    for section, values in (extra or {}).items():
+        stats = ", ".join(f"{key}={value}" for key, value in values.items())
+        lines.append(f"reprolint {section}: {stats}")
     if stale:
         lines.append(
             f"reprolint: {len(stale)} stale baseline entr"
@@ -116,6 +126,118 @@ def render_json(
         "findings": [_finding_dict(f) for f in result.findings],
         "parse_errors": [_finding_dict(f) for f in result.parse_errors],
     }
-    if extra:
-        payload["deep"] = dict(extra)
+    for section, values in (extra or {}).items():
+        payload[section] = dict(values)
+    return json.dumps(payload, indent=2)
+
+
+def _sarif_location(path: str, line: int, col: int = 0) -> Dict:
+    region: Dict = {"startLine": max(line, 1)}
+    if col:
+        region["startColumn"] = col + 1  # SARIF columns are 1-based
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path, "uriBaseId": "SRCROOT"},
+            "region": region,
+        }
+    }
+
+
+def _sarif_result(finding: Finding, rule_index: Dict[str, int]) -> Dict:
+    result: Dict = {
+        "ruleId": finding.code,
+        "ruleIndex": rule_index[finding.code],
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            _sarif_location(finding.path, finding.line, finding.col)
+        ],
+    }
+    if finding.chain:
+        result["codeFlows"] = [
+            {
+                "threadFlows": [
+                    {
+                        "locations": [
+                            {
+                                "location": dict(
+                                    _sarif_location(hop.path, hop.line),
+                                    message={
+                                        "text": hop.note or hop.function
+                                    },
+                                )
+                            }
+                            for hop in finding.chain
+                        ]
+                    }
+                ]
+            }
+        ]
+    return result
+
+
+def render_sarif(
+    result: LintResult,
+    baselined: int = 0,
+    stale: Sequence[str] = (),
+    extra: Optional[Dict] = None,
+    rules: Sequence = (),
+) -> str:
+    """SARIF 2.1.0: one run, one result per finding/parse error.
+
+    ``rules`` is the registry of rule objects (``code``/``name``/
+    ``summary``) active for this invocation; codes that appear in
+    findings but not in ``rules`` (defensive) still get a minimal
+    reportingDescriptor so every result's ``ruleIndex`` resolves.
+    """
+    descriptors: List[Dict] = []
+    rule_index: Dict[str, int] = {}
+    for rule in rules:
+        if rule.code in rule_index:
+            continue
+        rule_index[rule.code] = len(descriptors)
+        descriptors.append(
+            {
+                "id": rule.code,
+                "name": rule.name,
+                "shortDescription": {"text": rule.summary or rule.name},
+            }
+        )
+    for finding in list(result.findings) + list(result.parse_errors):
+        if finding.code not in rule_index:
+            rule_index[finding.code] = len(descriptors)
+            descriptors.append(
+                {
+                    "id": finding.code,
+                    "name": finding.code,
+                    "shortDescription": {"text": finding.code},
+                }
+            )
+    properties: Dict = {
+        "filesScanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "baselined": baselined,
+        "staleBaseline": list(stale),
+    }
+    for section, values in (extra or {}).items():
+        properties[section] = dict(values)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": descriptors,
+                    }
+                },
+                "results": [
+                    _sarif_result(f, rule_index)
+                    for f in list(result.parse_errors) + list(result.findings)
+                ],
+                "properties": properties,
+            }
+        ],
+    }
     return json.dumps(payload, indent=2)

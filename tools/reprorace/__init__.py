@@ -1,0 +1,44 @@
+"""repro-race: concurrency-context lockset analysis + seed provenance.
+
+The third tier of the static-analysis stack.  Where
+:mod:`tools.reprolint` checks one file at a time and
+:mod:`tools.reproflow` proves reachability of *effects*, repro-race
+proves three concurrency/determinism properties over the same call
+graph and facts cache:
+
+1. **Context inference** (`contexts.py`) -- every function is
+   classified by the execution contexts that can reach it (``main``
+   process, ``async`` task, forked ``worker`` payload, post-fork
+   ``child`` initializer) by propagating context seeds along call
+   edges, with fork-isolation semantics: a worker's copy-on-write
+   globals are private, so only pre-fork-shared channels (the store
+   file, returned payloads) can conflict across the fork boundary.
+
+2. **Lockset analysis** (`extract.py` regions + `locks.py`
+   interprocedural meet) -- guard regions are tracked syntactically
+   (``with`` blocks over lock-ish objects, ``fcntl`` acquire/release
+   bracketing, ``.acquire()``/``.release()`` pairs) and the set of
+   locks *guaranteed held at function entry* is the intersection of
+   held-lock sets over every call path, with witness chains exactly
+   like reproflow's write-once effect provenance.
+
+3. **Seed-provenance dataflow** (`seeds.py`) -- a taint-style
+   per-function backward slice over every RNG construction site,
+   resolved through helper functions via the call graph: each seed
+   argument must flow from a whitelisted derivation root (a parameter,
+   a ``seed``/``salt``-named field or derivation call, a constant) and
+   never from entropy the run cannot replay (``os.getpid``, clocks,
+   ``hash()``); fully-constant derivations are cross-checked for
+   sibling-shard collisions.
+
+Rules (RPL201-RPL204, `rules.py`) ride reprolint's reporters,
+suppressions, shrink-only baseline, and exit codes via
+``python -m tools.reprolint --race`` (also ``python -m repro lint
+--race``).  Everything is stdlib-only.
+
+Layering: :mod:`tools.reproflow.extract` calls into
+:mod:`tools.reprorace.extract` so the per-file race facts share the
+one content-hash facts cache; this package's analysis layers import
+reproflow's graph/analysis, and :mod:`tools.reprorace.extract` imports
+only reprolint + stdlib, so there is no cycle.
+"""

@@ -1,0 +1,123 @@
+"""Orchestration: shared facts -> graph -> contexts/locks -> race rules.
+
+:func:`run_race` mirrors :func:`tools.reproflow.analysis.run_flow` and
+shares its fact-gathering front half (same project loader, same
+content-hash facts cache, same ``src/`` scope), then builds the race
+model -- inferred execution contexts, canonical locksets, the must-hold
+entry meet -- and runs RPL201-RPL204.  Findings are ordinary reprolint
+``Finding``s, so the merged ``--race`` CLI mode reuses the reporters,
+suppressions, baseline, and exit codes unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from tools.reprolint.engine import Finding, apply_suppressions
+from tools.reproflow.analysis import gather_facts
+from tools.reproflow.graph import CallGraph, build_graph
+
+from tools.reprorace.contexts import ContextMap, infer_contexts
+from tools.reprorace.locks import call_locks_map, entry_locks
+from tools.reprorace.rules import ALL_RACE_RULES, RaceModel
+
+
+@dataclass
+class RaceResult:
+    """Outcome of one race run: findings plus the analysis artifacts."""
+
+    findings: List[Finding]
+    parse_errors: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    graph: Optional[CallGraph] = None
+    contexts: Optional[ContextMap] = None
+    model: Optional[RaceModel] = None
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def stats(self) -> Dict[str, int]:
+        """The additive ``"race"`` section of the JSON payload."""
+        counts = {c: 0 for c in ("main", "async", "worker", "child")}
+        for per_fn in (self.contexts or {}).values():
+            for context in per_fn:
+                counts[context] += 1
+        edges = (
+            sum(len(v) for v in self.graph.edges.values()) if self.graph else 0
+        )
+        return {
+            "functions": len(self.graph.functions) if self.graph else 0,
+            "edges": edges,
+            "main_functions": counts["main"],
+            "async_functions": counts["async"],
+            "worker_functions": counts["worker"],
+            "child_functions": counts["child"],
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+        }
+
+
+def build_race_model(all_facts: Sequence[dict], graph: CallGraph) -> RaceModel:
+    """Contexts + canonical locksets + entry meet + import members."""
+    contexts = infer_contexts(graph)
+    call_locks = call_locks_map(graph)
+    entry = entry_locks(graph, call_locks)
+    members = {
+        facts["module"]: dict(facts["imports"]["members"])
+        for facts in all_facts
+    }
+    return RaceModel(
+        graph=graph,
+        contexts=contexts,
+        entry=entry,
+        call_locks=call_locks,
+        members=members,
+    )
+
+
+def run_race(
+    root,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[Path] = None,
+    paths: Optional[Sequence[str]] = None,
+) -> RaceResult:
+    """Run the race/determinism analysis over ``src/`` under ``root``."""
+    project, parse_errors, all_facts, hits, misses = gather_facts(
+        root, use_cache=use_cache, cache_dir=cache_dir, paths=paths
+    )
+    graph = build_graph(all_facts)
+    model = build_race_model(all_facts, graph)
+
+    rule_classes = list(ALL_RACE_RULES)
+    if select:
+        wanted = set(select)
+        rule_classes = [r for r in rule_classes if r.code in wanted]
+    if ignore:
+        unwanted = set(ignore)
+        rule_classes = [r for r in rule_classes if r.code not in unwanted]
+
+    raw: List[Finding] = []
+    for cls in rule_classes:
+        raw.extend(cls().check(model))
+    raw = list(dict.fromkeys(raw))
+    kept, suppressed = apply_suppressions(project, raw)
+
+    return RaceResult(
+        findings=kept,
+        parse_errors=parse_errors,
+        suppressed=suppressed,
+        files_scanned=len(project.files),
+        graph=graph,
+        contexts=model.contexts,
+        model=model,
+        cache_hits=hits,
+        cache_misses=misses,
+    )

@@ -1,0 +1,178 @@
+"""Context inference: which execution contexts can reach each function.
+
+The context lattice is a powerset over four atoms:
+
+``main``
+    The parent process, outside any event loop -- seeded at call-graph
+    roots (functions with no recorded callers that are not coroutines
+    and not handed across a process boundary).
+
+``async``
+    An asyncio task on the (single-threaded) serve event loop -- seeded
+    at every ``async def``.
+
+``worker``
+    A forked ``WorkerPool`` worker running a payload function -- seeded
+    at the targets of reproflow's worker-payload facts
+    (``run_sharded(shared, fn, ...)`` / ``pool.map(shared, fn, tasks)``).
+
+``child``
+    A pool child immediately post-fork/spawn, inside the
+    ``initializer=`` callback -- seeded at pool-initializer targets.
+
+Contexts propagate *forward* along call edges (if ``f`` runs in context
+``c`` and calls ``g``, then ``g`` can run in ``c``) with write-once
+provenance exactly like reproflow's effect propagation: the first
+derivation of a (function, context) pair is recorded as either
+``("seed", line, detail)`` or ``("via", caller, line)`` and never
+overwritten, so every context claim unwinds to a finite acyclic witness
+chain.
+
+Fork-isolation semantics live in the *pairing* logic (rules.py), not
+here: ``worker`` and ``child`` are real contexts, but their module
+globals are copy-on-write private, so accesses from them never pair
+with anything across the fork boundary -- only pre-fork-shared channels
+(the store file, guarded by RPL202, and returned payloads) can
+conflict.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from tools.reprolint.engine import ChainHop
+from tools.reproflow.effects import short_name
+from tools.reproflow.graph import CallGraph
+
+CONTEXTS = ("main", "async", "worker", "child")
+
+#: (function, context) provenance: ("seed", line, detail) or
+#: ("via", caller, line).
+Provenance = Tuple
+ContextMap = Dict[str, Dict[str, Provenance]]
+
+
+def infer_contexts(graph: CallGraph) -> ContextMap:
+    """Fixed-point forward propagation of context seeds along edges."""
+    contexts: ContextMap = {q: {} for q in graph.functions}
+    worklist: deque = deque()
+
+    def seed(qualname: str, context: str, prov: Provenance) -> None:
+        if qualname in contexts and context not in contexts[qualname]:
+            contexts[qualname][context] = prov
+            worklist.append(qualname)
+
+    for qualname, node in graph.functions.items():
+        if node.is_async:
+            seed(
+                qualname,
+                "async",
+                ("seed", node.line, f"async def {node.name}"),
+            )
+
+    boundary_targets = set()
+    for caller, target, line, via in graph.payloads:
+        boundary_targets.add(target)
+        if target in graph.functions:
+            node = graph.functions[target]
+            caller_node = graph.functions.get(caller)
+            where = f"{caller_node.path}:{line}" if caller_node else f"line {line}"
+            seed(
+                target,
+                "worker",
+                ("seed", node.line, f"worker payload via {via} ({where})"),
+            )
+    for caller, target, line, via in graph.initializers:
+        boundary_targets.add(target)
+        if target in graph.functions:
+            node = graph.functions[target]
+            caller_node = graph.functions.get(caller)
+            where = f"{caller_node.path}:{line}" if caller_node else f"line {line}"
+            seed(
+                target,
+                "child",
+                ("seed", node.line, f"pool initializer ({where})"),
+            )
+
+    for qualname, node in graph.functions.items():
+        if (
+            not graph.callers.get(qualname)
+            and not node.is_async
+            and qualname not in boundary_targets
+        ):
+            seed(
+                qualname,
+                "main",
+                ("seed", node.line, f"'{node.name}' is a call-graph root"),
+            )
+
+    while worklist:
+        caller = worklist.popleft()
+        for callee, line, _note in graph.edges.get(caller, ()):
+            if callee not in contexts:
+                continue
+            changed = False
+            for context in contexts[caller]:
+                if context not in contexts[callee]:
+                    contexts[callee][context] = ("via", caller, line)
+                    changed = True
+            if changed:
+                worklist.append(callee)
+    return contexts
+
+
+def context_chain(
+    graph: CallGraph,
+    contexts: ContextMap,
+    qualname: str,
+    context: str,
+    site_line: Optional[int] = None,
+    site_note: Optional[str] = None,
+) -> List[ChainHop]:
+    """Witness chain from a context seed down to ``qualname``.
+
+    Acyclic and finite by the write-once provenance: each hop moves to
+    the caller that *first* derived the context.  Optionally append a
+    final hop at the flagged site inside ``qualname``.
+    """
+    hops_up: List[ChainHop] = []
+    current = qualname
+    while True:
+        prov = contexts.get(current, {}).get(context)
+        if prov is None:  # pragma: no cover - defensive
+            break
+        node = graph.functions[current]
+        if prov[0] == "seed":
+            hops_up.append(
+                ChainHop(
+                    function=current,
+                    path=node.path,
+                    line=prov[1],
+                    note=prov[2],
+                )
+            )
+            break
+        _, caller, line = prov
+        caller_node = graph.functions[caller]
+        hops_up.append(
+            ChainHop(
+                function=caller,
+                path=caller_node.path,
+                line=line,
+                note=f"calls {short_name(current)}",
+            )
+        )
+        current = caller
+    hops = list(reversed(hops_up))
+    if site_line is not None:
+        node = graph.functions[qualname]
+        hops.append(
+            ChainHop(
+                function=qualname,
+                path=node.path,
+                line=site_line,
+                note=site_note or "",
+            )
+        )
+    return hops

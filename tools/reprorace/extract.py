@@ -1,0 +1,685 @@
+"""Per-file race facts: lock regions, shared-state accesses, RNG seeds.
+
+This is the cacheable half of repro-race, called from
+:func:`tools.reproflow.extract.extract_module_facts` so the race facts
+ride the same content-hash facts cache as the effect facts (one parse,
+one cache entry per file).  Everything here is *local* to one module --
+symbolic references that need the cross-file graph (a call to
+``self._acquire_lock()``, a helper in a seed derivation) are recorded
+as unresolved tokens and resolved later by :mod:`tools.reprorace.locks`
+and :mod:`tools.reprorace.seeds`.
+
+Per function the extractor records:
+
+``accesses``
+    Reads/writes of module/class state with the lock set syntactically
+    held at each site.  State is: names assigned at module top level
+    (read by bare name, written through ``global``), dotted module
+    attributes resolving into ``repro.*``, and ``ClassName.attr`` for
+    top-level classes.  Instance attributes (``self.x``) are not state.
+
+``acquires``
+    Direct lock acquisitions (``fcntl`` acquire, ``x.acquire()``) with
+    a blocking flag -- RPL203's candidate sites.
+
+``call_locks``
+    Locks held at each call site (line -> tokens), the input to the
+    interprocedural must-hold meet in :mod:`tools.reprorace.locks`.
+
+``store_ops``
+    Store-file writes (append-mode opens) with held locks -- RPL202's
+    candidate sites.
+
+``rng_sites`` / ``seed_return``
+    RNG construction sites with a backward slice of the seed argument
+    classified into derivation roots, and the same classification of
+    the function's return expressions (so seeds derived *through* a
+    helper resolve over the call graph).
+
+Lock tokens are plain strings so the whole record is JSON-safe:
+
+``"fcntl"``
+    A direct ``fcntl.flock``/``lockf`` acquire (released by
+    ``LOCK_UN``).
+
+``"with:<expr>"``
+    A ``with``/``async with`` region over a lock-ish expression
+    (``with self._lock:``), or the region opened by ``<expr>.acquire()``
+    and closed by ``<expr>.release()``.  Canonical by expression text.
+
+``"call:<expr>"``
+    A call to an acquire-named helper (``self._acquire_lock()``);
+    real only if the graph resolves it to a function that directly
+    acquires ``fcntl`` (checked in locks.py), released by a
+    release-named call on the same base object.
+
+The region interpreter is a must-analysis: branches meet by
+intersection (a lock released on one path of an ``if`` is not held
+after the join), loop bodies may run zero times, and ``with`` regions
+end at block exit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Any, Dict, FrozenSet, List, Optional, Set
+
+from tools.reprolint.rules import ImportMap
+
+SEEDISH = re.compile(r"seed|salt", re.IGNORECASE)
+LOCKISH = re.compile(r"lock", re.IGNORECASE)
+ACQUIRE_NAME = re.compile(r"acquire", re.IGNORECASE)
+RELEASE_NAME = re.compile(r"release|unlock", re.IGNORECASE)
+
+#: RNG constructors whose seed argument must derive from a seeded root.
+RNG_CTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.Generator",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.MT19937",
+    }
+)
+_BITGENS = frozenset(d for d in RNG_CTORS if d.rsplit(".", 1)[1] != "default_rng")
+
+#: Entropy a rerun cannot replay: never a valid seed root.
+BAD_SEED_SOURCES = frozenset(
+    {"os.getpid", "os.getppid", "os.urandom", "os.getrandom", "id", "hash"}
+)
+BAD_SEED_PREFIXES = ("time.", "uuid.", "secrets.")
+
+#: Builtins that pass derivation through to their arguments.
+PASSTHROUGH_BUILTINS = frozenset(
+    {"int", "abs", "round", "min", "max", "sum", "divmod", "pow", "len", "float", "bool", "str", "repr", "tuple", "sorted"}
+)
+#: Builtin type names usable as method bases (``int.from_bytes(...)``).
+CONSTLIKE_NAMES = frozenset({"int", "str", "bytes", "float", "bool"})
+
+
+def _attribute_parts(node: ast.expr) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    return parts
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - defensive
+        return "<expr>"
+
+
+def call_token_base(token: str) -> str:
+    """``"call:self._acquire_lock"`` -> ``"self"`` (empty for bare names)."""
+    text = token.split(":", 1)[1]
+    return text.rsplit(".", 1)[0] if "." in text else ""
+
+
+def module_state_names(tree: ast.AST) -> Set[str]:
+    """Names assigned at module top level (through top-level if/try)."""
+    names: Set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if isinstance(child, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    child.targets
+                    if isinstance(child, ast.Assign)
+                    else [child.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(child, (ast.If, ast.Try)):
+                visit(child)
+
+    visit(tree)
+    return names
+
+
+def module_class_names(tree: ast.AST) -> Set[str]:
+    """Top-level class names (for ``ClassName.attr`` state accesses)."""
+    return {
+        child.name
+        for child in ast.iter_child_nodes(tree)
+        if isinstance(child, ast.ClassDef)
+    }
+
+
+class RaceExtractor:
+    """Per-module factory for per-function race facts."""
+
+    def __init__(
+        self,
+        imports: ImportMap,
+        module: str,
+        state_names: Set[str],
+        class_names: Set[str],
+    ) -> None:
+        self.imports = imports
+        self.module = module
+        self.state_names = frozenset(state_names)
+        self.class_names = frozenset(class_names)
+
+    def function_facts(self, func: ast.AST) -> Dict[str, Any]:
+        return _FunctionRace(self, func).run()
+
+
+class _FunctionRace:
+    def __init__(self, owner: RaceExtractor, func: ast.AST) -> None:
+        self.owner = owner
+        self.func = func
+        self.params: Set[str] = set()
+        self.global_names: Set[str] = set()
+        self.local_names: Set[str] = set()
+        self.assignments: Dict[str, List[ast.expr]] = {}
+        self.awaited: Set[int] = set()
+        self.accesses: List[List[Any]] = []
+        self.acquires: List[Dict[str, Any]] = []
+        self.store_ops: List[List[Any]] = []
+        self.rng_sites: List[Dict[str, Any]] = []
+        self.returns: List[ast.expr] = []
+        self._call_locks: Dict[int, FrozenSet[str]] = {}
+        self.fcntl_acquire = False
+
+    # -- driver --------------------------------------------------------
+
+    def run(self) -> Dict[str, Any]:
+        self._prepass()
+        self._block(self.func.body, frozenset())
+        roots: Set[str] = set()
+        for value in self.returns:
+            self._classify(value, roots, set())
+        facts: Dict[str, Any] = {}
+        if self.accesses:
+            facts["accesses"] = self.accesses
+        if self.acquires:
+            facts["acquires"] = self.acquires
+        if self.store_ops:
+            facts["store_ops"] = self.store_ops
+        if self.rng_sites:
+            facts["rng_sites"] = self.rng_sites
+        if self.fcntl_acquire:
+            facts["fcntl_acquire"] = True
+        call_locks = {
+            str(line): sorted(held)
+            for line, held in self._call_locks.items()
+            if held
+        }
+        if call_locks:
+            facts["call_locks"] = call_locks
+        if roots:
+            facts["seed_return"] = {"roots": sorted(roots)}
+        return facts
+
+    def _prepass(self) -> None:
+        args = self.func.args
+        for arg in (
+            list(getattr(args, "posonlyargs", []))
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + [a for a in (args.vararg, args.kwarg) if a is not None]
+        ):
+            self.params.add(arg.arg)
+        for node in self._own_nodes():
+            if isinstance(node, ast.Global):
+                self.global_names.update(node.names)
+        for node in self._own_nodes():
+            if isinstance(node, ast.Await):
+                if isinstance(node.value, ast.Call):
+                    self.awaited.add(id(node.value))
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    self.assignments.setdefault(target.id, []).append(node.value)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name) and node.value is not None:
+                    self.assignments.setdefault(node.target.id, []).append(
+                        node.value
+                    )
+            elif isinstance(node, ast.NamedExpr):
+                if isinstance(node.target, ast.Name):
+                    self.assignments.setdefault(node.target.id, []).append(
+                        node.value
+                    )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                self.returns.append(node.value)
+            if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+                if node.id not in self.global_names:
+                    self.local_names.add(node.id)
+
+    def _own_nodes(self):
+        def visit(node: ast.AST):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child,
+                    (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+                ):
+                    continue
+                yield child
+                yield from visit(child)
+
+        for stmt in self.func.body:
+            if isinstance(
+                stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield stmt
+            yield from visit(stmt)
+
+    # -- region interpreter (must-analysis over held locks) ------------
+
+    def _block(
+        self, stmts: List[ast.stmt], held: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        for stmt in stmts:
+            held = self._stmt(stmt, held)
+        return held
+
+    def _stmt(self, stmt: ast.stmt, held: FrozenSet[str]) -> FrozenSet[str]:
+        if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            return held
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            tokens: Set[str] = set()
+            for item in stmt.items:
+                self._scan(item.context_expr, held)
+                held = self._transitions(item.context_expr, held)
+                text = _unparse(item.context_expr)
+                if LOCKISH.search(text):
+                    tokens.add(f"with:{text}")
+            inner = self._block(stmt.body, frozenset(held | tokens))
+            return frozenset(inner - tokens)
+        if isinstance(stmt, ast.If):
+            self._scan(stmt.test, held)
+            return self._block(stmt.body, held) & self._block(
+                stmt.orelse, held
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._scan(stmt.iter, held)
+            after_body = self._block(stmt.body, held)
+            after = held & after_body
+            return after & self._block(stmt.orelse, after)
+        if isinstance(stmt, ast.While):
+            self._scan(stmt.test, held)
+            after_body = self._block(stmt.body, held)
+            after = held & after_body
+            return after & self._block(stmt.orelse, after)
+        if isinstance(stmt, ast.Try):
+            after_body = self._block(stmt.body, held)
+            out = (
+                self._block(stmt.orelse, after_body)
+                if stmt.orelse
+                else after_body
+            )
+            for handler in stmt.handlers:
+                out = out & self._block(handler.body, held & after_body)
+            if stmt.finalbody:
+                return self._block(stmt.finalbody, out)
+            return out
+        self._scan(stmt, held)
+        return self._transitions(stmt, held)
+
+    # -- site scanning -------------------------------------------------
+
+    def _walk(self, node: ast.AST):
+        yield node
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            yield from self._walk(child)
+
+    def _scan(self, node: ast.AST, held: FrozenSet[str]) -> None:
+        module = self.owner.module
+        for n in self._walk(node):
+            if isinstance(n, ast.Name):
+                if isinstance(n.ctx, ast.Store):
+                    if n.id in self.global_names:
+                        self._access(
+                            f"{module}.{n.id}", "write", n.lineno, held
+                        )
+                elif isinstance(n.ctx, ast.Load):
+                    if (
+                        (n.id in self.owner.state_names or n.id in self.global_names)
+                        and n.id not in self.local_names
+                        and n.id not in self.params
+                    ):
+                        self._access(
+                            f"{module}.{n.id}", "read", n.lineno, held
+                        )
+            elif isinstance(n, ast.Attribute):
+                self._attribute_site(n, held)
+            elif isinstance(n, ast.AugAssign):
+                # The implicit read of ``X += 1``.
+                target = n.target
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in self.global_names
+                ):
+                    self._access(
+                        f"{module}.{target.id}", "read", target.lineno, held
+                    )
+            elif isinstance(n, ast.Call):
+                self._call_site(n, held)
+
+    def _attribute_site(self, node: ast.Attribute, held: FrozenSet[str]) -> None:
+        kind = "write" if isinstance(node.ctx, ast.Store) else "read"
+        if not isinstance(node.ctx, (ast.Store, ast.Load)):
+            return
+        parts = _attribute_parts(node)
+        if (
+            parts
+            and len(parts) == 2
+            and parts[0] in self.owner.class_names
+            and parts[0] not in self.local_names
+        ):
+            self._access(
+                f"{self.owner.module}.{parts[0]}.{parts[1]}",
+                kind,
+                node.lineno,
+                held,
+            )
+            return
+        resolved = self.owner.imports.resolve(node)
+        if resolved is not None and resolved.startswith("repro."):
+            self._access(resolved, kind, node.lineno, held)
+
+    def _access(
+        self, name: str, kind: str, line: int, held: FrozenSet[str]
+    ) -> None:
+        record = [name, kind, line, sorted(held)]
+        if record not in self.accesses:
+            self.accesses.append(record)
+
+    def _call_site(self, call: ast.Call, held: FrozenSet[str]) -> None:
+        line = call.lineno
+        if line in self._call_locks:
+            self._call_locks[line] = self._call_locks[line] & held
+        else:
+            self._call_locks[line] = held
+        dotted = self.owner.imports.resolve(call.func)
+        if dotted in RNG_CTORS:
+            self._rng_site(call, dotted)
+        self._store_op(call, dotted, held)
+
+    # -- store ops (append-mode writes) --------------------------------
+
+    def _store_op(
+        self, call: ast.Call, dotted: Optional[str], held: FrozenSet[str]
+    ) -> None:
+        if dotted == "os.open":
+            for arg in ast.walk(call):
+                if isinstance(arg, ast.Attribute) and arg.attr == "O_APPEND":
+                    self.store_ops.append(
+                        [call.lineno, "os.open(..., O_APPEND)", sorted(held)]
+                    )
+                    return
+            return
+        is_builtin_open = (
+            isinstance(call.func, ast.Name) and call.func.id == "open"
+        )
+        is_method_open = (
+            isinstance(call.func, ast.Attribute) and call.func.attr == "open"
+        )
+        if is_builtin_open or dotted == "io.open" or is_method_open:
+            mode = self._mode_argument(
+                call, second=is_builtin_open or dotted == "io.open"
+            )
+            if mode is not None and "a" in mode:
+                self.store_ops.append(
+                    [call.lineno, f"append-mode open ({mode!r})", sorted(held)]
+                )
+
+    @staticmethod
+    def _mode_argument(node: ast.Call, second: bool) -> Optional[str]:
+        position = 1 if second else 0
+        if len(node.args) > position:
+            candidate = node.args[position]
+            if isinstance(candidate, ast.Constant) and isinstance(
+                candidate.value, str
+            ):
+                return candidate.value
+        for kw in node.keywords:
+            if (
+                kw.arg == "mode"
+                and isinstance(kw.value, ast.Constant)
+                and isinstance(kw.value.value, str)
+            ):
+                return kw.value.value
+        return None
+
+    # -- lock transitions ----------------------------------------------
+
+    def _transitions(
+        self, stmt: ast.AST, held: FrozenSet[str]
+    ) -> FrozenSet[str]:
+        out = set(held)
+        for n in self._walk(stmt):
+            if not isinstance(n, ast.Call):
+                continue
+            dotted = self.owner.imports.resolve(n.func)
+            if dotted is not None and dotted.startswith("fcntl."):
+                if self._mentions(n, "LOCK_UN"):
+                    out.discard("fcntl")
+                else:
+                    out.add("fcntl")
+                    self.fcntl_acquire = True
+                    blocking = (
+                        not self._mentions(n, "LOCK_NB")
+                        and id(n) not in self.awaited
+                    )
+                    self.acquires.append(
+                        {"token": "fcntl", "line": n.lineno, "blocking": blocking}
+                    )
+                continue
+            func = n.func
+            leaf = None
+            if isinstance(func, ast.Attribute):
+                leaf = func.attr
+            elif isinstance(func, ast.Name):
+                leaf = func.id
+            if leaf is None:
+                continue
+            if RELEASE_NAME.search(leaf):
+                if leaf == "release" and isinstance(func, ast.Attribute):
+                    out.discard(f"with:{_unparse(func.value)}")
+                else:
+                    base = (
+                        _unparse(func.value)
+                        if isinstance(func, ast.Attribute)
+                        else ""
+                    )
+                    out = {
+                        t
+                        for t in out
+                        if not (
+                            t.startswith("call:")
+                            and call_token_base(t) == base
+                        )
+                    }
+            elif ACQUIRE_NAME.search(leaf):
+                blocking = id(n) not in self.awaited and not any(
+                    kw.arg == "blocking"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is False
+                    for kw in n.keywords
+                )
+                if leaf == "acquire" and isinstance(func, ast.Attribute):
+                    token = f"with:{_unparse(func.value)}"
+                    out.add(token)
+                    self.acquires.append(
+                        {"token": token, "line": n.lineno, "blocking": blocking}
+                    )
+                else:
+                    # Acquire-named helper: real only if the graph
+                    # resolves it to an fcntl acquirer (locks.py); no
+                    # RPL203 site here -- the helper's own direct
+                    # acquire is the site.
+                    out.add(f"call:{_unparse(func)}")
+        return frozenset(out)
+
+    @staticmethod
+    def _mentions(call: ast.Call, flag: str) -> bool:
+        for node in ast.walk(call):
+            if isinstance(node, ast.Attribute) and node.attr == flag:
+                return True
+            if isinstance(node, ast.Name) and node.id == flag:
+                return True
+        return False
+
+    # -- seed provenance (taint-style backward slice) ------------------
+
+    def _rng_site(self, call: ast.Call, dotted: str) -> None:
+        seed = call.args[0] if call.args else None
+        if seed is None:
+            for kw in call.keywords:
+                if kw.arg == "seed":
+                    seed = kw.value
+                    break
+        if seed is None:
+            return  # seedless construction is RPL002's finding
+        ctor = dotted.rsplit(".", 1)[1]
+        if ctor == "Generator" and isinstance(seed, ast.Call):
+            inner = self.owner.imports.resolve(seed.func)
+            if inner in _BITGENS:
+                return  # the bit-generator call is its own site
+        roots: Set[str] = set()
+        self._classify(seed, roots, set())
+        self.rng_sites.append(
+            {
+                "line": call.lineno,
+                "ctor": ctor,
+                "expr": _unparse(seed),
+                "roots": sorted(roots),
+                "const_key": self._const_key(seed),
+            }
+        )
+
+    def _classify(
+        self, expr: ast.expr, out: Set[str], visited: Set[str]
+    ) -> None:
+        if isinstance(expr, ast.Constant):
+            out.add("const")
+        elif isinstance(expr, ast.Name):
+            nid = expr.id
+            if nid in self.params:
+                out.add("param")
+            elif nid in self.assignments:
+                if nid not in visited:
+                    visited.add(nid)
+                    for value in self.assignments[nid]:
+                        self._classify(value, out, visited)
+            elif nid in CONSTLIKE_NAMES:
+                out.add("const")
+            elif SEEDISH.search(nid):
+                out.add("derived")
+            else:
+                out.add(f"opaque:{nid}")
+        elif isinstance(expr, ast.Attribute):
+            if SEEDISH.search(expr.attr):
+                out.add("derived")
+            else:
+                out.add(f"opaque:{expr.attr}")
+        elif isinstance(expr, ast.Call):
+            self._classify_call(expr, out, visited)
+        elif isinstance(expr, ast.BinOp):
+            self._classify(expr.left, out, visited)
+            self._classify(expr.right, out, visited)
+        elif isinstance(expr, ast.UnaryOp):
+            self._classify(expr.operand, out, visited)
+        elif isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                self._classify(value, out, visited)
+        elif isinstance(expr, ast.IfExp):
+            self._classify(expr.body, out, visited)
+            self._classify(expr.orelse, out, visited)
+        elif isinstance(expr, ast.Subscript):
+            self._classify(expr.value, out, visited)
+        elif isinstance(expr, (ast.Tuple, ast.List)):
+            for elt in expr.elts:
+                self._classify(elt, out, visited)
+        elif isinstance(expr, ast.Starred):
+            self._classify(expr.value, out, visited)
+        else:
+            out.add("opaque:<expr>")
+
+    def _classify_call(
+        self, call: ast.Call, out: Set[str], visited: Set[str]
+    ) -> None:
+        func = call.func
+        dotted = self.owner.imports.resolve(func)
+        if dotted is not None and (
+            dotted in BAD_SEED_SOURCES
+            or dotted.startswith(BAD_SEED_PREFIXES)
+        ):
+            out.add(f"bad:{dotted}")
+            return
+        if isinstance(func, ast.Name):
+            if func.id in BAD_SEED_SOURCES:
+                out.add(f"bad:{func.id}")
+                return
+            if func.id in PASSTHROUGH_BUILTINS:
+                for arg in call.args:
+                    self._classify(arg, out, visited)
+                return
+            # A project helper: defer to graph resolution (seeds.py).
+            out.add(f"helper:{func.id}")
+            for arg in call.args:
+                self._classify(arg, out, visited)
+            return
+        if dotted is not None:
+            leaf = dotted.rsplit(".", 1)[1]
+            if SEEDISH.search(leaf):
+                out.add("derived")
+            else:
+                out.add(f"helper:{dotted}")
+                for arg in call.args:
+                    self._classify(arg, out, visited)
+            return
+        if isinstance(func, ast.Attribute):
+            # Method call: derivation flows from the receiver and args
+            # (``base.integers(...)`` on a seeded generator is derived).
+            self._classify(func.value, out, visited)
+            for arg in call.args:
+                self._classify(arg, out, visited)
+            return
+        out.add("opaque:<call>")
+
+    def _const_key(self, expr: ast.expr) -> Optional[str]:
+        """Canonical text of a fully-constant derivation, else None."""
+
+        def closed(node: ast.expr) -> bool:
+            if isinstance(node, ast.Constant):
+                return True
+            if isinstance(node, ast.Call):
+                if not isinstance(node.func, (ast.Name, ast.Attribute)):
+                    return False
+                return all(closed(a) for a in node.args) and all(
+                    closed(kw.value) for kw in node.keywords
+                )
+            if isinstance(node, ast.BinOp):
+                return closed(node.left) and closed(node.right)
+            if isinstance(node, ast.UnaryOp):
+                return closed(node.operand)
+            if isinstance(node, (ast.Tuple, ast.List)):
+                return all(closed(e) for e in node.elts)
+            return False
+
+        return _unparse(expr) if closed(expr) else None

@@ -1,0 +1,175 @@
+"""Interprocedural lockset analysis: must-hold sets and witness chains.
+
+The per-function region interpreter (:mod:`tools.reprorace.extract`)
+records which lock tokens are syntactically held at every access, call
+site, and store op.  This module does the two cross-file steps:
+
+**Token canonicalization.**  ``"call:<expr>"`` tokens are symbolic --
+``self._acquire_lock()`` *might* be a lock acquisition, but only the
+graph knows.  A call token is canonicalized to ``"fcntl"`` iff the
+caller has an edge to a function whose race facts record a direct
+``fcntl`` acquire (``fcntl_acquire``); otherwise the token is dropped
+(a helper named "acquire" that never locks guards nothing).
+
+**Must-hold entry meet.**  The set of locks *guaranteed* held when a
+function runs is the intersection over every call path:
+
+    entry(f) = iimin over callers c of f:  entry(c) | held_at_callsite(c -> f)
+
+with ``entry(root) = {}``.  This is a meet-over-all-paths fixed point
+initialized at top (the universe of canonical locks) and iterated until
+stable; sets only shrink, so it terminates.  A site is guarded iff the
+lock is in ``site_locks | entry(function)``.
+
+Witness chains for an *unguarded* site walk upward choosing, at each
+step, a caller path on which the lock is not held -- by the meet's
+definition at least one exists -- and stop at a root or a cycle,
+yielding a finite root-first chain like reproflow's effect provenance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from tools.reprolint.engine import ChainHop
+from tools.reproflow.effects import short_name
+from tools.reproflow.graph import CallGraph
+
+from tools.reprorace.extract import call_token_base
+
+EMPTY: FrozenSet[str] = frozenset()
+
+
+def _resolves_to_fcntl(graph: CallGraph, caller: str, token: str) -> bool:
+    text = token.split(":", 1)[1]
+    leaf = text.rsplit(".", 1)[-1]
+    for callee, _line, _note in graph.edges.get(caller, ()):
+        if callee.rsplit(".", 1)[-1] == leaf and graph.race.get(callee, {}).get(
+            "fcntl_acquire"
+        ):
+            return True
+    return False
+
+
+def canonicalize(
+    graph: CallGraph, qualname: str, tokens
+) -> FrozenSet[str]:
+    """Resolve symbolic call tokens against the graph; drop dead ones."""
+    out = set()
+    for token in tokens:
+        if token.startswith("call:"):
+            if _resolves_to_fcntl(graph, qualname, token):
+                out.add("fcntl")
+        else:
+            out.add(token)
+    return frozenset(out)
+
+
+def call_locks_map(graph: CallGraph) -> Dict[str, Dict[int, FrozenSet[str]]]:
+    """Canonical held-lock sets at each call line, per function."""
+    out: Dict[str, Dict[int, FrozenSet[str]]] = {}
+    for qualname, race in graph.race.items():
+        raw = race.get("call_locks")
+        if not raw:
+            continue
+        out[qualname] = {
+            int(line): canonicalize(graph, qualname, tokens)
+            for line, tokens in raw.items()
+        }
+    return out
+
+
+def entry_locks(
+    graph: CallGraph, call_locks: Dict[str, Dict[int, FrozenSet[str]]]
+) -> Dict[str, FrozenSet[str]]:
+    """Meet-over-all-paths: locks guaranteed held at each function entry."""
+    universe = set()
+    for per_line in call_locks.values():
+        for held in per_line.values():
+            universe |= held
+    top = frozenset(universe)
+
+    # Boundary targets start fresh in their new process, whatever their
+    # spawner held -- the lock fd does not cross the fork usefully.
+    boundary = {
+        target for _c, target, _l, _v in graph.payloads + graph.initializers
+    }
+
+    entry: Dict[str, FrozenSet[str]] = {}
+    for qualname in graph.functions:
+        if qualname in boundary or not graph.callers.get(qualname):
+            entry[qualname] = EMPTY
+        else:
+            entry[qualname] = top
+
+    changed = True
+    while changed:
+        changed = False
+        for qualname in graph.functions:
+            if qualname in boundary:
+                continue
+            callers = graph.callers.get(qualname)
+            if not callers:
+                continue
+            new: Optional[FrozenSet[str]] = None
+            for caller, line in callers:
+                if caller not in graph.functions:
+                    continue
+                held = entry.get(caller, EMPTY) | call_locks.get(caller, {}).get(
+                    line, EMPTY
+                )
+                new = held if new is None else (new & held)
+            if new is None:
+                new = EMPTY
+            if new != entry[qualname]:
+                entry[qualname] = new
+                changed = True
+    return entry
+
+
+def unlocked_chain(
+    graph: CallGraph,
+    entry: Dict[str, FrozenSet[str]],
+    call_locks: Dict[str, Dict[int, FrozenSet[str]]],
+    qualname: str,
+    lock: str,
+) -> List[ChainHop]:
+    """Root-first witness of one call path on which ``lock`` is unheld.
+
+    At each step pick a caller whose own entry set plus the locks held
+    at the call site do not include ``lock``; the entry meet guarantees
+    one exists whenever ``lock not in entry[qualname]``.  A seen-set
+    makes the walk finite on recursive graphs.
+    """
+    steps: List[ChainHop] = []
+    seen = {qualname}
+    current = qualname
+    while True:
+        callers = graph.callers.get(current)
+        if not callers:
+            break
+        chosen = None
+        for caller, line in sorted(callers):
+            if caller in seen or caller not in graph.functions:
+                continue
+            held = entry.get(caller, EMPTY) | call_locks.get(caller, {}).get(
+                line, EMPTY
+            )
+            if lock not in held:
+                chosen = (caller, line)
+                break
+        if chosen is None:
+            break
+        caller, line = chosen
+        steps.append(
+            ChainHop(
+                function=caller,
+                path=graph.functions[caller].path,
+                line=line,
+                note=f"calls {short_name(current)} without the lock",
+            )
+        )
+        seen.add(caller)
+        current = caller
+    steps.reverse()
+    return steps

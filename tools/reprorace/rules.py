@@ -1,0 +1,369 @@
+"""The repro-race rule registry: ``RPL2xx`` concurrency/determinism gates.
+
+Race rules consume a prebuilt :class:`RaceModel` (call graph + inferred
+contexts + canonical locksets + import members) and yield ordinary
+reprolint ``Finding``s, so suppressions, the shrink-only baseline, the
+reporters, and the exit codes all apply unchanged.  Every finding
+carries a witness chain: a context chain proving how a concurrent
+context reaches the site, or a call chain proving a lock-free path.
+
+Concurrency pairing (fork semantics): only the ``main`` x ``async``
+pair can conflict on module/class state.  ``worker`` and ``child``
+contexts run in forked processes whose globals are copy-on-write
+private -- the only channels that cross the fork are the store file
+(RPL202's domain) and returned payloads (RPL104's) -- and the asyncio
+event loop is single-threaded, so two ``async`` reaches of the same
+state interleave only at awaits and are ordered by the loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Tuple
+
+from tools.reprolint.engine import ChainHop, Finding
+from tools.reproflow.effects import short_name
+from tools.reproflow.graph import CallGraph
+
+from tools.reprorace.contexts import ContextMap, context_chain
+from tools.reprorace.locks import (
+    EMPTY,
+    canonicalize,
+    unlocked_chain,
+)
+from tools.reprorace.seeds import Members, seed_findings
+
+SCOPE = "src/"
+
+
+@dataclass
+class RaceModel:
+    """Everything a race rule needs, computed once per run."""
+
+    graph: CallGraph
+    contexts: ContextMap
+    #: Locks guaranteed held at each function entry (must-hold meet).
+    entry: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    #: Canonical locks held at each call line, per function.
+    call_locks: Dict[str, Dict[int, FrozenSet[str]]] = field(
+        default_factory=dict
+    )
+    #: module -> {imported name -> dotted target}.
+    members: Members = field(default_factory=dict)
+
+    def site_locks(self, qualname: str, tokens) -> FrozenSet[str]:
+        return canonicalize(self.graph, qualname, tokens) | self.entry.get(
+            qualname, EMPTY
+        )
+
+
+class RaceRule:
+    """One concurrency/determinism invariant."""
+
+    code: str = "RPL299"
+    name: str = "unnamed"
+    summary: str = ""
+
+    def check(self, model: RaceModel) -> List[Finding]:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class _Access:
+    qualname: str
+    path: str
+    kind: str  # "read" | "write"
+    line: int
+    locks: FrozenSet[str]
+
+
+class UnguardedSharedStateRule(RaceRule):
+    """Module/class state reachable from two concurrent contexts with at
+    least one write and no lock both sides are guaranteed to hold."""
+
+    code = "RPL201"
+    name = "unguarded-shared-state"
+    summary = (
+        "no write/write or read/write pair on module/class state "
+        "reachable from two concurrent contexts with an empty common "
+        "lockset"
+    )
+
+    def check(self, model: RaceModel) -> List[Finding]:
+        graph = model.graph
+        by_state: Dict[str, List[_Access]] = {}
+        for qualname, race in sorted(graph.race.items()):
+            node = graph.functions.get(qualname)
+            if node is None or not node.path.startswith(SCOPE):
+                continue
+            for name, kind, line, locks in race.get("accesses", ()):
+                by_state.setdefault(name, []).append(
+                    _Access(
+                        qualname=qualname,
+                        path=node.path,
+                        kind=kind,
+                        line=line,
+                        locks=model.site_locks(qualname, locks),
+                    )
+                )
+        findings: List[Finding] = []
+        reported = set()
+        for state, sites in sorted(by_state.items()):
+            if not any(s.kind == "write" for s in sites):
+                continue
+            main_side = [
+                s
+                for s in sites
+                if "main" in model.contexts.get(s.qualname, ())
+            ]
+            async_side = [
+                s
+                for s in sites
+                if "async" in model.contexts.get(s.qualname, ())
+            ]
+            for a_site in async_side:
+                for m_site in main_side:
+                    if a_site.kind == "read" and m_site.kind == "read":
+                        continue
+                    if a_site.locks & m_site.locks:
+                        continue
+                    key = (state, a_site.qualname, a_site.line)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    hops = context_chain(
+                        graph,
+                        model.contexts,
+                        a_site.qualname,
+                        "async",
+                        site_line=a_site.line,
+                        site_note=f"{a_site.kind}s {state}",
+                    )
+                    hops.append(
+                        ChainHop(
+                            function=m_site.qualname,
+                            path=m_site.path,
+                            line=m_site.line,
+                            note=(
+                                f"conflicting {m_site.kind} from the main "
+                                "context"
+                            ),
+                        )
+                    )
+                    findings.append(
+                        Finding(
+                            code=self.code,
+                            path=a_site.path,
+                            line=a_site.line,
+                            col=0,
+                            message=(
+                                f"{a_site.kind} of shared state '{state}' "
+                                "from an asyncio task races the "
+                                f"{m_site.kind} in "
+                                f"{short_name(m_site.qualname)} "
+                                f"({m_site.path}:{m_site.line}) with no "
+                                "common lock; guard both sides or move "
+                                "the state into the task"
+                            ),
+                            chain=tuple(hops),
+                        )
+                    )
+                    break
+        return findings
+
+
+class StoreRegionRule(RaceRule):
+    """Every store-file append must happen inside an fcntl-guarded
+    region -- held at the site or guaranteed by every caller (the
+    must-hold entry meet), not merely reachable somewhere in the
+    subtree as RPL103 checks."""
+
+    code = "RPL202"
+    name = "store-unguarded-region"
+    summary = (
+        "store-file appends execute inside an fcntl-guarded region "
+        "(held at the site or on every call path)"
+    )
+
+    def check(self, model: RaceModel) -> List[Finding]:
+        graph = model.graph
+        findings: List[Finding] = []
+        for qualname, race in sorted(graph.race.items()):
+            node = graph.functions.get(qualname)
+            if node is None or not node.path.startswith(SCOPE):
+                continue
+            for line, detail, locks in race.get("store_ops", ()):
+                if "fcntl" in model.site_locks(qualname, locks):
+                    continue
+                hops = unlocked_chain(
+                    graph, model.entry, model.call_locks, qualname, "fcntl"
+                )
+                hops.append(
+                    ChainHop(
+                        function=qualname,
+                        path=node.path,
+                        line=line,
+                        note=f"{detail} outside any fcntl region",
+                    )
+                )
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        path=node.path,
+                        line=line,
+                        col=0,
+                        message=(
+                            f"store write ({detail}) outside an "
+                            "fcntl-guarded region: no lock is held at the "
+                            "site and at least one call path never "
+                            "acquires it; bracket the write with the "
+                            "store lock"
+                        ),
+                        chain=tuple(hops),
+                    )
+                )
+        return findings
+
+
+class AsyncBlockingLockRule(RaceRule):
+    """A blocking lock acquisition reachable from an asyncio context
+    stalls every task on the loop (the micro-batching window timer
+    included) until the lock frees -- starvation at best, deadlock if
+    the holder needs the loop to progress."""
+
+    code = "RPL203"
+    name = "async-blocking-lock"
+    summary = (
+        "no blocking lock acquisition (fcntl or .acquire()) reachable "
+        "from an asyncio context"
+    )
+
+    def check(self, model: RaceModel) -> List[Finding]:
+        graph = model.graph
+        findings: List[Finding] = []
+        for qualname, race in sorted(graph.race.items()):
+            node = graph.functions.get(qualname)
+            if node is None or not node.path.startswith(SCOPE):
+                continue
+            if "async" not in model.contexts.get(qualname, ()):
+                continue
+            for acquire in race.get("acquires", ()):
+                if not acquire["blocking"]:
+                    continue
+                token = acquire["token"]
+                label = (
+                    "the store fcntl lock"
+                    if token == "fcntl"
+                    else f"'{token.split(':', 1)[1]}'"
+                )
+                hops = context_chain(
+                    graph,
+                    model.contexts,
+                    qualname,
+                    "async",
+                    site_line=acquire["line"],
+                    site_note=f"blocking acquire of {label}",
+                )
+                findings.append(
+                    Finding(
+                        code=self.code,
+                        path=node.path,
+                        line=acquire["line"],
+                        col=0,
+                        message=(
+                            f"blocking acquisition of {label} is reachable "
+                            "from an asyncio task and stalls the event "
+                            "loop; acquire non-blockingly, await an "
+                            "asyncio.Lock, or move the work to an executor"
+                        ),
+                        chain=tuple(hops),
+                    )
+                )
+        return findings
+
+
+class SeedProvenanceRule(RaceRule):
+    """Every RNG seed must flow from a seeded derivation root, and no
+    two shards may derive the same constant stream."""
+
+    code = "RPL204"
+    name = "seed-provenance"
+    summary = (
+        "every RNG seed derives from a seeded root (no unreplayable "
+        "entropy, no constant collisions between sibling sites)"
+    )
+
+    def check(self, model: RaceModel) -> List[Finding]:
+        graph = model.graph
+        underived, collisions = seed_findings(graph, model.members)
+        findings: List[Finding] = []
+        for site in underived:
+            node = graph.functions[site["qualname"]]
+            hop = ChainHop(
+                function=site["qualname"],
+                path=node.path,
+                line=site["line"],
+                note=f"seed expression '{site['expr']}': {site['reason']}",
+            )
+            findings.append(
+                Finding(
+                    code=self.code,
+                    path=node.path,
+                    line=site["line"],
+                    col=0,
+                    message=(
+                        f"RNG seed '{site['expr']}' in "
+                        f"{short_name(site['qualname'])} has "
+                        f"{site['reason']}; derive it from a config seed "
+                        "via stable_seed/derived_seed"
+                    ),
+                    chain=(hop,),
+                )
+            )
+        for site in collisions:
+            node = graph.functions[site["qualname"]]
+            other_q, other_line = site["others"][0]
+            other_node = graph.functions[other_q]
+            hops = (
+                ChainHop(
+                    function=site["qualname"],
+                    path=node.path,
+                    line=site["line"],
+                    note=f"constant seed derivation '{site['expr']}'",
+                ),
+                ChainHop(
+                    function=other_q,
+                    path=other_node.path,
+                    line=other_line,
+                    note="sibling site derives the identical constant",
+                ),
+            )
+            findings.append(
+                Finding(
+                    code=self.code,
+                    path=node.path,
+                    line=site["line"],
+                    col=0,
+                    message=(
+                        f"RNG seed '{site['expr']}' collides with the "
+                        f"identical constant derivation in "
+                        f"{short_name(other_q)} ({other_node.path}:"
+                        f"{other_line}): sibling shards would replay the "
+                        "same stream; salt the derivation per shard"
+                    ),
+                    chain=hops,
+                )
+            )
+        return findings
+
+
+ALL_RACE_RULES: Tuple[type, ...] = (
+    UnguardedSharedStateRule,
+    StoreRegionRule,
+    AsyncBlockingLockRule,
+    SeedProvenanceRule,
+)
+
+
+def race_rules_by_code() -> Dict[str, type]:
+    return {rule.code: rule for rule in ALL_RACE_RULES}

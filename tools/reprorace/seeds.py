@@ -1,0 +1,157 @@
+"""Cross-file seed-provenance resolution (the RPL204 back end).
+
+The extractor reduces every RNG construction site to a set of
+*derivation roots* for its seed argument:
+
+``derived``       a ``seed``/``salt``-named field or derivation call
+``param``         a function parameter (the caller chose the seed)
+``const``         a literal constant (replayable; collision-checked)
+``helper:<name>`` a project function call -- resolved here via the
+                  call graph to its own return-slice classification
+``bad:<dotted>``  entropy a rerun cannot replay (``os.getpid``,
+                  clocks, ``uuid``, ``hash()``...)
+``opaque:<name>`` anything the slice cannot see through
+
+A site is **derived** iff it has no ``bad`` root and at least one of:
+a ``derived``/``param`` root, a helper that the graph proves returns a
+derived value, or an all-constant slice.  Helper proof is a fixed
+point over every function's ``seed_return`` classification, so a seed
+derived *through* ``stable_seed``/``derived_seed``-style helpers (or a
+chain of them) resolves without any name whitelist -- and a
+``_pid_seed()`` helper that actually returns ``os.getpid()`` fails the
+proof no matter how reassuring its name is.  Only an *unresolvable*
+call falls back to the seed-ish-name heuristic (external libraries).
+
+Collisions: two distinct sites whose seed slices are closed constant
+expressions with identical canonical text would hand sibling shards the
+same stream; each such site is flagged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.reproflow.graph import CallGraph
+
+from tools.reprorace.extract import SEEDISH
+
+#: module -> {imported name -> dotted target}, from per-file facts.
+Members = Dict[str, Dict[str, str]]
+
+
+def resolve_helper(
+    graph: CallGraph, members: Members, module: str, name: str
+) -> Optional[str]:
+    """Resolve a helper tag to a project function qualname, if any."""
+    for candidate in (
+        name if "." in name else None,
+        f"{module}.{name}" if "." not in name else None,
+    ):
+        if candidate is None:
+            continue
+        seen: Set[str] = set()
+        while candidate is not None and candidate not in seen:
+            seen.add(candidate)
+            if candidate in graph.functions:
+                return candidate
+            prefix, _, leaf = candidate.rpartition(".")
+            candidate = members.get(prefix, {}).get(leaf)
+    if "." not in name:
+        target = members.get(module, {}).get(name)
+        if target is not None:
+            return resolve_helper(graph, members, module, target)
+    return None
+
+
+def _roots_derived(
+    roots,
+    graph: CallGraph,
+    members: Members,
+    module: str,
+    derived: Set[str],
+) -> Tuple[bool, str]:
+    """(is_derived, reason-if-not)."""
+    bad = sorted(r[4:] for r in roots if r.startswith("bad:"))
+    if bad:
+        return False, f"seeded from unreplayable entropy ({', '.join(bad)})"
+    if "derived" in roots or "param" in roots:
+        return True, ""
+    helpers = [r[7:] for r in roots if r.startswith("helper:")]
+    for helper in helpers:
+        qualname = resolve_helper(graph, members, module, helper)
+        if qualname is not None:
+            if qualname in derived:
+                return True, ""
+        elif SEEDISH.search(helper.rsplit(".", 1)[-1]):
+            return True, ""  # unresolvable but seed-ish: external deriver
+    if roots and all(r == "const" for r in roots):
+        return True, ""
+    opaque = sorted(r[7:] for r in roots if r.startswith("opaque:"))
+    detail = f" (opaque: {', '.join(opaque)})" if opaque else ""
+    return False, f"no seeded derivation root{detail}"
+
+
+def derived_returners(graph: CallGraph, members: Members) -> Set[str]:
+    """Fixed point: functions whose return slice is itself derived."""
+    derived: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for qualname, race in graph.race.items():
+            if qualname in derived:
+                continue
+            seed_return = race.get("seed_return")
+            if not seed_return:
+                continue
+            node = graph.functions.get(qualname)
+            if node is None:
+                continue
+            ok, _ = _roots_derived(
+                seed_return["roots"], graph, members, node.module, derived
+            )
+            if ok:
+                derived.add(qualname)
+                changed = True
+    return derived
+
+
+def seed_findings(
+    graph: CallGraph, members: Members
+) -> Tuple[List[dict], List[dict]]:
+    """(underived sites, collision sites) for RPL204.
+
+    Each underived entry: ``{qualname, line, expr, reason}``.  Each
+    collision entry: ``{qualname, line, expr, others: [(qualname,
+    line), ...]}`` -- one entry per colliding site.
+    """
+    derived = derived_returners(graph, members)
+    underived: List[dict] = []
+    by_const_key: Dict[str, List[dict]] = {}
+    for qualname, race in sorted(graph.race.items()):
+        node = graph.functions.get(qualname)
+        if node is None or not node.path.startswith("src/"):
+            continue
+        for site in race.get("rng_sites", ()):
+            ok, reason = _roots_derived(
+                site["roots"], graph, members, node.module, derived
+            )
+            record = {
+                "qualname": qualname,
+                "line": site["line"],
+                "expr": site["expr"],
+            }
+            if not ok:
+                underived.append(dict(record, reason=reason))
+            elif site.get("const_key") is not None:
+                by_const_key.setdefault(site["const_key"], []).append(record)
+    collisions: List[dict] = []
+    for _key, sites in sorted(by_const_key.items()):
+        distinct = {(s["qualname"], s["line"]) for s in sites}
+        if len(distinct) < 2:
+            continue
+        for site in sites:
+            others = sorted(
+                d for d in distinct if d != (site["qualname"], site["line"])
+            )
+            collisions.append(dict(site, others=others))
+    return underived, collisions
